@@ -1,0 +1,39 @@
+# Convenience targets for the HinTM reproduction. Everything is plain
+# `go` — these exist so the common flows are one command.
+
+GO ?= go
+
+.PHONY: all test vet bench figures svg ablate export clean
+
+all: vet test
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# The full verification artifacts the repository ships with.
+artifacts:
+	$(GO) test ./... 2>&1 | tee test_output.txt
+	$(GO) test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt
+
+# Regenerate every figure of the paper's evaluation (text tables).
+figures:
+	$(GO) run ./cmd/hintm-bench all
+
+# Render the figures as SVG files under ./figures/.
+svg:
+	$(GO) run ./cmd/hintm-bench -svg figures svg
+
+ablate:
+	$(GO) run ./cmd/hintm-bench ablate
+
+export:
+	$(GO) run ./cmd/hintm-bench export > results.json
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+clean:
+	rm -rf figures results.json

@@ -1,0 +1,109 @@
+// Command hintm-bench regenerates the paper's evaluation figures.
+//
+// Usage:
+//
+//	hintm-bench [flags] [table1|table2|fig1|fig4|fig5|fig6|fig7|fig8|ablate|extras|export|seeds|svg|all]
+//
+// Flags:
+//
+//	-scale small|medium|large   input scale for the P8 figures (default medium)
+//	-large small|medium|large   input scale for Fig 7/8 (default large)
+//	-workloads a,b,c            restrict to a workload subset
+//	-seed N                     simulation seed
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"hintm/internal/harness"
+	"hintm/internal/workloads"
+)
+
+func parseScale(s string) (workloads.Scale, error) {
+	switch s {
+	case "small":
+		return workloads.Small, nil
+	case "medium":
+		return workloads.Medium, nil
+	case "large":
+		return workloads.Large, nil
+	}
+	return 0, fmt.Errorf("unknown scale %q", s)
+}
+
+func main() {
+	scaleFlag := flag.String("scale", "medium", "input scale for P8 figures")
+	largeFlag := flag.String("large", "large", "input scale for Fig 7/8")
+	wlFlag := flag.String("workloads", "", "comma-separated workload subset")
+	seed := flag.Uint64("seed", 1, "simulation seed")
+	svgDir := flag.String("svg", "", "also render the figures as SVG files into this directory")
+	flag.Parse()
+
+	opts := harness.DefaultOptions()
+	var err error
+	if opts.Scale, err = parseScale(*scaleFlag); err != nil {
+		fatal(err)
+	}
+	if opts.LargeScale, err = parseScale(*largeFlag); err != nil {
+		fatal(err)
+	}
+	if *wlFlag != "" {
+		opts.Filter = strings.Split(*wlFlag, ",")
+	}
+	opts.Seed = *seed
+
+	r := harness.NewRunner(opts)
+	target := "all"
+	if flag.NArg() > 0 {
+		target = flag.Arg(0)
+	}
+	switch target {
+	case "fig1":
+		err = r.RenderFig1(os.Stdout)
+	case "fig4":
+		err = r.RenderFig4(os.Stdout)
+	case "fig5":
+		err = r.RenderFig5(os.Stdout)
+	case "fig6":
+		err = r.RenderFig6(os.Stdout)
+	case "fig7":
+		err = r.RenderFig7(os.Stdout)
+	case "fig8":
+		err = r.RenderFig8(os.Stdout)
+	case "ablate":
+		err = r.RenderAblations(os.Stdout)
+	case "extras":
+		err = r.RenderExtras(os.Stdout)
+	case "export":
+		err = r.ExportAll(os.Stdout)
+	case "seeds":
+		err = harness.RenderSeedSweep(os.Stdout, opts, []uint64{1, 2, 3, 4, 5})
+	case "table1":
+		harness.RenderTable1(os.Stdout)
+	case "table2":
+		harness.RenderTable2(os.Stdout)
+	case "svg":
+		if *svgDir == "" {
+			*svgDir = "figures"
+		}
+		err = r.WriteSVGs(*svgDir)
+	case "all":
+		err = r.RenderAll(os.Stdout)
+		if err == nil && *svgDir != "" {
+			err = r.WriteSVGs(*svgDir)
+		}
+	default:
+		err = fmt.Errorf("unknown target %q (want table1|table2|fig1|fig4|fig5|fig6|fig7|fig8|ablate|extras|export|seeds|svg|all)", target)
+	}
+	if err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hintm-bench:", err)
+	os.Exit(1)
+}

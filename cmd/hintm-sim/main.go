@@ -1,0 +1,218 @@
+// Command hintm-sim runs one workload on one machine configuration and
+// prints the detailed simulation statistics.
+//
+// Usage:
+//
+//	hintm-sim [flags] <workload>
+//	hintm-sim [flags] -module prog.tir
+//	hintm-sim -print-config
+//	hintm-sim -list
+//
+// Flags:
+//
+//	-htm p8|p8s|l1tm|infcap    baseline HTM (default p8)
+//	-hints none|st|dyn|full    HinTM mode (default none)
+//	-scale small|medium|large  input scale (default medium)
+//	-threads N                 override the paper's thread count
+//	-smt N                     hardware threads per core (default 1)
+//	-seed N                    simulation seed
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hintm/internal/cache"
+	"hintm/internal/classify"
+	"hintm/internal/htm"
+	"hintm/internal/ir"
+	"hintm/internal/sim"
+	"hintm/internal/stats"
+	"hintm/internal/workloads"
+)
+
+func main() {
+	htmFlag := flag.String("htm", "p8", "baseline HTM: p8|p8s|l1tm|infcap|stm")
+	hintsFlag := flag.String("hints", "none", "hint mode: none|st|dyn|full")
+	scaleFlag := flag.String("scale", "medium", "input scale: small|medium|large")
+	threads := flag.Int("threads", 0, "thread count (0 = paper default)")
+	smt := flag.Int("smt", 1, "hardware threads per core")
+	seed := flag.Uint64("seed", 1, "simulation seed")
+	printConfig := flag.Bool("print-config", false, "print the Table-II machine parameters and exit")
+	list := flag.Bool("list", false, "list workloads and exit")
+	moduleFile := flag.String("module", "", "run a hand-written textual TIR module instead of a workload")
+	noClassify := flag.Bool("no-classify", false, "skip the static classification pass")
+	hot := flag.Int("hot", 0, "print the N most-executed instructions")
+	flag.Parse()
+
+	if *printConfig {
+		renderConfig(sim.DefaultConfig())
+		return
+	}
+	if *list {
+		t := stats.NewTable("workload", "threads", "description")
+		for _, s := range workloads.All() {
+			t.Row(s.Name, s.DefaultThreads, s.Description)
+		}
+		t.Render(os.Stdout)
+		return
+	}
+	if *moduleFile == "" && flag.NArg() != 1 {
+		fatal(fmt.Errorf("usage: hintm-sim [flags] <workload>; see -list"))
+	}
+
+	scale, err := parseScale(*scaleFlag)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := sim.DefaultConfig()
+	cfg.Seed = *seed
+	cfg.SMT = *smt
+	switch *htmFlag {
+	case "p8":
+		cfg.HTM = sim.HTMP8
+	case "p8s":
+		cfg.HTM = sim.HTMP8S
+	case "l1tm":
+		cfg.HTM = sim.HTML1TM
+	case "infcap":
+		cfg.HTM = sim.HTMInfCap
+	case "stm":
+		cfg.HTM = sim.HTMSTM
+	default:
+		fatal(fmt.Errorf("unknown -htm %q", *htmFlag))
+	}
+	switch *hintsFlag {
+	case "none":
+		cfg.Hints = sim.HintNone
+	case "st":
+		cfg.Hints = sim.HintStatic
+	case "dyn":
+		cfg.Hints = sim.HintDynamic
+	case "full":
+		cfg.Hints = sim.HintFull
+	default:
+		fatal(fmt.Errorf("unknown -hints %q", *hintsFlag))
+	}
+
+	var mod *ir.Module
+	var name string
+	n := *threads
+	if *moduleFile != "" {
+		src, err := os.ReadFile(*moduleFile)
+		if err != nil {
+			fatal(err)
+		}
+		mod, err = ir.Parse(string(src))
+		if err != nil {
+			fatal(err)
+		}
+		name = *moduleFile
+	} else {
+		spec, err := workloads.ByName(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		if n == 0 {
+			n = spec.DefaultThreads * cfg.SMT
+		}
+		if n > cfg.Contexts() {
+			cfg.Cores = (n + cfg.SMT - 1) / cfg.SMT
+			cfg.Cache = cache.DefaultConfig(cfg.Cores)
+		}
+		mod = spec.Build(n, scale)
+		name = spec.Name
+	}
+	rep := &classify.Report{}
+	if !*noClassify {
+		if rep, err = classify.Run(mod); err != nil {
+			fatal(err)
+		}
+	}
+	m, err := sim.New(cfg, mod)
+	if err != nil {
+		fatal(err)
+	}
+	if *hot > 0 {
+		m.EnableProfile()
+	}
+	res, err := m.Run()
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("workload  %s (%s, %d threads, %v, %v)\n",
+		name, scale, n, cfg.HTM, cfg.Hints)
+	fmt.Printf("compiler  %v\n\n", rep)
+
+	t := stats.NewTable("metric", "value")
+	t.Row("cycles", res.Cycles)
+	t.Row("instructions", res.Steps)
+	t.Row("HTM commits", res.Commits)
+	t.Row("fallback commits", res.FallbackCommits)
+	for _, reason := range []htm.AbortReason{htm.AbortConflict, htm.AbortFalseConflict,
+		htm.AbortCapacity, htm.AbortPageMode, htm.AbortFallbackLock, htm.AbortExplicit} {
+		if n := res.Aborts[reason]; n > 0 {
+			t.Row("aborts/"+reason.String(), n)
+		}
+	}
+	t.Row("tx accesses static-safe", res.StaticSafeAccesses)
+	t.Row("tx accesses dynamic-safe", res.DynSafeAccesses)
+	t.Row("tx accesses unsafe", res.UnsafeTxAccesses)
+	t.Row("page-mode cycles", fmt.Sprintf("%d (%s of runtime)",
+		res.PageModeCycles, stats.Pct(res.PageModeCycleFraction())))
+	t.Row("TX footprint mean (blocks)", fmt.Sprintf("%.1f", res.TxFootprints.Mean()))
+	t.Row("TX footprint p95 (blocks)", res.TxFootprints.Percentile(0.95))
+	t.Row("TX footprint max (blocks)", res.TxFootprints.Max())
+	t.Row("L1 hit rate", stats.Pct(stats.Ratio(float64(res.Cache.L1Hits),
+		float64(res.Cache.L1Hits+res.Cache.L1Misses))))
+	t.Row("TLB misses", res.VM.TLBMisses)
+	t.Row("page transitions", res.VM.Transitions)
+	t.Render(os.Stdout)
+
+	if *hot > 0 {
+		fmt.Printf("\nhottest %d instructions:\n", *hot)
+		ht := stats.NewTable("count", "function", "instruction")
+		for _, h := range m.HotInstructions(*hot) {
+			ht.Row(h.Count, h.Func, h.Text)
+		}
+		ht.Render(os.Stdout)
+	}
+}
+
+func renderConfig(cfg sim.Config) {
+	t := stats.NewTable("parameter", "value (paper Table II / §V)")
+	t.Row("cores", fmt.Sprintf("%d 64-bit, in-order timing model", cfg.Cores))
+	t.Row("L1d", fmt.Sprintf("%d sets x %d ways x 64B = 32KB, %d-cycle",
+		cfg.Cache.L1Sets, cfg.Cache.L1Ways, cfg.Cache.L1Latency))
+	t.Row("L2", fmt.Sprintf("%d sets x %d ways x 64B = 8MB shared, %d-cycle",
+		cfg.Cache.L2Sets, cfg.Cache.L2Ways, cfg.Cache.L2Latency))
+	t.Row("memory", fmt.Sprintf("%d-cycle", cfg.Cache.MemLatency))
+	t.Row("coherence", "snoopy MESI")
+	t.Row("HTM buffer (P8)", fmt.Sprintf("%d-entry fully associative", cfg.P8Entries))
+	t.Row("signature (P8S)", fmt.Sprintf("%d-bit PBX, %d hashes", cfg.SigBits, cfg.SigHashes))
+	t.Row("TLB", fmt.Sprintf("%d entries/context, %d-cycle walk", cfg.TLBEntries, cfg.VM.TLBMiss))
+	t.Row("minor fault", fmt.Sprintf("%d cycles", cfg.VM.MinorFault))
+	t.Row("TLB shootdown", fmt.Sprintf("%d init / %d slave cycles",
+		cfg.VM.ShootdownInitiator, cfg.VM.ShootdownSlave))
+	t.Row("conflict retries", fmt.Sprintf("%d, then fallback lock", cfg.MaxConflictRetries))
+	t.Render(os.Stdout)
+}
+
+func parseScale(s string) (workloads.Scale, error) {
+	switch s {
+	case "small":
+		return workloads.Small, nil
+	case "medium":
+		return workloads.Medium, nil
+	case "large":
+		return workloads.Large, nil
+	}
+	return 0, fmt.Errorf("unknown scale %q", s)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hintm-sim:", err)
+	os.Exit(1)
+}

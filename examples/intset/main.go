@@ -1,0 +1,86 @@
+// Intset walkthrough: where HinTM's classification finds nothing to mark.
+//
+// The sorted linked-list set is the classic TM stress test: every operation
+// pointer-chases half the list *inside* its transaction, and the nodes are
+// genuinely shared and genuinely written. There is no thread-private memory
+// for the compiler to prove and no read-only page for the runtime to
+// discover — the readset is irreducible. HinTM is honest about this: the
+// paper expands *effective* capacity by not tracking accesses that cannot
+// race; when every access can race, only genuinely larger hardware (InfCap
+// here, or the P8S read signature) helps.
+//
+// The hash-set variant shows the flip side: short probe sequences never
+// pressure even the 64-entry buffer, so — like kmeans and ssca2 in the
+// paper — there is nothing for HinTM to win.
+//
+// Run: go run ./examples/intset
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"hintm/internal/classify"
+	"hintm/internal/htm"
+	"hintm/internal/sim"
+	"hintm/internal/stats"
+	"hintm/internal/workloads"
+)
+
+func run(name string, kind sim.HTMKind, hints sim.HintMode) *sim.Result {
+	spec, err := workloads.ByName(name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mod := spec.BuildDefault(workloads.Medium)
+	if _, err := classify.Run(mod); err != nil {
+		log.Fatal(err)
+	}
+	cfg := sim.DefaultConfig()
+	cfg.HTM = kind
+	cfg.Hints = hints
+	m, err := sim.New(cfg, mod)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := m.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res
+}
+
+func main() {
+	fmt.Println("== intset-ll: the irreducible readset ==")
+	base := run("intset-ll", sim.HTMP8, sim.HintNone)
+	full := run("intset-ll", sim.HTMP8, sim.HintFull)
+	sig := run("intset-ll", sim.HTMP8S, sim.HintNone)
+	inf := run("intset-ll", sim.HTMInfCap, sim.HintNone)
+
+	t := stats.NewTable("system", "cycles", "capacity-aborts", "fallback", "speedup")
+	row := func(name string, r *sim.Result) {
+		t.Row(name, r.Cycles, r.Aborts[htm.AbortCapacity], r.FallbackCommits,
+			fmt.Sprintf("%.2fx", float64(base.Cycles)/float64(r.Cycles)))
+	}
+	row("P8", base)
+	row("P8 + HinTM", full)
+	row("P8S (signatures)", sig)
+	row("InfCap", inf)
+	t.Render(os.Stdout)
+	fmt.Printf("\nHinTM marks %s of the list walk safe — nothing can be proven,\n",
+		stats.Pct(full.SafeFraction()))
+	fmt.Println("so capacity relief must come from hardware (signatures / InfCap).")
+
+	fmt.Println("\n== intset-hash: nothing to win ==")
+	hBase := run("intset-hash", sim.HTMP8, sim.HintNone)
+	hFull := run("intset-hash", sim.HTMP8, sim.HintFull)
+	t2 := stats.NewTable("system", "cycles", "capacity-aborts", "commits")
+	t2.Row("P8", hBase.Cycles, hBase.Aborts[htm.AbortCapacity], hBase.Commits)
+	t2.Row("P8 + HinTM", hFull.Cycles, hFull.Aborts[htm.AbortCapacity], hFull.Commits)
+	t2.Render(os.Stdout)
+	fmt.Printf("\nTiny transactions never overflow (%.2fx \"speedup\"): with nothing\n",
+		float64(hBase.Cycles)/float64(hFull.Cycles))
+	fmt.Println("to win, HinTM-dyn's page-management overhead is pure cost — the same")
+	fmt.Println("flat-to-slightly-negative result the paper shows for kmeans/ssca2.")
+}

@@ -1,0 +1,71 @@
+// Labyrinth walkthrough: the paper's flagship HinTM-st case (Listing 2).
+//
+// The maze router's transactions sweep a thread-private copy of the routing
+// grid — memory that can never race, yet a conventional implicitly-
+// transactional HTM dutifully tracks every access and blows its 64-entry
+// buffer on nearly every transaction, collapsing to serialized fallback
+// execution. This example shows the whole pipeline: the static classifier
+// replicating the route-selection helper for its safe arguments, the
+// resulting transaction footprint shrinking below the buffer size, and the
+// end-to-end speedups of each HinTM mode.
+//
+// Run: go run ./examples/labyrinth
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"hintm/internal/classify"
+	"hintm/internal/htm"
+	"hintm/internal/sim"
+	"hintm/internal/stats"
+	"hintm/internal/workloads"
+)
+
+func main() {
+	spec, err := workloads.ByName("labyrinth")
+	if err != nil {
+		log.Fatal(err)
+	}
+	mod := spec.BuildDefault(workloads.Medium)
+	rep, err := classify.Run(mod)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("compiler pass:", rep)
+	for _, f := range mod.Funcs {
+		if strings.Contains(f.Name, "$") {
+			fmt.Printf("  replicated clone: @%s (specialized for safe arguments)\n", f.Name)
+		}
+	}
+
+	fmt.Println("\nrunning P8 configurations...")
+	table := stats.NewTable("config", "cycles", "HTM commits", "fallback", "capacity-aborts", "footprint-mean")
+	var baseCycles int64
+	for _, mode := range []sim.HintMode{sim.HintNone, sim.HintStatic, sim.HintDynamic, sim.HintFull} {
+		cfg := sim.DefaultConfig()
+		cfg.Hints = mode
+		m, err := sim.New(cfg, mod)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := m.Run()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if mode == sim.HintNone {
+			baseCycles = res.Cycles
+		}
+		table.Row(mode.String(), res.Cycles, res.Commits, res.FallbackCommits,
+			res.Aborts[htm.AbortCapacity], fmt.Sprintf("%.1f", res.TxFootprints.Mean()))
+		if mode != sim.HintNone {
+			fmt.Printf("  %-10s speedup %.2fx\n", mode, float64(baseCycles)/float64(res.Cycles))
+		}
+	}
+	fmt.Println()
+	fmt.Print(table.String())
+	fmt.Println("\nNote how HinTM-st alone recovers labyrinth: the private-grid")
+	fmt.Println("sweep dominates the transaction and the compiler proves it safe.")
+}

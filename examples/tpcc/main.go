@@ -1,0 +1,81 @@
+// TPC-C walkthrough: HinTM on OLTP-style transactions and on a
+// signature-extended HTM (P8S).
+//
+// Payment (tpcc-p) is conflict-dominated — its aborts come from the hot
+// warehouse row, and no capacity mechanism can help those — yet removing the
+// small population of capacity aborts from its occasional customer
+// name-scans still buys measurable speedup, the paper's point that even
+// conflict-bound OLTP benefits. New-order (tpcc-no) staged-order-line
+// accesses are statically safe but highly local, so their removal saves few
+// tracking entries (the paper's locality observation).
+//
+// The second half runs new-order on P8S, where hardware read signatures
+// already absorb readset overflow: HinTM's remaining value is writeset
+// relief and false-conflict avoidance.
+//
+// Run: go run ./examples/tpcc
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"hintm/internal/classify"
+	"hintm/internal/htm"
+	"hintm/internal/sim"
+	"hintm/internal/stats"
+	"hintm/internal/workloads"
+)
+
+func run(name string, kind sim.HTMKind, mode sim.HintMode, scale workloads.Scale) *sim.Result {
+	spec, err := workloads.ByName(name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mod := spec.BuildDefault(scale)
+	if _, err := classify.Run(mod); err != nil {
+		log.Fatal(err)
+	}
+	cfg := sim.DefaultConfig()
+	cfg.HTM = kind
+	cfg.Hints = mode
+	m, err := sim.New(cfg, mod)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := m.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res
+}
+
+func main() {
+	fmt.Println("== tpcc-p on P8: conflict-dominated, capacity still matters ==")
+	base := run("tpcc-p", sim.HTMP8, sim.HintNone, workloads.Medium)
+	full := run("tpcc-p", sim.HTMP8, sim.HintFull, workloads.Medium)
+	t := stats.NewTable("metric", "baseline", "HinTM")
+	t.Row("cycles", base.Cycles, full.Cycles)
+	t.Row("conflict aborts", base.Aborts[htm.AbortConflict], full.Aborts[htm.AbortConflict])
+	t.Row("capacity aborts", base.Aborts[htm.AbortCapacity], full.Aborts[htm.AbortCapacity])
+	t.Render(os.Stdout)
+	confFrac := float64(base.Aborts[htm.AbortConflict]) / float64(base.TotalAborts())
+	fmt.Printf("conflicts are %s of baseline aborts; speedup from capacity relief: %.2fx\n\n",
+		stats.Pct(confFrac), float64(base.Cycles)/float64(full.Cycles))
+
+	fmt.Println("== tpcc-no on P8S: signatures absorb the readset ==")
+	sBase := run("tpcc-no", sim.HTMP8S, sim.HintNone, workloads.Large)
+	sFull := run("tpcc-no", sim.HTMP8S, sim.HintFull, workloads.Large)
+	t2 := stats.NewTable("metric", "P8S", "P8S + HinTM")
+	t2.Row("cycles", sBase.Cycles, sFull.Cycles)
+	t2.Row("capacity aborts", sBase.Aborts[htm.AbortCapacity], sFull.Aborts[htm.AbortCapacity])
+	t2.Row("false-conflict aborts", sBase.Aborts[htm.AbortFalseConflict], sFull.Aborts[htm.AbortFalseConflict])
+	t2.Row("page-mode cycle share", stats.Pct(sBase.PageModeCycleFraction()),
+		stats.Pct(sFull.PageModeCycleFraction()))
+	t2.Render(os.Stdout)
+	fmt.Printf("net effect on P8S: %.2fx — HinTM removes the remaining capacity and\n",
+		float64(sBase.Cycles)/float64(sFull.Cycles))
+	fmt.Println("false-conflict aborts, but page-mode overheads can offset the gain")
+	fmt.Println("(the paper observes the same net loss for tpcc-no on P8S).")
+}

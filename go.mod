@@ -1,0 +1,3 @@
+module hintm
+
+go 1.22

@@ -1,0 +1,350 @@
+// Package cache models the simulated machine's memory hierarchy: per-core
+// private L1 data caches and a shared L2, kept coherent with a snoopy MESI
+// protocol over a logical bus (paper Table II). The model is a timing and
+// event model: data values live in internal/mem; the hierarchy decides
+// access latencies, generates the bus transactions HTM controllers snoop for
+// eager conflict detection, and reports L1 evictions (which matter to HTMs
+// that track transactional state in the L1).
+package cache
+
+import "fmt"
+
+// State is a MESI coherence state.
+type State uint8
+
+// MESI states.
+const (
+	Invalid State = iota
+	Shared
+	Exclusive
+	Modified
+)
+
+func (s State) String() string {
+	switch s {
+	case Invalid:
+		return "I"
+	case Shared:
+		return "S"
+	case Exclusive:
+		return "E"
+	case Modified:
+		return "M"
+	}
+	return "?"
+}
+
+// Protocol selects the coherence protocol variant.
+type Protocol uint8
+
+// Coherence protocols.
+const (
+	// MESI grants a silent Exclusive state to sole readers (the paper's
+	// machine): a later write upgrades E→M without a bus transaction,
+	// invisible to other HTM controllers.
+	MESI Protocol = iota
+	// MSI has no Exclusive state: every first write is a bus upgrade, so
+	// HTM conflict detection sees strictly more traffic.
+	MSI
+)
+
+func (p Protocol) String() string {
+	if p == MSI {
+		return "MSI"
+	}
+	return "MESI"
+}
+
+// Config sizes the hierarchy. Counts are in cache blocks (64 B).
+type Config struct {
+	Cores    int
+	Protocol Protocol
+	// L1Sets × L1Ways blocks per core (32 KiB 8-way => 64 sets × 8 ways).
+	L1Sets, L1Ways int
+	// L2Sets × L2Ways blocks shared (8 MiB 16-way => 8192 sets × 16 ways).
+	L2Sets, L2Ways int
+	// Latencies in cycles.
+	L1Latency, L2Latency, MemLatency int64
+}
+
+// DefaultConfig returns the paper's Table II hierarchy for n cores.
+func DefaultConfig(n int) Config {
+	return Config{
+		Cores:  n,
+		L1Sets: 64, L1Ways: 8,
+		L2Sets: 8192, L2Ways: 16,
+		L1Latency: 3, L2Latency: 12, MemLatency: 100,
+	}
+}
+
+// line is one cache line's bookkeeping.
+type line struct {
+	block uint64
+	state State
+	lru   uint64
+}
+
+// array is a set-associative structure.
+type array struct {
+	sets [][]line
+	ways int
+	tick uint64
+}
+
+func newArray(sets, ways int) *array {
+	a := &array{sets: make([][]line, sets), ways: ways}
+	for i := range a.sets {
+		a.sets[i] = make([]line, 0, ways)
+	}
+	return a
+}
+
+func (a *array) setOf(block uint64) int { return int(block % uint64(len(a.sets))) }
+
+// find returns the line holding block, or nil.
+func (a *array) find(block uint64) *line {
+	set := a.sets[a.setOf(block)]
+	for i := range set {
+		if set[i].block == block && set[i].state != Invalid {
+			a.tick++
+			set[i].lru = a.tick
+			return &set[i]
+		}
+	}
+	return nil
+}
+
+// insert places block (replacing the LRU victim if the set is full) and
+// returns the evicted block and its state, if any.
+func (a *array) insert(block uint64, st State) (evicted uint64, evictedState State, didEvict bool) {
+	si := a.setOf(block)
+	set := a.sets[si]
+	a.tick++
+	// Reuse an invalid slot first.
+	for i := range set {
+		if set[i].state == Invalid {
+			set[i] = line{block: block, state: st, lru: a.tick}
+			return 0, Invalid, false
+		}
+	}
+	if len(set) < a.ways {
+		a.sets[si] = append(set, line{block: block, state: st, lru: a.tick})
+		return 0, Invalid, false
+	}
+	victim := 0
+	for i := range set {
+		if set[i].lru < set[victim].lru {
+			victim = i
+		}
+	}
+	ev, evSt := set[victim].block, set[victim].state
+	set[victim] = line{block: block, state: st, lru: a.tick}
+	return ev, evSt, true
+}
+
+// invalidate drops block if present, returning its previous state.
+func (a *array) invalidate(block uint64) State {
+	set := a.sets[a.setOf(block)]
+	for i := range set {
+		if set[i].block == block && set[i].state != Invalid {
+			st := set[i].state
+			set[i].state = Invalid
+			return st
+		}
+	}
+	return Invalid
+}
+
+// Stats counts hierarchy events.
+type Stats struct {
+	L1Hits, L1Misses   uint64
+	L2Hits, L2Misses   uint64
+	BusOps             uint64
+	Invalidations      uint64
+	CacheToCacheXfers  uint64
+	L1Evictions        uint64
+	UpgradeTransaction uint64
+}
+
+// AccessResult describes one access's outcome.
+type AccessResult struct {
+	// Latency is the access's cycle cost.
+	Latency int64
+	// BusOp reports whether the access generated a bus transaction, which
+	// every other core's HTM controller snoops.
+	BusOp bool
+	// Evicted lists blocks this access displaced from the requesting
+	// core's L1 (at most one).
+	Evicted []uint64
+}
+
+// Hierarchy is the full multi-core cache system.
+type Hierarchy struct {
+	cfg   Config
+	l1    []*array
+	l2    *array
+	stats Stats
+}
+
+// New builds a hierarchy.
+func New(cfg Config) *Hierarchy {
+	h := &Hierarchy{cfg: cfg, l2: newArray(cfg.L2Sets, cfg.L2Ways)}
+	for i := 0; i < cfg.Cores; i++ {
+		h.l1 = append(h.l1, newArray(cfg.L1Sets, cfg.L1Ways))
+	}
+	return h
+}
+
+// Config returns the hierarchy's configuration.
+func (h *Hierarchy) Config() Config { return h.cfg }
+
+// Stats returns a copy of the event counters.
+func (h *Hierarchy) Stats() Stats { return h.stats }
+
+// Access performs a read or write of block by core, updating MESI state
+// across all caches and returning the latency/event outcome.
+func (h *Hierarchy) Access(core int, block uint64, write bool) AccessResult {
+	if core < 0 || core >= h.cfg.Cores {
+		panic(fmt.Sprintf("cache: core %d out of range", core))
+	}
+	l1 := h.l1[core]
+	if ln := l1.find(block); ln != nil {
+		if !write {
+			h.stats.L1Hits++
+			return AccessResult{Latency: h.cfg.L1Latency}
+		}
+		switch ln.state {
+		case Modified, Exclusive:
+			ln.state = Modified
+			h.stats.L1Hits++
+			return AccessResult{Latency: h.cfg.L1Latency}
+		case Shared:
+			// Upgrade: invalidate every other copy via the bus.
+			h.invalidateOthers(core, block)
+			ln.state = Modified
+			h.stats.L1Hits++
+			h.stats.BusOps++
+			h.stats.UpgradeTransaction++
+			return AccessResult{Latency: h.cfg.L1Latency, BusOp: true}
+		}
+	}
+	// L1 miss: go to the bus.
+	h.stats.L1Misses++
+	h.stats.BusOps++
+	res := AccessResult{BusOp: true}
+
+	othersHold, dirtyOwner := h.probeOthers(core, block)
+	switch {
+	case dirtyOwner >= 0:
+		// Cache-to-cache transfer from the modified owner.
+		res.Latency = h.cfg.L2Latency
+		h.stats.CacheToCacheXfers++
+		if write {
+			h.invalidateOthers(core, block)
+			othersHold = false
+		} else if ln := h.l1[dirtyOwner].find(block); ln != nil {
+			ln.state = Shared // owner downgrades, line now clean in L2
+		}
+		// The (possibly downgraded) line is now present in L2 as well.
+		h.l2.insert(block, Shared)
+	default:
+		if h.l2.find(block) != nil {
+			res.Latency = h.cfg.L2Latency
+			h.stats.L2Hits++
+		} else {
+			res.Latency = h.cfg.MemLatency
+			h.stats.L2Misses++
+			h.l2.insert(block, Shared)
+		}
+		switch {
+		case write && othersHold:
+			h.invalidateOthers(core, block)
+			othersHold = false
+		case othersHold:
+			h.downgradeOthers(core, block)
+		}
+	}
+
+	st := Shared
+	switch {
+	case write:
+		st = Modified
+	case !othersHold && dirtyOwner < 0 && h.cfg.Protocol == MESI:
+		st = Exclusive
+	}
+	if ev, _, did := l1.insert(block, st); did {
+		res.Evicted = append(res.Evicted, ev)
+		h.stats.L1Evictions++
+	}
+	return res
+}
+
+// probeOthers reports whether any other core holds block, and which core (if
+// any) holds it Modified (-1 if none).
+func (h *Hierarchy) probeOthers(core int, block uint64) (held bool, dirtyOwner int) {
+	dirtyOwner = -1
+	for c, l1 := range h.l1 {
+		if c == core {
+			continue
+		}
+		set := l1.sets[l1.setOf(block)]
+		for i := range set {
+			if set[i].block == block && set[i].state != Invalid {
+				held = true
+				if set[i].state == Modified {
+					dirtyOwner = c
+				}
+			}
+		}
+	}
+	return held, dirtyOwner
+}
+
+// downgradeOthers moves other cores' Exclusive copies to Shared when a new
+// reader joins (Modified copies are handled by the cache-to-cache path).
+func (h *Hierarchy) downgradeOthers(core int, block uint64) {
+	for c, l1 := range h.l1 {
+		if c == core {
+			continue
+		}
+		set := l1.sets[l1.setOf(block)]
+		for i := range set {
+			if set[i].block == block && set[i].state == Exclusive {
+				set[i].state = Shared
+			}
+		}
+	}
+}
+
+func (h *Hierarchy) invalidateOthers(core int, block uint64) {
+	for c, l1 := range h.l1 {
+		if c == core {
+			continue
+		}
+		if st := l1.invalidate(block); st != Invalid {
+			h.stats.Invalidations++
+			if st == Modified {
+				h.l2.insert(block, Shared) // writeback
+			}
+		}
+	}
+}
+
+// HasBlock reports whether core's L1 currently holds block (any valid
+// state). HTM trackers that keep transactional state in the L1 use it.
+func (h *Hierarchy) HasBlock(core int, block uint64) bool {
+	return h.l1[core].find(block) != nil
+}
+
+// StateOf returns core's L1 state for block (Invalid if absent). Exposed
+// for tests and diagnostics.
+func (h *Hierarchy) StateOf(core int, block uint64) State {
+	l1 := h.l1[core]
+	set := l1.sets[l1.setOf(block)]
+	for i := range set {
+		if set[i].block == block {
+			return set[i].state
+		}
+	}
+	return Invalid
+}

@@ -1,0 +1,370 @@
+package classify
+
+import (
+	"strings"
+	"testing"
+
+	"hintm/internal/ir"
+)
+
+func run(t *testing.T, b *ir.Builder) *Report {
+	t.Helper()
+	rep, err := Run(b.M)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return rep
+}
+
+// instrSafety collects (op, safe) for all memory accesses in a function.
+func safety(f *ir.Func) (loads, safeLoads, stores, safeStores int) {
+	f.ForEachInstr(func(_ *ir.Block, in *ir.Instr) {
+		switch in.Op {
+		case ir.OpLoad:
+			loads++
+			if in.Safe {
+				safeLoads++
+			}
+		case ir.OpStore:
+			stores++
+			if in.Safe {
+				safeStores++
+			}
+		}
+	})
+	return
+}
+
+// TestStackLocalInTx mirrors Listing 1's taskPtr: an alloca written then
+// read inside a TX, never escaping — both accesses safe.
+func TestStackLocalInTx(t *testing.T) {
+	b := ir.NewBuilder("listing1")
+	b.Global("shared", 8)
+
+	w := b.ThreadBody("worker", 1)
+	slot := w.Alloca(2)
+	w.TxBegin()
+	w.Store(slot, 0, w.Param(0)) // initializing store to stack local
+	v := w.Load(slot, 0)         // safe read-back
+	sh := w.GlobalAddr("shared")
+	w.Store(sh, 0, v) // unsafe: shared global
+	w.TxEnd()
+	w.RetVoid()
+
+	mn := b.Function("main", 0)
+	n := mn.C(4)
+	mn.Parallel(n, "worker")
+	mn.RetVoid()
+
+	rep := run(t, b)
+	loads, safeLoads, stores, safeStores := safety(b.M.Func("worker"))
+	if loads != 1 || safeLoads != 1 {
+		t.Errorf("loads %d/%d safe, want 1/1", safeLoads, loads)
+	}
+	if stores != 2 || safeStores != 1 {
+		t.Errorf("stores %d/%d safe, want 1/2", safeStores, stores)
+	}
+	if rep.SafeTxLoads != 1 || rep.SafeTxStores != 1 {
+		t.Errorf("report %v", rep)
+	}
+}
+
+// TestLoadBeforeStoreIsUnsafe: reading a private scratch location before
+// writing it violates the initializing discipline — stores stay unsafe.
+func TestLoadBeforeStoreIsUnsafe(t *testing.T) {
+	b := ir.NewBuilder("m")
+	w := b.ThreadBody("worker", 1)
+	slot := w.Alloca(1)
+	zero := w.C(0)
+	w.Store(slot, 0, zero) // pre-TX init
+	w.TxBegin()
+	old := w.Load(slot, 0)           // load BEFORE store inside TX
+	w.Store(slot, 0, w.AddI(old, 1)) // non-initializing: aborted TX leaks +1
+	w.TxEnd()
+	w.RetVoid()
+	mn := b.Function("main", 0)
+	n := mn.C(2)
+	mn.Parallel(n, "worker")
+	mn.RetVoid()
+
+	run(t, b)
+	var txStoreSafe, txLoadSafe bool
+	w.F.ForEachInstr(func(_ *ir.Block, in *ir.Instr) {
+		switch in.Op {
+		case ir.OpStore:
+			if in.Safe {
+				txStoreSafe = true
+			}
+		case ir.OpLoad:
+			txLoadSafe = in.Safe
+		}
+	})
+	if txStoreSafe {
+		t.Error("non-initializing store must be unsafe")
+	}
+	if !txLoadSafe {
+		t.Error("load from thread-private location should still be safe")
+	}
+}
+
+// TestHeapScratchpadReplication mirrors Listing 2 / labyrinth: a heap grid
+// copied via a helper called inside the TX. The helper must be replicated
+// and its param-rooted stores marked safe.
+func TestHeapScratchpadReplication(t *testing.T) {
+	b := ir.NewBuilder("labyrinth-ish")
+	b.GlobalPageAligned("grid", 64)
+	b.Global("listLock", 1)
+
+	// copyGrid(dst, src): dst[i] = src[i] for i in 0..7
+	cp := b.Function("copyGrid", 2)
+	loop := cp.NewBlock("loop")
+	done := cp.NewBlock("done")
+	i := cp.C(0)
+	cp.Br(loop)
+	cp.SetBlock(loop)
+	off := cp.MulI(i, 8)
+	src := cp.Add(cp.Param(1), off)
+	dst := cp.Add(cp.Param(0), off)
+	v := cp.Load(src, 0)
+	cp.Store(dst, 0, v)
+	cp.MovTo(i, cp.AddI(i, 1))
+	c := cp.Cmp(ir.CmpLT, i, cp.C(8))
+	cp.CondBr(c, loop, done)
+	cp.SetBlock(done)
+	cp.RetVoid()
+
+	w := b.ThreadBody("worker", 1)
+	myGrid := w.MallocI(64 * 8)
+	w.TxBegin()
+	g := w.GlobalAddr("grid")
+	w.CallVoid("copyGrid", myGrid, g) // private copy of shared grid
+	x := w.Load(myGrid, 0)            // use the copy
+	lk := w.GlobalAddr("listLock")
+	w.Store(lk, 0, x) // publish result: unsafe
+	w.TxEnd()
+	w.FreeI(myGrid, 64*8)
+	w.RetVoid()
+
+	mn := b.Function("main", 0)
+	gp := mn.GlobalAddr("grid")
+	c7 := mn.C(7)
+	mn.Store(gp, 0, c7) // setup write only
+	n := mn.C(8)
+	mn.Parallel(n, "worker")
+	mn.RetVoid()
+
+	rep := run(t, b)
+	if rep.Replicated == 0 {
+		t.Fatal("expected copyGrid to be replicated")
+	}
+	// The TX call site must now target a clone.
+	var callee string
+	w.F.ForEachInstr(func(_ *ir.Block, in *ir.Instr) {
+		if in.Op == ir.OpCall {
+			callee = in.Sym
+		}
+	})
+	if !strings.Contains(callee, "$") {
+		t.Fatalf("call site not retargeted: %q", callee)
+	}
+	clone := b.M.Func(callee)
+	_, safeLoads, _, safeStores := safety(clone)
+	if safeLoads != 1 {
+		t.Errorf("clone loads safe = %d, want 1 (grid is read-only shared)", safeLoads)
+	}
+	if safeStores != 1 {
+		t.Errorf("clone stores safe = %d, want 1 (dst is private+initializing)", safeStores)
+	}
+	// Original copyGrid must be untouched (unsafe callers unaffected).
+	_, safeLoads, _, safeStores = safety(b.M.Func("copyGrid"))
+	if safeLoads != 0 || safeStores != 0 {
+		t.Error("original callee must remain unannotated")
+	}
+	// The worker's own load of the private grid is safe; the lock store is not.
+	_, safeLoads, _, safeStores = safety(w.F)
+	if safeLoads != 1 {
+		t.Errorf("worker safe loads = %d, want 1", safeLoads)
+	}
+	if safeStores != 0 {
+		t.Errorf("worker safe stores = %d, want 0", safeStores)
+	}
+}
+
+// TestSharedRWNeverSafe: globals written in the region are untouchable.
+func TestSharedRWNeverSafe(t *testing.T) {
+	b := ir.NewBuilder("m")
+	b.Global("ctr", 1)
+	w := b.ThreadBody("worker", 1)
+	w.TxBegin()
+	g := w.GlobalAddr("ctr")
+	v := w.Load(g, 0)
+	w.Store(g, 0, w.AddI(v, 1))
+	w.TxEnd()
+	w.RetVoid()
+	mn := b.Function("main", 0)
+	n := mn.C(8)
+	mn.Parallel(n, "worker")
+	mn.RetVoid()
+
+	rep := run(t, b)
+	if rep.SafeTxLoads != 0 || rep.SafeTxStores != 0 {
+		t.Fatalf("shared counter wrongly marked safe: %v", rep)
+	}
+}
+
+// TestReadOnlySharedLoadsSafe: loads from a setup-initialized table are safe
+// inside TXs even though the table is shared.
+func TestReadOnlySharedLoadsSafe(t *testing.T) {
+	b := ir.NewBuilder("m")
+	b.Global("table", 32)
+	b.Global("out", 8)
+	w := b.ThreadBody("worker", 1)
+	w.TxBegin()
+	tp := w.GlobalAddr("table")
+	idx := w.MulI(w.Param(0), 8)
+	v := w.Load(w.Add(tp, idx), 0)
+	op := w.GlobalAddr("out")
+	w.Store(op, 0, v)
+	w.TxEnd()
+	w.RetVoid()
+	mn := b.Function("main", 0)
+	tp2 := mn.GlobalAddr("table")
+	c := mn.C(5)
+	mn.Store(tp2, 0, c)
+	n := mn.C(4)
+	mn.Parallel(n, "worker")
+	mn.RetVoid()
+
+	rep := run(t, b)
+	if rep.SafeTxLoads != 1 {
+		t.Fatalf("read-only shared load not marked safe: %v", rep)
+	}
+	if rep.SafeTxStores != 0 {
+		t.Fatalf("store to out must stay unsafe: %v", rep)
+	}
+}
+
+// TestMallocInsideTxInitializing: memory allocated inside the TX is fresh,
+// so its first stores are initializing.
+func TestMallocInsideTxInitializing(t *testing.T) {
+	b := ir.NewBuilder("m")
+	b.Global("head", 1)
+	w := b.ThreadBody("worker", 1)
+	w.TxBegin()
+	node := w.MallocI(16)
+	w.Store(node, 0, w.Param(0)) // initializing store to fresh node
+	h := w.GlobalAddr("head")
+	w.Store(h, 0, node) // publishing: makes node shared-reachable
+	w.TxEnd()
+	w.RetVoid()
+	mn := b.Function("main", 0)
+	n := mn.C(4)
+	mn.Parallel(n, "worker")
+	mn.RetVoid()
+
+	rep := run(t, b)
+	// node escapes into the global head -> shared-reachable -> NOT
+	// thread-private -> store stays unsafe. This mirrors Listing 2's
+	// myPathVectorPtr.
+	if rep.SafeTxStores != 0 {
+		t.Fatalf("escaping node store must be unsafe: %v", rep)
+	}
+}
+
+// TestPrivateScratchFreedInTx: a scratch buffer malloc'd, used, and freed
+// within the region without escaping — stores safe.
+func TestPrivateScratchFreedInTx(t *testing.T) {
+	b := ir.NewBuilder("m")
+	b.Global("out", 1)
+	w := b.ThreadBody("worker", 1)
+	w.TxBegin()
+	buf := w.MallocI(64)
+	w.Store(buf, 0, w.Param(0))
+	v := w.Load(buf, 0)
+	o := w.GlobalAddr("out")
+	w.Store(o, 0, v)
+	w.FreeI(buf, 64)
+	w.TxEnd()
+	w.RetVoid()
+	mn := b.Function("main", 0)
+	n := mn.C(4)
+	mn.Parallel(n, "worker")
+	mn.RetVoid()
+
+	rep := run(t, b)
+	if rep.SafeTxStores != 1 {
+		t.Fatalf("private scratch store should be safe: %v", rep)
+	}
+	if rep.SafeTxLoads != 1 {
+		t.Fatalf("private scratch load should be safe: %v", rep)
+	}
+}
+
+// TestModuleVerifiesAfterPass ensures mutation keeps the module valid.
+func TestModuleVerifiesAfterPass(t *testing.T) {
+	b := ir.NewBuilder("m")
+	b.Global("g", 4)
+	helper := b.Function("helper", 1)
+	v := helper.C(1)
+	helper.Store(helper.Param(0), 0, v)
+	helper.RetVoid()
+	w := b.ThreadBody("worker", 1)
+	buf := w.MallocI(32)
+	w.TxBegin()
+	w.CallVoid("helper", buf)
+	w.TxEnd()
+	w.FreeI(buf, 32)
+	w.RetVoid()
+	mn := b.Function("main", 0)
+	n := mn.C(2)
+	mn.Parallel(n, "worker")
+	mn.RetVoid()
+
+	run(t, b)
+	if err := b.M.Verify(); err != nil {
+		t.Fatalf("module invalid after classify: %v", err)
+	}
+}
+
+// TestRecursionConservative: recursive helpers fall back to unsafe.
+func TestRecursionConservative(t *testing.T) {
+	b := ir.NewBuilder("m")
+	rec := b.Function("rec", 2) // (ptr, depth)
+	again := rec.NewBlock("again")
+	stop := rec.NewBlock("stop")
+	v := rec.Load(rec.Param(0), 0) // load-before-store through recursion
+	rec.Store(rec.Param(0), 0, v)
+	c := rec.Cmp(ir.CmpGT, rec.Param(1), rec.C(0))
+	rec.CondBr(c, again, stop)
+	rec.SetBlock(again)
+	d := rec.Sub(rec.Param(1), rec.C(1))
+	rec.CallVoid("rec", rec.Param(0), d)
+	rec.RetVoid()
+	rec.SetBlock(stop)
+	rec.RetVoid()
+
+	w := b.ThreadBody("worker", 1)
+	buf := w.MallocI(8)
+	w.TxBegin()
+	w.CallVoid("rec", buf, w.Param(0))
+	w.TxEnd()
+	w.FreeI(buf, 8)
+	w.RetVoid()
+	mn := b.Function("main", 0)
+	n := mn.C(2)
+	mn.Parallel(n, "worker")
+	mn.RetVoid()
+
+	rep := run(t, b)
+	if rep.SafeTxStores != 0 {
+		t.Fatalf("recursive load-before-store must stay unsafe: %v", rep)
+	}
+}
+
+func TestReportString(t *testing.T) {
+	r := &Report{TxLoads: 3, SafeTxLoads: 1, TxStores: 2, SafeTxStores: 1, Replicated: 1}
+	s := r.String()
+	if !strings.Contains(s, "clones: 1") {
+		t.Errorf("report string %q", s)
+	}
+}

@@ -1,0 +1,279 @@
+package classify
+
+import (
+	"hintm/internal/alias"
+	"hintm/internal/cfg"
+	"hintm/internal/ir"
+)
+
+// fa is a function's first-access summary for one abstract object: how the
+// function touches the object relative to the defined-before-used discipline
+// that makes stores initializing (paper §III/§IV-A).
+type fa uint8
+
+const (
+	// faNone: the function never accesses the object.
+	faNone fa = iota
+	// faTouched: accessed, never load-before-store on any internal path,
+	// but not guaranteed stored on every path to return.
+	faTouched
+	// faDefMust: on every path, the first access is a store, and the object
+	// is must-stored at every return ("defines the object").
+	faDefMust
+	// faUse: some path may load the object before any store (or analysis
+	// could not rule it out) — stores to it cannot be initializing.
+	faUse
+)
+
+// summaries computes first-access summaries for every function, bottom-up
+// over the call graph. Functions on call-graph cycles get the conservative
+// faUse for every object they may transitively access.
+func (cl *classifier) computeSummaries() {
+	state := make(map[string]int) // 0 unvisited, 1 on stack, 2 done
+	var visit func(name string)
+	visit = func(name string) {
+		switch state[name] {
+		case 1:
+			// Cycle: poison every member conservatively; the members will
+			// be finalized as faUse-for-accessed when their own visit
+			// completes (flowFunc falls back for on-stack callees).
+			return
+		case 2:
+			return
+		}
+		f := cl.m.Func(name)
+		if f == nil {
+			return
+		}
+		state[name] = 1
+		f.ForEachInstr(func(_ *ir.Block, in *ir.Instr) {
+			if in.Op == ir.OpCall {
+				visit(in.Sym)
+			}
+		})
+		cl.summaries[name] = cl.flowFunc(f, state)
+		state[name] = 2
+	}
+	for _, f := range cl.m.Funcs {
+		visit(f.Name)
+	}
+}
+
+// calleeSummary returns the callee's summary; for callees still on the DFS
+// stack (recursion) it synthesizes faUse for everything the callee may
+// access.
+func (cl *classifier) calleeSummary(name string, state map[string]int) map[alias.ObjID]fa {
+	if s, ok := cl.summaries[name]; ok {
+		return s
+	}
+	if state[name] == 1 {
+		syn := make(map[alias.ObjID]fa)
+		for o := range cl.accessedClosure(name) {
+			syn[o] = faUse
+		}
+		return syn
+	}
+	return nil
+}
+
+// accessedClosure returns every object a function may access, transitively
+// through calls (cycle-tolerant).
+func (cl *classifier) accessedClosure(name string) alias.ObjSet {
+	if s, ok := cl.accessed[name]; ok {
+		return s
+	}
+	set := make(alias.ObjSet)
+	cl.accessed[name] = set // placed first so cycles terminate
+	f := cl.m.Func(name)
+	if f == nil {
+		return set
+	}
+	f.ForEachInstr(func(_ *ir.Block, in *ir.Instr) {
+		switch {
+		case in.IsMemAccess():
+			for o := range cl.al.AccessedObjects(f, in) {
+				set[o] = struct{}{}
+			}
+		case in.Op == ir.OpCall:
+			for o := range cl.accessedClosure(in.Sym) {
+				set[o] = struct{}{}
+			}
+		}
+	})
+	return set
+}
+
+// mustSet is the must-stored-since-definition-point dataflow fact: the set
+// of objects that have definitely been (re)stored on every path.
+type mustSet map[alias.ObjID]bool
+
+func (s mustSet) clone() mustSet {
+	c := make(mustSet, len(s))
+	for k, v := range s {
+		if v {
+			c[k] = true
+		}
+	}
+	return c
+}
+
+func (s mustSet) intersect(o mustSet) (mustSet, bool) {
+	changed := false
+	for k := range s {
+		if !o[k] {
+			delete(s, k)
+			changed = true
+		}
+	}
+	return s, changed
+}
+
+// flowFunc runs the must-stored forward dataflow over f and derives
+// (a) f's first-access summary and (b) the per-transaction load-before-store
+// facts (txBad) for transactions opened in f.
+//
+// A TxBegin resets the must-stored set: within a transaction, only stores
+// executed after the TxBegin count as (re)initializing, because an abort
+// rolls architectural and memory state back to the TxBegin. This makes the
+// whole-function summary slightly conservative for code after a transaction,
+// which is harmless: TX-containing functions are thread bodies whose
+// summaries are never consulted at call sites.
+func (cl *classifier) flowFunc(f *ir.Func, state map[string]int) map[alias.ObjID]fa {
+	g := cfg.New(f)
+	region := cl.txRegions[f.Name]
+
+	in := make(map[*ir.Block]mustSet)
+	in[g.RPO[0]] = mustSet{}
+
+	transfer := func(s mustSet, instr *ir.Instr) {
+		switch instr.Op {
+		case ir.OpStore:
+			p := cl.al.AccessedObjects(f, instr)
+			if len(p) == 1 {
+				s[p.Sorted()[0]] = true
+			}
+		case ir.OpAlloca, ir.OpMalloc:
+			if o, ok := cl.al.ObjectForInstr(instr.ID); ok {
+				delete(s, o)
+			}
+		case ir.OpCall:
+			for o, sum := range cl.calleeSummary(instr.Sym, state) {
+				if sum == faDefMust {
+					s[o] = true
+				}
+			}
+		case ir.OpTxBegin:
+			for o := range s {
+				delete(s, o)
+			}
+		}
+	}
+
+	// Fixpoint.
+	for changed := true; changed; {
+		changed = false
+		for _, b := range g.RPO {
+			st, ok := in[b]
+			if !ok {
+				continue
+			}
+			cur := st.clone()
+			for _, instr := range b.Instrs {
+				transfer(cur, instr)
+			}
+			for _, succ := range g.Succs[b] {
+				prev, seen := in[succ]
+				if !seen {
+					in[succ] = cur.clone()
+					changed = true
+					continue
+				}
+				if _, ch := prev.intersect(cur); ch {
+					changed = true
+				}
+			}
+		}
+	}
+
+	// Final sweep: accessed / bad / txBad / must-stored-at-returns.
+	accessed := make(map[alias.ObjID]bool)
+	bad := make(map[alias.ObjID]bool)
+	retMust := mustSet(nil) // intersection across returns
+	for _, b := range g.RPO {
+		st, ok := in[b]
+		if !ok {
+			continue
+		}
+		cur := st.clone()
+		for _, instr := range b.Instrs {
+			txID := 0
+			if region != nil {
+				txID = region[instr]
+			}
+			switch instr.Op {
+			case ir.OpLoad:
+				for o := range cl.al.AccessedObjects(f, instr) {
+					accessed[o] = true
+					if !cur[o] {
+						bad[o] = true
+						if txID != 0 {
+							cl.markTxBad(txID, o)
+						}
+					}
+				}
+			case ir.OpStore:
+				for o := range cl.al.AccessedObjects(f, instr) {
+					accessed[o] = true
+				}
+			case ir.OpCall:
+				for o, sum := range cl.calleeSummary(instr.Sym, state) {
+					if sum == faNone {
+						continue
+					}
+					accessed[o] = true
+					if sum == faUse && !cur[o] {
+						bad[o] = true
+						if txID != 0 {
+							cl.markTxBad(txID, o)
+						}
+					}
+				}
+			case ir.OpRet:
+				if retMust == nil {
+					retMust = cur.clone()
+				} else {
+					retMust.intersect(cur)
+				}
+			}
+			transfer(cur, instr)
+		}
+	}
+
+	sum := make(map[alias.ObjID]fa)
+	for o := range accessed {
+		switch {
+		case bad[o]:
+			sum[o] = faUse
+		case retMust != nil && retMust[o]:
+			sum[o] = faDefMust
+		default:
+			sum[o] = faTouched
+		}
+	}
+	return sum
+}
+
+func (cl *classifier) markTxBad(txID int, o alias.ObjID) {
+	m := cl.txBad[txID]
+	if m == nil {
+		m = make(map[alias.ObjID]bool)
+		cl.txBad[txID] = m
+	}
+	m[o] = true
+}
+
+// txInitSafe reports whether stores to object o inside transaction txID obey
+// the defined-before-used discipline.
+func (cl *classifier) txInitSafe(txID int, o alias.ObjID) bool {
+	return !cl.txBad[txID][o]
+}

@@ -1,0 +1,256 @@
+package classify
+
+import (
+	"fmt"
+
+	"hintm/internal/alias"
+	"hintm/internal/ir"
+)
+
+// maxClones bounds function replication so pathological programs cannot
+// blow the module up; the paper's workloads need a handful of clones.
+const maxClones = 128
+
+// maxReplicationDepth bounds transitive replication through call chains.
+const maxReplicationDepth = 8
+
+// ctxMask is a replication context: which pointer parameters arrive with
+// all-safe-to-load and all-safe-to-store (thread-private + initializing)
+// targets at a transactional call site.
+type ctxMask struct {
+	load  uint64
+	store uint64
+}
+
+func (c ctxMask) empty() bool { return c.load == 0 && c.store == 0 }
+
+func (c ctxMask) suffix() string { return fmt.Sprintf("$l%x_s%x", c.load, c.store) }
+
+// provenance records, for one register, the roots its value may originate
+// from: parameters, locally materialized objects (allocas, mallocs, global
+// addresses), and/or memory (loaded pointers, call results).
+type provenance struct {
+	params uint64
+	objs   alias.ObjSet
+	mem    bool
+	any    bool
+}
+
+func (p *provenance) merge(o provenance) bool {
+	changed := false
+	if o.params&^p.params != 0 {
+		p.params |= o.params
+		changed = true
+	}
+	for id := range o.objs {
+		if !p.objs.Has(id) {
+			if p.objs == nil {
+				p.objs = make(alias.ObjSet)
+			}
+			p.objs[id] = struct{}{}
+			changed = true
+		}
+	}
+	if o.mem && !p.mem {
+		p.mem = true
+		changed = true
+	}
+	if o.any && !p.any {
+		p.any = true
+		changed = true
+	}
+	return changed
+}
+
+// siteObjects resolves the abstract object materialized by an address-
+// producing instruction (alloca, malloc, global-addr), or nil.
+func (cl *classifier) siteObjects(in *ir.Instr) alias.ObjSet {
+	switch in.Op {
+	case ir.OpAlloca, ir.OpMalloc:
+		if o, ok := cl.al.ObjectForInstr(in.ID); ok {
+			return alias.ObjSet{o: struct{}{}}
+		}
+	case ir.OpGlobalAddr:
+		if o, ok := cl.al.ObjectForGlobal(in.Sym); ok {
+			return alias.ObjSet{o: struct{}{}}
+		}
+	}
+	return nil
+}
+
+// computeProvenance derives, flow-insensitively, the roots of each
+// register's value within f. resolve maps allocation-site instructions to
+// their abstract objects.
+func computeProvenance(f *ir.Func, resolve func(*ir.Instr) alias.ObjSet) []provenance {
+	prov := make([]provenance, f.NumRegs)
+	for i, p := range f.Params {
+		if i < 64 {
+			prov[p].params |= 1 << uint(i)
+			prov[p].any = true
+		} else {
+			prov[p].mem, prov[p].any = true, true
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		f.ForEachInstr(func(_ *ir.Block, in *ir.Instr) {
+			switch in.Op {
+			case ir.OpMov:
+				if prov[in.Dst].merge(prov[in.A]) {
+					changed = true
+				}
+			case ir.OpBin:
+				if prov[in.Dst].merge(prov[in.A]) {
+					changed = true
+				}
+				if prov[in.Dst].merge(prov[in.B]) {
+					changed = true
+				}
+			case ir.OpLoad, ir.OpCall, ir.OpRand:
+				if in.Dst != ir.NoReg {
+					if prov[in.Dst].merge(provenance{mem: true, any: true}) {
+						changed = true
+					}
+				}
+			case ir.OpAlloca, ir.OpMalloc, ir.OpGlobalAddr:
+				if prov[in.Dst].merge(provenance{any: true, objs: resolve(in)}) {
+					changed = true
+				}
+			}
+		})
+	}
+	return prov
+}
+
+// replicate specializes callee for the given context and returns the clone's
+// name (or the callee itself when replication cannot help). Clones are
+// memoized per (callee, mask). Inside the clone:
+//
+//   - a load is safe if its (original's) global points-to targets are all
+//     safe locations, or every provenance root of its address is load-safe
+//     in context;
+//   - a store is safe if every provenance root is a store-safe parameter or
+//     a thread-private local object the callee never loads-before-stores;
+//   - calls replicate transitively with masks derived from the clone's own
+//     provenance.
+func (cl *classifier) replicate(callee string, mask ctxMask, depth int) string {
+	orig := cl.m.Func(callee)
+	if orig == nil || mask.empty() || depth > maxReplicationDepth ||
+		cl.cloneCount >= maxClones {
+		return callee
+	}
+	key := callee + mask.suffix()
+	if name, ok := cl.clones[key]; ok {
+		return name
+	}
+	if !hasMarkableWork(orig) {
+		cl.clones[key] = callee
+		return callee
+	}
+	clone := cl.m.CloneFunc(orig, key)
+	cl.clones[key] = clone.Name
+	cl.cloneCount++
+	cl.report.Replicated++
+
+	prov := computeProvenance(clone, cl.siteObjects)
+	clone.ForEachInstr(func(_ *ir.Block, in *ir.Instr) {
+		switch in.Op {
+		case ir.OpLoad:
+			in.Safe = cl.cloneLoadSafe(orig, prov, in, mask)
+		case ir.OpStore:
+			in.Safe = cl.cloneStoreSafe(orig, prov, in, mask)
+		case ir.OpCall:
+			sub := cl.cloneCallMask(orig, prov, in, mask)
+			in.Sym = cl.replicate(in.Sym, sub, depth+1)
+		}
+	})
+	return clone.Name
+}
+
+// hasMarkableWork reports whether replication could mark anything in f.
+func hasMarkableWork(f *ir.Func) bool {
+	found := false
+	f.ForEachInstr(func(_ *ir.Block, in *ir.Instr) {
+		if in.IsMemAccess() || in.Op == ir.OpCall {
+			found = true
+		}
+	})
+	return found
+}
+
+// cloneLoadSafe decides safety for a load in a clone of orig. Register
+// numbering is identical between clone and original, and the original's
+// points-to is a (merged-context) superset of the clone's, so the global
+// fallback is sound.
+func (cl *classifier) cloneLoadSafe(orig *ir.Func, prov []provenance, in *ir.Instr, mask ctxMask) bool {
+	if cl.esc.AllSafe(cl.al.PointsTo(orig, in.A)) {
+		return true
+	}
+	return rootsSafe(prov, in, mask.load, cl.esc.SafeLocation)
+}
+
+func (cl *classifier) cloneStoreSafe(orig *ir.Func, prov []provenance, in *ir.Instr, mask ctxMask) bool {
+	return rootsSafe(prov, in, mask.store, func(o alias.ObjID) bool {
+		return cl.esc.ThreadPrivate(o) && cl.summaries[orig.Name][o] != faUse
+	})
+}
+
+// rootsSafe checks every provenance root of the access's address register:
+// parameter roots must be set in paramMask, object roots must satisfy objOK,
+// and memory-derived roots are conservatively unsafe.
+func rootsSafe(prov []provenance, in *ir.Instr, paramMask uint64,
+	objOK func(alias.ObjID) bool) bool {
+
+	p := prov[in.A]
+	if !p.any || p.mem {
+		return false
+	}
+	if p.params&^paramMask != 0 {
+		return false
+	}
+	for o := range p.objs {
+		if !objOK(o) {
+			return false
+		}
+	}
+	return true
+}
+
+// cloneCallMask derives the replication context for a call inside a clone
+// of orig, from the clone's provenance and the incoming context.
+func (cl *classifier) cloneCallMask(orig *ir.Func, prov []provenance, in *ir.Instr, mask ctxMask) ctxMask {
+	var sub ctxMask
+	for i, arg := range in.Args {
+		if i >= 64 {
+			break
+		}
+		p := prov[arg]
+		if !p.any {
+			// Scalar produced by pure arithmetic/constants: safe
+			// contributor (see callMask).
+			sub.load |= 1 << uint(i)
+			sub.store |= 1 << uint(i)
+			continue
+		}
+		if p.mem {
+			continue
+		}
+		loadOK := p.params&^mask.load == 0
+		storeOK := p.params&^mask.store == 0
+		for o := range p.objs {
+			if !cl.esc.SafeLocation(o) {
+				loadOK = false
+			}
+			if !cl.esc.ThreadPrivate(o) || cl.summaries[orig.Name][o] == faUse {
+				storeOK = false
+			}
+		}
+		if loadOK {
+			sub.load |= 1 << uint(i)
+		}
+		if storeOK {
+			sub.store |= 1 << uint(i)
+		}
+	}
+	return sub
+}

@@ -1,0 +1,110 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAblationsRunAtQuickScale drives every ablation end to end at Small
+// scale and sanity-checks the rendered tables.
+func TestAblationsRunAtQuickScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablations sweep many configurations")
+	}
+	r := NewRunner(QuickOptions())
+	cases := []struct {
+		name string
+		run  func(w *strings.Builder) error
+		want string
+	}{
+		{"buffer", func(w *strings.Builder) error { return r.AblateBufferSize(w, "labyrinth") }, "P8 buffer size"},
+		{"signature", func(w *strings.Builder) error { return r.AblateSignatureSize(w, "yada") }, "signature size"},
+		{"shootdown", func(w *strings.Builder) error { return r.AblateShootdownCost(w, "vacation") }, "TLB-shootdown cost"},
+		{"retries", func(w *strings.Builder) error { return r.AblateRetryPolicy(w, "tpcc-p") }, "conflict retries"},
+		{"tlb", func(w *strings.Builder) error { return r.AblateTLBSize(w, "vacation") }, "TLB entries"},
+		{"versioning", func(w *strings.Builder) error { return r.AblateVersioning(w, "kmeans") }, "versioning discipline"},
+		{"htm-vs-stm", func(w *strings.Builder) error { return r.AblateHTMvsSTM(w, "bayes") }, "HTM vs STM"},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			var sb strings.Builder
+			if err := c.run(&sb); err != nil {
+				t.Fatal(err)
+			}
+			out := sb.String()
+			if !strings.Contains(out, c.want) {
+				t.Fatalf("output missing %q:\n%s", c.want, out)
+			}
+			if strings.Count(out, "\n") < 6 {
+				t.Fatalf("suspiciously short table:\n%s", out)
+			}
+		})
+	}
+}
+
+func TestAblateUnknownWorkload(t *testing.T) {
+	r := NewRunner(QuickOptions())
+	var sb strings.Builder
+	if err := r.AblateBufferSize(&sb, "ghost"); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}
+
+func TestDefaultOptions(t *testing.T) {
+	opts := DefaultOptions()
+	if opts.Seed == 0 {
+		t.Fatal("default seed must be nonzero")
+	}
+	if opts.Scale == opts.LargeScale {
+		t.Fatal("default scales should differ")
+	}
+}
+
+func TestRenderExtras(t *testing.T) {
+	var sb strings.Builder
+	if err := NewRunner(QuickOptions()).RenderExtras(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"intset-ll", "intset-hash", "honest negative"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Fatalf("extras output missing %q", want)
+		}
+	}
+}
+
+func TestExportAllProducesJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("export runs every figure")
+	}
+	var sb strings.Builder
+	r := quick("labyrinth")
+	if err := r.ExportAll(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{`"fig1"`, `"fig4"`, `"fig6"`, `"SpeedupFull"`} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("export missing %q", want)
+		}
+	}
+}
+
+func TestSeedSweepAggregates(t *testing.T) {
+	opts := QuickOptions()
+	opts.Filter = []string{"labyrinth"}
+	rows, err := SeedSweep(opts, []uint64{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0].Seeds != 2 {
+		t.Fatalf("rows = %+v", rows)
+	}
+	r := rows[0]
+	if r.SpeedupMin > r.SpeedupMean || r.SpeedupMean > r.SpeedupMax {
+		t.Fatalf("aggregate ordering wrong: %+v", r)
+	}
+	if r.SpeedupMean <= 1 {
+		t.Fatalf("labyrinth should speed up on every seed: %+v", r)
+	}
+}

@@ -1,0 +1,133 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+
+	"hintm/internal/stats"
+)
+
+// Export is the machine-readable bundle of every figure's data, for
+// downstream plotting without re-running the simulator.
+type Export struct {
+	Options struct {
+		Scale      string `json:"scale"`
+		LargeScale string `json:"largeScale"`
+		Seed       uint64 `json:"seed"`
+	} `json:"options"`
+	Fig1 []Fig1Row    `json:"fig1"`
+	Fig4 []Fig4Row    `json:"fig4"`
+	Fig5 []Fig5Row    `json:"fig5"`
+	Fig6 []Fig6Series `json:"fig6"`
+	Fig7 []Fig7Row    `json:"fig7"`
+	Fig8 []Fig8Row    `json:"fig8"`
+}
+
+// ExportAll runs every figure and serializes the raw rows as indented JSON.
+func (r *Runner) ExportAll(w io.Writer) error {
+	var ex Export
+	ex.Options.Scale = r.opts.Scale.String()
+	ex.Options.LargeScale = r.opts.LargeScale.String()
+	ex.Options.Seed = r.opts.Seed
+	var err error
+	if ex.Fig1, err = r.Fig1(); err != nil {
+		return err
+	}
+	if ex.Fig4, err = r.Fig4(); err != nil {
+		return err
+	}
+	if ex.Fig5, err = r.Fig5(); err != nil {
+		return err
+	}
+	if ex.Fig6, err = r.Fig6(); err != nil {
+		return err
+	}
+	if ex.Fig7, err = r.Fig7(); err != nil {
+		return err
+	}
+	if ex.Fig8, err = r.Fig8(); err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(&ex)
+}
+
+// SeedSweepRow summarizes headline metrics across seeds for one workload.
+type SeedSweepRow struct {
+	App string
+	// SpeedupMean/Min/Max are HinTM-vs-P8 speedups across the seeds.
+	SpeedupMean, SpeedupMin, SpeedupMax float64
+	// CapRedMean is the mean full-HinTM capacity-abort reduction.
+	CapRedMean float64
+	Seeds      int
+}
+
+// SeedSweep re-runs the Fig.-4 comparison for each seed and aggregates,
+// quantifying how sensitive the headline result is to the PRNG streams
+// (i.e. to input/interleaving variation).
+func SeedSweep(opts Options, seeds []uint64) ([]SeedSweepRow, error) {
+	type acc struct {
+		speedups []float64
+		capreds  []float64
+	}
+	byApp := map[string]*acc{}
+	var order []string
+	for _, seed := range seeds {
+		o := opts
+		o.Seed = seed
+		rows, err := NewRunner(o).Fig4()
+		if err != nil {
+			return nil, err
+		}
+		for _, row := range rows {
+			a := byApp[row.App]
+			if a == nil {
+				a = &acc{}
+				byApp[row.App] = a
+				order = append(order, row.App)
+			}
+			a.speedups = append(a.speedups, row.SpeedupFull)
+			a.capreds = append(a.capreds, row.CapRedFull)
+		}
+	}
+	var out []SeedSweepRow
+	for _, app := range order {
+		a := byApp[app]
+		row := SeedSweepRow{App: app, Seeds: len(a.speedups),
+			SpeedupMin: math.Inf(1), SpeedupMax: math.Inf(-1)}
+		for _, s := range a.speedups {
+			row.SpeedupMean += s
+			row.SpeedupMin = math.Min(row.SpeedupMin, s)
+			row.SpeedupMax = math.Max(row.SpeedupMax, s)
+		}
+		row.SpeedupMean /= float64(len(a.speedups))
+		for _, c := range a.capreds {
+			row.CapRedMean += c
+		}
+		row.CapRedMean /= float64(len(a.capreds))
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// RenderSeedSweep prints the robustness table.
+func RenderSeedSweep(w io.Writer, opts Options, seeds []uint64) error {
+	rows, err := SeedSweep(opts, seeds)
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(w, Title(fmt.Sprintf("Seed sweep: HinTM speedup across %d seeds", len(seeds))))
+	t := stats.NewTable("app", "mean", "min", "max", "cap-red-mean")
+	for _, row := range rows {
+		t.Row(row.App,
+			fmt.Sprintf("%.2fx", row.SpeedupMean),
+			fmt.Sprintf("%.2fx", row.SpeedupMin),
+			fmt.Sprintf("%.2fx", row.SpeedupMax),
+			fmt.Sprintf("%.0f%%", row.CapRedMean*100))
+	}
+	t.Render(w)
+	return nil
+}

@@ -1,0 +1,590 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"hintm/internal/htm"
+	"hintm/internal/sim"
+	"hintm/internal/stats"
+	"hintm/internal/workloads"
+)
+
+// fig7Apps is the subset the paper's larger-HTM studies show.
+var fig7Apps = []string{"bayes", "genome", "labyrinth", "tpcc-no", "vacation", "yada"}
+
+// Fig1Row reproduces one bar group of paper Fig. 1.
+type Fig1Row struct {
+	App string
+	// CapacityTime: fraction of P8 runtime attributable to capacity aborts,
+	// derived as 1 - cycles(InfCap)/cycles(P8) (the paper's method).
+	CapacityTime float64
+	// SafePages: fraction of touched pages safe over the execution.
+	SafePages float64
+	// SafeReadsPage / SafeReadsBlock: fraction of transactional accesses
+	// that are reads to safe regions at 4 KiB / 64 B granularity.
+	SafeReadsPage, SafeReadsBlock float64
+}
+
+// Fig1 runs the opportunity study.
+func (r *Runner) Fig1() ([]Fig1Row, error) {
+	specs, err := r.specs()
+	if err != nil {
+		return nil, err
+	}
+	var rows []Fig1Row
+	for _, spec := range specs {
+		p8, err := r.run(spec, r.opts.Scale, sim.HTMP8, sim.HintNone, 1)
+		if err != nil {
+			return nil, err
+		}
+		inf, err := r.run(spec, r.opts.Scale, sim.HTMInfCap, sim.HintNone, 1)
+		if err != nil {
+			return nil, err
+		}
+		_, prof, err := r.profiled(spec, r.opts.Scale, sim.HTMInfCap, sim.HintNone)
+		if err != nil {
+			return nil, err
+		}
+		capTime := 1 - float64(inf.Cycles)/float64(p8.Cycles)
+		if capTime < 0 {
+			capTime = 0
+		}
+		rows = append(rows, Fig1Row{
+			App:            spec.Name,
+			CapacityTime:   capTime,
+			SafePages:      prof.SafePageFrac,
+			SafeReadsPage:  prof.SafeReadFracPage,
+			SafeReadsBlock: prof.SafeReadFracBlock,
+		})
+	}
+	return rows, nil
+}
+
+// RenderFig1 prints the figure as a table.
+func (r *Runner) RenderFig1(w io.Writer) error {
+	rows, err := r.Fig1()
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(w, Title("Fig 1: capacity-abort time and safe-access opportunity (P8)"))
+	t := stats.NewTable("app", "capacity-time", "safe-pages", "safe-reads@4K", "safe-reads@64B")
+	var ct, sp, srp, srb []float64
+	for _, row := range rows {
+		t.Row(row.App, stats.Pct(row.CapacityTime), stats.Pct(row.SafePages),
+			stats.Pct(row.SafeReadsPage), stats.Pct(row.SafeReadsBlock))
+		ct = append(ct, row.CapacityTime)
+		sp = append(sp, row.SafePages)
+		srp = append(srp, row.SafeReadsPage)
+		srb = append(srb, row.SafeReadsBlock)
+	}
+	t.Row("MEAN", stats.Pct(mean(ct)), stats.Pct(mean(sp)), stats.Pct(mean(srp)), stats.Pct(mean(srb)))
+	t.Render(w)
+	fmt.Fprintln(w, "\nruntime lost to capacity aborts:")
+	chart := stats.NewBarChart("%")
+	for _, row := range rows {
+		chart.Bar(row.App, row.CapacityTime*100)
+	}
+	chart.Render(w)
+	return nil
+}
+
+// Fig4Row reproduces one application of paper Fig. 4 (P8 baseline).
+type Fig4Row struct {
+	App               string
+	BaseCapacity      uint64
+	CapRedSt          float64
+	CapRedDyn         float64
+	CapRedFull        float64
+	SpeedupSt         float64
+	SpeedupDyn        float64
+	SpeedupFull       float64
+	SpeedupInf        float64
+	PageModeCycleFrac float64 // under HinTM (full), Fig. 4b secondary axis
+}
+
+// Fig4 runs the P8 capacity-abort-reduction and speedup study.
+func (r *Runner) Fig4() ([]Fig4Row, error) {
+	return r.figOnHTM(sim.HTMP8, r.opts.Scale, nil)
+}
+
+// figOnHTM runs the {baseline, st, dyn, full, InfCap} sweep on one HTM kind.
+func (r *Runner) figOnHTM(kind sim.HTMKind, scale workloads.Scale, filter []string) ([]Fig4Row, error) {
+	specs, err := r.specs()
+	if err != nil {
+		return nil, err
+	}
+	var rows []Fig4Row
+	for _, spec := range specs {
+		if filter != nil && !contains(filter, spec.Name) {
+			continue
+		}
+		base, err := r.run(spec, scale, kind, sim.HintNone, 1)
+		if err != nil {
+			return nil, err
+		}
+		st, err := r.run(spec, scale, kind, sim.HintStatic, 1)
+		if err != nil {
+			return nil, err
+		}
+		dyn, err := r.run(spec, scale, kind, sim.HintDynamic, 1)
+		if err != nil {
+			return nil, err
+		}
+		full, err := r.run(spec, scale, kind, sim.HintFull, 1)
+		if err != nil {
+			return nil, err
+		}
+		inf, err := r.run(spec, scale, sim.HTMInfCap, sim.HintNone, 1)
+		if err != nil {
+			return nil, err
+		}
+		baseCap := base.Aborts[htm.AbortCapacity]
+		rows = append(rows, Fig4Row{
+			App:               spec.Name,
+			BaseCapacity:      baseCap,
+			CapRedSt:          reduction(baseCap, st.Aborts[htm.AbortCapacity]),
+			CapRedDyn:         reduction(baseCap, dyn.Aborts[htm.AbortCapacity]),
+			CapRedFull:        reduction(baseCap, full.Aborts[htm.AbortCapacity]),
+			SpeedupSt:         speedup(base.Cycles, st.Cycles),
+			SpeedupDyn:        speedup(base.Cycles, dyn.Cycles),
+			SpeedupFull:       speedup(base.Cycles, full.Cycles),
+			SpeedupInf:        speedup(base.Cycles, inf.Cycles),
+			PageModeCycleFrac: full.PageModeCycleFraction(),
+		})
+	}
+	return rows, nil
+}
+
+// RenderFig4 prints Fig. 4a+4b.
+func (r *Runner) RenderFig4(w io.Writer) error {
+	rows, err := r.Fig4()
+	if err != nil {
+		return err
+	}
+	renderHTMSweep(w, rows,
+		"Fig 4a: capacity-abort reduction vs P8",
+		"Fig 4b: speedup over P8 (and page-mode cycle fraction)")
+	return nil
+}
+
+func renderHTMSweep(w io.Writer, rows []Fig4Row, titleA, titleB string) {
+	fmt.Fprint(w, Title(titleA))
+	ta := stats.NewTable("app", "base-cap-aborts", "HinTM-st", "HinTM-dyn", "HinTM")
+	var rs, rd, rf []float64
+	for _, row := range rows {
+		ta.Row(row.App, row.BaseCapacity, stats.Pct(row.CapRedSt),
+			stats.Pct(row.CapRedDyn), stats.Pct(row.CapRedFull))
+		if row.BaseCapacity > 0 {
+			rs = append(rs, row.CapRedSt)
+			rd = append(rd, row.CapRedDyn)
+			rf = append(rf, row.CapRedFull)
+		}
+	}
+	ta.Row("MEAN", "-", stats.Pct(mean(rs)), stats.Pct(mean(rd)), stats.Pct(mean(rf)))
+	ta.Render(w)
+
+	fmt.Fprint(w, Title(titleB))
+	tb := stats.NewTable("app", "HinTM-st", "HinTM-dyn", "HinTM", "InfCap", "pagemode-cycles")
+	var ss, sd, sf, si []float64
+	for _, row := range rows {
+		tb.Row(row.App,
+			fmt.Sprintf("%.2fx", row.SpeedupSt),
+			fmt.Sprintf("%.2fx", row.SpeedupDyn),
+			fmt.Sprintf("%.2fx", row.SpeedupFull),
+			fmt.Sprintf("%.2fx", row.SpeedupInf),
+			stats.Pct(row.PageModeCycleFrac))
+		ss = append(ss, row.SpeedupSt)
+		sd = append(sd, row.SpeedupDyn)
+		sf = append(sf, row.SpeedupFull)
+		si = append(si, row.SpeedupInf)
+	}
+	tb.Row("GEOMEAN",
+		fmt.Sprintf("%.2fx", geomean(ss)),
+		fmt.Sprintf("%.2fx", geomean(sd)),
+		fmt.Sprintf("%.2fx", geomean(sf)),
+		fmt.Sprintf("%.2fx", geomean(si)), "-")
+	tb.Render(w)
+	fmt.Fprintln(w, "\nHinTM speedup:")
+	chart := stats.NewBarChart("x")
+	for _, row := range rows {
+		chart.Bar(row.App, row.SpeedupFull)
+	}
+	chart.Render(w)
+}
+
+// Fig5Row reproduces paper Fig. 5: the transactional access breakdown.
+type Fig5Row struct {
+	App                             string
+	StaticFrac, DynFrac, UnsafeFrac float64
+}
+
+// Fig5 measures the access breakdown under InfCap + HinTM (the paper's
+// "HinTM + preserve" collection mode: no capacity aborts skew the counts).
+func (r *Runner) Fig5() ([]Fig5Row, error) {
+	specs, err := r.specs()
+	if err != nil {
+		return nil, err
+	}
+	var rows []Fig5Row
+	for _, spec := range specs {
+		if spec.Name == "kmeans" || spec.Name == "ssca2" {
+			continue // the paper omits them for brevity
+		}
+		res, err := r.run(spec, r.opts.Scale, sim.HTMInfCap, sim.HintFull, 1)
+		if err != nil {
+			return nil, err
+		}
+		total := float64(res.TxAccesses())
+		if total == 0 {
+			total = 1
+		}
+		rows = append(rows, Fig5Row{
+			App:        spec.Name,
+			StaticFrac: float64(res.StaticSafeAccesses) / total,
+			DynFrac:    float64(res.DynSafeAccesses) / total,
+			UnsafeFrac: float64(res.UnsafeTxAccesses) / total,
+		})
+	}
+	return rows, nil
+}
+
+// RenderFig5 prints the breakdown.
+func (r *Runner) RenderFig5(w io.Writer) error {
+	rows, err := r.Fig5()
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(w, Title("Fig 5: transactional access breakdown (compiler/runtime/unsafe)"))
+	t := stats.NewTable("app", "static-safe", "dynamic-safe", "unsafe")
+	var sf, df []float64
+	for _, row := range rows {
+		t.Row(row.App, stats.Pct(row.StaticFrac), stats.Pct(row.DynFrac), stats.Pct(row.UnsafeFrac))
+		sf = append(sf, row.StaticFrac)
+		df = append(df, row.DynFrac)
+	}
+	t.Row("MEAN", stats.Pct(mean(sf)), stats.Pct(mean(df)), stats.Pct(1-mean(sf)-mean(df)))
+	t.Render(w)
+	return nil
+}
+
+// Fig6Series reproduces one subplot of paper Fig. 6: transaction-footprint
+// CDFs under baseline / HinTM-st / HinTM tracking, collected on InfCap.
+type Fig6Series struct {
+	App            string
+	Points         []int
+	Base, St, Full []float64
+}
+
+// fig6Apps matches the paper's four subplots.
+var fig6Apps = []string{"genome", "labyrinth", "bayes", "vacation"}
+
+// Fig6 collects the CDFs.
+func (r *Runner) Fig6() ([]Fig6Series, error) {
+	points := []int{4, 8, 16, 24, 32, 40, 48, 56, 64}
+	var out []Fig6Series
+	for _, name := range fig6Apps {
+		if len(r.opts.Filter) > 0 && !contains(r.opts.Filter, name) {
+			continue
+		}
+		spec, err := workloads.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		base, err := r.run(spec, r.opts.Scale, sim.HTMInfCap, sim.HintNone, 1)
+		if err != nil {
+			return nil, err
+		}
+		st, err := r.run(spec, r.opts.Scale, sim.HTMInfCap, sim.HintStatic, 1)
+		if err != nil {
+			return nil, err
+		}
+		full, err := r.run(spec, r.opts.Scale, sim.HTMInfCap, sim.HintFull, 1)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Fig6Series{
+			App:    name,
+			Points: points,
+			Base:   base.TxFootprints.CDF(points),
+			St:     st.TxFootprints.CDF(points),
+			Full:   full.TxFootprints.CDF(points),
+		})
+	}
+	return out, nil
+}
+
+// RenderFig6 prints the CDFs.
+func (r *Runner) RenderFig6(w io.Writer) error {
+	series, err := r.Fig6()
+	if err != nil {
+		return err
+	}
+	for _, s := range series {
+		fmt.Fprint(w, Title(fmt.Sprintf("Fig 6: TX size CDF — %s (x = blocks, P8 capacity = 64)", s.App)))
+		t := stats.NewTable("blocks", "baseline", "HinTM-st", "HinTM")
+		for i, p := range s.Points {
+			t.Row(p, s.Base[i], s.St[i], s.Full[i])
+		}
+		t.Render(w)
+	}
+	return nil
+}
+
+// Fig7Row reproduces one application of paper Fig. 7 (P8S baseline).
+type Fig7Row struct {
+	App          string
+	BaseCapacity uint64
+	BaseFalse    uint64
+	CapRedSt     float64
+	CapRedDyn    float64
+	CapRedFull   float64
+	FalseRedFull float64
+	SpeedupSt    float64
+	SpeedupDyn   float64
+	SpeedupFull  float64
+	SpeedupInf   float64
+}
+
+// Fig7 runs the P8S study on larger inputs.
+func (r *Runner) Fig7() ([]Fig7Row, error) {
+	specs, err := r.specs()
+	if err != nil {
+		return nil, err
+	}
+	var rows []Fig7Row
+	for _, spec := range specs {
+		if !contains(fig7Apps, spec.Name) {
+			continue
+		}
+		base, err := r.run(spec, r.opts.LargeScale, sim.HTMP8S, sim.HintNone, 1)
+		if err != nil {
+			return nil, err
+		}
+		st, err := r.run(spec, r.opts.LargeScale, sim.HTMP8S, sim.HintStatic, 1)
+		if err != nil {
+			return nil, err
+		}
+		dyn, err := r.run(spec, r.opts.LargeScale, sim.HTMP8S, sim.HintDynamic, 1)
+		if err != nil {
+			return nil, err
+		}
+		full, err := r.run(spec, r.opts.LargeScale, sim.HTMP8S, sim.HintFull, 1)
+		if err != nil {
+			return nil, err
+		}
+		inf, err := r.run(spec, r.opts.LargeScale, sim.HTMInfCap, sim.HintNone, 1)
+		if err != nil {
+			return nil, err
+		}
+		baseCap := base.Aborts[htm.AbortCapacity]
+		baseFalse := base.Aborts[htm.AbortFalseConflict]
+		rows = append(rows, Fig7Row{
+			App:          spec.Name,
+			BaseCapacity: baseCap,
+			BaseFalse:    baseFalse,
+			CapRedSt:     reduction(baseCap, st.Aborts[htm.AbortCapacity]),
+			CapRedDyn:    reduction(baseCap, dyn.Aborts[htm.AbortCapacity]),
+			CapRedFull:   reduction(baseCap, full.Aborts[htm.AbortCapacity]),
+			FalseRedFull: reduction(baseFalse, full.Aborts[htm.AbortFalseConflict]),
+			SpeedupSt:    speedup(base.Cycles, st.Cycles),
+			SpeedupDyn:   speedup(base.Cycles, dyn.Cycles),
+			SpeedupFull:  speedup(base.Cycles, full.Cycles),
+			SpeedupInf:   speedup(base.Cycles, inf.Cycles),
+		})
+	}
+	return rows, nil
+}
+
+// RenderFig7 prints the P8S study.
+func (r *Runner) RenderFig7(w io.Writer) error {
+	rows, err := r.Fig7()
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(w, Title("Fig 7a: capacity & false-conflict abort reduction vs P8S (large inputs)"))
+	ta := stats.NewTable("app", "base-cap", "base-false", "cap-red-st", "cap-red-dyn", "cap-red-full", "false-red-full")
+	for _, row := range rows {
+		ta.Row(row.App, row.BaseCapacity, row.BaseFalse, stats.Pct(row.CapRedSt),
+			stats.Pct(row.CapRedDyn), stats.Pct(row.CapRedFull), stats.Pct(row.FalseRedFull))
+	}
+	ta.Render(w)
+
+	fmt.Fprint(w, Title("Fig 7b: speedup over P8S"))
+	tb := stats.NewTable("app", "HinTM-st", "HinTM-dyn", "HinTM", "InfCap")
+	var sf []float64
+	for _, row := range rows {
+		tb.Row(row.App,
+			fmt.Sprintf("%.2fx", row.SpeedupSt),
+			fmt.Sprintf("%.2fx", row.SpeedupDyn),
+			fmt.Sprintf("%.2fx", row.SpeedupFull),
+			fmt.Sprintf("%.2fx", row.SpeedupInf))
+		sf = append(sf, row.SpeedupFull)
+	}
+	tb.Row("GEOMEAN", "-", "-", fmt.Sprintf("%.2fx", geomean(sf)), "-")
+	tb.Render(w)
+	return nil
+}
+
+// Fig8Row reproduces paper Fig. 8 (L1TM with 2-way SMT, large inputs).
+type Fig8Row struct {
+	App               string
+	BaseCapacity      uint64
+	CapRedFull        float64
+	SpeedupSt         float64
+	SpeedupDyn        float64
+	SpeedupFull       float64
+	SpeedupInf        float64
+	PageModeCycleFrac float64
+}
+
+// Fig8 runs the L1TM/SMT study.
+func (r *Runner) Fig8() ([]Fig8Row, error) {
+	specs, err := r.specs()
+	if err != nil {
+		return nil, err
+	}
+	var rows []Fig8Row
+	for _, spec := range specs {
+		if !contains(fig7Apps, spec.Name) {
+			continue
+		}
+		base, err := r.run(spec, r.opts.LargeScale, sim.HTML1TM, sim.HintNone, 2)
+		if err != nil {
+			return nil, err
+		}
+		st, err := r.run(spec, r.opts.LargeScale, sim.HTML1TM, sim.HintStatic, 2)
+		if err != nil {
+			return nil, err
+		}
+		dyn, err := r.run(spec, r.opts.LargeScale, sim.HTML1TM, sim.HintDynamic, 2)
+		if err != nil {
+			return nil, err
+		}
+		full, err := r.run(spec, r.opts.LargeScale, sim.HTML1TM, sim.HintFull, 2)
+		if err != nil {
+			return nil, err
+		}
+		inf, err := r.run(spec, r.opts.LargeScale, sim.HTMInfCap, sim.HintNone, 2)
+		if err != nil {
+			return nil, err
+		}
+		baseCap := base.Aborts[htm.AbortCapacity]
+		rows = append(rows, Fig8Row{
+			App:               spec.Name,
+			BaseCapacity:      baseCap,
+			CapRedFull:        reduction(baseCap, full.Aborts[htm.AbortCapacity]),
+			SpeedupSt:         speedup(base.Cycles, st.Cycles),
+			SpeedupDyn:        speedup(base.Cycles, dyn.Cycles),
+			SpeedupFull:       speedup(base.Cycles, full.Cycles),
+			SpeedupInf:        speedup(base.Cycles, inf.Cycles),
+			PageModeCycleFrac: full.PageModeCycleFraction(),
+		})
+	}
+	return rows, nil
+}
+
+// RenderFig8 prints the L1TM study.
+func (r *Runner) RenderFig8(w io.Writer) error {
+	rows, err := r.Fig8()
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(w, Title("Fig 8: speedup over L1TM with 2-way SMT (large inputs)"))
+	t := stats.NewTable("app", "base-cap-aborts", "cap-red-full", "HinTM-st", "HinTM-dyn", "HinTM", "InfCap", "pagemode-cycles")
+	var sf []float64
+	for _, row := range rows {
+		t.Row(row.App, row.BaseCapacity, stats.Pct(row.CapRedFull),
+			fmt.Sprintf("%.2fx", row.SpeedupSt),
+			fmt.Sprintf("%.2fx", row.SpeedupDyn),
+			fmt.Sprintf("%.2fx", row.SpeedupFull),
+			fmt.Sprintf("%.2fx", row.SpeedupInf),
+			stats.Pct(row.PageModeCycleFrac))
+		sf = append(sf, row.SpeedupFull)
+	}
+	t.Row("GEOMEAN", "-", "-", "-", "-", fmt.Sprintf("%.2fx", geomean(sf)), "-", "-")
+	t.Render(w)
+	return nil
+}
+
+// Extras runs the Fig.-4-style sweep over the non-paper microbenchmarks.
+func (r *Runner) Extras() ([]Fig4Row, error) {
+	saved := r.opts.Filter
+	r.opts.Filter = []string{"intset-ll", "intset-hash"}
+	defer func() { r.opts.Filter = saved }()
+	return r.figOnHTM(sim.HTMP8, r.opts.Scale, nil)
+}
+
+// RenderExtras prints the microbenchmark sweep.
+func (r *Runner) RenderExtras(w io.Writer) error {
+	rows, err := r.Extras()
+	if err != nil {
+		return err
+	}
+	renderHTMSweep(w, rows,
+		"Extras: capacity-abort reduction vs P8 (intset microbenchmarks)",
+		"Extras: speedup over P8 — note the honest negative: pointer chasing over shared RW nodes defeats both classifiers")
+	return nil
+}
+
+// RenderAll runs every figure in order.
+func (r *Runner) RenderAll(w io.Writer) error {
+	for _, f := range []func(io.Writer) error{
+		r.RenderFig1, r.RenderFig4, r.RenderFig5, r.RenderFig6, r.RenderFig7, r.RenderFig8,
+	} {
+		if err := f(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func mean(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range vals {
+		sum += v
+	}
+	return sum / float64(len(vals))
+}
+
+func contains(list []string, s string) bool {
+	for _, v := range list {
+		if v == s {
+			return true
+		}
+	}
+	return false
+}
+
+// RenderTable1 prints HinTM's modeled hardware additions (paper Table I).
+func RenderTable1(w io.Writer) {
+	fmt.Fprint(w, Title("Table I: HinTM's required hardware modifications (as modeled)"))
+	t := stats.NewTable("component", "addition", "where in this repo")
+	t.Row("Core", "safe load/store opcodes (1 bit per memory op)", "ir.OpLoad/OpStore Safe flag")
+	t.Row("TLB", "2 bits per entry (ro, shared) + owner tid", "vmem.tlbEntry")
+	t.Row("Page table", "tid + ro + shared per PTE", "vmem.pageEntry")
+	t.Row("HTM controller", "1-bit safety hint input per access", "htm.Controller.Access")
+	t.Row("HTM controller", "touched-page set for page-mode aborts", "htm.Controller touched map")
+	t.Render(w)
+}
+
+// RenderTable2 prints the machine configuration (paper Table II).
+func RenderTable2(w io.Writer) {
+	cfg := sim.DefaultConfig()
+	fmt.Fprint(w, Title("Table II: simulation parameters"))
+	t := stats.NewTable("parameter", "value")
+	t.Row("cores", fmt.Sprintf("%d x 64-bit, in-order timing, %d-wide contexts", cfg.Cores, cfg.SMT))
+	t.Row("L1d", fmt.Sprintf("32KB %d-way, 64B blocks, %d-cycle", cfg.Cache.L1Ways, cfg.Cache.L1Latency))
+	t.Row("L2", fmt.Sprintf("8MB %d-way shared, %d-cycle", cfg.Cache.L2Ways, cfg.Cache.L2Latency))
+	t.Row("memory", fmt.Sprintf("%d-cycle", cfg.Cache.MemLatency))
+	t.Row("coherence", "snoopy MESI")
+	t.Row("P8 buffer", fmt.Sprintf("%d entries, fully associative", cfg.P8Entries))
+	t.Row("P8S signature", fmt.Sprintf("%d-bit PBX, %d hashes", cfg.SigBits, cfg.SigHashes))
+	t.Row("TLB", fmt.Sprintf("%d entries/context", cfg.TLBEntries))
+	t.Row("page costs", fmt.Sprintf("minor fault %d, shootdown %d/%d cycles",
+		cfg.VM.MinorFault, cfg.VM.ShootdownInitiator, cfg.VM.ShootdownSlave))
+	t.Render(w)
+}

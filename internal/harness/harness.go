@@ -1,0 +1,190 @@
+// Package harness drives the paper's experiments end to end: it builds each
+// workload, runs the static classification pass, simulates every (HTM ×
+// hint-mode) configuration the evaluation needs, and reduces the results
+// into the rows/series of each figure (Fig. 1, 4, 5, 6, 7, 8). The
+// hintm-bench CLI and the repository's benchmark suite are thin wrappers
+// around this package.
+package harness
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"hintm/internal/cache"
+	"hintm/internal/classify"
+	"hintm/internal/ir"
+	"hintm/internal/profile"
+	"hintm/internal/sim"
+	"hintm/internal/workloads"
+)
+
+// Options configures a Runner.
+type Options struct {
+	// Scale is used for the P8 experiments (Fig. 1, 4, 5, 6).
+	Scale workloads.Scale
+	// LargeScale is used for the capacity-pressure studies on larger HTMs
+	// (Fig. 7, 8), mirroring the paper's larger inputs.
+	LargeScale workloads.Scale
+	// Filter restricts to the named workloads (nil = all).
+	Filter []string
+	// Seed drives every simulation's PRNG streams.
+	Seed uint64
+}
+
+// DefaultOptions mirrors the paper's setup.
+func DefaultOptions() Options {
+	return Options{Scale: workloads.Medium, LargeScale: workloads.Large, Seed: 1}
+}
+
+// QuickOptions shrinks everything for tests and smoke runs.
+func QuickOptions() Options {
+	return Options{Scale: workloads.Small, LargeScale: workloads.Small, Seed: 1}
+}
+
+// Runner caches classified modules and simulation results across figures.
+type Runner struct {
+	opts Options
+	mods map[string]*ir.Module
+	runs map[string]*sim.Result
+}
+
+// NewRunner returns a runner for the given options.
+func NewRunner(opts Options) *Runner {
+	return &Runner{opts: opts, mods: make(map[string]*ir.Module), runs: make(map[string]*sim.Result)}
+}
+
+// specs returns the selected workloads.
+func (r *Runner) specs() ([]*workloads.Spec, error) {
+	if len(r.opts.Filter) == 0 {
+		return workloads.All(), nil
+	}
+	var out []*workloads.Spec
+	for _, name := range r.opts.Filter {
+		s, err := workloads.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// module builds + classifies (memoized).
+func (r *Runner) module(spec *workloads.Spec, threads int, scale workloads.Scale) (*ir.Module, error) {
+	key := fmt.Sprintf("%s|%d|%v", spec.Name, threads, scale)
+	if m, ok := r.mods[key]; ok {
+		return m, nil
+	}
+	m := spec.Build(threads, scale)
+	if _, err := classify.Run(m); err != nil {
+		return nil, fmt.Errorf("%s: %w", spec.Name, err)
+	}
+	r.mods[key] = m
+	return m, nil
+}
+
+// config assembles a machine configuration. With SMT, the machine shrinks
+// to the workload's thread count in cores so that two contexts co-schedule
+// on every core, generating the L1 pressure the paper's Fig.-8 methodology
+// relies on (8 threads of genome/yada run on 4 dual-threaded cores).
+func (r *Runner) config(spec *workloads.Spec, kind sim.HTMKind, hints sim.HintMode, smt int) sim.Config {
+	cfg := sim.DefaultConfig()
+	cfg.HTM = kind
+	cfg.Hints = hints
+	cfg.SMT = smt
+	if smt > 1 {
+		cfg.Cores = spec.DefaultThreads
+		cfg.Cache = cache.DefaultConfig(cfg.Cores)
+	}
+	cfg.Seed = r.opts.Seed
+	return cfg
+}
+
+// run simulates (memoized).
+func (r *Runner) run(spec *workloads.Spec, scale workloads.Scale,
+	kind sim.HTMKind, hints sim.HintMode, smt int) (*sim.Result, error) {
+
+	threads := spec.DefaultThreads * smt
+	key := fmt.Sprintf("%s|%v|%v|%v|%d", spec.Name, scale, kind, hints, smt)
+	if res, ok := r.runs[key]; ok {
+		return res, nil
+	}
+	mod, err := r.module(spec, threads, scale)
+	if err != nil {
+		return nil, err
+	}
+	m, err := sim.New(r.config(spec, kind, hints, smt), mod)
+	if err != nil {
+		return nil, err
+	}
+	res, err := m.Run()
+	if err != nil {
+		return nil, fmt.Errorf("%s %v/%v: %w", spec.Name, kind, hints, err)
+	}
+	r.runs[key] = res
+	return res, nil
+}
+
+// profiled runs one simulation with the sharing profiler attached
+// (not memoized: the profiler is a per-run observer).
+func (r *Runner) profiled(spec *workloads.Spec, scale workloads.Scale,
+	kind sim.HTMKind, hints sim.HintMode) (*sim.Result, profile.Report, error) {
+
+	mod, err := r.module(spec, spec.DefaultThreads, scale)
+	if err != nil {
+		return nil, profile.Report{}, err
+	}
+	cfg := r.config(spec, kind, hints, 1)
+	m, err := sim.New(cfg, mod)
+	if err != nil {
+		return nil, profile.Report{}, err
+	}
+	prof := profile.NewSharing(cfg.Contexts() - 1)
+	m.SetProfiler(prof)
+	res, err := m.Run()
+	if err != nil {
+		return nil, profile.Report{}, err
+	}
+	return res, prof.Report(), nil
+}
+
+// reduction computes 1 - v/base, the paper's "X% of aborts eliminated".
+func reduction(base, v uint64) float64 {
+	if base == 0 {
+		return 0
+	}
+	red := 1 - float64(v)/float64(base)
+	if red < 0 {
+		return 0
+	}
+	return red
+}
+
+// speedup computes base/v cycles.
+func speedup(base, v int64) float64 {
+	if v == 0 {
+		return 0
+	}
+	return float64(base) / float64(v)
+}
+
+// geomean over positive values.
+func geomean(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range vals {
+		if v <= 0 {
+			v = 1e-9
+		}
+		sum += math.Log(v)
+	}
+	return math.Exp(sum / float64(len(vals)))
+}
+
+// Title renders a section header.
+func Title(s string) string {
+	return fmt.Sprintf("\n== %s ==\n%s\n", s, strings.Repeat("-", len(s)+6))
+}

@@ -1,0 +1,201 @@
+package harness
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"hintm/internal/svgplot"
+)
+
+// WriteSVGs renders every figure into dir as standalone SVG files, mirroring
+// the paper's figure shapes (grouped bars over applications, CDF curves with
+// the 64-block capacity marker).
+func (r *Runner) WriteSVGs(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	write := func(name string, render func(f *os.File) error) error {
+		f, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		return render(f)
+	}
+
+	// Fig 1.
+	rows1, err := r.Fig1()
+	if err != nil {
+		return err
+	}
+	if err := write("fig1.svg", func(f *os.File) error {
+		c := &svgplot.BarChart{
+			Title:   "Fig 1: capacity-abort time and safe-access opportunity",
+			YLabel:  "fraction",
+			Percent: true,
+			Series: []svgplot.Series{
+				{Name: "capacity-abort time"}, {Name: "safe pages"},
+				{Name: "safe TX reads @4K"}, {Name: "safe TX reads @64B"},
+			},
+		}
+		for _, row := range rows1 {
+			c.Categories = append(c.Categories, row.App)
+			c.Series[0].Values = append(c.Series[0].Values, row.CapacityTime)
+			c.Series[1].Values = append(c.Series[1].Values, row.SafePages)
+			c.Series[2].Values = append(c.Series[2].Values, row.SafeReadsPage)
+			c.Series[3].Values = append(c.Series[3].Values, row.SafeReadsBlock)
+		}
+		return c.WriteSVG(f)
+	}); err != nil {
+		return err
+	}
+
+	// Fig 4a / 4b.
+	rows4, err := r.Fig4()
+	if err != nil {
+		return err
+	}
+	if err := write("fig4a.svg", func(f *os.File) error {
+		c := &svgplot.BarChart{
+			Title:   "Fig 4a: capacity-abort reduction vs P8",
+			YLabel:  "aborts eliminated",
+			Percent: true,
+			YMax:    1,
+			Series: []svgplot.Series{
+				{Name: "HinTM-st"}, {Name: "HinTM-dyn"}, {Name: "HinTM"},
+			},
+		}
+		for _, row := range rows4 {
+			c.Categories = append(c.Categories, row.App)
+			c.Series[0].Values = append(c.Series[0].Values, row.CapRedSt)
+			c.Series[1].Values = append(c.Series[1].Values, row.CapRedDyn)
+			c.Series[2].Values = append(c.Series[2].Values, row.CapRedFull)
+		}
+		return c.WriteSVG(f)
+	}); err != nil {
+		return err
+	}
+	if err := write("fig4b.svg", func(f *os.File) error {
+		c := &svgplot.BarChart{
+			Title:  "Fig 4b: speedup over P8",
+			YLabel: "speedup (x)",
+			Series: []svgplot.Series{
+				{Name: "HinTM-st"}, {Name: "HinTM-dyn"}, {Name: "HinTM"}, {Name: "InfCap"},
+			},
+		}
+		for _, row := range rows4 {
+			c.Categories = append(c.Categories, row.App)
+			c.Series[0].Values = append(c.Series[0].Values, row.SpeedupSt)
+			c.Series[1].Values = append(c.Series[1].Values, row.SpeedupDyn)
+			c.Series[2].Values = append(c.Series[2].Values, row.SpeedupFull)
+			c.Series[3].Values = append(c.Series[3].Values, row.SpeedupInf)
+		}
+		return c.WriteSVG(f)
+	}); err != nil {
+		return err
+	}
+
+	// Fig 5 (stacked).
+	rows5, err := r.Fig5()
+	if err != nil {
+		return err
+	}
+	if err := write("fig5.svg", func(f *os.File) error {
+		c := &svgplot.BarChart{
+			Title:   "Fig 5: transactional access breakdown",
+			YLabel:  "fraction of TX accesses",
+			Percent: true,
+			YMax:    1,
+			Stacked: true,
+			Series: []svgplot.Series{
+				{Name: "compiler-safe"}, {Name: "runtime-safe"}, {Name: "unsafe"},
+			},
+		}
+		for _, row := range rows5 {
+			c.Categories = append(c.Categories, row.App)
+			c.Series[0].Values = append(c.Series[0].Values, row.StaticFrac)
+			c.Series[1].Values = append(c.Series[1].Values, row.DynFrac)
+			c.Series[2].Values = append(c.Series[2].Values, row.UnsafeFrac)
+		}
+		return c.WriteSVG(f)
+	}); err != nil {
+		return err
+	}
+
+	// Fig 6 CDFs (one file per app).
+	series6, err := r.Fig6()
+	if err != nil {
+		return err
+	}
+	for _, s := range series6 {
+		s := s
+		name := fmt.Sprintf("fig6-%s.svg", s.App)
+		if err := write(name, func(f *os.File) error {
+			xs := make([]float64, len(s.Points))
+			for i, p := range s.Points {
+				xs[i] = float64(p)
+			}
+			c := &svgplot.LineChart{
+				Title:  fmt.Sprintf("Fig 6: TX size CDF — %s", s.App),
+				XLabel: "tracked footprint (cache blocks)",
+				YLabel: "fraction of TXs",
+				VLineX: 64,
+				Lines: []svgplot.Line{
+					{Name: "baseline", X: xs, Y: s.Base},
+					{Name: "HinTM-st", X: xs, Y: s.St},
+					{Name: "HinTM", X: xs, Y: s.Full},
+				},
+			}
+			return c.WriteSVG(f)
+		}); err != nil {
+			return err
+		}
+	}
+
+	// Fig 7b and Fig 8 speedups.
+	rows7, err := r.Fig7()
+	if err != nil {
+		return err
+	}
+	if err := write("fig7b.svg", func(f *os.File) error {
+		c := &svgplot.BarChart{
+			Title:  "Fig 7b: speedup over P8S (large inputs)",
+			YLabel: "speedup (x)",
+			Series: []svgplot.Series{
+				{Name: "HinTM-st"}, {Name: "HinTM-dyn"}, {Name: "HinTM"}, {Name: "InfCap"},
+			},
+		}
+		for _, row := range rows7 {
+			c.Categories = append(c.Categories, row.App)
+			c.Series[0].Values = append(c.Series[0].Values, row.SpeedupSt)
+			c.Series[1].Values = append(c.Series[1].Values, row.SpeedupDyn)
+			c.Series[2].Values = append(c.Series[2].Values, row.SpeedupFull)
+			c.Series[3].Values = append(c.Series[3].Values, row.SpeedupInf)
+		}
+		return c.WriteSVG(f)
+	}); err != nil {
+		return err
+	}
+	rows8, err := r.Fig8()
+	if err != nil {
+		return err
+	}
+	return write("fig8.svg", func(f *os.File) error {
+		c := &svgplot.BarChart{
+			Title:  "Fig 8: speedup over L1TM with 2-way SMT (large inputs)",
+			YLabel: "speedup (x)",
+			Series: []svgplot.Series{
+				{Name: "HinTM-st"}, {Name: "HinTM-dyn"}, {Name: "HinTM"}, {Name: "InfCap"},
+			},
+		}
+		for _, row := range rows8 {
+			c.Categories = append(c.Categories, row.App)
+			c.Series[0].Values = append(c.Series[0].Values, row.SpeedupSt)
+			c.Series[1].Values = append(c.Series[1].Values, row.SpeedupDyn)
+			c.Series[2].Values = append(c.Series[2].Values, row.SpeedupFull)
+			c.Series[3].Values = append(c.Series[3].Values, row.SpeedupInf)
+		}
+		return c.WriteSVG(f)
+	})
+}

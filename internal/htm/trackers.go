@@ -1,0 +1,377 @@
+package htm
+
+// rwBits records read/write membership for a tracked block.
+type rwBits uint8
+
+const (
+	bitRead rwBits = 1 << iota
+	bitWrite
+)
+
+// P8Tracker models IBM POWER8's dedicated 64-entry fully-associative
+// transactional buffer: readset and writeset share the same structure, one
+// entry per cache block.
+type P8Tracker struct {
+	entries  map[uint64]rwBits
+	capacity int
+}
+
+// NewP8Tracker returns a buffer of the given entry count (the paper uses 64).
+func NewP8Tracker(capacity int) *P8Tracker {
+	return &P8Tracker{entries: make(map[uint64]rwBits, capacity), capacity: capacity}
+}
+
+func (t *P8Tracker) track(block uint64, bit rwBits) bool {
+	if b, ok := t.entries[block]; ok {
+		t.entries[block] = b | bit
+		return true
+	}
+	if len(t.entries) >= t.capacity {
+		return false
+	}
+	t.entries[block] = bit
+	return true
+}
+
+// TrackRead implements Tracker.
+func (t *P8Tracker) TrackRead(block uint64) bool { return t.track(block, bitRead) }
+
+// TrackWrite implements Tracker.
+func (t *P8Tracker) TrackWrite(block uint64) bool { return t.track(block, bitWrite) }
+
+// CheckRemote implements Tracker: a remote write conflicts with any tracked
+// block; a remote read conflicts with a tracked write.
+func (t *P8Tracker) CheckRemote(block uint64, remoteWrite bool) (bool, bool) {
+	b, ok := t.entries[block]
+	if !ok {
+		return false, false
+	}
+	if remoteWrite {
+		return true, false
+	}
+	return b&bitWrite != 0, false
+}
+
+// NotifyEviction implements Tracker: the dedicated buffer is decoupled from
+// the L1, so evictions are harmless.
+func (t *P8Tracker) NotifyEviction(uint64) bool { return true }
+
+// ReadSetSize implements Tracker.
+func (t *P8Tracker) ReadSetSize() int { return t.count(bitRead) }
+
+// WriteSetSize implements Tracker.
+func (t *P8Tracker) WriteSetSize() int { return t.count(bitWrite) }
+
+func (t *P8Tracker) count(bit rwBits) int {
+	n := 0
+	for _, b := range t.entries {
+		if b&bit != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// DistinctBlocks implements Tracker.
+func (t *P8Tracker) DistinctBlocks() int { return len(t.entries) }
+
+// Reset implements Tracker.
+func (t *P8Tracker) Reset() {
+	for k := range t.entries {
+		delete(t.entries, k)
+	}
+}
+
+// Signature is a PBX-style hardware signature: a Bloom-like bitvector that
+// summarizes overflowed readset addresses. Membership tests can alias,
+// producing false conflicts (paper §II-A).
+type Signature struct {
+	bits   []uint64
+	nbits  uint64
+	hashes int
+	// exact is simulation-only bookkeeping used to label a signature hit
+	// as a true conflict or a false positive; real hardware cannot tell.
+	exact map[uint64]struct{}
+}
+
+// NewSignature builds a signature of nbits (the paper's P8S uses 1024) with
+// the given number of hash functions.
+func NewSignature(nbits uint64, hashes int) *Signature {
+	return &Signature{
+		bits:   make([]uint64, (nbits+63)/64),
+		nbits:  nbits,
+		hashes: hashes,
+		exact:  make(map[uint64]struct{}),
+	}
+}
+
+// pbxHash implements the page-block-XOR family: the block address's upper
+// (page) bits are XOR-folded onto the lower (block-in-page) bits, giving
+// cheap, well-distributed indices.
+func (s *Signature) pbxHash(block uint64, i int) uint64 {
+	x := block
+	x ^= x >> 6
+	x *= 0x9E3779B97F4A7C15 + uint64(i)*0xBF58476D1CE4E5B9
+	x ^= x >> 29
+	return x % s.nbits
+}
+
+// Add inserts block.
+func (s *Signature) Add(block uint64) {
+	for i := 0; i < s.hashes; i++ {
+		h := s.pbxHash(block, i)
+		s.bits[h/64] |= 1 << (h % 64)
+	}
+	s.exact[block] = struct{}{}
+}
+
+// MayContain reports whether block may be in the signature (possibly a
+// false positive).
+func (s *Signature) MayContain(block uint64) bool {
+	for i := 0; i < s.hashes; i++ {
+		h := s.pbxHash(block, i)
+		if s.bits[h/64]&(1<<(h%64)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Contains reports exact membership (simulation-only).
+func (s *Signature) Contains(block uint64) bool {
+	_, ok := s.exact[block]
+	return ok
+}
+
+// Size reports exact inserted-block count.
+func (s *Signature) Size() int { return len(s.exact) }
+
+// Reset clears the signature.
+func (s *Signature) Reset() {
+	for i := range s.bits {
+		s.bits[i] = 0
+	}
+	for k := range s.exact {
+		delete(s.exact, k)
+	}
+}
+
+// SigTracker models P8S: the P8 buffer backed by a read signature. When the
+// buffer is full, further reads spill into the signature (unbounded readset,
+// subject to false positives); writes remain bounded by the buffer.
+type SigTracker struct {
+	buf *P8Tracker
+	sig *Signature
+}
+
+// NewSigTracker builds a P8S tracker.
+func NewSigTracker(capacity int, sigBits uint64, hashes int) *SigTracker {
+	return &SigTracker{
+		buf: NewP8Tracker(capacity),
+		sig: NewSignature(sigBits, hashes),
+	}
+}
+
+// TrackRead implements Tracker: reads never overflow.
+func (t *SigTracker) TrackRead(block uint64) bool {
+	if t.buf.TrackRead(block) {
+		return true
+	}
+	t.sig.Add(block)
+	return true
+}
+
+// TrackWrite implements Tracker: writes are bounded by the buffer, but a
+// full buffer first spills one read-only entry into the signature to make
+// room — only a buffer full of writes overflows.
+func (t *SigTracker) TrackWrite(block uint64) bool {
+	if t.buf.TrackWrite(block) {
+		return true
+	}
+	// Deterministic victim choice (lowest block) keeps simulations
+	// reproducible despite map iteration order.
+	victim, found := uint64(0), false
+	for b, bits := range t.buf.entries {
+		if bits == bitRead && (!found || b < victim) {
+			victim, found = b, true
+		}
+	}
+	if !found {
+		return false
+	}
+	delete(t.buf.entries, victim)
+	t.sig.Add(victim)
+	return t.buf.TrackWrite(block)
+}
+
+// CheckRemote implements Tracker: buffer hits are precise; signature hits on
+// remote writes may be false positives.
+func (t *SigTracker) CheckRemote(block uint64, remoteWrite bool) (bool, bool) {
+	if c, _ := t.buf.CheckRemote(block, remoteWrite); c {
+		return true, false
+	}
+	if remoteWrite && t.sig.MayContain(block) {
+		return true, !t.sig.Contains(block)
+	}
+	return false, false
+}
+
+// NotifyEviction implements Tracker.
+func (t *SigTracker) NotifyEviction(uint64) bool { return true }
+
+// ReadSetSize implements Tracker (buffer + signature exact count).
+func (t *SigTracker) ReadSetSize() int { return t.buf.ReadSetSize() + t.sig.Size() }
+
+// WriteSetSize implements Tracker.
+func (t *SigTracker) WriteSetSize() int { return t.buf.WriteSetSize() }
+
+// DistinctBlocks implements Tracker: buffer entries plus signature-resident
+// overflow blocks (disjoint by construction).
+func (t *SigTracker) DistinctBlocks() int { return len(t.buf.entries) + t.sig.Size() }
+
+// Reset implements Tracker.
+func (t *SigTracker) Reset() {
+	t.buf.Reset()
+	t.sig.Reset()
+}
+
+// L1Tracker models HTMs that track transactional state with metadata bits in
+// the private L1 cache (Intel-style / the paper's L1TM): capacity is the L1
+// itself, and evicting a tracked line loses the state — a capacity abort
+// (including set-conflict misses).
+type L1Tracker struct {
+	entries map[uint64]rwBits
+}
+
+// NewL1Tracker builds an in-L1 tracker.
+func NewL1Tracker() *L1Tracker {
+	return &L1Tracker{entries: make(map[uint64]rwBits)}
+}
+
+// TrackRead implements Tracker: insertion always succeeds (the line was just
+// brought into the L1); loss happens via NotifyEviction.
+func (t *L1Tracker) TrackRead(block uint64) bool {
+	t.entries[block] |= bitRead
+	return true
+}
+
+// TrackWrite implements Tracker.
+func (t *L1Tracker) TrackWrite(block uint64) bool {
+	t.entries[block] |= bitWrite
+	return true
+}
+
+// CheckRemote implements Tracker.
+func (t *L1Tracker) CheckRemote(block uint64, remoteWrite bool) (bool, bool) {
+	b, ok := t.entries[block]
+	if !ok {
+		return false, false
+	}
+	if remoteWrite {
+		return true, false
+	}
+	return b&bitWrite != 0, false
+}
+
+// NotifyEviction implements Tracker: losing a tracked line aborts.
+func (t *L1Tracker) NotifyEviction(block uint64) bool {
+	_, tracked := t.entries[block]
+	return !tracked
+}
+
+// ReadSetSize implements Tracker.
+func (t *L1Tracker) ReadSetSize() int { return t.count(bitRead) }
+
+// WriteSetSize implements Tracker.
+func (t *L1Tracker) WriteSetSize() int { return t.count(bitWrite) }
+
+func (t *L1Tracker) count(bit rwBits) int {
+	n := 0
+	for _, b := range t.entries {
+		if b&bit != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// DistinctBlocks implements Tracker.
+func (t *L1Tracker) DistinctBlocks() int { return len(t.entries) }
+
+// Reset implements Tracker.
+func (t *L1Tracker) Reset() {
+	for k := range t.entries {
+		delete(t.entries, k)
+	}
+}
+
+// InfTracker is the InfCap upper bound: unbounded precise tracking.
+type InfTracker struct {
+	entries map[uint64]rwBits
+}
+
+// NewInfTracker builds an unbounded tracker.
+func NewInfTracker() *InfTracker {
+	return &InfTracker{entries: make(map[uint64]rwBits)}
+}
+
+// TrackRead implements Tracker.
+func (t *InfTracker) TrackRead(block uint64) bool {
+	t.entries[block] |= bitRead
+	return true
+}
+
+// TrackWrite implements Tracker.
+func (t *InfTracker) TrackWrite(block uint64) bool {
+	t.entries[block] |= bitWrite
+	return true
+}
+
+// CheckRemote implements Tracker.
+func (t *InfTracker) CheckRemote(block uint64, remoteWrite bool) (bool, bool) {
+	b, ok := t.entries[block]
+	if !ok {
+		return false, false
+	}
+	if remoteWrite {
+		return true, false
+	}
+	return b&bitWrite != 0, false
+}
+
+// NotifyEviction implements Tracker.
+func (t *InfTracker) NotifyEviction(uint64) bool { return true }
+
+// ReadSetSize implements Tracker.
+func (t *InfTracker) ReadSetSize() int { return t.count(bitRead) }
+
+// WriteSetSize implements Tracker.
+func (t *InfTracker) WriteSetSize() int { return t.count(bitWrite) }
+
+func (t *InfTracker) count(bit rwBits) int {
+	n := 0
+	for _, b := range t.entries {
+		if b&bit != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// DistinctBlocks implements Tracker.
+func (t *InfTracker) DistinctBlocks() int { return len(t.entries) }
+
+// Reset implements Tracker.
+func (t *InfTracker) Reset() {
+	for k := range t.entries {
+		delete(t.entries, k)
+	}
+}
+
+// Interface conformance checks.
+var (
+	_ Tracker = (*P8Tracker)(nil)
+	_ Tracker = (*SigTracker)(nil)
+	_ Tracker = (*L1Tracker)(nil)
+	_ Tracker = (*InfTracker)(nil)
+)

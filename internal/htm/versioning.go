@@ -1,0 +1,79 @@
+package htm
+
+// Version management (paper §II-A): transactional stores must be undoable.
+// The controller supports both classical disciplines:
+//
+//   - eager (LogTM/POWER8-style): stores write memory in place and log the
+//     pre-image (RecordUndo); aborts restore from the log.
+//   - lazy (Intel-TSX/TCC-style): stores are buffered in the controller and
+//     become visible only at commit; aborts simply discard the buffer.
+//
+// Conflict detection stays eager in both modes (coherence-based, at access
+// time), matching the commercial designs the paper evaluates. HinTM's hint
+// semantics are identical under both: a safe store bypasses versioning
+// entirely — no undo record, no write buffering — because the compiler
+// proved it initializing.
+
+// Versioning selects the store-versioning discipline.
+type Versioning uint8
+
+// Versioning disciplines.
+const (
+	// VersionEager: in-place writes plus an undo log.
+	VersionEager Versioning = iota
+	// VersionLazy: writes buffered until commit.
+	VersionLazy
+)
+
+func (v Versioning) String() string {
+	if v == VersionLazy {
+		return "lazy"
+	}
+	return "eager"
+}
+
+// SetVersioning selects the discipline (call between transactions).
+func (c *Controller) SetVersioning(v Versioning) {
+	if c.active {
+		panic("htm: cannot switch versioning mid-transaction")
+	}
+	c.versioning = v
+}
+
+// Versioning reports the active discipline.
+func (c *Controller) Versioning() Versioning { return c.versioning }
+
+// Lazy reports whether lazy versioning is active.
+func (c *Controller) Lazy() bool { return c.versioning == VersionLazy }
+
+// BufferWrite records a lazily-versioned transactional store. The value
+// stays invisible to memory until Drain at commit.
+func (c *Controller) BufferWrite(addr uint64, val int64) {
+	if !c.active {
+		panic("htm: BufferWrite outside transaction")
+	}
+	if c.writeBuf == nil {
+		c.writeBuf = make(map[uint64]int64)
+	}
+	c.writeBuf[addr] = val
+}
+
+// ForwardRead services a transactional load from the local write buffer
+// (store-to-load forwarding); ok is false if the address is unbuffered.
+func (c *Controller) ForwardRead(addr uint64) (int64, bool) {
+	v, ok := c.writeBuf[addr]
+	return v, ok
+}
+
+// Drain returns the buffered writes for commit (in unspecified order —
+// each address holds its final value, so ordering cannot matter) and clears
+// the buffer. The machine applies them to memory and charges commit
+// latency per entry.
+func (c *Controller) Drain() map[uint64]int64 {
+	buf := c.writeBuf
+	c.writeBuf = nil
+	return buf
+}
+
+// BufferedWrites reports the write-buffer entry count.
+func (c *Controller) BufferedWrites() int { return len(c.writeBuf) }

@@ -1,0 +1,352 @@
+// Package interp executes TIR programs one instruction at a time, under the
+// control of a simulation environment (internal/sim). The interpreter owns
+// architectural state — frames, registers, program counters, the per-thread
+// PRNG — and delegates every memory-system effect (loads, stores,
+// allocation, transactions, thread forking) to an Env. Transactional
+// rollback is precise: TxBegin captures a checkpoint of the whole frame
+// stack, and an abort restores it, resuming execution at the TxBegin so the
+// environment can re-decide retry/fallback policy.
+package interp
+
+import (
+	"fmt"
+
+	"hintm/internal/ir"
+	"hintm/internal/mem"
+)
+
+// Ctrl is the environment's verdict on an instruction's side effect.
+type Ctrl uint8
+
+// Control outcomes.
+const (
+	// CtrlOK: effect performed; advance.
+	CtrlOK Ctrl = iota
+	// CtrlAbort: the thread's transaction aborted and its checkpoint was
+	// restored; do not advance (the PC now sits at the TxBegin).
+	CtrlAbort
+	// CtrlStall: the effect cannot proceed yet (fallback lock wait,
+	// barrier); retry the same instruction later.
+	CtrlStall
+)
+
+// Env is the simulation environment the interpreter runs against.
+type Env interface {
+	// Load/Store perform one word access with its static safety hint.
+	Load(t *Thread, addr mem.Addr, safe bool) (int64, Ctrl)
+	Store(t *Thread, addr mem.Addr, val int64, safe bool) Ctrl
+	// Malloc/Free manage simulated heap memory for the thread.
+	Malloc(t *Thread, size int64) mem.Addr
+	Free(t *Thread, addr mem.Addr, size int64)
+	// StackAlloc/StackRelease manage the thread's frame storage.
+	StackAlloc(t *Thread, words int64) mem.Addr
+	StackRelease(t *Thread, base mem.Addr)
+	// TxBegin is consulted every time the PC reaches a TxBegin — including
+	// after an abort — and decides whether the thread enters (or re-enters)
+	// a transaction now.
+	TxBegin(t *Thread) Ctrl
+	// TxEnd commits (or, under fallback, releases the lock).
+	TxEnd(t *Thread) Ctrl
+	// TxSuspend/TxResume toggle escape-action mode (paper §VII): between
+	// them, memory accesses bypass transactional tracking entirely.
+	TxSuspend(t *Thread) Ctrl
+	TxResume(t *Thread) Ctrl
+	// Parallel forks n threads of fn(tid, args...); it stalls the caller
+	// until all children finish, then returns CtrlOK exactly once.
+	Parallel(t *Thread, n int64, fn string, args []int64) Ctrl
+	// AbortHint requests an explicit abort when cond != 0.
+	AbortHint(t *Thread, cond int64) Ctrl
+}
+
+// Program wraps a verified module with interpreter-side lookup caches.
+type Program struct {
+	M        *ir.Module
+	blockIdx map[*ir.Func]map[string]int
+	layout   map[string]mem.Addr
+	// counts, when non-nil, accumulates per-instruction execution counts
+	// (keyed by instruction ID) — the simulator's profiling hook.
+	counts map[int]uint64
+}
+
+// EnableProfile turns on per-instruction execution counting.
+func (p *Program) EnableProfile() { p.counts = make(map[int]uint64) }
+
+// ProfileCounts returns the execution counts (nil unless enabled).
+func (p *Program) ProfileCounts() map[int]uint64 { return p.counts }
+
+// NewProgram prepares m for execution. The module must verify.
+func NewProgram(m *ir.Module) (*Program, error) {
+	if err := m.Verify(); err != nil {
+		return nil, fmt.Errorf("interp: %w", err)
+	}
+	p := &Program{M: m, blockIdx: make(map[*ir.Func]map[string]int)}
+	for _, f := range m.Funcs {
+		idx := make(map[string]int, len(f.Blocks))
+		for i, b := range f.Blocks {
+			idx[b.Name] = i
+		}
+		p.blockIdx[f] = idx
+	}
+	return p, nil
+}
+
+// Frame is one activation record.
+type Frame struct {
+	Fn    *ir.Func
+	Regs  []int64
+	Block int // index into Fn.Blocks
+	PC    int // index into current block's Instrs
+	// StackBase is the frame's alloca storage base address.
+	StackBase mem.Addr
+	// RetReg is the caller register receiving this frame's return value.
+	RetReg ir.Reg
+}
+
+// Checkpoint is the architectural state snapshot TxBegin captures.
+type Checkpoint struct {
+	Frames []*Frame
+	RNG    uint64
+	// StackTop is the thread's stack cursor at capture; the machine
+	// restores the allocator to it on abort.
+	StackTop mem.Addr
+}
+
+// Thread is one simulated software thread.
+type Thread struct {
+	ID   int
+	Prog *Program
+
+	Frames []*Frame
+	RNG    uint64
+	InTx   bool
+	// Fallback reports the thread is executing its critical section under
+	// the global fallback lock rather than in HTM mode.
+	Fallback bool
+	Done     bool
+
+	checkpoint *Checkpoint
+}
+
+// NewThread prepares a thread executing fn(args...). The environment must
+// have been consulted for the entry frame's stack storage.
+func (p *Program) NewThread(id int, fn string, args []int64, stackBase mem.Addr, seed uint64) *Thread {
+	f := p.M.Func(fn)
+	if f == nil {
+		panic("interp: unknown function " + fn)
+	}
+	if len(args) != len(f.Params) {
+		panic(fmt.Sprintf("interp: %s wants %d args, got %d", fn, len(f.Params), len(args)))
+	}
+	fr := &Frame{Fn: f, Regs: make([]int64, f.NumRegs), StackBase: stackBase, RetReg: ir.NoReg}
+	for i, a := range args {
+		fr.Regs[f.Params[i]] = a
+	}
+	return &Thread{
+		ID:     id,
+		Prog:   p,
+		Frames: []*Frame{fr},
+		RNG:    seed*0x9E3779B97F4A7C15 + uint64(id)*0xBF58476D1CE4E5B9 + 1,
+	}
+}
+
+// Top returns the active frame.
+func (t *Thread) Top() *Frame { return t.Frames[len(t.Frames)-1] }
+
+// CurrentInstr returns the instruction at the PC (nil when done).
+func (t *Thread) CurrentInstr() *ir.Instr {
+	if t.Done || len(t.Frames) == 0 {
+		return nil
+	}
+	f := t.Top()
+	return f.Fn.Blocks[f.Block].Instrs[f.PC]
+}
+
+// Capture snapshots the thread's architectural state with the PC at the
+// current instruction (called by the environment at TxBegin, before the
+// transaction is entered).
+func (t *Thread) Capture(stackTop mem.Addr) {
+	cp := &Checkpoint{RNG: t.RNG, StackTop: stackTop}
+	for _, f := range t.Frames {
+		nf := *f
+		nf.Regs = append([]int64(nil), f.Regs...)
+		cp.Frames = append(cp.Frames, &nf)
+	}
+	t.checkpoint = cp
+}
+
+// Restore rolls architectural state back to the checkpoint and returns it
+// (so the environment can restore the stack allocator); the checkpoint is
+// consumed — the re-executed TxBegin captures a fresh one.
+func (t *Thread) Restore() *Checkpoint {
+	cp := t.checkpoint
+	if cp == nil {
+		panic("interp: restore without checkpoint")
+	}
+	t.Frames = cp.Frames
+	t.RNG = cp.RNG
+	t.InTx = false
+	t.Fallback = false
+	t.checkpoint = nil
+	return cp
+}
+
+// HasCheckpoint reports whether a transaction checkpoint is pending.
+func (t *Thread) HasCheckpoint() bool { return t.checkpoint != nil }
+
+// randBounded draws the next pseudo-random value in [0, bound) from the
+// thread's xorshift stream (deterministic per thread and seed).
+func (t *Thread) randBounded(bound int64) int64 {
+	x := t.RNG
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	t.RNG = x
+	if bound <= 0 {
+		return 0
+	}
+	return int64(x % uint64(bound))
+}
+
+// Step executes one instruction of t against env. It returns true if the
+// instruction completed (PC advanced or control transferred), false if the
+// thread stalled or aborted-and-rolled-back (no forward progress).
+// Stepping a Done thread is a no-op returning false.
+func (p *Program) Step(env Env, t *Thread) bool {
+	if t.Done {
+		return false
+	}
+	f := t.Top()
+	in := f.Fn.Blocks[f.Block].Instrs[f.PC]
+	if p.counts != nil {
+		p.counts[in.ID]++
+	}
+
+	advance := func() { f.PC++ }
+
+	switch in.Op {
+	case ir.OpConst:
+		f.Regs[in.Dst] = in.Imm
+		advance()
+	case ir.OpMov:
+		f.Regs[in.Dst] = f.Regs[in.A]
+		advance()
+	case ir.OpBin:
+		f.Regs[in.Dst] = ir.EvalBin(in.Bin, f.Regs[in.A], f.Regs[in.B])
+		advance()
+	case ir.OpCmp:
+		if ir.EvalCmp(in.Pred, f.Regs[in.A], f.Regs[in.B]) {
+			f.Regs[in.Dst] = 1
+		} else {
+			f.Regs[in.Dst] = 0
+		}
+		advance()
+	case ir.OpLoad:
+		v, ctrl := env.Load(t, mem.Addr(f.Regs[in.A]+in.Imm), in.Safe)
+		if ctrl != CtrlOK {
+			return false
+		}
+		f.Regs[in.Dst] = v
+		advance()
+	case ir.OpStore:
+		ctrl := env.Store(t, mem.Addr(f.Regs[in.A]+in.Imm), f.Regs[in.B], in.Safe)
+		if ctrl != CtrlOK {
+			return false
+		}
+		advance()
+	case ir.OpAlloca:
+		f.Regs[in.Dst] = int64(f.StackBase) + in.Imm*mem.WordSize
+		advance()
+	case ir.OpGlobalAddr:
+		f.Regs[in.Dst] = int64(globalAddr(p, in.Sym))
+		advance()
+	case ir.OpMalloc:
+		f.Regs[in.Dst] = int64(env.Malloc(t, f.Regs[in.A]))
+		advance()
+	case ir.OpFree:
+		env.Free(t, mem.Addr(f.Regs[in.A]), f.Regs[in.B])
+		advance()
+	case ir.OpCall:
+		callee := p.M.Func(in.Sym)
+		base := env.StackAlloc(t, callee.AllocaWords)
+		nf := &Frame{
+			Fn:        callee,
+			Regs:      make([]int64, callee.NumRegs),
+			StackBase: base,
+			RetReg:    in.Dst,
+		}
+		for i, arg := range in.Args {
+			nf.Regs[callee.Params[i]] = f.Regs[arg]
+		}
+		advance() // caller resumes after the call
+		t.Frames = append(t.Frames, nf)
+	case ir.OpRet:
+		var ret int64
+		if in.A != ir.NoReg {
+			ret = f.Regs[in.A]
+		}
+		env.StackRelease(t, f.StackBase)
+		t.Frames = t.Frames[:len(t.Frames)-1]
+		if len(t.Frames) == 0 {
+			t.Done = true
+			return true
+		}
+		caller := t.Top()
+		if f.RetReg != ir.NoReg {
+			caller.Regs[f.RetReg] = ret
+		}
+	case ir.OpBr:
+		f.Block = p.blockIdx[f.Fn][in.Then]
+		f.PC = 0
+	case ir.OpCondBr:
+		if f.Regs[in.A] != 0 {
+			f.Block = p.blockIdx[f.Fn][in.Then]
+		} else {
+			f.Block = p.blockIdx[f.Fn][in.Else]
+		}
+		f.PC = 0
+	case ir.OpTxBegin:
+		ctrl := env.TxBegin(t)
+		if ctrl != CtrlOK {
+			return false
+		}
+		advance()
+	case ir.OpTxEnd:
+		ctrl := env.TxEnd(t)
+		if ctrl != CtrlOK {
+			return false
+		}
+		advance()
+	case ir.OpTxSuspend:
+		if env.TxSuspend(t) != CtrlOK {
+			return false
+		}
+		advance()
+	case ir.OpTxResume:
+		if env.TxResume(t) != CtrlOK {
+			return false
+		}
+		advance()
+	case ir.OpParallel:
+		args := make([]int64, len(in.Args))
+		for i, a := range in.Args {
+			args[i] = f.Regs[a]
+		}
+		ctrl := env.Parallel(t, f.Regs[in.A], in.Sym, args)
+		if ctrl != CtrlOK {
+			return false
+		}
+		advance()
+	case ir.OpRand:
+		f.Regs[in.Dst] = t.randBounded(f.Regs[in.A])
+		advance()
+	case ir.OpAbortHint:
+		ctrl := env.AbortHint(t, f.Regs[in.A])
+		if ctrl != CtrlOK {
+			return false
+		}
+		advance()
+	default:
+		panic(fmt.Sprintf("interp: unhandled op in %s: %v", f.Fn.Name, in))
+	}
+	return true
+}

@@ -1,0 +1,28 @@
+package ir
+
+// CloneFunc deep-copies f under a new name and registers the clone in m.
+// The classification pass uses it for the paper's function replication:
+// specializing a callee for call sites whose pointer arguments are all safe,
+// so the original remains available for unsafe or non-transactional callers.
+// Instruction IDs are freshly assigned so analyses can hold per-clone facts.
+func (m *Module) CloneFunc(f *Func, newName string) *Func {
+	nf := &Func{
+		Name:        newName,
+		Params:      append([]Reg(nil), f.Params...),
+		NumRegs:     f.NumRegs,
+		AllocaWords: f.AllocaWords,
+		ThreadBody:  f.ThreadBody,
+	}
+	for _, b := range f.Blocks {
+		nb := &Block{Name: b.Name}
+		for _, in := range b.Instrs {
+			ci := *in
+			ci.ID = m.NextInstrID()
+			ci.Args = append([]Reg(nil), in.Args...)
+			nb.Instrs = append(nb.Instrs, &ci)
+		}
+		nf.addBlock(nb)
+	}
+	m.AddFunc(nf)
+	return nf
+}

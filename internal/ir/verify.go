@@ -1,0 +1,123 @@
+package ir
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Verify checks module well-formedness: every block is terminated, branch
+// targets and call/parallel/global symbols resolve, register operands are in
+// range, main exists, Parallel appears only outside transactions and only in
+// non-thread-body code, and alloca frame offsets are consistent.
+func (m *Module) Verify() error {
+	var errs []error
+	bad := func(format string, args ...any) {
+		errs = append(errs, fmt.Errorf(format, args...))
+	}
+	if m.Func("main") == nil {
+		bad("module %s: no main function", m.Name)
+	}
+	for _, f := range m.Funcs {
+		if len(f.Blocks) == 0 {
+			bad("%s: no blocks", f.Name)
+			continue
+		}
+		if f.ThreadBody && len(f.Params) == 0 {
+			bad("%s: thread body needs a tid parameter", f.Name)
+		}
+		var allocaSeen int64
+		for _, b := range f.Blocks {
+			if len(b.Instrs) == 0 {
+				bad("%s.%s: empty block", f.Name, b.Name)
+				continue
+			}
+			for i, in := range b.Instrs {
+				last := i == len(b.Instrs)-1
+				if in.IsTerminator() != last {
+					if last {
+						bad("%s.%s: block does not end in a terminator", f.Name, b.Name)
+					} else {
+						bad("%s.%s: terminator %v mid-block", f.Name, b.Name, in)
+					}
+				}
+				m.verifyInstr(f, b, in, &allocaSeen, bad)
+			}
+		}
+		if allocaSeen != f.AllocaWords {
+			bad("%s: AllocaWords=%d but allocas cover %d", f.Name, f.AllocaWords, allocaSeen)
+		}
+	}
+	return errors.Join(errs...)
+}
+
+func (m *Module) verifyInstr(f *Func, b *Block, in *Instr, allocaSeen *int64,
+	bad func(string, ...any)) {
+
+	checkReg := func(r Reg, what string) {
+		if r == NoReg {
+			return
+		}
+		if int(r) < 0 || int(r) >= f.NumRegs {
+			bad("%s.%s: %v: %s register %v out of range [0,%d)",
+				f.Name, b.Name, in, what, r, f.NumRegs)
+		}
+	}
+	for _, u := range in.Uses() {
+		checkReg(u, "use")
+	}
+	checkReg(in.Def(), "def")
+
+	checkTarget := func(name string) {
+		if name == "" || f.Block(name) == nil {
+			bad("%s.%s: %v: unknown block %q", f.Name, b.Name, in, name)
+		}
+	}
+	switch in.Op {
+	case OpInvalid:
+		bad("%s.%s: invalid opcode", f.Name, b.Name)
+	case OpBr:
+		checkTarget(in.Then)
+	case OpCondBr:
+		checkTarget(in.Then)
+		checkTarget(in.Else)
+	case OpGlobalAddr:
+		if m.Global(in.Sym) == nil {
+			bad("%s.%s: %v: unknown global @%s", f.Name, b.Name, in, in.Sym)
+		}
+	case OpCall:
+		callee := m.Func(in.Sym)
+		if callee == nil {
+			bad("%s.%s: %v: unknown callee @%s", f.Name, b.Name, in, in.Sym)
+		} else if len(in.Args) != len(callee.Params) {
+			bad("%s.%s: %v: arity %d, callee @%s wants %d",
+				f.Name, b.Name, in, len(in.Args), in.Sym, len(callee.Params))
+		}
+	case OpParallel:
+		body := m.Func(in.Sym)
+		switch {
+		case body == nil:
+			bad("%s.%s: %v: unknown thread body @%s", f.Name, b.Name, in, in.Sym)
+		case !body.ThreadBody:
+			bad("%s.%s: %v: @%s is not a thread body", f.Name, b.Name, in, in.Sym)
+		case len(in.Args)+1 != len(body.Params):
+			bad("%s.%s: %v: parallel passes %d args, body @%s wants tid+%d",
+				f.Name, b.Name, in, len(in.Args), in.Sym, len(body.Params)-1)
+		}
+		if f.ThreadBody {
+			bad("%s.%s: nested Parallel in thread body", f.Name, b.Name)
+		}
+	case OpAlloca:
+		if in.Words <= 0 {
+			bad("%s.%s: %v: non-positive alloca size", f.Name, b.Name, in)
+		}
+		if in.Imm != *allocaSeen {
+			bad("%s.%s: %v: frame offset %d, expected %d",
+				f.Name, b.Name, in, in.Imm, *allocaSeen)
+		}
+		*allocaSeen += in.Words
+	case OpLoad, OpStore:
+		if in.Imm%8 != 0 {
+			bad("%s.%s: %v: unaligned byte offset %d", f.Name, b.Name, in, in.Imm)
+		}
+	}
+}

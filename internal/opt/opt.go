@@ -1,0 +1,277 @@
+// Package opt implements the standard cleanup optimizations a compiler runs
+// before analysis passes like HinTM's classifier: per-block constant folding
+// and copy propagation, dead-instruction elimination, constant-branch
+// simplification, unreachable-block removal, and block straightening.
+//
+// The passes are semantics-preserving for the *architectural* program; like
+// any real compiler they may remove dead memory loads, which changes the
+// simulated access stream — so the experiment harness runs unoptimized
+// kernels (footprints are part of the workload definition) while tirc -O
+// exposes the pipeline for inspection and hand-written programs.
+package opt
+
+import (
+	"fmt"
+
+	"hintm/internal/cfg"
+	"hintm/internal/ir"
+)
+
+// Stats reports what the pipeline did.
+type Stats struct {
+	// Simplified counts folded constants and propagated copies.
+	Simplified int
+	// DeadRemoved counts side-effect-free instructions removed.
+	DeadRemoved int
+	// BranchesFixed counts constant CondBr turned into Br.
+	BranchesFixed int
+	// BlocksRemoved counts unreachable or merged-away blocks.
+	BlocksRemoved int
+}
+
+// String renders the stats for CLI output.
+func (s Stats) String() string {
+	return fmt.Sprintf("simplified %d, dce %d, branches %d, blocks %d",
+		s.Simplified, s.DeadRemoved, s.BranchesFixed, s.BlocksRemoved)
+}
+
+// Run optimizes every function of m in place to a fixed point and returns
+// aggregate statistics. The module must verify before and after.
+func Run(m *ir.Module) (Stats, error) {
+	if err := m.Verify(); err != nil {
+		return Stats{}, fmt.Errorf("opt: %w", err)
+	}
+	var total Stats
+	for _, f := range m.Funcs {
+		for {
+			round := Stats{
+				Simplified:    foldAndPropagate(f),
+				BranchesFixed: simplifyBranches(f),
+			}
+			round.BlocksRemoved = removeUnreachable(f) + straighten(f)
+			round.DeadRemoved = removeDead(f)
+			total.Simplified += round.Simplified
+			total.DeadRemoved += round.DeadRemoved
+			total.BranchesFixed += round.BranchesFixed
+			total.BlocksRemoved += round.BlocksRemoved
+			if round == (Stats{}) {
+				break
+			}
+		}
+	}
+	if err := m.Verify(); err != nil {
+		return total, fmt.Errorf("opt: post-pass verify: %w", err)
+	}
+	return total, nil
+}
+
+// value is the per-block abstract value of a register.
+type value struct {
+	isConst bool
+	k       int64
+	// copyOf holds the original register this one mirrors (ir.NoReg: none).
+	copyOf ir.Reg
+}
+
+// foldAndPropagate performs block-local constant folding and copy
+// propagation. Non-SSA registers require kill-on-redefine discipline:
+// assigning a register invalidates both its own value and every copy
+// relation that references it.
+func foldAndPropagate(f *ir.Func) int {
+	changed := 0
+	for _, b := range f.Blocks {
+		vals := make(map[ir.Reg]value)
+		kill := func(r ir.Reg) {
+			delete(vals, r)
+			for reg, v := range vals {
+				if v.copyOf == r {
+					delete(vals, reg)
+				}
+			}
+		}
+		resolve := func(r ir.Reg) ir.Reg {
+			if v, ok := vals[r]; ok && v.copyOf != ir.NoReg {
+				return v.copyOf
+			}
+			return r
+		}
+		constOf := func(r ir.Reg) (int64, bool) {
+			v, ok := vals[r]
+			return v.k, ok && v.isConst
+		}
+
+		for _, in := range b.Instrs {
+			// Copy-propagate operand registers first.
+			for _, p := range []*ir.Reg{&in.A, &in.B} {
+				if *p != ir.NoReg {
+					if r := resolve(*p); r != *p {
+						*p = r
+						changed++
+					}
+				}
+			}
+			for i := range in.Args {
+				if r := resolve(in.Args[i]); r != in.Args[i] {
+					in.Args[i] = r
+					changed++
+				}
+			}
+
+			switch in.Op {
+			case ir.OpConst:
+				kill(in.Dst)
+				vals[in.Dst] = value{isConst: true, k: in.Imm, copyOf: ir.NoReg}
+			case ir.OpMov:
+				src := in.A
+				kill(in.Dst)
+				if k, ok := constOf(src); ok {
+					in.Op = ir.OpConst
+					in.Imm = k
+					in.A = ir.NoReg
+					vals[in.Dst] = value{isConst: true, k: k, copyOf: ir.NoReg}
+					changed++
+				} else if in.Dst != src {
+					vals[in.Dst] = value{copyOf: src}
+				}
+			case ir.OpBin:
+				ka, okA := constOf(in.A)
+				kb, okB := constOf(in.B)
+				kill(in.Dst)
+				if okA && okB && !(in.Bin == ir.BinDiv && kb == 0) && !(in.Bin == ir.BinMod && kb == 0) {
+					in.Op = ir.OpConst
+					in.Imm = ir.EvalBin(in.Bin, ka, kb)
+					in.A, in.B = ir.NoReg, ir.NoReg
+					vals[in.Dst] = value{isConst: true, k: in.Imm, copyOf: ir.NoReg}
+					changed++
+				}
+			case ir.OpCmp:
+				ka, okA := constOf(in.A)
+				kb, okB := constOf(in.B)
+				kill(in.Dst)
+				if okA && okB {
+					in.Op = ir.OpConst
+					if ir.EvalCmp(in.Pred, ka, kb) {
+						in.Imm = 1
+					} else {
+						in.Imm = 0
+					}
+					in.A, in.B = ir.NoReg, ir.NoReg
+					vals[in.Dst] = value{isConst: true, k: in.Imm, copyOf: ir.NoReg}
+					changed++
+				}
+			default:
+				if d := in.Def(); d != ir.NoReg {
+					kill(d)
+				}
+			}
+		}
+	}
+	return changed
+}
+
+// simplifyBranches turns CondBr on a block-locally-known constant into Br.
+func simplifyBranches(f *ir.Func) int {
+	changed := 0
+	for _, b := range f.Blocks {
+		consts := make(map[ir.Reg]int64)
+		for _, in := range b.Instrs {
+			switch in.Op {
+			case ir.OpConst:
+				consts[in.Dst] = in.Imm
+			case ir.OpCondBr:
+				if k, ok := consts[in.A]; ok {
+					in.Op = ir.OpBr
+					if k == 0 {
+						in.Then = in.Else
+					}
+					in.A = ir.NoReg
+					in.Else = ""
+					changed++
+				}
+			default:
+				if d := in.Def(); d != ir.NoReg {
+					delete(consts, d)
+				}
+			}
+		}
+	}
+	return changed
+}
+
+// removeUnreachable drops blocks not reachable from the entry.
+func removeUnreachable(f *ir.Func) int {
+	reach := cfg.New(f).Reachable()
+	kept := f.Blocks[:0]
+	removed := 0
+	for _, b := range f.Blocks {
+		if reach[b] {
+			kept = append(kept, b)
+		} else {
+			removed++
+		}
+	}
+	if removed > 0 {
+		f.Blocks = kept
+		f.RebuildBlockIndex()
+	}
+	return removed
+}
+
+// straighten merges one block into its unique Br-predecessor per call; the
+// fixed-point driver re-invokes it until nothing merges.
+func straighten(f *ir.Func) int {
+	g := cfg.New(f)
+	for _, b := range f.Blocks {
+		preds := g.Preds[b]
+		if len(preds) != 1 || b == f.Entry() || preds[0] == b {
+			continue
+		}
+		p := preds[0]
+		term := p.Instrs[len(p.Instrs)-1]
+		if term.Op != ir.OpBr || term.Then != b.Name {
+			continue
+		}
+		p.Instrs = append(p.Instrs[:len(p.Instrs)-1], b.Instrs...)
+		// Drop b from the function.
+		kept := f.Blocks[:0]
+		for _, blk := range f.Blocks {
+			if blk != b {
+				kept = append(kept, blk)
+			}
+		}
+		f.Blocks = kept
+		f.RebuildBlockIndex()
+		return 1
+	}
+	return 0
+}
+
+// removeDead deletes side-effect-free instructions whose results are unused
+// anywhere in the function. Loads are treated as pure (a real compiler
+// removes dead loads); Rand, Malloc, calls, and control flow are not.
+func removeDead(f *ir.Func) int {
+	used := make(map[ir.Reg]bool)
+	f.ForEachInstr(func(_ *ir.Block, in *ir.Instr) {
+		for _, u := range in.Uses() {
+			used[u] = true
+		}
+	})
+	removed := 0
+	for _, b := range f.Blocks {
+		kept := b.Instrs[:0]
+		for _, in := range b.Instrs {
+			dead := false
+			switch in.Op {
+			case ir.OpConst, ir.OpMov, ir.OpBin, ir.OpCmp, ir.OpGlobalAddr, ir.OpLoad:
+				dead = in.Dst != ir.NoReg && !used[in.Dst]
+			}
+			if dead {
+				removed++
+				continue
+			}
+			kept = append(kept, in)
+		}
+		b.Instrs = kept
+	}
+	return removed
+}

@@ -1,0 +1,248 @@
+package opt
+
+import (
+	"testing"
+
+	"hintm/internal/classify"
+	"hintm/internal/ir"
+	"hintm/internal/sim"
+	"hintm/internal/workloads"
+)
+
+func TestConstantFolding(t *testing.T) {
+	b := ir.NewBuilder("m")
+	b.Global("out", 1)
+	f := b.Function("main", 0)
+	g := f.GlobalAddr("out")
+	// (6*7) + (100-58) = 84, all foldable.
+	x := f.Mul(f.C(6), f.C(7))
+	y := f.Sub(f.C(100), f.C(58))
+	f.Store(g, 0, f.Add(x, y))
+	f.RetVoid()
+
+	st, err := Run(b.M)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Simplified == 0 {
+		t.Fatalf("nothing folded: %v", st)
+	}
+	// All three arithmetic ops must now be constants.
+	var bins int
+	b.M.Func("main").ForEachInstr(func(_ *ir.Block, in *ir.Instr) {
+		if in.Op == ir.OpBin {
+			bins++
+		}
+	})
+	if bins != 0 {
+		t.Fatalf("%d binops survive folding", bins)
+	}
+	// Result still correct.
+	m, err := sim.New(sim.DefaultConfig(), b.M)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.ReadGlobal("out", 0); got != 84 {
+		t.Fatalf("out = %d, want 84", got)
+	}
+}
+
+func TestDivModByZeroNotFolded(t *testing.T) {
+	b := ir.NewBuilder("m")
+	b.Global("out", 2)
+	f := b.Function("main", 0)
+	g := f.GlobalAddr("out")
+	f.Store(g, 0, f.Bin(ir.BinDiv, f.C(10), f.C(0)))
+	f.Store(g, 8, f.Bin(ir.BinMod, f.C(10), f.C(0)))
+	f.RetVoid()
+
+	if _, err := Run(b.M); err != nil {
+		t.Fatal(err)
+	}
+	m, _ := sim.New(sim.DefaultConfig(), b.M)
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if m.ReadGlobal("out", 0) != 0 || m.ReadGlobal("out", 1) != 0 {
+		t.Fatal("div/mod by zero semantics changed")
+	}
+}
+
+func TestDeadCodeElimination(t *testing.T) {
+	b := ir.NewBuilder("m")
+	b.Global("out", 1)
+	f := b.Function("main", 0)
+	g := f.GlobalAddr("out")
+	f.C(111)              // dead const
+	f.Load(g, 0)          // dead load (pure)
+	f.Mul(f.C(3), f.C(5)) // dead arithmetic chain
+	f.Store(g, 0, f.C(1)) // live
+	f.RetVoid()
+
+	before := ir.CollectStats(b.M).Instrs
+	st, err := Run(b.M)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := ir.CollectStats(b.M).Instrs
+	if st.DeadRemoved == 0 || after >= before {
+		t.Fatalf("dce removed %d (instrs %d -> %d)", st.DeadRemoved, before, after)
+	}
+	// Rand must never be removed (PRNG stream side effect).
+	b2 := ir.NewBuilder("m2")
+	f2 := b2.Function("main", 0)
+	f2.RandI(10) // dead result, live side effect
+	f2.RetVoid()
+	if _, err := Run(b2.M); err != nil {
+		t.Fatal(err)
+	}
+	var rands int
+	b2.M.Func("main").ForEachInstr(func(_ *ir.Block, in *ir.Instr) {
+		if in.Op == ir.OpRand {
+			rands++
+		}
+	})
+	if rands != 1 {
+		t.Fatal("dce removed a Rand")
+	}
+}
+
+func TestBranchSimplificationAndUnreachable(t *testing.T) {
+	b := ir.NewBuilder("m")
+	b.Global("out", 1)
+	f := b.Function("main", 0)
+	then := f.NewBlock("then")
+	els := f.NewBlock("els")
+	g := f.GlobalAddr("out")
+	c := f.Cmp(ir.CmpLT, f.C(1), f.C(2)) // constant true
+	f.CondBr(c, then, els)
+	f.SetBlock(then)
+	f.Store(g, 0, f.C(7))
+	f.RetVoid()
+	f.SetBlock(els)
+	f.Store(g, 0, f.C(9))
+	f.RetVoid()
+
+	st, err := Run(b.M)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.BranchesFixed != 1 {
+		t.Fatalf("branches fixed = %d", st.BranchesFixed)
+	}
+	if st.BlocksRemoved == 0 {
+		t.Fatal("unreachable else block survived")
+	}
+	if b.M.Func("main").Block("els") != nil {
+		t.Fatal("els block still present")
+	}
+	m, _ := sim.New(sim.DefaultConfig(), b.M)
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.ReadGlobal("out", 0); got != 7 {
+		t.Fatalf("out = %d, want 7", got)
+	}
+}
+
+func TestStraightening(t *testing.T) {
+	b := ir.NewBuilder("m")
+	b.Global("out", 1)
+	f := b.Function("main", 0)
+	next := f.NewBlock("next")
+	g := f.GlobalAddr("out")
+	f.Br(next)
+	f.SetBlock(next)
+	f.Store(g, 0, f.C(3))
+	f.RetVoid()
+
+	st, err := Run(b.M)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.BlocksRemoved == 0 {
+		t.Fatal("single-pred block not merged")
+	}
+	if len(b.M.Func("main").Blocks) != 1 {
+		t.Fatalf("blocks = %d, want 1", len(b.M.Func("main").Blocks))
+	}
+}
+
+// TestWorkloadsSemanticsPreserved: optimizing the kernels must not change
+// their schedule-independent outputs.
+func TestWorkloadsSemanticsPreserved(t *testing.T) {
+	for _, name := range []string{"kmeans", "yada", "tpcc-p"} {
+		spec, err := workloads.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		run := func(optimize bool) *sim.Machine {
+			mod := spec.Build(spec.DefaultThreads, workloads.Small)
+			if optimize {
+				if _, err := Run(mod); err != nil {
+					t.Fatalf("%s: opt: %v", name, err)
+				}
+			}
+			if _, err := classify.Run(mod); err != nil {
+				t.Fatalf("%s: classify: %v", name, err)
+			}
+			cfg := sim.DefaultConfig()
+			cfg.HTM = sim.HTMInfCap // avoid abort-count timing divergence
+			m, err := sim.New(cfg, mod)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := m.Run(); err != nil {
+				t.Fatal(err)
+			}
+			return m
+		}
+		plain := run(false)
+		optimized := run(true)
+		// Compare a schedule-independent aggregate: totals that depend only
+		// on per-thread PRNG streams and TX atomicity, not interleaving.
+		aggregate := func(m *sim.Machine) int64 {
+			switch name {
+			case "kmeans": // sum of cluster counts == points processed
+				var sum int64
+				for c := int64(0); c < 32; c++ {
+					sum += m.ReadGlobal("centers", c*16)
+				}
+				return sum
+			case "yada": // refined counter == threads * refinements
+				return m.ReadGlobal("refined", 0)
+			default: // tpcc-p: warehouse YTD == initial + all amounts
+				return m.ReadGlobal("warehouse", 0)
+			}
+		}
+		if a, b := aggregate(plain), aggregate(optimized); a != b {
+			t.Fatalf("%s: aggregate changed: %d vs %d", name, a, b)
+		}
+	}
+}
+
+// TestOptimizerIdempotent: a second Run finds nothing.
+func TestOptimizerIdempotent(t *testing.T) {
+	spec, _ := workloads.ByName("genome")
+	mod := spec.BuildDefault(workloads.Small)
+	if _, err := Run(mod); err != nil {
+		t.Fatal(err)
+	}
+	st, err := Run(mod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st != (Stats{}) {
+		t.Fatalf("second run not a no-op: %v", st)
+	}
+}
+
+func TestStatsString(t *testing.T) {
+	s := Stats{Simplified: 1, DeadRemoved: 2, BranchesFixed: 3, BlocksRemoved: 4}
+	if s.String() == "" {
+		t.Fatal("empty stats string")
+	}
+}

@@ -1,0 +1,181 @@
+// Package sim assembles the full simulated machine of the paper's
+// methodology (§V): an 8-core (optionally 2-way SMT) SMP with private L1s, a
+// shared L2, snoopy MESI coherence, one HTM controller per hardware context
+// (P8 / P8S / L1TM / InfCap), and HinTM's translation subsystem. It executes
+// TIR programs deterministically, interleaving hardware contexts in cycle
+// order, and produces the per-run statistics the experiment harness turns
+// into the paper's figures.
+package sim
+
+import (
+	"fmt"
+
+	"hintm/internal/cache"
+	"hintm/internal/htm"
+	"hintm/internal/vmem"
+)
+
+// HTMKind selects the baseline HTM configuration (paper §V).
+type HTMKind uint8
+
+// Baseline HTMs.
+const (
+	// HTMP8: POWER8-style dedicated 64-entry fully-associative buffer.
+	HTMP8 HTMKind = iota
+	// HTMP8S: P8 plus a 1-kbit PBX read signature.
+	HTMP8S
+	// HTML1TM: transactional state tracked in the 32KB 8-way L1.
+	HTML1TM
+	// HTMInfCap: unbounded tracking (capacity-abort-free upper bound).
+	HTMInfCap
+	// HTMSTM: an eager lock-based software TM baseline (TinySTM-style):
+	// unbounded software bookkeeping (no capacity aborts) but a per-access
+	// read/write barrier cost — the §II-A trade-off HTM exists to avoid.
+	// HinTM's hints elide barriers for safe accesses, reproducing the STM
+	// optimizations the paper cites as its lineage (§II-C).
+	HTMSTM
+)
+
+func (k HTMKind) String() string {
+	switch k {
+	case HTMP8:
+		return "P8"
+	case HTMP8S:
+		return "P8S"
+	case HTML1TM:
+		return "L1TM"
+	case HTMInfCap:
+		return "InfCap"
+	case HTMSTM:
+		return "STM"
+	}
+	return fmt.Sprintf("htm(%d)", uint8(k))
+}
+
+// HintMode selects which HinTM classification mechanisms are honoured.
+type HintMode uint8
+
+// Hint modes (paper §V's HinTM-st / HinTM-dyn / HinTM).
+const (
+	HintNone HintMode = iota
+	HintStatic
+	HintDynamic
+	HintFull
+)
+
+func (h HintMode) String() string {
+	switch h {
+	case HintNone:
+		return "baseline"
+	case HintStatic:
+		return "HinTM-st"
+	case HintDynamic:
+		return "HinTM-dyn"
+	case HintFull:
+		return "HinTM"
+	}
+	return fmt.Sprintf("hint(%d)", uint8(h))
+}
+
+// Static reports whether compiler hints are honoured.
+func (h HintMode) Static() bool { return h == HintStatic || h == HintFull }
+
+// Dynamic reports whether runtime page classification is active.
+func (h HintMode) Dynamic() bool { return h == HintDynamic || h == HintFull }
+
+// Config parameterizes a machine (defaults follow paper Table II and §V).
+type Config struct {
+	// Cores and SMT define hardware contexts (Cores × SMT).
+	Cores int
+	SMT   int
+
+	HTM   HTMKind
+	Hints HintMode
+	// Versioning selects eager (undo log, POWER8-style) or lazy (write
+	// buffer, TSX-style) store versioning. Conflict detection is eager in
+	// both. HinTM hints behave identically under either.
+	Versioning htm.Versioning
+
+	// P8Entries sizes the dedicated transactional buffer.
+	P8Entries int
+	// SigBits/SigHashes size the P8S read signature.
+	SigBits   uint64
+	SigHashes int
+
+	Cache cache.Config
+	VM    vmem.Costs
+	// TLBEntries per hardware context.
+	TLBEntries int
+
+	// MaxConflictRetries before a conflicting TX falls back to the lock.
+	MaxConflictRetries int
+	// CapacityRetries lets a capacity-aborted TX retry in HTM mode before
+	// falling back. The paper argues this is futile (the TX will overflow
+	// again); the default of 0 follows the paper, and the ablation
+	// quantifies the claim.
+	CapacityRetries int
+	// BackoffBase is the exponential-backoff unit after conflict aborts.
+	BackoffBase int64
+	// TxBeginCost/TxCommitCost are the begin/commit instruction overheads.
+	TxBeginCost, TxCommitCost int64
+	// EscapeCost is the per-TxSuspend/TxResume overhead (pipeline drain).
+	EscapeCost int64
+	// STMReadBarrier/STMWriteBarrier are the per-access software
+	// instrumentation costs under the HTMSTM baseline.
+	STMReadBarrier, STMWriteBarrier int64
+	// AbortFixedCost is the abort-handler overhead; undo-log restoration
+	// additionally costs L1Latency per entry.
+	AbortFixedCost int64
+	// FallbackPollCost is charged per failed fallback-lock poll.
+	FallbackPollCost int64
+
+	// Seed drives the per-thread PRNG streams.
+	Seed uint64
+	// MaxSteps aborts runaway simulations (0 = default guard).
+	MaxSteps int64
+}
+
+// DefaultConfig returns the paper's P8 baseline on 8 cores.
+func DefaultConfig() Config {
+	return Config{
+		Cores:              8,
+		SMT:                1,
+		HTM:                HTMP8,
+		Hints:              HintNone,
+		P8Entries:          64,
+		SigBits:            1024,
+		SigHashes:          2,
+		Cache:              cache.DefaultConfig(8),
+		VM:                 vmem.DefaultCosts(),
+		TLBEntries:         64,
+		MaxConflictRetries: 4,
+		BackoffBase:        64,
+		TxBeginCost:        4,
+		TxCommitCost:       8,
+		EscapeCost:         10,
+		STMReadBarrier:     12,
+		STMWriteBarrier:    20,
+		AbortFixedCost:     40,
+		FallbackPollCost:   50,
+		Seed:               1,
+		MaxSteps:           2_000_000_000,
+	}
+}
+
+// Contexts returns the hardware context count.
+func (c Config) Contexts() int { return c.Cores * c.SMT }
+
+// validate checks internal consistency.
+func (c Config) validate() error {
+	if c.Cores <= 0 || c.SMT <= 0 {
+		return fmt.Errorf("sim: bad core/SMT config %d×%d", c.Cores, c.SMT)
+	}
+	if c.P8Entries <= 0 && (c.HTM == HTMP8 || c.HTM == HTMP8S) {
+		return fmt.Errorf("sim: P8 buffer needs entries")
+	}
+	if c.Cache.Cores != c.Cores {
+		return fmt.Errorf("sim: cache config is for %d cores, machine has %d",
+			c.Cache.Cores, c.Cores)
+	}
+	return nil
+}

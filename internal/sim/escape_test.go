@@ -1,0 +1,150 @@
+package sim
+
+import (
+	"testing"
+
+	"hintm/internal/htm"
+	"hintm/internal/ir"
+)
+
+// escapeModule builds the quickstart pattern with suspend/resume around the
+// private fill instead of safety hints: each TX suspends, fills `blocks`
+// private cache blocks, resumes, and performs one tracked shared store.
+func escapeModule(blocks int64, useEscape bool) *ir.Module {
+	b := ir.NewBuilder("escape")
+	b.Global("results", 64)
+
+	w := b.ThreadBody("worker", 1)
+	tid := w.Param(0)
+	buf := w.MallocI(blocks * 64)
+
+	loop := w.NewBlock("loop")
+	fill := w.NewBlock("fill")
+	fillDone := w.NewBlock("filldone")
+	done := w.NewBlock("done")
+
+	r := w.C(0)
+	i := w.C(0)
+	sum := w.C(0)
+	w.Br(loop)
+
+	w.SetBlock(loop)
+	w.TxBegin()
+	if useEscape {
+		w.TxSuspend()
+	}
+	w.MovTo(i, w.C(0))
+	w.MovTo(sum, w.C(0))
+	w.Br(fill)
+
+	w.SetBlock(fill)
+	off := w.Mul(i, w.C(64))
+	w.Store(w.Add(buf, off), 0, w.Add(tid, i))
+	w.MovTo(sum, w.Add(sum, w.Load(w.Add(buf, off), 0)))
+	w.MovTo(i, w.Add(i, w.C(1)))
+	c := w.Cmp(ir.CmpLT, i, w.C(blocks))
+	w.CondBr(c, fill, fillDone)
+
+	w.SetBlock(fillDone)
+	if useEscape {
+		w.TxResume()
+	}
+	res := w.GlobalAddr("results")
+	w.Store(w.Add(res, w.Mul(tid, w.C(64))), 0, sum)
+	w.TxEnd()
+	w.MovTo(r, w.Add(r, w.C(1)))
+	c2 := w.Cmp(ir.CmpLT, r, w.C(4))
+	w.CondBr(c2, loop, done)
+
+	w.SetBlock(done)
+	w.FreeI(buf, blocks*64)
+	w.RetVoid()
+
+	mn := b.Function("main", 0)
+	n := mn.C(8)
+	mn.Parallel(n, "worker")
+	mn.RetVoid()
+	return b.M
+}
+
+func TestEscapeActionsAvoidCapacityAborts(t *testing.T) {
+	// 90 private blocks > 64-entry buffer: tracked run aborts, escape run
+	// fits in one tracked block per TX.
+	_, plain := runModule(t, escapeModule(90, false), DefaultConfig())
+	if plain.Aborts[htm.AbortCapacity] == 0 {
+		t.Fatalf("tracked fill should capacity-abort: %v", plain)
+	}
+
+	m, esc := runModule(t, escapeModule(90, true), DefaultConfig())
+	if esc.Aborts[htm.AbortCapacity] != 0 {
+		t.Fatalf("suspended fill must not capacity-abort: %v", esc)
+	}
+	if esc.SuspendedAccesses == 0 {
+		t.Fatal("no suspended accesses counted")
+	}
+	if esc.Cycles >= plain.Cycles {
+		t.Fatalf("escape actions should win: %d vs %d cycles", esc.Cycles, plain.Cycles)
+	}
+	// Correctness: results[tid] = sum over blocks of (tid+i).
+	want := func(tid int64) int64 {
+		var s int64
+		for i := int64(0); i < 90; i++ {
+			s += tid + i
+		}
+		return s
+	}
+	for tid := int64(0); tid < 8; tid++ {
+		if got := m.ReadGlobal("results", tid*8); got != want(tid) {
+			t.Fatalf("results[%d] = %d, want %d", tid, got, want(tid))
+		}
+	}
+}
+
+func TestEscapeFootprintOnlyTrackedAccesses(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.HTM = HTMInfCap
+	_, res := runModule(t, escapeModule(90, true), cfg)
+	// Only the shared result store is tracked: footprint == 1 block.
+	if res.TxFootprints.Max() != 1 {
+		t.Fatalf("escape TX footprint = %d blocks, want 1", res.TxFootprints.Max())
+	}
+}
+
+func TestSuspendOutsideTxIsNoop(t *testing.T) {
+	b := ir.NewBuilder("m")
+	b.Global("g", 1)
+	w := b.ThreadBody("worker", 1)
+	w.TxSuspend() // no TX active: must be ignored
+	g := w.GlobalAddr("g")
+	w.Store(g, 0, w.Param(0))
+	w.TxResume()
+	w.RetVoid()
+	mn := b.Function("main", 0)
+	n := mn.C(1)
+	mn.Parallel(n, "worker")
+	mn.RetVoid()
+
+	_, res := runModule(t, b.M, DefaultConfig())
+	if res.SuspendedAccesses != 0 {
+		t.Fatalf("suspend outside TX counted accesses: %v", res)
+	}
+}
+
+func TestSuspendClearedOnAbortAndCommit(t *testing.T) {
+	// A TX that suspends and then explicitly aborts (via a conflicting
+	// sibling) must not leak suspension into the retry. Simplest check: the
+	// escape workload under contention still produces correct results.
+	m, res := runModule(t, escapeModule(20, true), DefaultConfig())
+	if res.Commits == 0 {
+		t.Fatal("no commits")
+	}
+	for tid := int64(0); tid < 8; tid++ {
+		var want int64
+		for i := int64(0); i < 20; i++ {
+			want += tid + i
+		}
+		if got := m.ReadGlobal("results", tid*8); got != want {
+			t.Fatalf("results[%d] = %d, want %d", tid, got, want)
+		}
+	}
+}

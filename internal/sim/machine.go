@@ -1,0 +1,332 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"hintm/internal/cache"
+	"hintm/internal/htm"
+	"hintm/internal/interp"
+	"hintm/internal/ir"
+	"hintm/internal/mem"
+	"hintm/internal/vmem"
+)
+
+// context is one hardware context: a core slot (with SMT, two contexts share
+// a core, its L1 and — in L1TM — its transactional capacity pressure).
+type context struct {
+	id, core int
+
+	thread *interp.Thread
+	ctrl   *htm.Controller
+
+	cycle        int64
+	backoffUntil int64
+	txStart      int64
+	retries      int
+	fallbackNext bool
+	// suspended marks escape-action mode (TxSuspend..TxResume): accesses
+	// bypass transactional tracking entirely.
+	suspended bool
+}
+
+func (c *context) effectiveCycle() int64 {
+	if c.backoffUntil > c.cycle {
+		return c.backoffUntil
+	}
+	return c.cycle
+}
+
+// Machine is the assembled simulator.
+type Machine struct {
+	cfg    Config
+	prog   *interp.Program
+	memory *mem.Memory
+	alloc  *mem.Allocator
+	caches *cache.Hierarchy
+	vm     *vmem.Manager
+
+	ctxs     []*context
+	byThread map[int]*context
+
+	mainThread *interp.Thread
+	parallel   *parallelState
+
+	fallbackHolder *context
+	res            *Result
+	profiler       Profiler
+}
+
+// Profiler observes every data memory access the simulated program performs.
+// The sharing profiler (internal/profile) uses it to compute the paper's
+// Fig.-1 metrics.
+type Profiler interface {
+	// OnAccess reports one word access: the software thread, the address,
+	// whether it is a write, and whether it executes transactionally.
+	OnAccess(tid int, addr mem.Addr, write, inTx bool)
+}
+
+// TxEventKind classifies transaction lifecycle events for observers.
+type TxEventKind uint8
+
+// Transaction lifecycle events.
+const (
+	TxEventBegin TxEventKind = iota
+	TxEventCommit
+	TxEventAbort
+)
+
+// TxObserver is an optional extension of Profiler: observers implementing it
+// additionally receive transaction begin/commit/abort events, which the
+// trace recorder needs to delimit transactions offline.
+type TxObserver interface {
+	OnTxEvent(tid int, ev TxEventKind)
+}
+
+// notifyTx forwards a lifecycle event to the profiler, if it observes them.
+func (m *Machine) notifyTx(tid int, ev TxEventKind) {
+	if o, ok := m.profiler.(TxObserver); ok {
+		o.OnTxEvent(tid, ev)
+	}
+}
+
+// SetProfiler attaches an access observer (call before Run).
+func (m *Machine) SetProfiler(p Profiler) { m.profiler = p }
+
+// EnableProfile turns on per-instruction execution counting (call before
+// Run); HotInstructions reports the results.
+func (m *Machine) EnableProfile() { m.prog.EnableProfile() }
+
+// HotInstr is one row of the execution-count profile.
+type HotInstr struct {
+	Count uint64
+	Func  string
+	Text  string
+}
+
+// HotInstructions returns the n most-executed instructions, hottest first.
+func (m *Machine) HotInstructions(n int) []HotInstr {
+	counts := m.prog.ProfileCounts()
+	if counts == nil {
+		return nil
+	}
+	where := make(map[int]HotInstr, len(counts))
+	m.prog.M.ForEachInstr(func(f *ir.Func, _ *ir.Block, in *ir.Instr) {
+		if c, ok := counts[in.ID]; ok {
+			where[in.ID] = HotInstr{Count: c, Func: f.Name, Text: in.String()}
+		}
+	})
+	out := make([]HotInstr, 0, len(where))
+	for _, h := range where {
+		out = append(out, h)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Func+out[i].Text < out[j].Func+out[j].Text
+	})
+	if n > 0 && len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// ReadGlobal returns word wordIdx of the named global after (or during) a
+// run — the way tests and examples inspect a program's final state.
+func (m *Machine) ReadGlobal(name string, wordIdx int64) int64 {
+	return m.memory.ReadWord(m.prog.GlobalAddr(name) + mem.Addr(wordIdx*mem.WordSize))
+}
+
+type parallelState struct {
+	workers  []*interp.Thread
+	finished bool
+}
+
+// mainTID is the main thread's id, distinct from any worker tid.
+func (m *Machine) mainTID() int { return m.cfg.Contexts() }
+
+// New assembles a machine for the given module. The module should already
+// have been through the classify pass if static hints are to be honoured
+// (running it unconditionally and toggling cfg.Hints keeps execution
+// identical across configurations).
+func New(cfg Config, mod *ir.Module) (*Machine, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	prog, err := interp.NewProgram(mod)
+	if err != nil {
+		return nil, err
+	}
+	m := &Machine{
+		cfg:      cfg,
+		prog:     prog,
+		memory:   mem.NewMemory(),
+		alloc:    mem.NewAllocator(),
+		caches:   cache.New(cfg.Cache),
+		vm:       vmem.New(cfg.Contexts(), cfg.TLBEntries, cfg.VM, cfg.Hints.Dynamic()),
+		byThread: make(map[int]*context),
+		res:      newResult(),
+	}
+	for i := 0; i < cfg.Contexts(); i++ {
+		ctrl := htm.NewController(m.newTracker())
+		ctrl.SetVersioning(cfg.Versioning)
+		m.ctxs = append(m.ctxs, &context{
+			id: i,
+			// Contexts are spread across cores first, so SMT siblings are
+			// ctx i and ctx i+Cores.
+			core: i % cfg.Cores,
+			ctrl: ctrl,
+		})
+	}
+	return m, nil
+}
+
+func (m *Machine) newTracker() htm.Tracker {
+	switch m.cfg.HTM {
+	case HTMP8:
+		return htm.NewP8Tracker(m.cfg.P8Entries)
+	case HTMP8S:
+		return htm.NewSigTracker(m.cfg.P8Entries, m.cfg.SigBits, m.cfg.SigHashes)
+	case HTML1TM:
+		return htm.NewL1Tracker()
+	case HTMInfCap, HTMSTM:
+		// STM bookkeeping lives in software tables: unbounded, precise.
+		return htm.NewInfTracker()
+	}
+	panic("sim: unknown HTM kind")
+}
+
+// Run executes the program's main function to completion and returns the
+// collected statistics.
+func (m *Machine) Run() (*Result, error) {
+	mainFn := m.prog.M.Func("main")
+	if mainFn == nil {
+		return nil, fmt.Errorf("sim: module has no main")
+	}
+	m.prog.LayoutGlobals(m.alloc, m.memory)
+
+	mtid := m.mainTID()
+	base := m.alloc.StackAlloc(mtid, mainFn.AllocaWords*mem.WordSize)
+	m.mainThread = m.prog.NewThread(mtid, "main", nil, base, m.cfg.Seed)
+	m.byThread[mtid] = m.ctxs[0]
+
+	maxSteps := m.cfg.MaxSteps
+	if maxSteps <= 0 {
+		maxSteps = 2_000_000_000
+	}
+
+	for !m.mainThread.Done {
+		if m.res.Steps >= maxSteps {
+			return nil, fmt.Errorf("sim: exceeded %d steps (livelock?)", maxSteps)
+		}
+		if m.parallel != nil && !m.parallel.finished {
+			m.stepWorkers()
+			continue
+		}
+		m.stepThread(m.ctxs[0], m.mainThread)
+	}
+
+	m.res.Cycles = 0
+	for _, c := range m.ctxs {
+		if c.cycle > m.res.Cycles {
+			m.res.Cycles = c.cycle
+		}
+	}
+	m.res.Cache = m.caches.Stats()
+	m.res.VM = m.vm.Stats()
+	return m.res, nil
+}
+
+// stepWorkers advances the runnable worker context with the smallest clock.
+func (m *Machine) stepWorkers() {
+	var pick *context
+	for _, c := range m.ctxs {
+		if c.thread == nil || c.thread.Done {
+			continue
+		}
+		if pick == nil || c.effectiveCycle() < pick.effectiveCycle() {
+			pick = c
+		}
+	}
+	if pick == nil {
+		// All workers finished: barrier completes; main resumes at the
+		// latest worker clock.
+		var max int64
+		for _, c := range m.ctxs {
+			if c.cycle > max {
+				max = c.cycle
+			}
+		}
+		if m.ctxs[0].cycle < max {
+			m.ctxs[0].cycle = max
+		}
+		m.parallel.finished = true
+		return
+	}
+	m.stepThread(pick, pick.thread)
+}
+
+func (m *Machine) stepThread(c *context, t *interp.Thread) {
+	if c.backoffUntil > c.cycle {
+		c.cycle = c.backoffUntil
+	}
+	m.prog.Step(m, t)
+	c.cycle++ // base instruction cost
+	m.res.Steps++
+}
+
+// ctxOf maps a thread to its hardware context.
+func (m *Machine) ctxOf(t *interp.Thread) *context {
+	c, ok := m.byThread[t.ID]
+	if !ok {
+		panic(fmt.Sprintf("sim: unmapped thread %d", t.ID))
+	}
+	return c
+}
+
+// abortTx aborts the context's running transaction: memory is restored from
+// the undo log, the thread rolls back to its TxBegin checkpoint, statistics
+// and the retry policy are updated.
+func (m *Machine) abortTx(c *context, reason htm.AbortReason) {
+	undo := c.ctrl.Abort()
+	for _, e := range undo {
+		m.memory.WriteWord(mem.Addr(e.Addr), e.Old)
+	}
+	c.cycle += m.cfg.AbortFixedCost + int64(len(undo))*m.cfg.Cache.L1Latency
+
+	cp := c.thread.Restore()
+	m.alloc.StackRelease(c.thread.ID, cp.StackTop)
+	c.suspended = false
+	if m.profiler != nil {
+		m.notifyTx(c.thread.ID, TxEventAbort)
+	}
+
+	m.res.Aborts[reason]++
+	if lost := c.cycle - c.txStart; lost > 0 {
+		m.res.CyclesLost[reason] += lost
+	}
+
+	switch reason {
+	case htm.AbortCapacity:
+		// Retrying a capacity abort is futile (paper §I): fall back — unless
+		// the ablation knob grants retries to quantify that futility.
+		c.retries++
+		if c.retries > m.cfg.CapacityRetries {
+			c.fallbackNext = true
+		} else {
+			c.backoffUntil = c.cycle + m.cfg.BackoffBase
+		}
+	case htm.AbortConflict, htm.AbortFalseConflict, htm.AbortExplicit:
+		c.retries++
+		if c.retries > m.cfg.MaxConflictRetries {
+			c.fallbackNext = true
+		} else {
+			c.backoffUntil = c.cycle + m.cfg.BackoffBase<<uint(c.retries)
+		}
+	case htm.AbortPageMode:
+		// The page is unsafe (tracked) on retry; retry immediately.
+	case htm.AbortFallbackLock:
+		// The thread will stall at TxBegin until the lock is free.
+	}
+}

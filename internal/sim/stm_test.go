@@ -1,0 +1,84 @@
+package sim
+
+import (
+	"testing"
+
+	"hintm/internal/htm"
+)
+
+func TestSTMNeverCapacityAborts(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.HTM = HTMSTM
+	_, res := runModule(t, bigTxModule(2, 3, 100), cfg)
+	if res.Aborts[htm.AbortCapacity] != 0 {
+		t.Fatalf("STM must not capacity-abort: %v", res)
+	}
+	if res.FallbackCommits != 0 {
+		t.Fatalf("STM should not fall back: %v", res)
+	}
+	if res.Commits == 0 {
+		t.Fatal("no commits")
+	}
+}
+
+func TestSTMSlowerThanHTMOnSmallTxs(t *testing.T) {
+	// Tiny transactions: HTM wins because STM pays per-access barriers.
+	mod1 := counterModule(8, 20)
+	_, htmRes := runModule(t, mod1, DefaultConfig())
+	mod2 := counterModule(8, 20)
+	cfg := DefaultConfig()
+	cfg.HTM = HTMSTM
+	_, stmRes := runModule(t, mod2, cfg)
+	if stmRes.Cycles <= htmRes.Cycles {
+		t.Fatalf("STM should be slower on tiny TXs: %d vs %d", stmRes.Cycles, htmRes.Cycles)
+	}
+}
+
+func TestSTMBeatsOverflowingHTM(t *testing.T) {
+	// Huge transactions: the bounded HTM serializes through the fallback
+	// lock; STM pays barriers but keeps running transactions concurrently —
+	// the crossover the paper's introduction frames.
+	mod1 := bigTxModule(8, 4, 100)
+	_, htmRes := runModule(t, mod1, DefaultConfig())
+	mod2 := bigTxModule(8, 4, 100)
+	cfg := DefaultConfig()
+	cfg.HTM = HTMSTM
+	_, stmRes := runModule(t, mod2, cfg)
+	if stmRes.Cycles >= htmRes.Cycles {
+		t.Fatalf("STM should beat the overflowing HTM: %d vs %d",
+			stmRes.Cycles, htmRes.Cycles)
+	}
+}
+
+func TestSTMBarrierElisionViaHints(t *testing.T) {
+	// HinTM's hints elide STM barriers on safe accesses, so the hinted STM
+	// run is faster — the Harris/Shpeisman-style optimization (§II-C).
+	mod1 := bigTxModule(4, 4, 80)
+	cfgBase := DefaultConfig()
+	cfgBase.HTM = HTMSTM
+	_, base := runModule(t, mod1, cfgBase)
+
+	mod2 := bigTxModule(4, 4, 80)
+	cfgDyn := DefaultConfig()
+	cfgDyn.HTM = HTMSTM
+	cfgDyn.Hints = HintDynamic
+	_, hinted := runModule(t, mod2, cfgDyn)
+
+	if hinted.Cycles >= base.Cycles {
+		t.Fatalf("hints should elide STM barriers: %d vs %d",
+			hinted.Cycles, base.Cycles)
+	}
+	if hinted.DynSafeAccesses == 0 {
+		t.Fatal("no dynamically safe accesses under STM")
+	}
+}
+
+func TestSTMCorrectness(t *testing.T) {
+	mod := counterModule(8, 15)
+	cfg := DefaultConfig()
+	cfg.HTM = HTMSTM
+	m, res := runModule(t, mod, cfg)
+	if got := m.ReadGlobal("ctr", 0); got != 120 {
+		t.Fatalf("counter = %d, want 120 (%v)", got, res)
+	}
+}

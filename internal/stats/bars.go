@@ -1,0 +1,76 @@
+package stats
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// BarRow is one bar of a horizontal ASCII bar chart.
+type BarRow struct {
+	Label string
+	Value float64
+}
+
+// BarChart renders labeled horizontal bars, the terminal rendition of the
+// paper's bar figures.
+type BarChart struct {
+	rows []BarRow
+	// Unit is appended to each value (e.g. "%" or "x").
+	Unit string
+	// Width is the maximum bar width in characters (default 40).
+	Width int
+}
+
+// NewBarChart creates an empty chart.
+func NewBarChart(unit string) *BarChart { return &BarChart{Unit: unit, Width: 40} }
+
+// Bar appends one bar.
+func (b *BarChart) Bar(label string, value float64) {
+	b.rows = append(b.rows, BarRow{Label: label, Value: value})
+}
+
+// Render writes the chart; bars scale to the maximum value.
+func (b *BarChart) Render(w io.Writer) {
+	if len(b.rows) == 0 {
+		return
+	}
+	maxVal := 0.0
+	maxLabel := 0
+	for _, r := range b.rows {
+		if r.Value > maxVal {
+			maxVal = r.Value
+		}
+		if len(r.Label) > maxLabel {
+			maxLabel = len(r.Label)
+		}
+	}
+	if maxVal <= 0 {
+		maxVal = 1
+	}
+	width := b.Width
+	if width <= 0 {
+		width = 40
+	}
+	for _, r := range b.rows {
+		n := int(r.Value / maxVal * float64(width))
+		if n < 0 {
+			n = 0
+		}
+		if r.Value > 0 && n == 0 {
+			n = 1
+		}
+		fmt.Fprintf(w, "%s %s%s %.2f%s\n",
+			pad(r.Label, maxLabel),
+			strings.Repeat("█", n),
+			strings.Repeat(" ", width-n),
+			r.Value, b.Unit)
+	}
+}
+
+// String renders to a string.
+func (b *BarChart) String() string {
+	var sb strings.Builder
+	b.Render(&sb)
+	return sb.String()
+}

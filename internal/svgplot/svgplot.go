@@ -1,0 +1,266 @@
+// Package svgplot renders the harness's figure data as standalone SVG
+// files — grouped bar charts for the abort-reduction/speedup figures and
+// line charts for the footprint CDFs — using nothing but string assembly.
+// The goal is publication-shaped output (the paper's figures are grouped
+// bars over applications), not a general plotting library.
+package svgplot
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Series is one legend entry of a grouped bar chart.
+type Series struct {
+	Name   string
+	Values []float64 // one per category
+}
+
+// BarChart is a grouped (or stacked) vertical bar chart.
+type BarChart struct {
+	Title      string
+	Categories []string // x-axis groups (applications)
+	Series     []Series
+	// YLabel annotates the value axis; YMax fixes the scale (0 = auto).
+	YLabel string
+	YMax   float64
+	// Stacked stacks series instead of grouping them side by side.
+	Stacked bool
+	// Percent formats tick labels as percentages of 1.0.
+	Percent bool
+}
+
+// geometry constants (pixels).
+const (
+	chartW   = 860
+	chartH   = 360
+	marginL  = 70
+	marginR  = 20
+	marginT  = 44
+	marginB  = 70
+	plotW    = chartW - marginL - marginR
+	plotH    = chartH - marginT - marginB
+	legendDY = 16
+)
+
+// palette holds fill colors for up to six series.
+var palette = []string{"#4878a8", "#e49444", "#5ba053", "#c34e52", "#8566aa", "#857aab"}
+
+// WriteSVG renders the chart.
+func (c *BarChart) WriteSVG(w io.Writer) error {
+	var sb strings.Builder
+	header(&sb, c.Title)
+
+	maxVal := c.YMax
+	if maxVal <= 0 {
+		for _, s := range c.Series {
+			if c.Stacked {
+				for i := range c.Categories {
+					var sum float64
+					for _, s2 := range c.Series {
+						if i < len(s2.Values) {
+							sum += s2.Values[i]
+						}
+					}
+					if sum > maxVal {
+						maxVal = sum
+					}
+				}
+				break
+			}
+			for _, v := range s.Values {
+				if v > maxVal {
+					maxVal = v
+				}
+			}
+		}
+		if maxVal <= 0 {
+			maxVal = 1
+		}
+		maxVal *= 1.08 // headroom
+	}
+
+	axes(&sb, maxVal, c.YLabel, c.Percent)
+
+	nCat := len(c.Categories)
+	if nCat == 0 {
+		sb.WriteString("</svg>\n")
+		_, err := io.WriteString(w, sb.String())
+		return err
+	}
+	groupW := float64(plotW) / float64(nCat)
+	nSer := len(c.Series)
+
+	for ci, cat := range c.Categories {
+		gx := float64(marginL) + float64(ci)*groupW
+		// Category label, rotated for readability.
+		fmt.Fprintf(&sb, `<text x="%.1f" y="%d" font-size="11" text-anchor="end" transform="rotate(-35 %.1f %d)">%s</text>`+"\n",
+			gx+groupW/2, chartH-marginB+14, gx+groupW/2, chartH-marginB+14, esc(cat))
+		if c.Stacked {
+			y0 := float64(chartH - marginB)
+			for si, s := range c.Series {
+				v := 0.0
+				if ci < len(s.Values) {
+					v = s.Values[ci]
+				}
+				h := v / maxVal * float64(plotH)
+				y0 -= h
+				fmt.Fprintf(&sb, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s"/>`+"\n",
+					gx+groupW*0.2, y0, groupW*0.6, h, palette[si%len(palette)])
+			}
+			continue
+		}
+		barW := groupW * 0.8 / float64(nSer)
+		for si, s := range c.Series {
+			v := 0.0
+			if ci < len(s.Values) {
+				v = s.Values[ci]
+			}
+			h := v / maxVal * float64(plotH)
+			x := gx + groupW*0.1 + float64(si)*barW
+			fmt.Fprintf(&sb, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s"/>`+"\n",
+				x, float64(chartH-marginB)-h, barW*0.92, h, palette[si%len(palette)])
+		}
+	}
+
+	legend(&sb, seriesNames(c.Series))
+	sb.WriteString("</svg>\n")
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// Line is one curve of a line chart.
+type Line struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// LineChart plots curves (the Fig.-6 CDFs).
+type LineChart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Lines  []Line
+	// VLineX draws a dashed vertical marker (P8's 64-block capacity).
+	VLineX float64
+}
+
+// WriteSVG renders the chart.
+func (c *LineChart) WriteSVG(w io.Writer) error {
+	var sb strings.Builder
+	header(&sb, c.Title)
+
+	var maxX, maxY float64
+	for _, l := range c.Lines {
+		for _, x := range l.X {
+			if x > maxX {
+				maxX = x
+			}
+		}
+		for _, y := range l.Y {
+			if y > maxY {
+				maxY = y
+			}
+		}
+	}
+	if maxX <= 0 {
+		maxX = 1
+	}
+	if maxY <= 0 {
+		maxY = 1
+	}
+
+	axes(&sb, maxY, c.YLabel, maxY <= 1.01)
+	// X tick labels.
+	for i := 0; i <= 4; i++ {
+		xv := maxX * float64(i) / 4
+		px := float64(marginL) + xv/maxX*float64(plotW)
+		fmt.Fprintf(&sb, `<text x="%.1f" y="%d" font-size="11" text-anchor="middle">%.0f</text>`+"\n",
+			px, chartH-marginB+16, xv)
+	}
+	fmt.Fprintf(&sb, `<text x="%d" y="%d" font-size="12" text-anchor="middle">%s</text>`+"\n",
+		marginL+plotW/2, chartH-8, esc(c.XLabel))
+
+	if c.VLineX > 0 {
+		px := float64(marginL) + c.VLineX/maxX*float64(plotW)
+		fmt.Fprintf(&sb, `<line x1="%.1f" y1="%d" x2="%.1f" y2="%d" stroke="#999" stroke-dasharray="4 3"/>`+"\n",
+			px, marginT, px, chartH-marginB)
+	}
+
+	for li, l := range c.Lines {
+		var pts []string
+		for i := range l.X {
+			px := float64(marginL) + l.X[i]/maxX*float64(plotW)
+			py := float64(chartH-marginB) - l.Y[i]/maxY*float64(plotH)
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", px, py))
+		}
+		fmt.Fprintf(&sb, `<polyline points="%s" fill="none" stroke="%s" stroke-width="2"/>`+"\n",
+			strings.Join(pts, " "), palette[li%len(palette)])
+	}
+
+	var names []string
+	for _, l := range c.Lines {
+		names = append(names, l.Name)
+	}
+	legend(&sb, names)
+	sb.WriteString("</svg>\n")
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+func header(sb *strings.Builder, title string) {
+	fmt.Fprintf(sb, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif">`+"\n", chartW, chartH)
+	fmt.Fprintf(sb, `<rect width="%d" height="%d" fill="white"/>`+"\n", chartW, chartH)
+	fmt.Fprintf(sb, `<text x="%d" y="24" font-size="15" font-weight="bold" text-anchor="middle">%s</text>`+"\n",
+		chartW/2, esc(title))
+}
+
+// axes draws the frame, y grid lines, and y tick labels.
+func axes(sb *strings.Builder, maxVal float64, yLabel string, percent bool) {
+	fmt.Fprintf(sb, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n",
+		marginL, chartH-marginB, marginL+plotW, chartH-marginB)
+	fmt.Fprintf(sb, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n",
+		marginL, marginT, marginL, chartH-marginB)
+	for i := 0; i <= 4; i++ {
+		v := maxVal * float64(i) / 4
+		py := float64(chartH-marginB) - float64(plotH)*float64(i)/4
+		label := fmt.Sprintf("%.2g", v)
+		if percent {
+			label = fmt.Sprintf("%.0f%%", v*100)
+		}
+		fmt.Fprintf(sb, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#ddd"/>`+"\n",
+			marginL, py, marginL+plotW, py)
+		fmt.Fprintf(sb, `<text x="%d" y="%.1f" font-size="11" text-anchor="end">%s</text>`+"\n",
+			marginL-6, py+4, label)
+	}
+	if yLabel != "" {
+		fmt.Fprintf(sb, `<text x="16" y="%d" font-size="12" text-anchor="middle" transform="rotate(-90 16 %d)">%s</text>`+"\n",
+			marginT+plotH/2, marginT+plotH/2, esc(yLabel))
+	}
+}
+
+func legend(sb *strings.Builder, names []string) {
+	x := marginL + 8
+	y := marginT + 4
+	for i, name := range names {
+		fmt.Fprintf(sb, `<rect x="%d" y="%d" width="10" height="10" fill="%s"/>`+"\n",
+			x, y+i*legendDY, palette[i%len(palette)])
+		fmt.Fprintf(sb, `<text x="%d" y="%d" font-size="11">%s</text>`+"\n",
+			x+14, y+i*legendDY+9, esc(name))
+	}
+}
+
+func seriesNames(series []Series) []string {
+	names := make([]string, len(series))
+	for i, s := range series {
+		names[i] = s.Name
+	}
+	return names
+}
+
+func esc(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
+	return r.Replace(s)
+}

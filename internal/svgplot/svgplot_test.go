@@ -1,0 +1,92 @@
+package svgplot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBarChartSVG(t *testing.T) {
+	c := &BarChart{
+		Title:      "demo <chart>",
+		Categories: []string{"a", "b"},
+		YLabel:     "speedup",
+		Series: []Series{
+			{Name: "st", Values: []float64{1.5, 2}},
+			{Name: "full", Values: []float64{3, 4}},
+		},
+	}
+	var sb strings.Builder
+	if err := c.WriteSVG(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.HasPrefix(out, "<svg") || !strings.HasSuffix(strings.TrimSpace(out), "</svg>") {
+		t.Fatal("not a complete SVG document")
+	}
+	if strings.Count(out, "<rect") < 5 { // background + legend + 4 bars
+		t.Fatalf("too few rects:\n%s", out)
+	}
+	if !strings.Contains(out, "demo &lt;chart&gt;") {
+		t.Fatal("title not escaped")
+	}
+	for _, want := range []string{">st<", ">full<", ">a<", ">b<", "speedup"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q", want)
+		}
+	}
+}
+
+func TestStackedBarChart(t *testing.T) {
+	c := &BarChart{
+		Title:      "stacked",
+		Categories: []string{"x"},
+		Stacked:    true,
+		Percent:    true,
+		YMax:       1,
+		Series: []Series{
+			{Name: "p", Values: []float64{0.25}},
+			{Name: "q", Values: []float64{0.75}},
+		},
+	}
+	var sb strings.Builder
+	if err := c.WriteSVG(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "100%") {
+		t.Fatal("percent ticks missing")
+	}
+}
+
+func TestLineChartSVG(t *testing.T) {
+	c := &LineChart{
+		Title:  "cdf",
+		XLabel: "blocks",
+		YLabel: "fraction",
+		VLineX: 64,
+		Lines: []Line{
+			{Name: "base", X: []float64{0, 32, 64, 96}, Y: []float64{0, 0.2, 0.5, 1}},
+			{Name: "hinted", X: []float64{0, 32, 64, 96}, Y: []float64{0.5, 0.9, 1, 1}},
+		},
+	}
+	var sb strings.Builder
+	if err := c.WriteSVG(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if strings.Count(out, "<polyline") != 2 {
+		t.Fatal("expected two curves")
+	}
+	if !strings.Contains(out, "stroke-dasharray") {
+		t.Fatal("capacity marker missing")
+	}
+}
+
+func TestEmptyChartStillValid(t *testing.T) {
+	var sb strings.Builder
+	if err := (&BarChart{Title: "empty"}).WriteSVG(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "</svg>") {
+		t.Fatal("incomplete document")
+	}
+}

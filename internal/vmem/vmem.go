@@ -1,0 +1,347 @@
+// Package vmem implements HinTM's dynamic, page-granular memory access
+// classification (paper §III-B, §IV-B): the page table is extended with a
+// per-page {tid, ro, shared} record tracking inter-thread sharing at
+// runtime, mirrored into per-context TLBs. Reads to (private,*) pages by the
+// owning thread and to (shared,ro) pages are safe; a page transitioning from
+// a safe mode to (shared,rw) is a page-mode event that must abort every
+// active transaction that touched the page and shoot down stale TLB entries
+// (modelled with the paper's 6600-cycle initiator / 1450-cycle slave costs).
+package vmem
+
+import "fmt"
+
+// Mode is a page's sharing mode (paper Fig. 2).
+type Mode uint8
+
+// Page modes.
+const (
+	Untouched Mode = iota
+	PrivateRO
+	PrivateRW
+	SharedRO
+	SharedRW
+)
+
+func (m Mode) String() string {
+	switch m {
+	case Untouched:
+		return "untouched"
+	case PrivateRO:
+		return "private-ro"
+	case PrivateRW:
+		return "private-rw"
+	case SharedRO:
+		return "shared-ro"
+	case SharedRW:
+		return "shared-rw"
+	}
+	return fmt.Sprintf("mode(%d)", uint8(m))
+}
+
+// safeFor reports whether a READ of a page in this mode by thread tid is
+// safe. Writes are never dynamically safe (initializing-ness cannot be
+// established at runtime, paper §III-B).
+func (m Mode) safeFor(tid, owner int) bool {
+	switch m {
+	case PrivateRO, PrivateRW:
+		return tid == owner
+	case SharedRO:
+		return true
+	}
+	return false
+}
+
+// Costs parameterizes the paper's page-management latencies (cycles).
+type Costs struct {
+	// TLBMiss is the page-walk latency added on a TLB miss.
+	TLBMiss int64
+	// MinorFault is the (private,ro)→(private,rw) fault cost.
+	MinorFault int64
+	// ShootdownInitiator / ShootdownSlave are the TLB-shootdown costs for a
+	// safe→unsafe transition.
+	ShootdownInitiator int64
+	ShootdownSlave     int64
+}
+
+// DefaultCosts returns the paper's §V cost model.
+func DefaultCosts() Costs {
+	return Costs{TLBMiss: 20, MinorFault: 1450, ShootdownInitiator: 6600, ShootdownSlave: 1450}
+}
+
+// Transition describes a safe→unsafe page-mode event.
+type Transition struct {
+	Page uint64
+	// Slaves lists contexts (other than the initiator) whose TLBs held the
+	// page and were shot down.
+	Slaves []int
+	// InitiatorCycles is the cost already charged to the initiating
+	// context: the page fault, plus the full shootdown-initiation overhead
+	// when remote TLB entries had to be invalidated.
+	InitiatorCycles int64
+}
+
+// Outcome describes one access's translation result.
+type Outcome struct {
+	// Safe reports page-derived safety: true only for reads of safe pages
+	// when dynamic classification is enabled.
+	Safe bool
+	// TLBMiss reports a page walk occurred.
+	TLBMiss bool
+	// FaultCycles is extra latency charged to the initiator (minor fault
+	// and/or shootdown initiation).
+	FaultCycles int64
+	// Transition is non-nil when the access turned a safe page unsafe;
+	// the machine must abort every TX that touched the page and charge
+	// slave costs.
+	Transition *Transition
+}
+
+// Stats counts translation events.
+type Stats struct {
+	TLBMisses    uint64
+	MinorFaults  uint64
+	Transitions  uint64
+	SafeAccesses uint64
+}
+
+type pageEntry struct {
+	mode Mode
+	tid  int
+}
+
+// tlb is one hardware context's translation cache: page → cached mode/owner.
+type tlb struct {
+	entries  map[uint64]*tlbEntry
+	capacity int
+	tick     uint64
+}
+
+type tlbEntry struct {
+	mode Mode
+	tid  int
+	lru  uint64
+}
+
+func newTLB(capacity int) *tlb {
+	return &tlb{entries: make(map[uint64]*tlbEntry, capacity), capacity: capacity}
+}
+
+func (t *tlb) lookup(page uint64) *tlbEntry {
+	e := t.entries[page]
+	if e != nil {
+		t.tick++
+		e.lru = t.tick
+	}
+	return e
+}
+
+func (t *tlb) install(page uint64, mode Mode, tid int) {
+	if len(t.entries) >= t.capacity {
+		var victim uint64
+		var min uint64 = ^uint64(0)
+		for p, e := range t.entries {
+			if e.lru < min {
+				min = e.lru
+				victim = p
+			}
+		}
+		delete(t.entries, victim)
+	}
+	t.tick++
+	t.entries[page] = &tlbEntry{mode: mode, tid: tid, lru: t.tick}
+}
+
+func (t *tlb) invalidate(page uint64) bool {
+	if _, ok := t.entries[page]; ok {
+		delete(t.entries, page)
+		return true
+	}
+	return false
+}
+
+func (t *tlb) has(page uint64) bool {
+	_, ok := t.entries[page]
+	return ok
+}
+
+// Manager is the translation subsystem for all hardware contexts.
+type Manager struct {
+	// Enabled selects HinTM-dyn; when false, translation still models TLB
+	// costs but never derives safety nor tracks sharing.
+	enabled bool
+	costs   Costs
+	pt      map[uint64]*pageEntry
+	tlbs    []*tlb
+	stats   Stats
+}
+
+// New builds a manager for nContexts hardware contexts with tlbEntries-entry
+// TLBs.
+func New(nContexts, tlbEntries int, costs Costs, enabled bool) *Manager {
+	m := &Manager{
+		enabled: enabled,
+		costs:   costs,
+		pt:      make(map[uint64]*pageEntry),
+	}
+	for i := 0; i < nContexts; i++ {
+		m.tlbs = append(m.tlbs, newTLB(tlbEntries))
+	}
+	return m
+}
+
+// Enabled reports whether dynamic classification is active.
+func (m *Manager) Enabled() bool { return m.enabled }
+
+// Stats returns a copy of the counters.
+func (m *Manager) Stats() Stats { return m.stats }
+
+// PageMode returns the page's current mode (for tests and diagnostics).
+func (m *Manager) PageMode(page uint64) (Mode, int) {
+	if e, ok := m.pt[page]; ok {
+		return e.mode, e.tid
+	}
+	return Untouched, -1
+}
+
+// Access translates one access by thread tid on hardware context ctx.
+func (m *Manager) Access(ctx, tid int, page uint64, write bool) Outcome {
+	var out Outcome
+	t := m.tlbs[ctx]
+	e := t.lookup(page)
+	if e == nil {
+		out.TLBMiss = true
+		out.FaultCycles += m.costs.TLBMiss
+		m.stats.TLBMisses++
+	}
+	if !m.enabled {
+		if e == nil {
+			t.install(page, Untouched, tid)
+		}
+		return out
+	}
+
+	// A TLB hit can only satisfy the access when no permission/mode change
+	// is needed: writes to cached read-only modes must walk (fault path),
+	// exactly as real hardware traps on a protection violation.
+	if e != nil {
+		switch {
+		case !write:
+			out.Safe = e.mode.safeFor(tid, e.tid)
+			if out.Safe {
+				m.stats.SafeAccesses++
+			}
+			return out
+		case e.mode == PrivateRW && e.tid == tid, e.mode == SharedRW:
+			return out // write permitted, unsafe
+		}
+		// Fall through to the page walk with fault semantics.
+	}
+
+	pe, ok := m.pt[page]
+	if !ok {
+		pe = &pageEntry{mode: Untouched}
+		m.pt[page] = pe
+	}
+	m.walk(ctx, tid, page, write, pe, &out)
+	t.invalidate(page)
+	t.install(page, pe.mode, pe.tid)
+	if out.Safe {
+		m.stats.SafeAccesses++
+	}
+	return out
+}
+
+// walk applies the paper's Fig.-2 state machine.
+func (m *Manager) walk(ctx, tid int, page uint64, write bool, pe *pageEntry, out *Outcome) {
+	switch pe.mode {
+	case Untouched:
+		pe.tid = tid
+		if write {
+			pe.mode = PrivateRW
+		} else {
+			pe.mode = PrivateRO
+			out.Safe = true
+		}
+	case PrivateRO:
+		switch {
+		case tid == pe.tid && !write:
+			out.Safe = true
+		case tid == pe.tid && write:
+			// Minor fault: own page upgrades ro→rw.
+			pe.mode = PrivateRW
+			out.FaultCycles += m.costs.MinorFault
+			m.stats.MinorFaults++
+		case !write:
+			// Second thread reads: page becomes shared read-only. Reads
+			// stay safe for everyone; no shootdown needed.
+			pe.mode = SharedRO
+			out.Safe = true
+		default:
+			// Second thread writes a page another thread read privately:
+			// safe→unsafe transition.
+			m.transition(ctx, page, pe, out)
+		}
+	case PrivateRW:
+		if tid == pe.tid {
+			if !write {
+				out.Safe = true
+			}
+			return
+		}
+		// Any access by another thread turns the page shared-rw.
+		m.transition(ctx, page, pe, out)
+	case SharedRO:
+		if !write {
+			out.Safe = true
+			return
+		}
+		m.transition(ctx, page, pe, out)
+	case SharedRW:
+		// Absorbing unsafe state.
+	}
+}
+
+// transition moves pe to SharedRW, shooting down every other context's TLB
+// entry for the page and charging the paper's costs. The full 6600-cycle
+// initiator overhead (OS handler + IPI round) applies only when remote TLB
+// entries actually exist; a transition nobody else has cached costs one
+// minor fault, as in OSes that track per-page TLB presence.
+func (m *Manager) transition(ctx int, page uint64, pe *pageEntry, out *Outcome) {
+	pe.mode = SharedRW
+	tr := &Transition{Page: page}
+	for c, t := range m.tlbs {
+		if c == ctx {
+			continue
+		}
+		if t.invalidate(page) {
+			tr.Slaves = append(tr.Slaves, c)
+		}
+	}
+	tr.InitiatorCycles = m.costs.MinorFault
+	if len(tr.Slaves) > 0 {
+		tr.InitiatorCycles = m.costs.ShootdownInitiator
+	}
+	out.FaultCycles += tr.InitiatorCycles
+	out.Transition = tr
+	m.stats.Transitions++
+}
+
+// SlaveCost returns the per-slave shootdown cost for charging by the machine.
+func (m *Manager) SlaveCost() int64 { return m.costs.ShootdownSlave }
+
+// ResetSharing clears all page-sharing state and TLB contents. The machine
+// calls it when a parallel region starts: dynamic classification tracks the
+// region's inter-thread sharing, not the single-threaded setup phase whose
+// writes would otherwise force every initialized page straight to
+// shared-rw.
+func (m *Manager) ResetSharing() {
+	m.pt = make(map[uint64]*pageEntry)
+	for _, t := range m.tlbs {
+		t.entries = make(map[uint64]*tlbEntry)
+	}
+}
+
+// HasTLBEntry reports whether context ctx caches page (tests/diagnostics).
+func (m *Manager) HasTLBEntry(ctx int, page uint64) bool {
+	return m.tlbs[ctx].has(page)
+}

@@ -1,0 +1,90 @@
+package workloads
+
+import "hintm/internal/ir"
+
+// bayes: Bayesian network structure learning. Each transaction scores a
+// candidate edge by querying the AD-tree (a long random-read walk over a
+// large, practically read-only structure), accumulates counts in a small
+// stack scratch, and updates the learned network.
+//
+// Paper-relevant properties:
+//   - very large readsets from AD-tree queries: heavy capacity aborts at
+//     baseline;
+//   - the AD-tree is statically written-in-region (a conditional refresh
+//     path aliases it), so compile-time classification catches only the
+//     small scratch (~2% of accesses, Fig. 5) while dynamic classification
+//     marks the AD-tree's (shared,ro) pages safe and removes most capacity
+//     aborts;
+//   - the scratch's statically safe *writes* also matter under P8S, whose
+//     capacity is writeset-bound (§VI-D1).
+func init() {
+	register(&Spec{
+		Name:           "bayes",
+		DefaultThreads: 8,
+		Description:    "structure learning; AD-tree read walks, small static scratch",
+		Build:          buildBayes,
+	})
+}
+
+func buildBayes(threads int, scale Scale) *ir.Module {
+	adWords := scale.pick(8192, 16384, 65536)
+	queryLo := scale.pick(40, 40, 80)    // min blocks read per score
+	querySpan := scale.pick(60, 80, 160) // extra random blocks
+	scoresPerThread := scale.pick(4, 32, 40)
+	netNodes := int64(64)
+	scratchBlocks := int64(4)
+
+	b := ir.NewBuilder("bayes")
+	b.GlobalPageAligned("adtree", adWords)
+	b.GlobalPageAligned("network", netNodes*8) // 1 block per node
+	b.Global("refreshReq", 1)
+
+	w := newFn(b.ThreadBody("worker", 1))
+	ad := w.GlobalAddr("adtree")
+	net := w.GlobalAddr("network")
+	refresh := w.GlobalAddr("refreshReq")
+	adBlocksReg := w.C(adWords / 8)
+
+	scratch := w.Alloca(scratchBlocks * 8)
+
+	w.ForI(scoresPerThread, func(s ir.Reg) {
+		node := w.RandI(netNodes)
+		w.TxBegin()
+		// AD-tree query: long strided-random read walk accumulating in
+		// registers.
+		queryBlocks := w.Add(w.C(queryLo), w.RandI(querySpan))
+		cur := w.Mov(w.Rand(adBlocksReg))
+		acc := w.Mov(w.C(0))
+		w.For(queryBlocks, func(i ir.Reg) {
+			v := w.LoadIdx(ad, cur, 64)
+			w.MovTo(acc, w.Add(acc, v))
+			w.MovTo(cur, w.Mod(w.Add(w.Mul(cur, w.C(69069)), w.C(1)), adBlocksReg))
+		})
+		// Log partial counts into the stack scratch: the small population of
+		// statically safe (initializing) writes the paper reports for bayes.
+		w.DoFor(w.C(scratchBlocks), func(i ir.Reg) {
+			w.StoreIdx(scratch, w.MulI(i, 8), 8, w.Add(acc, i))
+		})
+		// Conditional AD-tree refresh: (essentially) never fires, but makes
+		// the AD-tree statically written-in-region.
+		req := w.Load(refresh, 0)
+		_ = req
+		needed := w.Cmp(ir.CmpEQ, w.RandI(48), w.C(0))
+		w.If(needed, func() {
+			w.StoreIdx(ad, w.C(0), 8, w.C(0))
+		}, nil)
+		// Fold the score into the network.
+		old := w.LoadIdx(net, node, 64)
+		w.StoreIdx(net, node, 64, w.Add(old, acc))
+		w.TxEnd()
+	})
+	w.RetVoid()
+
+	buildMain(b, int64(threads), func(m *fn) {
+		ad := m.GlobalAddr("adtree")
+		m.ForI(adWords, func(i ir.Reg) {
+			m.StoreIdx(ad, i, 8, m.RandI(256))
+		})
+	})
+	return b.M
+}

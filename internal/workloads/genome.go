@@ -1,0 +1,94 @@
+package workloads
+
+import "hintm/internal/ir"
+
+// genome: gene sequencing — segment deduplication into a shared hash table.
+// Each transaction scans a long segment of the gene string, hashes it, and
+// inserts it into an open-addressed table.
+//
+// Paper-relevant properties (4 threads, like the paper):
+//   - the segment scan reads many gene blocks, overflowing P8's buffer at
+//     baseline;
+//   - the gene string is *practically* read-only during the region, but a
+//     (rare) repair path may write it, so static classification proves
+//     nothing (the paper: "no safe accesses for genome") while dynamic
+//     classification marks the gene's (shared,ro) pages safe and removes
+//     most capacity aborts;
+//   - hash-table probes/inserts stay unsafe and provide conflicts.
+func init() {
+	register(&Spec{
+		Name:           "genome",
+		DefaultThreads: 4,
+		Description:    "segment dedup; long read-only scans only dynamic classification can prove",
+		Build:          buildGenome,
+	})
+}
+
+func buildGenome(threads int, scale Scale) *ir.Module {
+	geneWords := scale.pick(4096, 8192, 32768)
+	segLo := scale.pick(320, 320, 800)   // minimum scan length in words
+	segSpan := scale.pick(320, 320, 960) // additional random words
+	segsPerThread := scale.pick(6, 48, 64)
+	buckets := scale.pick(256, 1024, 4096)
+
+	b := ir.NewBuilder("genome")
+	b.GlobalPageAligned("gene", geneWords)
+	b.GlobalPageAligned("table", buckets*2) // [key, count] per bucket
+
+	w := newFn(b.ThreadBody("worker", 1))
+	gene := w.GlobalAddr("gene")
+	table := w.GlobalAddr("table")
+
+	w.ForI(segsPerThread, func(s ir.Reg) {
+		segWords := w.Add(w.C(segLo), w.RandI(segSpan))
+		start := w.RandI(geneWords - segLo - segSpan)
+		w.TxBegin()
+		// Scan the segment: a long run of gene loads. Dynamically safe
+		// (pages stay shared,ro in practice); statically unprovable
+		// because of the repair path below.
+		h := w.Mov(w.C(0))
+		w.For(segWords, func(i ir.Reg) {
+			v := w.LoadIdx(gene, w.Add(start, i), 8)
+			w.MovTo(h, w.Add(w.Mul(h, w.C(31)), v))
+		})
+		// Rare repair path: normalize a negative sentinel in place. It
+		// (essentially) never fires, but it makes the gene statically
+		// written-in-region.
+		probeV := w.LoadIdx(gene, start, 8)
+		_ = probeV
+		broken := w.Cmp(ir.CmpEQ, w.RandI(64), w.C(0))
+		w.If(broken, func() {
+			w.StoreIdx(gene, start, 8, w.C(0))
+		}, nil)
+		// Insert into the shared table with linear probing (bounded).
+		slot := w.Hash(h, buckets)
+		done := w.Mov(w.C(0))
+		w.ForI(4, func(p ir.Reg) {
+			pending := w.Cmp(ir.CmpEQ, done, w.C(0))
+			w.If(pending, func() {
+				idx := w.Mod(w.Add(slot, p), w.C(buckets))
+				key := w.LoadIdx(table, w.MulI(idx, 2), 8)
+				empty := w.Cmp(ir.CmpEQ, key, w.C(0))
+				match := w.Cmp(ir.CmpEQ, key, h)
+				hit := w.Bin(ir.BinOr, empty, match)
+				w.If(hit, func() {
+					addr := w.Idx(table, w.MulI(idx, 2), 8)
+					w.Store(addr, 0, h)
+					cnt := w.Load(addr, 8)
+					w.Store(addr, 8, w.AddI(cnt, 1))
+					w.MovTo(done, w.C(1))
+				}, nil)
+			}, nil)
+		})
+		w.TxEnd()
+	})
+	w.RetVoid()
+
+	buildMain(b, int64(threads), func(m *fn) {
+		g := m.GlobalAddr("gene")
+		m.ForI(geneWords, func(i ir.Reg) {
+			m.StoreIdx(g, i, 8, m.AddI(m.RandI(3), 1)) // positive bases
+		})
+	})
+	return b.M
+}

@@ -1,0 +1,135 @@
+package workloads
+
+import "hintm/internal/ir"
+
+// intruder: network intrusion detection. Threads transactionally pop packet
+// fragments from a shared queue (a hot head counter), decode them into a
+// thread-private buffer, and assemble flows in a shared map; completed flows
+// are scanned by the detector.
+//
+// Paper-relevant properties:
+//   - conflict-dominated small pop transactions on the queue head;
+//   - medium assembly transactions whose private decode buffer is
+//     *statically unprovable* (its pointer conditionally escapes to a
+//     debug-trace global), so only dynamic classification helps — the
+//     paper's static pass finds no safe accesses for intruder.
+func init() {
+	register(&Spec{
+		Name:           "intruder",
+		DefaultThreads: 8,
+		Description:    "packet reassembly; hot queue conflicts, dyn-only private buffers",
+		Build:          buildIntruder,
+	})
+}
+
+func buildIntruder(threads int, scale Scale) *ir.Module {
+	packets := scale.pick(64, 2048, 4096)
+	flows := scale.pick(32, 128, 512)
+	flowBlocks := int64(8)                  // flow record: 8 blocks of fragment data
+	decodeBlocks := int64(16)               // decode buffer capacity
+	historyBlocks := scale.pick(52, 42, 56) // detector's signature history ring
+
+	b := ir.NewBuilder("intruder")
+	b.Global("qhead", 1)
+	b.GlobalPageAligned("packets", packets*2) // [flow, frag] per packet
+	b.GlobalPageAligned("flowtab", flows*flowBlocks*8)
+	b.Global("traceSlot", 1)
+	b.Global("alarms", 1)
+
+	w := newFn(b.ThreadBody("worker", 1))
+	qhead := w.GlobalAddr("qhead")
+	pkts := w.GlobalAddr("packets")
+	flowtab := w.GlobalAddr("flowtab")
+	trace := w.GlobalAddr("traceSlot")
+	alarms := w.GlobalAddr("alarms")
+
+	// Thread-private decode buffer and detector history ring. The detector
+	// matches each packet against signatures accumulated from previously
+	// decoded traffic; the ring is written between transactions and only
+	// read inside them. The conditional publication below makes both
+	// statically shared-reachable (never executed in practice), so the
+	// compiler cannot mark them — only the page classifier can.
+	buf := w.MallocI(decodeBlocks * 64)
+	history := w.MallocI(historyBlocks * 64)
+	maybe := w.Cmp(ir.CmpLT, w.RandI(1000000), w.C(0)) // never true
+	w.If(maybe, func() {
+		w.Store(trace, 0, buf)
+		w.Store(trace, 0, history)
+	}, nil)
+	// Warm the history ring so early transactions scan real data.
+	w.ForI(historyBlocks, func(i ir.Reg) {
+		w.StoreIdx(history, w.MulI(i, 8), 8, w.Add(w.Param(0), i))
+	})
+
+	running := w.Mov(w.C(1))
+	w.While(func() ir.Reg { return running }, func() {
+		// TX 1: pop a packet (hot counter: the conflict source).
+		idx := w.Mov(w.C(0))
+		w.TxBegin()
+		h := w.Load(qhead, 0)
+		exhausted := w.Cmp(ir.CmpGE, h, w.C(packets))
+		w.If(exhausted, func() {
+			w.MovTo(running, w.C(0))
+		}, func() {
+			w.Store(qhead, 0, w.AddI(h, 1))
+			w.MovTo(idx, h)
+		})
+		w.TxEnd()
+
+		alive := w.Cmp(ir.CmpEQ, running, w.C(1))
+		w.If(alive, func() {
+			flow := w.LoadIdx(pkts, w.MulI(idx, 2), 8)
+			frag := w.LoadIdx(pkts, w.AddI(w.MulI(idx, 2), 1), 8)
+
+			// TX 2: decode into the private buffer, merge into the flow,
+			// match against the private signature history (the footprint-
+			// dominating read walk).
+			w.TxBegin()
+			// Fragment sizes vary: the decoded footprint straddles P8's
+			// capacity so only part of the TX population overflows.
+			dn := w.AddI(w.RandI(decodeBlocks-4), 4)
+			w.For(dn, func(i ir.Reg) {
+				v := w.Xor(w.Add(flow, i), frag)
+				w.StoreIdx(buf, w.MulI(i, 8), 8, v)
+			})
+			fbase := w.Idx(flowtab, w.Mul(flow, w.C(flowBlocks*8)), 8)
+			w.ForI(flowBlocks, func(i ir.Reg) {
+				d := w.LoadIdx(buf, w.MulI(w.Mod(i, dn), 8), 8)
+				old := w.LoadIdx(fbase, w.MulI(i, 8), 8)
+				w.StoreIdx(fbase, w.MulI(i, 8), 8, w.Xor(old, d))
+			})
+			// Detector: compare decoded output against the history ring.
+			score := w.Mov(w.C(0))
+			w.ForI(historyBlocks, func(i ir.Reg) {
+				h := w.LoadIdx(history, w.MulI(i, 8), 8)
+				d := w.LoadIdx(buf, w.MulI(w.Mod(i, dn), 8), 8)
+				same := w.Cmp(ir.CmpEQ, w.Mod(h, w.C(251)), w.Mod(d, w.C(251)))
+				w.MovTo(score, w.Add(score, same))
+			})
+			hit := w.Cmp(ir.CmpGT, score, w.C(int64(historyBlocks/2)))
+			w.If(hit, func() {
+				a := w.Load(alarms, 0)
+				w.Store(alarms, 0, w.AddI(a, 1))
+			}, nil)
+			w.TxEnd()
+
+			// Outside the TX: fold this packet's signature into the history
+			// ring for future detection (private writes on private pages).
+			slot := w.Mod(idx, w.C(historyBlocks))
+			sig := w.LoadIdx(buf, 0, 8)
+			w.StoreIdx(history, w.MulI(slot, 8), 8, sig)
+		}, nil)
+	})
+	w.FreeI(buf, decodeBlocks*64)
+	w.FreeI(history, historyBlocks*64)
+	w.RetVoid()
+
+	buildMain(b, int64(threads), func(m *fn) {
+		p := m.GlobalAddr("packets")
+		m.ForI(packets, func(i ir.Reg) {
+			m.StoreIdx(p, m.MulI(i, 2), 8, m.RandI(flows))
+			m.StoreIdx(p, m.AddI(m.MulI(i, 2), 1), 8, m.RandI(16))
+		})
+	})
+	return b.M
+}

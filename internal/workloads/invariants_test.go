@@ -1,0 +1,113 @@
+package workloads
+
+import (
+	"testing"
+
+	"hintm/internal/classify"
+	"hintm/internal/htm"
+	"hintm/internal/sim"
+)
+
+// Safety hints must never change program semantics: a workload's
+// configuration-independent outputs have to be identical across every HTM
+// baseline and hint mode. Each checked quantity below is provably
+// schedule-independent (it depends only on per-thread PRNG streams and TX
+// atomicity, not on interleaving).
+func TestSemanticInvariantsAcrossConfigs(t *testing.T) {
+	type check struct {
+		workload string
+		describe string
+		value    func(m *sim.Machine) int64
+	}
+	checks := []check{
+		{
+			workload: "kmeans",
+			describe: "sum of cluster counts == points processed",
+			value: func(m *sim.Machine) int64 {
+				var sum int64
+				for c := int64(0); c < kmK; c++ {
+					sum += m.ReadGlobal("centers", c*16)
+				}
+				return sum
+			},
+		},
+		{
+			workload: "tpcc-p",
+			describe: "warehouse YTD == initial + all payment amounts",
+			value: func(m *sim.Machine) int64 {
+				return m.ReadGlobal("warehouse", 0)
+			},
+		},
+		{
+			workload: "intruder",
+			describe: "queue head == packet count (all packets consumed once)",
+			value: func(m *sim.Machine) int64 {
+				return m.ReadGlobal("qhead", 0)
+			},
+		},
+		{
+			workload: "yada",
+			describe: "refined counter == threads * refinements",
+			value: func(m *sim.Machine) int64 {
+				return m.ReadGlobal("refined", 0)
+			},
+		},
+	}
+
+	configs := []struct {
+		name       string
+		kind       sim.HTMKind
+		hints      sim.HintMode
+		versioning htm.Versioning
+	}{
+		{"P8/baseline", sim.HTMP8, sim.HintNone, htm.VersionEager},
+		{"P8/st", sim.HTMP8, sim.HintStatic, htm.VersionEager},
+		{"P8/dyn", sim.HTMP8, sim.HintDynamic, htm.VersionEager},
+		{"P8/full", sim.HTMP8, sim.HintFull, htm.VersionEager},
+		{"P8/lazy", sim.HTMP8, sim.HintNone, htm.VersionLazy},
+		{"P8/lazy+full", sim.HTMP8, sim.HintFull, htm.VersionLazy},
+		{"P8S/full", sim.HTMP8S, sim.HintFull, htm.VersionEager},
+		{"L1TM/full", sim.HTML1TM, sim.HintFull, htm.VersionEager},
+		{"InfCap/baseline", sim.HTMInfCap, sim.HintNone, htm.VersionEager},
+	}
+
+	for _, c := range checks {
+		c := c
+		t.Run(c.workload, func(t *testing.T) {
+			spec, err := ByName(c.workload)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mod := spec.Build(spec.DefaultThreads, Small)
+			if _, err := classify.Run(mod); err != nil {
+				t.Fatal(err)
+			}
+			var want int64
+			for i, cfgDesc := range configs {
+				cfg := sim.DefaultConfig()
+				cfg.HTM = cfgDesc.kind
+				cfg.Hints = cfgDesc.hints
+				cfg.Versioning = cfgDesc.versioning
+				m, err := sim.New(cfg, mod)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if _, err := m.Run(); err != nil {
+					t.Fatalf("%s: %v", cfgDesc.name, err)
+				}
+				got := c.value(m)
+				if i == 0 {
+					want = got
+					if want == 0 {
+						t.Fatalf("%s: invariant value is zero — workload broken", c.describe)
+					}
+					continue
+				}
+				if got != want {
+					t.Errorf("%s: %s = %d under %s, want %d (baseline)",
+						c.workload, c.describe, got, cfgDesc.name, want)
+				}
+			}
+		})
+	}
+}

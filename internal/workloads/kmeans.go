@@ -1,0 +1,94 @@
+package workloads
+
+import "hintm/internal/ir"
+
+// kmeans: partitioned clustering. Each thread assigns its slice of points to
+// the nearest center (non-transactional distance computation over a stale
+// snapshot, as in STAMP) and then transactionally folds the point into the
+// chosen center's accumulator.
+//
+// Paper-relevant property: tiny transactions (two or three cache blocks) —
+// kmeans never exceeds even P8's capacity and is unaffected by HinTM
+// (Fig. 1, Fig. 4).
+func init() {
+	register(&Spec{
+		Name:           "kmeans",
+		DefaultThreads: 8,
+		Description:    "partitioned clustering; tiny TXs, no capacity pressure",
+		Build:          buildKmeans,
+	})
+}
+
+const (
+	kmDim = 8 // words per point (one cache block)
+	kmK   = 32
+)
+
+func buildKmeans(threads int, scale Scale) *ir.Module {
+	points := scale.pick(256, 8192, 16384)
+	b := ir.NewBuilder("kmeans")
+	b.GlobalPageAligned("points", points*kmDim)
+	// centers: per cluster [count, sum0..sum7, padding to 16 words].
+	b.GlobalPageAligned("centers", kmK*16)
+
+	buildKmWorker(b, points, int64(threads))
+
+	buildMain(b, int64(threads), func(m *fn) {
+		pts := m.GlobalAddr("points")
+		m.ForI(points*kmDim, func(i ir.Reg) {
+			m.StoreIdx(pts, i, 8, m.RandI(1024))
+		})
+		ctr := m.GlobalAddr("centers")
+		m.ForI(kmK*16, func(i ir.Reg) {
+			m.StoreIdx(ctr, i, 8, m.C(0))
+		})
+	})
+	return b.M
+}
+
+func buildKmWorker(b *ir.Builder, points, threads int64) {
+	w := newFn(b.ThreadBody("worker", 1))
+	tid := w.Param(0)
+	chunk := points / threads
+	pts := w.GlobalAddr("points")
+	ctr := w.GlobalAddr("centers")
+	base := w.MulI(tid, chunk)
+
+	w.ForI(chunk, func(i ir.Reg) {
+		pi := w.Add(base, i)
+		paddr := w.Idx(pts, pi, kmDim*8)
+
+		// Pick the nearest center non-transactionally (stale reads are
+		// tolerated, as in the original benchmark's assignment phase).
+		best := w.Mov(w.C(0))
+		bestDist := w.Mov(w.C(1 << 40))
+		w.ForI(kmK, func(c ir.Reg) {
+			caddr := w.Idx(ctr, c, 16*8)
+			dist := w.Mov(w.C(0))
+			for d := int64(0); d < kmDim; d++ {
+				pv := w.Load(paddr, d*8)
+				cv := w.Load(caddr, (1+d)*8)
+				diff := w.Sub(pv, cv)
+				w.MovTo(dist, w.Add(dist, w.Mul(diff, diff)))
+			}
+			closer := w.Cmp(ir.CmpLT, dist, bestDist)
+			w.If(closer, func() {
+				w.MovTo(bestDist, dist)
+				w.MovTo(best, c)
+			}, nil)
+		})
+
+		// Transactionally fold the point into the chosen accumulator.
+		w.TxBegin()
+		caddr := w.Idx(ctr, best, 16*8)
+		cnt := w.Load(caddr, 0)
+		w.Store(caddr, 0, w.AddI(cnt, 1))
+		for d := int64(0); d < kmDim; d++ {
+			pv := w.Load(paddr, d*8)
+			sum := w.Load(caddr, (1+d)*8)
+			w.Store(caddr, (1+d)*8, w.Add(sum, pv))
+		}
+		w.TxEnd()
+	})
+	w.RetVoid()
+}

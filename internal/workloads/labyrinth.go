@@ -1,0 +1,142 @@
+package workloads
+
+import "hintm/internal/ir"
+
+// labyrinth: maze routing (Lee's algorithm), structured like STAMP's
+// router: each attempt snapshots the shared grid into a thread-private
+// scratch grid and runs the distance expansion outside the transaction
+// (stale snapshots are tolerated); the transaction then selects the route
+// by sweeping the private grid and writes the path back to the shared grid
+// with per-cell validation reads.
+//
+// Paper-relevant properties:
+//   - the private grid is heap-allocated per thread and freed at thread
+//     end, so Algorithm 1 + escape analysis prove it thread-private; the
+//     in-TX route-selection sweep over it dominates the transaction's
+//     accesses (the paper's ~95%-safe extreme, Fig. 5), and the helper that
+//     performs it is specialized by function replication (Listing 2);
+//   - baseline transactions track the whole private sweep and overflow
+//     P8's 64 entries almost always (Fig. 1's worst case, 9.1× InfCap
+//     headroom); with hints only the ~path-sized validated write-back
+//     remains and the TX fits — HinTM-st alone recovers most of it
+//     (Fig. 4's 2.98×);
+//   - conflicts arise only from overlapping paths, so hinted runs scale.
+func init() {
+	register(&Spec{
+		Name:           "labyrinth",
+		DefaultThreads: 8,
+		Description:    "maze routing; private grid sweeps in-TX, validated path writeback",
+		Build:          buildLabyrinth,
+	})
+}
+
+func buildLabyrinth(threads int, scale Scale) *ir.Module {
+	gridWords := scale.pick(448, 420, 1536) // 56/53/192 cache blocks
+	pathsPerThread := scale.pick(2, 16, 20)
+	pathLen := scale.pick(12, 16, 24)     // path cells, one cache block apart
+	routeBlocks := scale.pick(32, 40, 56) // private route buffer (blocks)
+	sweeps := int64(3)
+
+	b := ir.NewBuilder("labyrinth")
+	b.GlobalPageAligned("grid", gridWords)
+
+	// copyGrid(dst, src, n): stale snapshot of the shared grid (outside TX).
+	cg := newFn(b.Function("copyGrid", 3))
+	cg.DoFor(cg.Param(2), func(i ir.Reg) {
+		v := cg.LoadIdx(cg.Param(1), i, 8)
+		cg.StoreIdx(cg.Param(0), i, 8, v)
+	})
+	cg.RetVoid()
+
+	// expand(g, n, seed): relaxation sweeps over the private grid (outside TX).
+	ex := newFn(b.Function("expand", 3))
+	ex.DoFor(ex.Param(1), func(i ir.Reg) {
+		v := ex.LoadIdx(ex.Param(0), i, 8)
+		nbIdx := ex.Mod(ex.Add(i, ex.Param(2)), ex.Param(1))
+		nb := ex.LoadIdx(ex.Param(0), nbIdx, 8)
+		better := ex.Cmp(ir.CmpLT, ex.AddI(nb, 1), v)
+		ex.If(better, func() {
+			ex.StoreIdx(ex.Param(0), i, 8, ex.AddI(nb, 1))
+		}, nil)
+	})
+	ex.RetVoid()
+
+	// selectRoute(g, route, n, seed): in-TX route selection — clears the
+	// private route buffer (initializing, statically safe stores: the
+	// writeset P8S-style HTMs are bound by), then runs `sweeps` full read
+	// sweeps over the private grid recording corridor candidates, and
+	// finally marks a handful of chosen grid cells (load-before-store, so
+	// those stay tracked). Called inside the transaction with
+	// thread-private arguments: the replication target (Listing 2).
+	sr := newFn(b.Function("selectRoute", 4))
+	{
+		sr.DoFor(sr.C(routeBlocks), func(i ir.Reg) {
+			sr.StoreIdx(sr.Param(1), sr.MulI(i, 8), 8, sr.C(0))
+		})
+		bestv := sr.Mov(sr.C(1 << 30))
+		besti := sr.Mov(sr.C(0))
+		for s := int64(0); s < sweeps; s++ {
+			sr.For(sr.Param(2), func(i ir.Reg) {
+				v := sr.LoadIdx(sr.Param(0), i, 8)
+				better := sr.Cmp(ir.CmpLT, v, bestv)
+				sr.If(better, func() {
+					sr.MovTo(bestv, v)
+					sr.MovTo(besti, i)
+					slot := sr.Mod(i, sr.C(routeBlocks))
+					sr.StoreIdx(sr.Param(1), sr.MulI(slot, 8), 8, i)
+				}, nil)
+			})
+		}
+		// Mark chosen corridor cells in the private grid (not initializing:
+		// loads preceded them; a handful of tracked blocks).
+		sr.ForI(6, func(i ir.Reg) {
+			idx := sr.Mod(sr.Add(besti, sr.MulI(i, 8)), sr.Param(2))
+			old := sr.LoadIdx(sr.Param(0), idx, 8)
+			sr.StoreIdx(sr.Param(0), idx, 8, sr.Sub(sr.C(0), sr.AddI(old, 1)))
+		})
+		sr.Ret(besti)
+	}
+
+	w := newFn(b.ThreadBody("worker", 1))
+	tid := w.Param(0)
+	myGrid := w.MallocI(gridWords * 8)
+	routeBuf := w.MallocI(routeBlocks * 64)
+	grid := w.GlobalAddr("grid")
+	nReg := w.C(gridWords)
+
+	w.ForI(pathsPerThread, func(p ir.Reg) {
+		seed := w.Rand(nReg)
+		// Stale snapshot + expansion outside the transaction (STAMP's
+		// router tolerates staleness; validation happens in the TX).
+		w.CallVoid("copyGrid", myGrid, grid, nReg)
+		w.CallVoid("expand", myGrid, nReg, w.AddI(seed, 1))
+
+		w.TxBegin()
+		start := w.Call("selectRoute", myGrid, routeBuf, nReg, seed)
+		// Validated write-back: re-read each shared cell, claim it if free.
+		// A route crosses grid rows, so consecutive path cells land one
+		// cache block apart.
+		base := w.Mod(start, w.C(gridWords-pathLen*8))
+		w.ForI(pathLen, func(i ir.Reg) {
+			cell := w.Add(base, w.MulI(i, 8))
+			cur := w.LoadIdx(grid, cell, 8)
+			free := w.Cmp(ir.CmpEQ, cur, w.C(0))
+			w.If(free, func() {
+				mark := w.AddI(w.MulI(tid, 1000), 1)
+				w.StoreIdx(grid, cell, 8, mark)
+			}, nil)
+		})
+		w.TxEnd()
+	})
+	w.FreeI(myGrid, gridWords*8)
+	w.FreeI(routeBuf, routeBlocks*64)
+	w.RetVoid()
+
+	buildMain(b, int64(threads), func(m *fn) {
+		g := m.GlobalAddr("grid")
+		m.ForI(gridWords, func(i ir.Reg) {
+			m.StoreIdx(g, i, 8, m.C(0))
+		})
+	})
+	return b.M
+}

@@ -1,0 +1,57 @@
+package workloads
+
+import "hintm/internal/ir"
+
+// ssca2: the graph-construction kernel of SSCA#2. Threads transactionally
+// append random edges into fixed-capacity per-node adjacency arrays.
+//
+// Paper-relevant property: tiny transactions (a count word plus one slot),
+// conflicts only when two threads pick the same node, no capacity pressure
+// (Fig. 1's "never exceed capacity" pair together with kmeans).
+func init() {
+	register(&Spec{
+		Name:           "ssca2",
+		DefaultThreads: 8,
+		Description:    "graph construction; tiny TXs, conflicts on node counters",
+		Build:          buildSSCA2,
+	})
+}
+
+const ssca2Cap = 8 // adjacency slots per node
+
+func buildSSCA2(threads int, scale Scale) *ir.Module {
+	nodes := scale.pick(128, 1024, 4096)
+	edgesPerThread := scale.pick(64, 32768, 40960)
+
+	b := ir.NewBuilder("ssca2")
+	b.GlobalPageAligned("counts", nodes)
+	b.GlobalPageAligned("adj", nodes*ssca2Cap)
+
+	w := newFn(b.ThreadBody("worker", 1))
+	counts := w.GlobalAddr("counts")
+	adj := w.GlobalAddr("adj")
+	nodesReg := w.C(nodes)
+
+	w.ForI(edgesPerThread, func(i ir.Reg) {
+		u := w.Rand(nodesReg)
+		v := w.Rand(nodesReg)
+		w.TxBegin()
+		c := w.LoadIdx(counts, u, 8)
+		hasRoom := w.Cmp(ir.CmpLT, c, w.C(ssca2Cap))
+		w.If(hasRoom, func() {
+			slot := w.Add(w.MulI(u, ssca2Cap), c)
+			w.StoreIdx(adj, slot, 8, v)
+			w.StoreIdx(counts, u, 8, w.AddI(c, 1))
+		}, nil)
+		w.TxEnd()
+	})
+	w.RetVoid()
+
+	buildMain(b, int64(threads), func(m *fn) {
+		counts := m.GlobalAddr("counts")
+		m.ForI(nodes, func(i ir.Reg) {
+			m.StoreIdx(counts, i, 8, m.C(0))
+		})
+	})
+	return b.M
+}

@@ -1,0 +1,96 @@
+package workloads
+
+import "hintm/internal/ir"
+
+// yada: Delaunay mesh refinement. Each transaction walks a cavity of
+// triangles around a bad element (a long read walk over the shared mesh),
+// collects the cavity into a small scratch list allocated and freed inside
+// the transaction, and retriangulates by writing a few mesh records.
+//
+// Paper-relevant properties (4 threads):
+//   - large read-mostly transactions: the cavity walk overflows P8;
+//   - mesh pages are written by retriangulation over time, so dynamic
+//     classification helps early (pages still shared,ro) and wanes as pages
+//     transition — a partial, not total, capacity reduction;
+//   - the in-TX scratch (malloc'd and freed inside the TX) is the only
+//     statically provable memory, a tiny fraction of accesses on P8 but a
+//     meaningful share of the *writeset*, which is what P8S capacity is
+//     bound by (the paper's §VI-D1 bayes/yada observation).
+func init() {
+	register(&Spec{
+		Name:           "yada",
+		DefaultThreads: 4,
+		Description:    "mesh refinement; large read walks, in-TX scratch, partial dyn benefit",
+		Build:          buildYada,
+	})
+}
+
+func buildYada(threads int, scale Scale) *ir.Module {
+	triangles := scale.pick(1024, 4096, 16384) // mesh records, 1 block each
+	cavityLo := scale.pick(48, 40, 80)         // min blocks read per walk
+	cavitySpan := scale.pick(48, 64, 160)      // extra random blocks
+	refinements := scale.pick(4, 160, 224)     // TXs per thread
+	scratchBlocks := int64(4)
+	writeback := int64(4)
+	// New triangles are appended into a per-thread tail region (mesh
+	// refinement grows the mesh); existing records are only occasionally
+	// marked dead in place, so most mesh pages stay read-mostly.
+	appendCap := refinements * writeback
+
+	b := ir.NewBuilder("yada")
+	b.GlobalPageAligned("mesh", triangles*8) // 1 block (8 words) per triangle
+	b.GlobalPageAligned("meshTail", int64(threads)*appendCap*8)
+	b.Global("refined", 1)
+
+	w := newFn(b.ThreadBody("worker", 1))
+	mesh := w.GlobalAddr("mesh")
+	tail := w.GlobalAddr("meshTail")
+	refined := w.GlobalAddr("refined")
+	triReg := w.C(triangles)
+
+	w.ForI(refinements, func(r ir.Reg) {
+		seed := w.Rand(triReg)
+		w.TxBegin()
+		// In-TX scratch: allocated and freed within the transaction, so
+		// Algorithm 1 proves it thread-private and its stores initializing.
+		scratch := w.MallocI(scratchBlocks * 64)
+		// Cavity walk: pseudo-random chain of mesh reads.
+		cavity := w.Add(w.C(cavityLo), w.RandI(cavitySpan))
+		cur := w.Mov(seed)
+		acc := w.Mov(w.C(0))
+		w.For(cavity, func(i ir.Reg) {
+			v := w.LoadIdx(mesh, cur, 64)
+			w.MovTo(acc, w.Add(acc, v))
+			w.MovTo(cur, w.Mod(w.Add(w.Mul(cur, w.C(1103515245)), w.C(12345)), triReg))
+		})
+		// Record the cavity summary in the in-TX scratch (the tiny population
+		// of statically safe writes that matters under writeset-bound P8S).
+		w.DoFor(w.C(scratchBlocks), func(i ir.Reg) {
+			w.StoreIdx(scratch, w.MulI(i, 8), 8, w.Add(acc, i))
+		})
+		// Retriangulate: append new triangles to this thread's tail region;
+		// occasionally mark one original record dead in place.
+		tailBase := w.Add(w.MulI(w.Param(0), appendCap), w.Mul(r, w.C(writeback)))
+		w.ForI(writeback, func(i ir.Reg) {
+			w.StoreIdx(tail, w.Add(tailBase, i), 64, w.Add(acc, i))
+		})
+		kill := w.Cmp(ir.CmpEQ, w.RandI(8), w.C(0))
+		w.If(kill, func() {
+			old := w.LoadIdx(mesh, seed, 64)
+			w.StoreIdx(mesh, seed, 64, w.Sub(w.C(0), w.AddI(old, 1)))
+		}, nil)
+		cnt := w.Load(refined, 0)
+		w.Store(refined, 0, w.AddI(cnt, 1))
+		w.FreeI(scratch, scratchBlocks*64)
+		w.TxEnd()
+	})
+	w.RetVoid()
+
+	buildMain(b, int64(threads), func(m *fn) {
+		mesh := m.GlobalAddr("mesh")
+		m.ForI(triangles, func(i ir.Reg) {
+			m.StoreIdx(mesh, i, 64, m.AddI(m.RandI(100), 1))
+		})
+	})
+	return b.M
+}
