@@ -3,15 +3,24 @@
 
 GO ?= go
 
-.PHONY: all test vet bench figures svg ablate export clean
+.PHONY: all test vet race bench figures svg ablate export clean
 
-all: vet test
+all: test
 
-test:
+# test is the default gate: vet, the full suite, and the race detector over
+# the concurrent packages (the scheduler and the simulator it drives).
+test: vet
 	$(GO) test ./...
+	$(MAKE) race
 
 vet:
 	$(GO) vet ./...
+
+# race runs the concurrency-sensitive packages under the race detector; the
+# harness determinism tests double as the parallel-scheduler correctness
+# suite.
+race:
+	$(GO) test -race ./internal/harness/... ./internal/sim/...
 
 # The full verification artifacts the repository ships with.
 artifacts:

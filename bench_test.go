@@ -10,6 +10,7 @@
 package hintm_test
 
 import (
+	"context"
 	"io"
 	"math"
 	"testing"
@@ -32,7 +33,7 @@ func quickRunner() *harness.Runner {
 // share and the safe-region/safe-access opportunity metrics.
 func BenchmarkFig1_OpportunityStudy(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := quickRunner().Fig1()
+		rows, err := quickRunner().Fig1(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -53,7 +54,7 @@ func BenchmarkFig1_OpportunityStudy(b *testing.B) {
 // regenerate Fig. 4 on the P8 baseline.
 func BenchmarkFig4a_CapacityAbortReduction(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := quickRunner().Fig4()
+		rows, err := quickRunner().Fig4(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -77,7 +78,7 @@ func BenchmarkFig4a_CapacityAbortReduction(b *testing.B) {
 
 func BenchmarkFig4b_Speedup(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := quickRunner().Fig4()
+		rows, err := quickRunner().Fig4(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -99,7 +100,7 @@ func BenchmarkFig4b_Speedup(b *testing.B) {
 // BenchmarkFig5_AccessBreakdown regenerates Fig. 5.
 func BenchmarkFig5_AccessBreakdown(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := quickRunner().Fig5()
+		rows, err := quickRunner().Fig5(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -117,7 +118,7 @@ func BenchmarkFig5_AccessBreakdown(b *testing.B) {
 // BenchmarkFig6_TxSizeCDF regenerates the Fig. 6 footprint CDFs.
 func BenchmarkFig6_TxSizeCDF(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		series, err := quickRunner().Fig6()
+		series, err := quickRunner().Fig6(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -136,7 +137,7 @@ func BenchmarkFig6_TxSizeCDF(b *testing.B) {
 // BenchmarkFig7_P8S regenerates the P8S study.
 func BenchmarkFig7_P8S(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := quickRunner().Fig7()
+		rows, err := quickRunner().Fig7(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -152,7 +153,7 @@ func BenchmarkFig7_P8S(b *testing.B) {
 // BenchmarkFig8_L1TMSMT regenerates the L1TM/SMT study.
 func BenchmarkFig8_L1TMSMT(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := quickRunner().Fig8()
+		rows, err := quickRunner().Fig8(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -191,7 +192,7 @@ func BenchmarkWorkloadP8(b *testing.B) {
 					if err != nil {
 						b.Fatal(err)
 					}
-					res, err := m.Run()
+					res, err := m.Run(context.Background())
 					if err != nil {
 						b.Fatal(err)
 					}
@@ -269,7 +270,7 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		res, err := m.Run()
+		res, err := m.Run(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}

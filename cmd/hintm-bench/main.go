@@ -10,12 +10,16 @@
 //	-large small|medium|large   input scale for Fig 7/8 (default large)
 //	-workloads a,b,c            restrict to a workload subset
 //	-seed N                     simulation seed
+//	-workers N                  concurrent simulations (0 = GOMAXPROCS)
+//	-timeout D                  abort the whole run after D (e.g. 10m)
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 
 	"hintm/internal/harness"
@@ -39,6 +43,8 @@ func main() {
 	largeFlag := flag.String("large", "large", "input scale for Fig 7/8")
 	wlFlag := flag.String("workloads", "", "comma-separated workload subset")
 	seed := flag.Uint64("seed", 1, "simulation seed")
+	workers := flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
+	timeout := flag.Duration("timeout", 0, "abort the whole run after this duration (0 = none)")
 	svgDir := flag.String("svg", "", "also render the figures as SVG files into this directory")
 	flag.Parse()
 
@@ -54,6 +60,15 @@ func main() {
 		opts.Filter = strings.Split(*wlFlag, ",")
 	}
 	opts.Seed = *seed
+	opts.Workers = *workers
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	r := harness.NewRunner(opts)
 	target := "all"
@@ -62,25 +77,25 @@ func main() {
 	}
 	switch target {
 	case "fig1":
-		err = r.RenderFig1(os.Stdout)
+		err = r.RenderFig1(ctx, os.Stdout)
 	case "fig4":
-		err = r.RenderFig4(os.Stdout)
+		err = r.RenderFig4(ctx, os.Stdout)
 	case "fig5":
-		err = r.RenderFig5(os.Stdout)
+		err = r.RenderFig5(ctx, os.Stdout)
 	case "fig6":
-		err = r.RenderFig6(os.Stdout)
+		err = r.RenderFig6(ctx, os.Stdout)
 	case "fig7":
-		err = r.RenderFig7(os.Stdout)
+		err = r.RenderFig7(ctx, os.Stdout)
 	case "fig8":
-		err = r.RenderFig8(os.Stdout)
+		err = r.RenderFig8(ctx, os.Stdout)
 	case "ablate":
-		err = r.RenderAblations(os.Stdout)
+		err = r.RenderAblations(ctx, os.Stdout)
 	case "extras":
-		err = r.RenderExtras(os.Stdout)
+		err = r.RenderExtras(ctx, os.Stdout)
 	case "export":
-		err = r.ExportAll(os.Stdout)
+		err = r.ExportAll(ctx, os.Stdout)
 	case "seeds":
-		err = harness.RenderSeedSweep(os.Stdout, opts, []uint64{1, 2, 3, 4, 5})
+		err = harness.RenderSeedSweep(ctx, os.Stdout, opts, []uint64{1, 2, 3, 4, 5})
 	case "table1":
 		harness.RenderTable1(os.Stdout)
 	case "table2":
@@ -89,11 +104,11 @@ func main() {
 		if *svgDir == "" {
 			*svgDir = "figures"
 		}
-		err = r.WriteSVGs(*svgDir)
+		err = r.WriteSVGs(ctx, *svgDir)
 	case "all":
-		err = r.RenderAll(os.Stdout)
+		err = r.RenderAll(ctx, os.Stdout)
 		if err == nil && *svgDir != "" {
-			err = r.WriteSVGs(*svgDir)
+			err = r.WriteSVGs(ctx, *svgDir)
 		}
 	default:
 		err = fmt.Errorf("unknown target %q (want table1|table2|fig1|fig4|fig5|fig6|fig7|fig8|ablate|extras|export|seeds|svg|all)", target)

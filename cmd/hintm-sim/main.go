@@ -16,12 +16,15 @@
 //	-threads N                 override the paper's thread count
 //	-smt N                     hardware threads per core (default 1)
 //	-seed N                    simulation seed
+//	-timeout D                 abort the simulation after D (e.g. 30s)
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"hintm/internal/cache"
 	"hintm/internal/classify"
@@ -39,6 +42,7 @@ func main() {
 	threads := flag.Int("threads", 0, "thread count (0 = paper default)")
 	smt := flag.Int("smt", 1, "hardware threads per core")
 	seed := flag.Uint64("seed", 1, "simulation seed")
+	timeout := flag.Duration("timeout", 0, "abort the simulation after this duration (0 = none)")
 	printConfig := flag.Bool("print-config", false, "print the Table-II machine parameters and exit")
 	list := flag.Bool("list", false, "list workloads and exit")
 	moduleFile := flag.String("module", "", "run a hand-written textual TIR module instead of a workload")
@@ -137,7 +141,14 @@ func main() {
 	if *hot > 0 {
 		m.EnableProfile()
 	}
-	res, err := m.Run()
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	res, err := m.Run(ctx)
 	if err != nil {
 		fatal(err)
 	}

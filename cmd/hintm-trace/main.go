@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -107,7 +108,7 @@ func record(args []string) {
 	defer f.Close()
 	tw := trace.NewWriter(f)
 	m.SetProfiler(tw)
-	res, err := m.Run()
+	res, err := m.Run(context.Background())
 	if err != nil {
 		fatal(err)
 	}

@@ -17,6 +17,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -44,7 +45,7 @@ func run(name string, kind sim.HTMKind, hints sim.HintMode) *sim.Result {
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := m.Run()
+	res, err := m.Run(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
@@ -51,7 +52,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		res, err := m.Run()
+		res, err := m.Run(context.Background())
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -90,7 +91,7 @@ func run(mod *ir.Module, hints sim.HintMode) *sim.Result {
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := m.Run()
+	res, err := m.Run(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -17,6 +17,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -44,7 +45,7 @@ func run(name string, kind sim.HTMKind, mode sim.HintMode, scale workloads.Scale
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := m.Run()
+	res, err := m.Run(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -39,7 +40,7 @@ func run(mode sim.HintMode) *sim.Result {
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := m.Run()
+	res, err := m.Run(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package classify
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -144,7 +145,7 @@ func runFuzz(t *testing.T, mod *ir.Module, kind sim.HTMKind, hints sim.HintMode)
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := m.Run()
+	res, err := m.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

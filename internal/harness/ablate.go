@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -18,45 +19,45 @@ import (
 // same effect solely with hardware requires larger buffering capacity";
 // §VI-B: "motivates investigating ... reduced page mode transition
 // penalties"); these sweeps put numbers on the trade-offs.
+//
+// Each sweep point perturbs sim.Config fields Request does not carry, so
+// ablations bypass the memoizing Request cache: every sweep collects its
+// configurations up front and submits the batch to the worker pool in one
+// runConfigs call.
 
-// ablateRun executes one (workload, cfg) pair without memoization (each
-// sweep point has a distinct configuration).
-func (r *Runner) ablateRun(spec *workloads.Spec, scale workloads.Scale, cfg sim.Config) (*sim.Result, error) {
-	mod, err := r.module(spec, spec.DefaultThreads*cfg.SMT, scale)
-	if err != nil {
-		return nil, err
-	}
-	m, err := sim.New(cfg, mod)
-	if err != nil {
-		return nil, err
-	}
-	return m.Run()
+// ablateBase returns the sweeps' common starting configuration.
+func (r *Runner) ablateBase() sim.Config {
+	cfg := sim.DefaultConfig()
+	cfg.Seed = r.opts.Seed
+	return cfg
 }
 
 // AblateBufferSize sweeps the P8 buffer's entry count with and without
 // HinTM: the hints act like a hardware capacity multiplier.
-func (r *Runner) AblateBufferSize(w io.Writer, app string) error {
+func (r *Runner) AblateBufferSize(ctx context.Context, w io.Writer, app string) error {
 	spec, err := workloads.ByName(app)
+	if err != nil {
+		return err
+	}
+	entries := []int{16, 32, 64, 128, 256}
+	var cfgs []sim.Config
+	for _, n := range entries {
+		cfg := r.ablateBase()
+		cfg.P8Entries = n
+		cfgs = append(cfgs, cfg)
+		cfg.Hints = sim.HintFull
+		cfgs = append(cfgs, cfg)
+	}
+	res, err := r.runConfigs(ctx, spec, r.opts.Scale, cfgs)
 	if err != nil {
 		return err
 	}
 	fmt.Fprint(w, Title(fmt.Sprintf("Ablation: P8 buffer size (%s)", app)))
 	t := stats.NewTable("entries", "base cycles", "base cap-aborts",
 		"HinTM cycles", "HinTM cap-aborts", "HinTM speedup")
-	for _, entries := range []int{16, 32, 64, 128, 256} {
-		cfg := sim.DefaultConfig()
-		cfg.Seed = r.opts.Seed
-		cfg.P8Entries = entries
-		base, err := r.ablateRun(spec, r.opts.Scale, cfg)
-		if err != nil {
-			return err
-		}
-		cfg.Hints = sim.HintFull
-		full, err := r.ablateRun(spec, r.opts.Scale, cfg)
-		if err != nil {
-			return err
-		}
-		t.Row(entries, base.Cycles, base.Aborts[htm.AbortCapacity],
+	for i, n := range entries {
+		base, full := res[2*i], res[2*i+1]
+		t.Row(n, base.Cycles, base.Aborts[htm.AbortCapacity],
 			full.Cycles, full.Aborts[htm.AbortCapacity],
 			fmt.Sprintf("%.2fx", speedup(base.Cycles, full.Cycles)))
 	}
@@ -67,29 +68,31 @@ func (r *Runner) AblateBufferSize(w io.Writer, app string) error {
 // AblateSignatureSize sweeps P8S signature bits: smaller signatures alias
 // more (false conflicts), and HinTM's reduced readset insertion rate
 // effectively enlarges the signature.
-func (r *Runner) AblateSignatureSize(w io.Writer, app string) error {
+func (r *Runner) AblateSignatureSize(ctx context.Context, w io.Writer, app string) error {
 	spec, err := workloads.ByName(app)
+	if err != nil {
+		return err
+	}
+	bits := []uint64{128, 256, 512, 1024, 4096}
+	var cfgs []sim.Config
+	for _, b := range bits {
+		cfg := r.ablateBase()
+		cfg.HTM = sim.HTMP8S
+		cfg.SigBits = b
+		cfgs = append(cfgs, cfg)
+		cfg.Hints = sim.HintFull
+		cfgs = append(cfgs, cfg)
+	}
+	res, err := r.runConfigs(ctx, spec, r.opts.LargeScale, cfgs)
 	if err != nil {
 		return err
 	}
 	fmt.Fprint(w, Title(fmt.Sprintf("Ablation: P8S signature size (%s, large inputs)", app)))
 	t := stats.NewTable("bits", "base false-conflicts", "HinTM false-conflicts",
 		"base cycles", "HinTM cycles")
-	for _, bits := range []uint64{128, 256, 512, 1024, 4096} {
-		cfg := sim.DefaultConfig()
-		cfg.Seed = r.opts.Seed
-		cfg.HTM = sim.HTMP8S
-		cfg.SigBits = bits
-		base, err := r.ablateRun(spec, r.opts.LargeScale, cfg)
-		if err != nil {
-			return err
-		}
-		cfg.Hints = sim.HintFull
-		full, err := r.ablateRun(spec, r.opts.LargeScale, cfg)
-		if err != nil {
-			return err
-		}
-		t.Row(bits, base.Aborts[htm.AbortFalseConflict],
+	for i, b := range bits {
+		base, full := res[2*i], res[2*i+1]
+		t.Row(b, base.Aborts[htm.AbortFalseConflict],
 			full.Aborts[htm.AbortFalseConflict], base.Cycles, full.Cycles)
 	}
 	t.Render(w)
@@ -99,33 +102,31 @@ func (r *Runner) AblateSignatureSize(w io.Writer, app string) error {
 // AblateShootdownCost sweeps the page-mode transition cost (the paper's
 // §VI-B future-work lever): cheap transitions turn HinTM-dyn's worst case
 // around.
-func (r *Runner) AblateShootdownCost(w io.Writer, app string) error {
+func (r *Runner) AblateShootdownCost(ctx context.Context, w io.Writer, app string) error {
 	spec, err := workloads.ByName(app)
 	if err != nil {
 		return err
 	}
-	fmt.Fprint(w, Title(fmt.Sprintf("Ablation: TLB-shootdown cost (%s, HinTM-dyn)", app)))
-	base, err := r.ablateRun(spec, r.opts.Scale, func() sim.Config {
-		cfg := sim.DefaultConfig()
-		cfg.Seed = r.opts.Seed
-		return cfg
-	}())
+	scales := []int64{0, 1, 2, 4}
+	cfgs := []sim.Config{r.ablateBase()} // [0] = baseline, no hints
+	for _, s := range scales {
+		cfg := r.ablateBase()
+		cfg.Hints = sim.HintDynamic
+		cfg.VM.ShootdownInitiator = 6600 / 2 * s
+		cfg.VM.ShootdownSlave = 1450 / 2 * s
+		cfg.VM.MinorFault = 1450 / 2 * s
+		cfgs = append(cfgs, cfg)
+	}
+	res, err := r.runConfigs(ctx, spec, r.opts.Scale, cfgs)
 	if err != nil {
 		return err
 	}
+	base := res[0]
+	fmt.Fprint(w, Title(fmt.Sprintf("Ablation: TLB-shootdown cost (%s, HinTM-dyn)", app)))
 	t := stats.NewTable("initiator-cycles", "slave-cycles", "dyn cycles",
 		"page-mode cycles", "speedup vs baseline")
-	for _, scale := range []int64{0, 1, 2, 4} {
-		cfg := sim.DefaultConfig()
-		cfg.Seed = r.opts.Seed
-		cfg.Hints = sim.HintDynamic
-		cfg.VM.ShootdownInitiator = 6600 / 2 * scale
-		cfg.VM.ShootdownSlave = 1450 / 2 * scale
-		cfg.VM.MinorFault = 1450 / 2 * scale
-		dyn, err := r.ablateRun(spec, r.opts.Scale, cfg)
-		if err != nil {
-			return err
-		}
+	for i := range scales {
+		cfg, dyn := cfgs[i+1], res[i+1]
 		t.Row(cfg.VM.ShootdownInitiator, cfg.VM.ShootdownSlave, dyn.Cycles,
 			dyn.PageModeCycles,
 			fmt.Sprintf("%.2fx", speedup(base.Cycles, dyn.Cycles)))
@@ -136,23 +137,27 @@ func (r *Runner) AblateShootdownCost(w io.Writer, app string) error {
 
 // AblateRetryPolicy sweeps the conflict-retry budget before falling back to
 // the global lock.
-func (r *Runner) AblateRetryPolicy(w io.Writer, app string) error {
+func (r *Runner) AblateRetryPolicy(ctx context.Context, w io.Writer, app string) error {
 	spec, err := workloads.ByName(app)
+	if err != nil {
+		return err
+	}
+	retries := []int{0, 1, 2, 4, 8, 16}
+	var cfgs []sim.Config
+	for _, n := range retries {
+		cfg := r.ablateBase()
+		cfg.MaxConflictRetries = n
+		cfgs = append(cfgs, cfg)
+	}
+	res, err := r.runConfigs(ctx, spec, r.opts.Scale, cfgs)
 	if err != nil {
 		return err
 	}
 	fmt.Fprint(w, Title(fmt.Sprintf("Ablation: conflict retries before fallback (%s)", app)))
 	t := stats.NewTable("retries", "cycles", "HTM commits", "fallback", "conflict-aborts")
-	for _, retries := range []int{0, 1, 2, 4, 8, 16} {
-		cfg := sim.DefaultConfig()
-		cfg.Seed = r.opts.Seed
-		cfg.MaxConflictRetries = retries
-		res, err := r.ablateRun(spec, r.opts.Scale, cfg)
-		if err != nil {
-			return err
-		}
-		t.Row(retries, res.Cycles, res.Commits, res.FallbackCommits,
-			res.Aborts[htm.AbortConflict])
+	for i, n := range retries {
+		t.Row(n, res[i].Cycles, res[i].Commits, res[i].FallbackCommits,
+			res[i].Aborts[htm.AbortConflict])
 	}
 	t.Render(w)
 	return nil
@@ -160,23 +165,27 @@ func (r *Runner) AblateRetryPolicy(w io.Writer, app string) error {
 
 // AblateTLBSize sweeps per-context TLB entries: small TLBs mean fewer slave
 // shootdowns (entries already evicted) but more walk latency.
-func (r *Runner) AblateTLBSize(w io.Writer, app string) error {
+func (r *Runner) AblateTLBSize(ctx context.Context, w io.Writer, app string) error {
 	spec, err := workloads.ByName(app)
+	if err != nil {
+		return err
+	}
+	entries := []int{16, 32, 64, 128, 256}
+	var cfgs []sim.Config
+	for _, n := range entries {
+		cfg := r.ablateBase()
+		cfg.Hints = sim.HintDynamic
+		cfg.TLBEntries = n
+		cfgs = append(cfgs, cfg)
+	}
+	res, err := r.runConfigs(ctx, spec, r.opts.Scale, cfgs)
 	if err != nil {
 		return err
 	}
 	fmt.Fprint(w, Title(fmt.Sprintf("Ablation: TLB entries per context (%s, HinTM-dyn)", app)))
 	t := stats.NewTable("entries", "cycles", "tlb-misses", "transitions", "page-mode cycles")
-	for _, entries := range []int{16, 32, 64, 128, 256} {
-		cfg := sim.DefaultConfig()
-		cfg.Seed = r.opts.Seed
-		cfg.Hints = sim.HintDynamic
-		cfg.TLBEntries = entries
-		res, err := r.ablateRun(spec, r.opts.Scale, cfg)
-		if err != nil {
-			return err
-		}
-		t.Row(entries, res.Cycles, res.VM.TLBMisses, res.VM.Transitions, res.PageModeCycles)
+	for i, n := range entries {
+		t.Row(n, res[i].Cycles, res[i].VM.TLBMisses, res[i].VM.Transitions, res[i].PageModeCycles)
 	}
 	t.Render(w)
 	return nil
@@ -184,25 +193,34 @@ func (r *Runner) AblateTLBSize(w io.Writer, app string) error {
 
 // AblateVersioning compares eager (undo-log) against lazy (write-buffer)
 // store versioning on a write-heavy workload, with and without HinTM.
-func (r *Runner) AblateVersioning(w io.Writer, app string) error {
+func (r *Runner) AblateVersioning(ctx context.Context, w io.Writer, app string) error {
 	spec, err := workloads.ByName(app)
+	if err != nil {
+		return err
+	}
+	type point struct {
+		v     htm.Versioning
+		hints sim.HintMode
+	}
+	var points []point
+	var cfgs []sim.Config
+	for _, v := range []htm.Versioning{htm.VersionEager, htm.VersionLazy} {
+		for _, hints := range []sim.HintMode{sim.HintNone, sim.HintFull} {
+			cfg := r.ablateBase()
+			cfg.Versioning = v
+			cfg.Hints = hints
+			points = append(points, point{v, hints})
+			cfgs = append(cfgs, cfg)
+		}
+	}
+	res, err := r.runConfigs(ctx, spec, r.opts.Scale, cfgs)
 	if err != nil {
 		return err
 	}
 	fmt.Fprint(w, Title(fmt.Sprintf("Ablation: store versioning discipline (%s)", app)))
 	t := stats.NewTable("versioning", "hints", "cycles", "aborts", "commits")
-	for _, v := range []htm.Versioning{htm.VersionEager, htm.VersionLazy} {
-		for _, hints := range []sim.HintMode{sim.HintNone, sim.HintFull} {
-			cfg := sim.DefaultConfig()
-			cfg.Seed = r.opts.Seed
-			cfg.Versioning = v
-			cfg.Hints = hints
-			res, err := r.ablateRun(spec, r.opts.Scale, cfg)
-			if err != nil {
-				return err
-			}
-			t.Row(v, hints, res.Cycles, res.TotalAborts(), res.Commits)
-		}
+	for i, p := range points {
+		t.Row(p.v, p.hints, res[i].Cycles, res[i].TotalAborts(), res[i].Commits)
 	}
 	t.Render(w)
 	return nil
@@ -212,14 +230,12 @@ func (r *Runner) AblateVersioning(w io.Writer, app string) error {
 // HinTM on one capacity-bound workload — the crossover the paper's
 // introduction frames: STM has no capacity cliff but pays per-access
 // barriers; HinTM gives the HTM the capacity without the barriers.
-func (r *Runner) AblateHTMvsSTM(w io.Writer, app string) error {
+func (r *Runner) AblateHTMvsSTM(ctx context.Context, w io.Writer, app string) error {
 	spec, err := workloads.ByName(app)
 	if err != nil {
 		return err
 	}
-	fmt.Fprint(w, Title(fmt.Sprintf("Ablation: HTM vs STM (%s)", app)))
-	t := stats.NewTable("system", "cycles", "capacity-aborts", "fallback", "commits")
-	for _, row := range []struct {
+	systems := []struct {
 		name  string
 		kind  sim.HTMKind
 		hints sim.HintMode
@@ -229,17 +245,23 @@ func (r *Runner) AblateHTMvsSTM(w io.Writer, app string) error {
 		{"STM", sim.HTMSTM, sim.HintNone},
 		{"STM + HinTM (barrier elision)", sim.HTMSTM, sim.HintFull},
 		{"InfCap (ideal)", sim.HTMInfCap, sim.HintNone},
-	} {
-		cfg := sim.DefaultConfig()
-		cfg.Seed = r.opts.Seed
-		cfg.HTM = row.kind
-		cfg.Hints = row.hints
-		res, err := r.ablateRun(spec, r.opts.Scale, cfg)
-		if err != nil {
-			return err
-		}
-		t.Row(row.name, res.Cycles, res.Aborts[htm.AbortCapacity],
-			res.FallbackCommits, res.Commits)
+	}
+	var cfgs []sim.Config
+	for _, s := range systems {
+		cfg := r.ablateBase()
+		cfg.HTM = s.kind
+		cfg.Hints = s.hints
+		cfgs = append(cfgs, cfg)
+	}
+	res, err := r.runConfigs(ctx, spec, r.opts.Scale, cfgs)
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(w, Title(fmt.Sprintf("Ablation: HTM vs STM (%s)", app)))
+	t := stats.NewTable("system", "cycles", "capacity-aborts", "fallback", "commits")
+	for i, s := range systems {
+		t.Row(s.name, res[i].Cycles, res[i].Aborts[htm.AbortCapacity],
+			res[i].FallbackCommits, res[i].Commits)
 	}
 	t.Render(w)
 	return nil
@@ -248,22 +270,26 @@ func (r *Runner) AblateHTMvsSTM(w io.Writer, app string) error {
 // AblateCapacityRetryFutility quantifies the paper's §I claim that retrying
 // capacity aborts is futile: granting retries only multiplies the aborts
 // and the wasted cycles without recovering commits.
-func (r *Runner) AblateCapacityRetryFutility(w io.Writer, app string) error {
+func (r *Runner) AblateCapacityRetryFutility(ctx context.Context, w io.Writer, app string) error {
 	spec, err := workloads.ByName(app)
+	if err != nil {
+		return err
+	}
+	retries := []int{0, 1, 2, 4}
+	var cfgs []sim.Config
+	for _, n := range retries {
+		cfg := r.ablateBase()
+		cfg.CapacityRetries = n
+		cfgs = append(cfgs, cfg)
+	}
+	res, err := r.runConfigs(ctx, spec, r.opts.Scale, cfgs)
 	if err != nil {
 		return err
 	}
 	fmt.Fprint(w, Title(fmt.Sprintf("Ablation: retrying capacity aborts (%s) — the paper's futility claim", app)))
 	t := stats.NewTable("capacity-retries", "cycles", "capacity-aborts", "HTM commits", "fallback")
-	for _, retries := range []int{0, 1, 2, 4} {
-		cfg := sim.DefaultConfig()
-		cfg.Seed = r.opts.Seed
-		cfg.CapacityRetries = retries
-		res, err := r.ablateRun(spec, r.opts.Scale, cfg)
-		if err != nil {
-			return err
-		}
-		t.Row(retries, res.Cycles, res.Aborts[htm.AbortCapacity], res.Commits, res.FallbackCommits)
+	for i, n := range retries {
+		t.Row(n, res[i].Cycles, res[i].Aborts[htm.AbortCapacity], res[i].Commits, res[i].FallbackCommits)
 	}
 	t.Render(w)
 	return nil
@@ -272,52 +298,56 @@ func (r *Runner) AblateCapacityRetryFutility(w io.Writer, app string) error {
 // AblateCoherenceProtocol compares MESI against MSI: without a silent
 // Exclusive state every first write is a bus transaction, giving HTM
 // conflict detection strictly more visibility at the cost of traffic.
-func (r *Runner) AblateCoherenceProtocol(w io.Writer, app string) error {
+func (r *Runner) AblateCoherenceProtocol(ctx context.Context, w io.Writer, app string) error {
 	spec, err := workloads.ByName(app)
+	if err != nil {
+		return err
+	}
+	protos := []cache.Protocol{cache.MESI, cache.MSI}
+	var cfgs []sim.Config
+	for _, proto := range protos {
+		cfg := r.ablateBase()
+		cfg.Cache.Protocol = proto
+		cfgs = append(cfgs, cfg)
+	}
+	res, err := r.runConfigs(ctx, spec, r.opts.Scale, cfgs)
 	if err != nil {
 		return err
 	}
 	fmt.Fprint(w, Title(fmt.Sprintf("Ablation: coherence protocol (%s)", app)))
 	t := stats.NewTable("protocol", "cycles", "bus-ops", "conflict-aborts", "commits")
-	for _, proto := range []cache.Protocol{cache.MESI, cache.MSI} {
-		cfg := sim.DefaultConfig()
-		cfg.Seed = r.opts.Seed
-		cfg.Cache.Protocol = proto
-		res, err := r.ablateRun(spec, r.opts.Scale, cfg)
-		if err != nil {
-			return err
-		}
-		t.Row(proto, res.Cycles, res.Cache.BusOps, res.Aborts[htm.AbortConflict], res.Commits)
+	for i, proto := range protos {
+		t.Row(proto, res[i].Cycles, res[i].Cache.BusOps, res[i].Aborts[htm.AbortConflict], res[i].Commits)
 	}
 	t.Render(w)
 	return nil
 }
 
 // RenderAblations runs the full ablation set on representative workloads.
-func (r *Runner) RenderAblations(w io.Writer) error {
-	if err := r.AblateBufferSize(w, "labyrinth"); err != nil {
+func (r *Runner) RenderAblations(ctx context.Context, w io.Writer) error {
+	if err := r.AblateBufferSize(ctx, w, "labyrinth"); err != nil {
 		return err
 	}
-	if err := r.AblateSignatureSize(w, "yada"); err != nil {
+	if err := r.AblateSignatureSize(ctx, w, "yada"); err != nil {
 		return err
 	}
-	if err := r.AblateShootdownCost(w, "vacation"); err != nil {
+	if err := r.AblateShootdownCost(ctx, w, "vacation"); err != nil {
 		return err
 	}
-	if err := r.AblateRetryPolicy(w, "tpcc-p"); err != nil {
+	if err := r.AblateRetryPolicy(ctx, w, "tpcc-p"); err != nil {
 		return err
 	}
-	if err := r.AblateTLBSize(w, "vacation"); err != nil {
+	if err := r.AblateTLBSize(ctx, w, "vacation"); err != nil {
 		return err
 	}
-	if err := r.AblateVersioning(w, "labyrinth"); err != nil {
+	if err := r.AblateVersioning(ctx, w, "labyrinth"); err != nil {
 		return err
 	}
-	if err := r.AblateHTMvsSTM(w, "bayes"); err != nil {
+	if err := r.AblateHTMvsSTM(ctx, w, "bayes"); err != nil {
 		return err
 	}
-	if err := r.AblateCapacityRetryFutility(w, "bayes"); err != nil {
+	if err := r.AblateCapacityRetryFutility(ctx, w, "bayes"); err != nil {
 		return err
 	}
-	return r.AblateCoherenceProtocol(w, "tpcc-p")
+	return r.AblateCoherenceProtocol(ctx, w, "tpcc-p")
 }

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -17,13 +18,13 @@ func TestAblationsRunAtQuickScale(t *testing.T) {
 		run  func(w *strings.Builder) error
 		want string
 	}{
-		{"buffer", func(w *strings.Builder) error { return r.AblateBufferSize(w, "labyrinth") }, "P8 buffer size"},
-		{"signature", func(w *strings.Builder) error { return r.AblateSignatureSize(w, "yada") }, "signature size"},
-		{"shootdown", func(w *strings.Builder) error { return r.AblateShootdownCost(w, "vacation") }, "TLB-shootdown cost"},
-		{"retries", func(w *strings.Builder) error { return r.AblateRetryPolicy(w, "tpcc-p") }, "conflict retries"},
-		{"tlb", func(w *strings.Builder) error { return r.AblateTLBSize(w, "vacation") }, "TLB entries"},
-		{"versioning", func(w *strings.Builder) error { return r.AblateVersioning(w, "kmeans") }, "versioning discipline"},
-		{"htm-vs-stm", func(w *strings.Builder) error { return r.AblateHTMvsSTM(w, "bayes") }, "HTM vs STM"},
+		{"buffer", func(w *strings.Builder) error { return r.AblateBufferSize(context.Background(), w, "labyrinth") }, "P8 buffer size"},
+		{"signature", func(w *strings.Builder) error { return r.AblateSignatureSize(context.Background(), w, "yada") }, "signature size"},
+		{"shootdown", func(w *strings.Builder) error { return r.AblateShootdownCost(context.Background(), w, "vacation") }, "TLB-shootdown cost"},
+		{"retries", func(w *strings.Builder) error { return r.AblateRetryPolicy(context.Background(), w, "tpcc-p") }, "conflict retries"},
+		{"tlb", func(w *strings.Builder) error { return r.AblateTLBSize(context.Background(), w, "vacation") }, "TLB entries"},
+		{"versioning", func(w *strings.Builder) error { return r.AblateVersioning(context.Background(), w, "kmeans") }, "versioning discipline"},
+		{"htm-vs-stm", func(w *strings.Builder) error { return r.AblateHTMvsSTM(context.Background(), w, "bayes") }, "HTM vs STM"},
 	}
 	for _, c := range cases {
 		c := c
@@ -46,7 +47,7 @@ func TestAblationsRunAtQuickScale(t *testing.T) {
 func TestAblateUnknownWorkload(t *testing.T) {
 	r := NewRunner(QuickOptions())
 	var sb strings.Builder
-	if err := r.AblateBufferSize(&sb, "ghost"); err == nil {
+	if err := r.AblateBufferSize(context.Background(), &sb, "ghost"); err == nil {
 		t.Fatal("unknown workload accepted")
 	}
 }
@@ -63,7 +64,7 @@ func TestDefaultOptions(t *testing.T) {
 
 func TestRenderExtras(t *testing.T) {
 	var sb strings.Builder
-	if err := NewRunner(QuickOptions()).RenderExtras(&sb); err != nil {
+	if err := NewRunner(QuickOptions()).RenderExtras(context.Background(), &sb); err != nil {
 		t.Fatal(err)
 	}
 	for _, want := range []string{"intset-ll", "intset-hash", "honest negative"} {
@@ -79,7 +80,7 @@ func TestExportAllProducesJSON(t *testing.T) {
 	}
 	var sb strings.Builder
 	r := quick("labyrinth")
-	if err := r.ExportAll(&sb); err != nil {
+	if err := r.ExportAll(context.Background(), &sb); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()
@@ -93,7 +94,7 @@ func TestExportAllProducesJSON(t *testing.T) {
 func TestSeedSweepAggregates(t *testing.T) {
 	opts := QuickOptions()
 	opts.Filter = []string{"labyrinth"}
-	rows, err := SeedSweep(opts, []uint64{1, 2})
+	rows, err := SeedSweep(context.Background(), opts, []uint64{1, 2})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -26,28 +27,28 @@ type Export struct {
 }
 
 // ExportAll runs every figure and serializes the raw rows as indented JSON.
-func (r *Runner) ExportAll(w io.Writer) error {
+func (r *Runner) ExportAll(ctx context.Context, w io.Writer) error {
 	var ex Export
 	ex.Options.Scale = r.opts.Scale.String()
 	ex.Options.LargeScale = r.opts.LargeScale.String()
 	ex.Options.Seed = r.opts.Seed
 	var err error
-	if ex.Fig1, err = r.Fig1(); err != nil {
+	if ex.Fig1, err = r.Fig1(ctx); err != nil {
 		return err
 	}
-	if ex.Fig4, err = r.Fig4(); err != nil {
+	if ex.Fig4, err = r.Fig4(ctx); err != nil {
 		return err
 	}
-	if ex.Fig5, err = r.Fig5(); err != nil {
+	if ex.Fig5, err = r.Fig5(ctx); err != nil {
 		return err
 	}
-	if ex.Fig6, err = r.Fig6(); err != nil {
+	if ex.Fig6, err = r.Fig6(ctx); err != nil {
 		return err
 	}
-	if ex.Fig7, err = r.Fig7(); err != nil {
+	if ex.Fig7, err = r.Fig7(ctx); err != nil {
 		return err
 	}
-	if ex.Fig8, err = r.Fig8(); err != nil {
+	if ex.Fig8, err = r.Fig8(ctx); err != nil {
 		return err
 	}
 	enc := json.NewEncoder(w)
@@ -68,7 +69,7 @@ type SeedSweepRow struct {
 // SeedSweep re-runs the Fig.-4 comparison for each seed and aggregates,
 // quantifying how sensitive the headline result is to the PRNG streams
 // (i.e. to input/interleaving variation).
-func SeedSweep(opts Options, seeds []uint64) ([]SeedSweepRow, error) {
+func SeedSweep(ctx context.Context, opts Options, seeds []uint64) ([]SeedSweepRow, error) {
 	type acc struct {
 		speedups []float64
 		capreds  []float64
@@ -78,7 +79,7 @@ func SeedSweep(opts Options, seeds []uint64) ([]SeedSweepRow, error) {
 	for _, seed := range seeds {
 		o := opts
 		o.Seed = seed
-		rows, err := NewRunner(o).Fig4()
+		rows, err := NewRunner(o).Fig4(ctx)
 		if err != nil {
 			return nil, err
 		}
@@ -114,8 +115,8 @@ func SeedSweep(opts Options, seeds []uint64) ([]SeedSweepRow, error) {
 }
 
 // RenderSeedSweep prints the robustness table.
-func RenderSeedSweep(w io.Writer, opts Options, seeds []uint64) error {
-	rows, err := SeedSweep(opts, seeds)
+func RenderSeedSweep(ctx context.Context, w io.Writer, opts Options, seeds []uint64) error {
+	rows, err := SeedSweep(ctx, opts, seeds)
 	if err != nil {
 		return err
 	}

@@ -1,17 +1,31 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"sync"
 
 	"hintm/internal/htm"
+	"hintm/internal/profile"
 	"hintm/internal/sim"
 	"hintm/internal/stats"
 	"hintm/internal/workloads"
 )
 
+// Every figure follows the same shape: build the whole Request grid up
+// front, submit it to the scheduler in one RunAll/gather call (so the
+// worker pool can run the grid's independent simulations concurrently), and
+// then reduce the per-request results into rows in deterministic workload
+// order.
+
 // fig7Apps is the subset the paper's larger-HTM studies show.
 var fig7Apps = []string{"bayes", "genome", "labyrinth", "tpcc-no", "vacation", "yada"}
+
+// req builds the single-SMT request most figures use.
+func req(app string, scale workloads.Scale, kind sim.HTMKind, hints sim.HintMode) Request {
+	return Request{Workload: app, Scale: scale, HTM: kind, Hints: hints, SMT: 1}
+}
 
 // Fig1Row reproduces one bar group of paper Fig. 1.
 type Fig1Row struct {
@@ -27,25 +41,46 @@ type Fig1Row struct {
 }
 
 // Fig1 runs the opportunity study.
-func (r *Runner) Fig1() ([]Fig1Row, error) {
+func (r *Runner) Fig1(ctx context.Context) ([]Fig1Row, error) {
 	specs, err := r.specs()
 	if err != nil {
 		return nil, err
 	}
-	var rows []Fig1Row
+	reqs := make([]Request, 0, 2*len(specs))
 	for _, spec := range specs {
-		p8, err := r.run(spec, r.opts.Scale, sim.HTMP8, sim.HintNone, 1)
-		if err != nil {
-			return nil, err
+		reqs = append(reqs,
+			req(spec.Name, r.opts.Scale, sim.HTMP8, sim.HintNone),
+			req(spec.Name, r.opts.Scale, sim.HTMInfCap, sim.HintNone))
+	}
+
+	// The profiled runs carry a per-run observer and so cannot share the
+	// memoized grid; they ride the same worker pool concurrently with it.
+	profs := make([]profile.Report, len(specs))
+	perrs := make([]error, len(specs))
+	var wg sync.WaitGroup
+	for i, spec := range specs {
+		wg.Add(1)
+		go func(i int, app string) {
+			defer wg.Done()
+			_, profs[i], perrs[i] = r.RunProfiled(ctx,
+				req(app, r.opts.Scale, sim.HTMInfCap, sim.HintNone))
+		}(i, spec.Name)
+	}
+	byReq, err := r.gather(ctx, reqs)
+	wg.Wait()
+	if err != nil {
+		return nil, err
+	}
+	for _, perr := range perrs {
+		if perr != nil {
+			return nil, perr
 		}
-		inf, err := r.run(spec, r.opts.Scale, sim.HTMInfCap, sim.HintNone, 1)
-		if err != nil {
-			return nil, err
-		}
-		_, prof, err := r.profiled(spec, r.opts.Scale, sim.HTMInfCap, sim.HintNone)
-		if err != nil {
-			return nil, err
-		}
+	}
+
+	var rows []Fig1Row
+	for i, spec := range specs {
+		p8 := byReq[req(spec.Name, r.opts.Scale, sim.HTMP8, sim.HintNone)]
+		inf := byReq[req(spec.Name, r.opts.Scale, sim.HTMInfCap, sim.HintNone)]
 		capTime := 1 - float64(inf.Cycles)/float64(p8.Cycles)
 		if capTime < 0 {
 			capTime = 0
@@ -53,17 +88,17 @@ func (r *Runner) Fig1() ([]Fig1Row, error) {
 		rows = append(rows, Fig1Row{
 			App:            spec.Name,
 			CapacityTime:   capTime,
-			SafePages:      prof.SafePageFrac,
-			SafeReadsPage:  prof.SafeReadFracPage,
-			SafeReadsBlock: prof.SafeReadFracBlock,
+			SafePages:      profs[i].SafePageFrac,
+			SafeReadsPage:  profs[i].SafeReadFracPage,
+			SafeReadsBlock: profs[i].SafeReadFracBlock,
 		})
 	}
 	return rows, nil
 }
 
 // RenderFig1 prints the figure as a table.
-func (r *Runner) RenderFig1(w io.Writer) error {
-	rows, err := r.Fig1()
+func (r *Runner) RenderFig1(ctx context.Context, w io.Writer) error {
+	rows, err := r.Fig1(ctx)
 	if err != nil {
 		return err
 	}
@@ -104,41 +139,48 @@ type Fig4Row struct {
 }
 
 // Fig4 runs the P8 capacity-abort-reduction and speedup study.
-func (r *Runner) Fig4() ([]Fig4Row, error) {
-	return r.figOnHTM(sim.HTMP8, r.opts.Scale, nil)
+func (r *Runner) Fig4(ctx context.Context) ([]Fig4Row, error) {
+	return r.figOnHTM(ctx, sim.HTMP8, r.opts.Scale, nil)
 }
 
-// figOnHTM runs the {baseline, st, dyn, full, InfCap} sweep on one HTM kind.
-func (r *Runner) figOnHTM(kind sim.HTMKind, scale workloads.Scale, filter []string) ([]Fig4Row, error) {
+// figOnHTM runs the {baseline, st, dyn, full, InfCap} sweep on one HTM
+// kind. With apps == nil the sweep covers the runner's selected workloads;
+// otherwise exactly the named ones.
+func (r *Runner) figOnHTM(ctx context.Context, kind sim.HTMKind, scale workloads.Scale, apps []string) ([]Fig4Row, error) {
 	specs, err := r.specs()
+	if err != nil {
+		return nil, err
+	}
+	if apps != nil {
+		specs = make([]*workloads.Spec, 0, len(apps))
+		for _, name := range apps {
+			spec, err := workloads.ByName(name)
+			if err != nil {
+				return nil, err
+			}
+			specs = append(specs, spec)
+		}
+	}
+	var reqs []Request
+	for _, spec := range specs {
+		reqs = append(reqs,
+			req(spec.Name, scale, kind, sim.HintNone),
+			req(spec.Name, scale, kind, sim.HintStatic),
+			req(spec.Name, scale, kind, sim.HintDynamic),
+			req(spec.Name, scale, kind, sim.HintFull),
+			req(spec.Name, scale, sim.HTMInfCap, sim.HintNone))
+	}
+	byReq, err := r.gather(ctx, reqs)
 	if err != nil {
 		return nil, err
 	}
 	var rows []Fig4Row
 	for _, spec := range specs {
-		if filter != nil && !contains(filter, spec.Name) {
-			continue
-		}
-		base, err := r.run(spec, scale, kind, sim.HintNone, 1)
-		if err != nil {
-			return nil, err
-		}
-		st, err := r.run(spec, scale, kind, sim.HintStatic, 1)
-		if err != nil {
-			return nil, err
-		}
-		dyn, err := r.run(spec, scale, kind, sim.HintDynamic, 1)
-		if err != nil {
-			return nil, err
-		}
-		full, err := r.run(spec, scale, kind, sim.HintFull, 1)
-		if err != nil {
-			return nil, err
-		}
-		inf, err := r.run(spec, scale, sim.HTMInfCap, sim.HintNone, 1)
-		if err != nil {
-			return nil, err
-		}
+		base := byReq[req(spec.Name, scale, kind, sim.HintNone)]
+		st := byReq[req(spec.Name, scale, kind, sim.HintStatic)]
+		dyn := byReq[req(spec.Name, scale, kind, sim.HintDynamic)]
+		full := byReq[req(spec.Name, scale, kind, sim.HintFull)]
+		inf := byReq[req(spec.Name, scale, sim.HTMInfCap, sim.HintNone)]
 		baseCap := base.Aborts[htm.AbortCapacity]
 		rows = append(rows, Fig4Row{
 			App:               spec.Name,
@@ -157,8 +199,8 @@ func (r *Runner) figOnHTM(kind sim.HTMKind, scale workloads.Scale, filter []stri
 }
 
 // RenderFig4 prints Fig. 4a+4b.
-func (r *Runner) RenderFig4(w io.Writer) error {
-	rows, err := r.Fig4()
+func (r *Runner) RenderFig4(ctx context.Context, w io.Writer) error {
+	rows, err := r.Fig4(ctx)
 	if err != nil {
 		return err
 	}
@@ -221,20 +263,27 @@ type Fig5Row struct {
 
 // Fig5 measures the access breakdown under InfCap + HinTM (the paper's
 // "HinTM + preserve" collection mode: no capacity aborts skew the counts).
-func (r *Runner) Fig5() ([]Fig5Row, error) {
+func (r *Runner) Fig5(ctx context.Context) ([]Fig5Row, error) {
 	specs, err := r.specs()
 	if err != nil {
 		return nil, err
 	}
-	var rows []Fig5Row
+	var keep []*workloads.Spec
+	var reqs []Request
 	for _, spec := range specs {
 		if spec.Name == "kmeans" || spec.Name == "ssca2" {
 			continue // the paper omits them for brevity
 		}
-		res, err := r.run(spec, r.opts.Scale, sim.HTMInfCap, sim.HintFull, 1)
-		if err != nil {
-			return nil, err
-		}
+		keep = append(keep, spec)
+		reqs = append(reqs, req(spec.Name, r.opts.Scale, sim.HTMInfCap, sim.HintFull))
+	}
+	results, err := r.RunAll(ctx, reqs)
+	if err != nil {
+		return nil, err
+	}
+	var rows []Fig5Row
+	for i, spec := range keep {
+		res := results[i]
 		total := float64(res.TxAccesses())
 		if total == 0 {
 			total = 1
@@ -250,8 +299,8 @@ func (r *Runner) Fig5() ([]Fig5Row, error) {
 }
 
 // RenderFig5 prints the breakdown.
-func (r *Runner) RenderFig5(w io.Writer) error {
-	rows, err := r.Fig5()
+func (r *Runner) RenderFig5(ctx context.Context, w io.Writer) error {
+	rows, err := r.Fig5(ctx)
 	if err != nil {
 		return err
 	}
@@ -280,29 +329,34 @@ type Fig6Series struct {
 var fig6Apps = []string{"genome", "labyrinth", "bayes", "vacation"}
 
 // Fig6 collects the CDFs.
-func (r *Runner) Fig6() ([]Fig6Series, error) {
+func (r *Runner) Fig6(ctx context.Context) ([]Fig6Series, error) {
 	points := []int{4, 8, 16, 24, 32, 40, 48, 56, 64}
-	var out []Fig6Series
+	var apps []string
 	for _, name := range fig6Apps {
 		if len(r.opts.Filter) > 0 && !contains(r.opts.Filter, name) {
 			continue
 		}
-		spec, err := workloads.ByName(name)
-		if err != nil {
+		if _, err := workloads.ByName(name); err != nil {
 			return nil, err
 		}
-		base, err := r.run(spec, r.opts.Scale, sim.HTMInfCap, sim.HintNone, 1)
-		if err != nil {
-			return nil, err
-		}
-		st, err := r.run(spec, r.opts.Scale, sim.HTMInfCap, sim.HintStatic, 1)
-		if err != nil {
-			return nil, err
-		}
-		full, err := r.run(spec, r.opts.Scale, sim.HTMInfCap, sim.HintFull, 1)
-		if err != nil {
-			return nil, err
-		}
+		apps = append(apps, name)
+	}
+	var reqs []Request
+	for _, name := range apps {
+		reqs = append(reqs,
+			req(name, r.opts.Scale, sim.HTMInfCap, sim.HintNone),
+			req(name, r.opts.Scale, sim.HTMInfCap, sim.HintStatic),
+			req(name, r.opts.Scale, sim.HTMInfCap, sim.HintFull))
+	}
+	byReq, err := r.gather(ctx, reqs)
+	if err != nil {
+		return nil, err
+	}
+	var out []Fig6Series
+	for _, name := range apps {
+		base := byReq[req(name, r.opts.Scale, sim.HTMInfCap, sim.HintNone)]
+		st := byReq[req(name, r.opts.Scale, sim.HTMInfCap, sim.HintStatic)]
+		full := byReq[req(name, r.opts.Scale, sim.HTMInfCap, sim.HintFull)]
 		out = append(out, Fig6Series{
 			App:    name,
 			Points: points,
@@ -315,8 +369,8 @@ func (r *Runner) Fig6() ([]Fig6Series, error) {
 }
 
 // RenderFig6 prints the CDFs.
-func (r *Runner) RenderFig6(w io.Writer) error {
-	series, err := r.Fig6()
+func (r *Runner) RenderFig6(ctx context.Context, w io.Writer) error {
+	series, err := r.Fig6(ctx)
 	if err != nil {
 		return err
 	}
@@ -347,36 +401,36 @@ type Fig7Row struct {
 }
 
 // Fig7 runs the P8S study on larger inputs.
-func (r *Runner) Fig7() ([]Fig7Row, error) {
+func (r *Runner) Fig7(ctx context.Context) ([]Fig7Row, error) {
 	specs, err := r.specs()
 	if err != nil {
 		return nil, err
 	}
-	var rows []Fig7Row
+	var keep []*workloads.Spec
+	var reqs []Request
 	for _, spec := range specs {
 		if !contains(fig7Apps, spec.Name) {
 			continue
 		}
-		base, err := r.run(spec, r.opts.LargeScale, sim.HTMP8S, sim.HintNone, 1)
-		if err != nil {
-			return nil, err
-		}
-		st, err := r.run(spec, r.opts.LargeScale, sim.HTMP8S, sim.HintStatic, 1)
-		if err != nil {
-			return nil, err
-		}
-		dyn, err := r.run(spec, r.opts.LargeScale, sim.HTMP8S, sim.HintDynamic, 1)
-		if err != nil {
-			return nil, err
-		}
-		full, err := r.run(spec, r.opts.LargeScale, sim.HTMP8S, sim.HintFull, 1)
-		if err != nil {
-			return nil, err
-		}
-		inf, err := r.run(spec, r.opts.LargeScale, sim.HTMInfCap, sim.HintNone, 1)
-		if err != nil {
-			return nil, err
-		}
+		keep = append(keep, spec)
+		reqs = append(reqs,
+			req(spec.Name, r.opts.LargeScale, sim.HTMP8S, sim.HintNone),
+			req(spec.Name, r.opts.LargeScale, sim.HTMP8S, sim.HintStatic),
+			req(spec.Name, r.opts.LargeScale, sim.HTMP8S, sim.HintDynamic),
+			req(spec.Name, r.opts.LargeScale, sim.HTMP8S, sim.HintFull),
+			req(spec.Name, r.opts.LargeScale, sim.HTMInfCap, sim.HintNone))
+	}
+	byReq, err := r.gather(ctx, reqs)
+	if err != nil {
+		return nil, err
+	}
+	var rows []Fig7Row
+	for _, spec := range keep {
+		base := byReq[req(spec.Name, r.opts.LargeScale, sim.HTMP8S, sim.HintNone)]
+		st := byReq[req(spec.Name, r.opts.LargeScale, sim.HTMP8S, sim.HintStatic)]
+		dyn := byReq[req(spec.Name, r.opts.LargeScale, sim.HTMP8S, sim.HintDynamic)]
+		full := byReq[req(spec.Name, r.opts.LargeScale, sim.HTMP8S, sim.HintFull)]
+		inf := byReq[req(spec.Name, r.opts.LargeScale, sim.HTMInfCap, sim.HintNone)]
 		baseCap := base.Aborts[htm.AbortCapacity]
 		baseFalse := base.Aborts[htm.AbortFalseConflict]
 		rows = append(rows, Fig7Row{
@@ -397,8 +451,8 @@ func (r *Runner) Fig7() ([]Fig7Row, error) {
 }
 
 // RenderFig7 prints the P8S study.
-func (r *Runner) RenderFig7(w io.Writer) error {
-	rows, err := r.Fig7()
+func (r *Runner) RenderFig7(ctx context.Context, w io.Writer) error {
+	rows, err := r.Fig7(ctx)
 	if err != nil {
 		return err
 	}
@@ -439,36 +493,39 @@ type Fig8Row struct {
 }
 
 // Fig8 runs the L1TM/SMT study.
-func (r *Runner) Fig8() ([]Fig8Row, error) {
+func (r *Runner) Fig8(ctx context.Context) ([]Fig8Row, error) {
 	specs, err := r.specs()
 	if err != nil {
 		return nil, err
 	}
-	var rows []Fig8Row
+	smt2 := func(app string, kind sim.HTMKind, hints sim.HintMode) Request {
+		return Request{Workload: app, Scale: r.opts.LargeScale, HTM: kind, Hints: hints, SMT: 2}
+	}
+	var keep []*workloads.Spec
+	var reqs []Request
 	for _, spec := range specs {
 		if !contains(fig7Apps, spec.Name) {
 			continue
 		}
-		base, err := r.run(spec, r.opts.LargeScale, sim.HTML1TM, sim.HintNone, 2)
-		if err != nil {
-			return nil, err
-		}
-		st, err := r.run(spec, r.opts.LargeScale, sim.HTML1TM, sim.HintStatic, 2)
-		if err != nil {
-			return nil, err
-		}
-		dyn, err := r.run(spec, r.opts.LargeScale, sim.HTML1TM, sim.HintDynamic, 2)
-		if err != nil {
-			return nil, err
-		}
-		full, err := r.run(spec, r.opts.LargeScale, sim.HTML1TM, sim.HintFull, 2)
-		if err != nil {
-			return nil, err
-		}
-		inf, err := r.run(spec, r.opts.LargeScale, sim.HTMInfCap, sim.HintNone, 2)
-		if err != nil {
-			return nil, err
-		}
+		keep = append(keep, spec)
+		reqs = append(reqs,
+			smt2(spec.Name, sim.HTML1TM, sim.HintNone),
+			smt2(spec.Name, sim.HTML1TM, sim.HintStatic),
+			smt2(spec.Name, sim.HTML1TM, sim.HintDynamic),
+			smt2(spec.Name, sim.HTML1TM, sim.HintFull),
+			smt2(spec.Name, sim.HTMInfCap, sim.HintNone))
+	}
+	byReq, err := r.gather(ctx, reqs)
+	if err != nil {
+		return nil, err
+	}
+	var rows []Fig8Row
+	for _, spec := range keep {
+		base := byReq[smt2(spec.Name, sim.HTML1TM, sim.HintNone)]
+		st := byReq[smt2(spec.Name, sim.HTML1TM, sim.HintStatic)]
+		dyn := byReq[smt2(spec.Name, sim.HTML1TM, sim.HintDynamic)]
+		full := byReq[smt2(spec.Name, sim.HTML1TM, sim.HintFull)]
+		inf := byReq[smt2(spec.Name, sim.HTMInfCap, sim.HintNone)]
 		baseCap := base.Aborts[htm.AbortCapacity]
 		rows = append(rows, Fig8Row{
 			App:               spec.Name,
@@ -485,8 +542,8 @@ func (r *Runner) Fig8() ([]Fig8Row, error) {
 }
 
 // RenderFig8 prints the L1TM study.
-func (r *Runner) RenderFig8(w io.Writer) error {
-	rows, err := r.Fig8()
+func (r *Runner) RenderFig8(ctx context.Context, w io.Writer) error {
+	rows, err := r.Fig8(ctx)
 	if err != nil {
 		return err
 	}
@@ -508,16 +565,13 @@ func (r *Runner) RenderFig8(w io.Writer) error {
 }
 
 // Extras runs the Fig.-4-style sweep over the non-paper microbenchmarks.
-func (r *Runner) Extras() ([]Fig4Row, error) {
-	saved := r.opts.Filter
-	r.opts.Filter = []string{"intset-ll", "intset-hash"}
-	defer func() { r.opts.Filter = saved }()
-	return r.figOnHTM(sim.HTMP8, r.opts.Scale, nil)
+func (r *Runner) Extras(ctx context.Context) ([]Fig4Row, error) {
+	return r.figOnHTM(ctx, sim.HTMP8, r.opts.Scale, []string{"intset-ll", "intset-hash"})
 }
 
 // RenderExtras prints the microbenchmark sweep.
-func (r *Runner) RenderExtras(w io.Writer) error {
-	rows, err := r.Extras()
+func (r *Runner) RenderExtras(ctx context.Context, w io.Writer) error {
+	rows, err := r.Extras(ctx)
 	if err != nil {
 		return err
 	}
@@ -528,11 +582,11 @@ func (r *Runner) RenderExtras(w io.Writer) error {
 }
 
 // RenderAll runs every figure in order.
-func (r *Runner) RenderAll(w io.Writer) error {
-	for _, f := range []func(io.Writer) error{
+func (r *Runner) RenderAll(ctx context.Context, w io.Writer) error {
+	for _, f := range []func(context.Context, io.Writer) error{
 		r.RenderFig1, r.RenderFig4, r.RenderFig5, r.RenderFig6, r.RenderFig7, r.RenderFig8,
 	} {
-		if err := f(w); err != nil {
+		if err := f(ctx, w); err != nil {
 			return err
 		}
 	}

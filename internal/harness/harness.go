@@ -1,20 +1,24 @@
 // Package harness drives the paper's experiments end to end: it builds each
 // workload, runs the static classification pass, simulates every (HTM ×
 // hint-mode) configuration the evaluation needs, and reduces the results
-// into the rows/series of each figure (Fig. 1, 4, 5, 6, 7, 8). The
-// hintm-bench CLI and the repository's benchmark suite are thin wrappers
-// around this package.
+// into the rows/series of each figure (Fig. 1, 4, 5, 6, 7, 8).
+//
+// Simulations are described by exported Request values and executed by a
+// parallel scheduler (see sched.go): figures submit their whole request
+// grid up front via RunAll, a bounded worker pool runs the grid
+// concurrently, and single-flight deduplication guarantees each distinct
+// Request simulates exactly once per Runner. The hintm-bench CLI and the
+// repository's benchmark suite are thin wrappers around this package.
 package harness
 
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"strings"
+	"sync"
 
-	"hintm/internal/cache"
-	"hintm/internal/classify"
 	"hintm/internal/ir"
-	"hintm/internal/profile"
 	"hintm/internal/sim"
 	"hintm/internal/workloads"
 )
@@ -30,6 +34,10 @@ type Options struct {
 	Filter []string
 	// Seed drives every simulation's PRNG streams.
 	Seed uint64
+	// Workers bounds how many simulations run concurrently
+	// (0 = runtime.GOMAXPROCS(0)). Results are deterministic for any
+	// worker count: each simulation is self-contained and seeded.
+	Workers int
 }
 
 // DefaultOptions mirrors the paper's setup.
@@ -42,16 +50,32 @@ func QuickOptions() Options {
 	return Options{Scale: workloads.Small, LargeScale: workloads.Small, Seed: 1}
 }
 
-// Runner caches classified modules and simulation results across figures.
+// Runner schedules simulations and caches classified modules and run
+// results across figures. It is safe for concurrent use: Run/RunAll may be
+// called from any number of goroutines.
 type Runner struct {
 	opts Options
-	mods map[string]*ir.Module
-	runs map[string]*sim.Result
+	// sem is the worker pool: one slot per concurrently-executing
+	// simulation.
+	sem chan struct{}
+
+	mu   sync.Mutex
+	mods map[moduleKey]*flight[*ir.Module]
+	runs map[Request]*flight[*sim.Result]
 }
 
 // NewRunner returns a runner for the given options.
 func NewRunner(opts Options) *Runner {
-	return &Runner{opts: opts, mods: make(map[string]*ir.Module), runs: make(map[string]*sim.Result)}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Runner{
+		opts: opts,
+		sem:  make(chan struct{}, workers),
+		mods: make(map[moduleKey]*flight[*ir.Module]),
+		runs: make(map[Request]*flight[*sim.Result]),
+	}
 }
 
 // specs returns the selected workloads.
@@ -68,85 +92,6 @@ func (r *Runner) specs() ([]*workloads.Spec, error) {
 		out = append(out, s)
 	}
 	return out, nil
-}
-
-// module builds + classifies (memoized).
-func (r *Runner) module(spec *workloads.Spec, threads int, scale workloads.Scale) (*ir.Module, error) {
-	key := fmt.Sprintf("%s|%d|%v", spec.Name, threads, scale)
-	if m, ok := r.mods[key]; ok {
-		return m, nil
-	}
-	m := spec.Build(threads, scale)
-	if _, err := classify.Run(m); err != nil {
-		return nil, fmt.Errorf("%s: %w", spec.Name, err)
-	}
-	r.mods[key] = m
-	return m, nil
-}
-
-// config assembles a machine configuration. With SMT, the machine shrinks
-// to the workload's thread count in cores so that two contexts co-schedule
-// on every core, generating the L1 pressure the paper's Fig.-8 methodology
-// relies on (8 threads of genome/yada run on 4 dual-threaded cores).
-func (r *Runner) config(spec *workloads.Spec, kind sim.HTMKind, hints sim.HintMode, smt int) sim.Config {
-	cfg := sim.DefaultConfig()
-	cfg.HTM = kind
-	cfg.Hints = hints
-	cfg.SMT = smt
-	if smt > 1 {
-		cfg.Cores = spec.DefaultThreads
-		cfg.Cache = cache.DefaultConfig(cfg.Cores)
-	}
-	cfg.Seed = r.opts.Seed
-	return cfg
-}
-
-// run simulates (memoized).
-func (r *Runner) run(spec *workloads.Spec, scale workloads.Scale,
-	kind sim.HTMKind, hints sim.HintMode, smt int) (*sim.Result, error) {
-
-	threads := spec.DefaultThreads * smt
-	key := fmt.Sprintf("%s|%v|%v|%v|%d", spec.Name, scale, kind, hints, smt)
-	if res, ok := r.runs[key]; ok {
-		return res, nil
-	}
-	mod, err := r.module(spec, threads, scale)
-	if err != nil {
-		return nil, err
-	}
-	m, err := sim.New(r.config(spec, kind, hints, smt), mod)
-	if err != nil {
-		return nil, err
-	}
-	res, err := m.Run()
-	if err != nil {
-		return nil, fmt.Errorf("%s %v/%v: %w", spec.Name, kind, hints, err)
-	}
-	r.runs[key] = res
-	return res, nil
-}
-
-// profiled runs one simulation with the sharing profiler attached
-// (not memoized: the profiler is a per-run observer).
-func (r *Runner) profiled(spec *workloads.Spec, scale workloads.Scale,
-	kind sim.HTMKind, hints sim.HintMode) (*sim.Result, profile.Report, error) {
-
-	mod, err := r.module(spec, spec.DefaultThreads, scale)
-	if err != nil {
-		return nil, profile.Report{}, err
-	}
-	cfg := r.config(spec, kind, hints, 1)
-	m, err := sim.New(cfg, mod)
-	if err != nil {
-		return nil, profile.Report{}, err
-	}
-	prof := profile.NewSharing(cfg.Contexts() - 1)
-	m.SetProfiler(prof)
-	res, err := m.Run()
-	if err != nil {
-		return nil, profile.Report{}, err
-	}
-	return res, prof.Report(), nil
 }
 
 // reduction computes 1 - v/base, the paper's "X% of aborts eliminated".

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -17,7 +18,7 @@ func quick(filter ...string) *Runner {
 
 func TestFig1Rows(t *testing.T) {
 	r := quick("labyrinth", "kmeans")
-	rows, err := r.Fig1()
+	rows, err := r.Fig1(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -44,7 +45,7 @@ func TestFig1Rows(t *testing.T) {
 
 func TestFig4Rows(t *testing.T) {
 	r := quick("labyrinth")
-	rows, err := r.Fig4()
+	rows, err := r.Fig4(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -68,7 +69,7 @@ func TestFig4Rows(t *testing.T) {
 
 func TestFig5Rows(t *testing.T) {
 	r := quick("labyrinth", "genome")
-	rows, err := r.Fig5()
+	rows, err := r.Fig5(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,7 +91,7 @@ func TestFig5Rows(t *testing.T) {
 
 func TestFig6Series(t *testing.T) {
 	r := quick("labyrinth")
-	series, err := r.Fig6()
+	series, err := r.Fig6(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -116,14 +117,14 @@ func TestFig7And8Shapes(t *testing.T) {
 		t.Skip("large-HTM sweeps are slow")
 	}
 	r := quick("labyrinth")
-	rows7, err := r.Fig7()
+	rows7, err := r.Fig7(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(rows7) != 1 || rows7[0].App != "labyrinth" {
 		t.Fatalf("fig7 rows: %+v", rows7)
 	}
-	rows8, err := r.Fig8()
+	rows8, err := r.Fig8(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -138,7 +139,7 @@ func TestRenderAllProducesEveryFigure(t *testing.T) {
 	}
 	r := quick("labyrinth", "genome", "vacation", "bayes")
 	var sb strings.Builder
-	if err := r.RenderAll(&sb); err != nil {
+	if err := r.RenderAll(context.Background(), &sb); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()
@@ -172,12 +173,14 @@ func TestRenderTable2(t *testing.T) {
 
 func TestRunMemoization(t *testing.T) {
 	r := quick("kmeans")
-	spec, _ := workloads.ByName("kmeans")
-	a, err := r.run(spec, workloads.Small, 0, 0, 1)
+	req := Request{Workload: "kmeans", Scale: workloads.Small}
+	a, err := r.Run(context.Background(), req)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := r.run(spec, workloads.Small, 0, 0, 1)
+	// SMT 0 and SMT 1 are the same request after normalization, so both
+	// must resolve to the one cached *Result.
+	b, err := r.Run(context.Background(), Request{Workload: "kmeans", Scale: workloads.Small, SMT: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -188,7 +191,7 @@ func TestRunMemoization(t *testing.T) {
 
 func TestUnknownWorkloadErrors(t *testing.T) {
 	r := quick("no-such-app")
-	if _, err := r.Fig1(); err == nil {
+	if _, err := r.Fig1(context.Background()); err == nil {
 		t.Fatal("expected error for unknown workload")
 	}
 }
@@ -218,11 +221,11 @@ func TestReductionAndSpeedup(t *testing.T) {
 // TestFigureDeterminism: identical options must reproduce identical figure
 // rows — the property every comparison in the harness relies on.
 func TestFigureDeterminism(t *testing.T) {
-	rows1, err := quick("labyrinth").Fig4()
+	rows1, err := quick("labyrinth").Fig4(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
-	rows2, err := quick("labyrinth").Fig4()
+	rows2, err := quick("labyrinth").Fig4(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -238,7 +241,7 @@ func TestFigureDeterminism(t *testing.T) {
 
 // TestExtrasSweep exercises the microbenchmark target.
 func TestExtrasSweep(t *testing.T) {
-	rows, err := NewRunner(QuickOptions()).Extras()
+	rows, err := NewRunner(QuickOptions()).Extras(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,47 @@
+package harness
+
+import (
+	"fmt"
+
+	"hintm/internal/sim"
+	"hintm/internal/workloads"
+)
+
+// Request identifies one simulation the harness can run: a point in the
+// (workload × scale × HTM × hint-mode × SMT) grid. It is a comparable value
+// type and is used directly as the scheduler's memoization key — two
+// figures asking for the same Request share a single run. Adding a config
+// dimension means adding a field here; the compiler then points at every
+// construction site, where the old fmt.Sprintf string keys would silently
+// collide.
+type Request struct {
+	// Workload names a registered workload (see workloads.ByName).
+	Workload string
+	// Scale selects the input size.
+	Scale workloads.Scale
+	// HTM selects the baseline HTM configuration.
+	HTM sim.HTMKind
+	// Hints selects the HinTM mode.
+	Hints sim.HintMode
+	// SMT is the hardware threads per core (0 is normalized to 1).
+	SMT int
+}
+
+// Result is the statistics bundle one simulation produces. It aliases
+// sim.Result so harness callers can stay within this package's vocabulary.
+type Result = sim.Result
+
+// normalize maps the zero SMT value to 1 so that Request{..., SMT: 0} and
+// the equivalent explicit single-threaded request share one cache slot.
+func (q Request) normalize() Request {
+	if q.SMT <= 0 {
+		q.SMT = 1
+	}
+	return q
+}
+
+// String renders the request for error messages and logs.
+func (q Request) String() string {
+	q = q.normalize()
+	return fmt.Sprintf("%s/%v/%v/%v/smt%d", q.Workload, q.Scale, q.HTM, q.Hints, q.SMT)
+}

@@ -1,0 +1,268 @@
+package harness
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"hintm/internal/cache"
+	"hintm/internal/classify"
+	"hintm/internal/ir"
+	"hintm/internal/profile"
+	"hintm/internal/sim"
+	"hintm/internal/workloads"
+)
+
+// The scheduler executes simulation Requests on a bounded worker pool with
+// single-flight deduplication: every distinct Request runs exactly once per
+// Runner, concurrent duplicates wait for the first flight, and completed
+// results are cached for the Runner's lifetime. Each sim.Machine is fully
+// self-contained and seeded, so results are deterministic regardless of the
+// worker count or completion order — the property the determinism tests
+// assert and every cross-configuration comparison in the figures relies on.
+
+// moduleKey identifies one built + classified module. Modules are shared
+// across runs that differ only in HTM/hint configuration; after classify
+// they are read-only, so concurrent machines can safely execute the same
+// module.
+type moduleKey struct {
+	workload string
+	threads  int
+	scale    workloads.Scale
+}
+
+// flight is a single-flight cell: the creating goroutine computes val/err
+// and closes done; everyone else waits on done (or their context).
+type flight[T any] struct {
+	done chan struct{}
+	val  T
+	err  error
+}
+
+// acquire takes one worker-pool slot, honouring cancellation while queued.
+func (r *Runner) acquire(ctx context.Context) (release func(), err error) {
+	select {
+	case r.sem <- struct{}{}:
+		return func() { <-r.sem }, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// Run executes (or joins, or recalls) the simulation for req and returns
+// its cached result. Identical Requests — from any goroutine, any figure —
+// share one underlying run.
+func (r *Runner) Run(ctx context.Context, req Request) (*sim.Result, error) {
+	req = req.normalize()
+	r.mu.Lock()
+	if f, ok := r.runs[req]; ok {
+		r.mu.Unlock()
+		select {
+		case <-f.done:
+			return f.val, f.err
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	f := &flight[*sim.Result]{done: make(chan struct{})}
+	r.runs[req] = f
+	r.mu.Unlock()
+
+	f.val, f.err = r.execute(ctx, req)
+	if f.err != nil && (errors.Is(f.err, context.Canceled) || errors.Is(f.err, context.DeadlineExceeded)) {
+		// A cancellation is this caller's, not the configuration's: evict
+		// the flight so a later call with a live context can retry.
+		r.mu.Lock()
+		delete(r.runs, req)
+		r.mu.Unlock()
+	}
+	close(f.done)
+	return f.val, f.err
+}
+
+// RunAll submits the whole grid at once and waits for every request. The
+// returned slice is index-aligned with reqs (duplicates resolve to the same
+// *sim.Result). On failure the first error in request order is returned and
+// the slice may be partially filled.
+func (r *Runner) RunAll(ctx context.Context, reqs []Request) ([]*sim.Result, error) {
+	out := make([]*sim.Result, len(reqs))
+	errs := make([]error, len(reqs))
+	var wg sync.WaitGroup
+	for i, req := range reqs {
+		wg.Add(1)
+		go func(i int, req Request) {
+			defer wg.Done()
+			out[i], errs[i] = r.Run(ctx, req)
+		}(i, req)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return out, err
+		}
+	}
+	return out, nil
+}
+
+// gather runs the grid and indexes the results by (normalized) Request —
+// the shape figure builders consume.
+func (r *Runner) gather(ctx context.Context, reqs []Request) (map[Request]*sim.Result, error) {
+	res, err := r.RunAll(ctx, reqs)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[Request]*sim.Result, len(reqs))
+	for i, req := range reqs {
+		out[req.normalize()] = res[i]
+	}
+	return out, nil
+}
+
+// RunProfiled executes req with the sharing profiler attached and returns
+// the run's result alongside the profiler's report. Profiled runs are never
+// memoized (the profiler is a per-run observer) but they respect the worker
+// pool like every other run.
+func (r *Runner) RunProfiled(ctx context.Context, req Request) (*sim.Result, profile.Report, error) {
+	req = req.normalize()
+	spec, err := workloads.ByName(req.Workload)
+	if err != nil {
+		return nil, profile.Report{}, err
+	}
+	release, err := r.acquire(ctx)
+	if err != nil {
+		return nil, profile.Report{}, err
+	}
+	defer release()
+	mod, err := r.module(ctx, spec, spec.DefaultThreads*req.SMT, req.Scale)
+	if err != nil {
+		return nil, profile.Report{}, err
+	}
+	cfg := r.configFor(spec, req)
+	m, err := sim.New(cfg, mod)
+	if err != nil {
+		return nil, profile.Report{}, err
+	}
+	prof := profile.NewSharing(cfg.Contexts() - 1)
+	m.SetProfiler(prof)
+	res, err := m.Run(ctx)
+	if err != nil {
+		return nil, profile.Report{}, fmt.Errorf("%v (profiled): %w", req, err)
+	}
+	return res, prof.Report(), nil
+}
+
+// execute performs one simulation under a worker-pool slot.
+func (r *Runner) execute(ctx context.Context, req Request) (*sim.Result, error) {
+	spec, err := workloads.ByName(req.Workload)
+	if err != nil {
+		return nil, err
+	}
+	release, err := r.acquire(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	mod, err := r.module(ctx, spec, spec.DefaultThreads*req.SMT, req.Scale)
+	if err != nil {
+		return nil, err
+	}
+	m, err := sim.New(r.configFor(spec, req), mod)
+	if err != nil {
+		return nil, err
+	}
+	res, err := m.Run(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("%v: %w", req, err)
+	}
+	return res, nil
+}
+
+// module builds and classifies a workload module, single-flighted: the
+// first requester builds, concurrent requesters wait. The flight's creator
+// never blocks on pool slots, so module waits cannot deadlock the pool.
+func (r *Runner) module(ctx context.Context, spec *workloads.Spec, threads int, scale workloads.Scale) (*ir.Module, error) {
+	key := moduleKey{workload: spec.Name, threads: threads, scale: scale}
+	r.mu.Lock()
+	if f, ok := r.mods[key]; ok {
+		r.mu.Unlock()
+		select {
+		case <-f.done:
+			return f.val, f.err
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	f := &flight[*ir.Module]{done: make(chan struct{})}
+	r.mods[key] = f
+	r.mu.Unlock()
+
+	m := spec.Build(threads, scale)
+	if _, err := classify.Run(m); err != nil {
+		f.err = fmt.Errorf("%s: %w", spec.Name, err)
+	} else {
+		f.val = m
+	}
+	close(f.done)
+	return f.val, f.err
+}
+
+// configFor assembles the machine configuration for a request. With SMT,
+// the machine shrinks to the workload's thread count in cores so that two
+// contexts co-schedule on every core, generating the L1 pressure the
+// paper's Fig.-8 methodology relies on (8 threads of genome/yada run on 4
+// dual-threaded cores).
+func (r *Runner) configFor(spec *workloads.Spec, req Request) sim.Config {
+	cfg := sim.DefaultConfig()
+	cfg.HTM = req.HTM
+	cfg.Hints = req.Hints
+	cfg.SMT = req.SMT
+	if req.SMT > 1 {
+		cfg.Cores = spec.DefaultThreads
+		cfg.Cache = cache.DefaultConfig(cfg.Cores)
+	}
+	cfg.Seed = r.opts.Seed
+	return cfg
+}
+
+// runConfig executes one custom-config run under the worker pool — the
+// ablation path, where each sweep point perturbs fields Request does not
+// carry. Never memoized.
+func (r *Runner) runConfig(ctx context.Context, spec *workloads.Spec, scale workloads.Scale, cfg sim.Config) (*sim.Result, error) {
+	release, err := r.acquire(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	mod, err := r.module(ctx, spec, spec.DefaultThreads*cfg.SMT, scale)
+	if err != nil {
+		return nil, err
+	}
+	m, err := sim.New(cfg, mod)
+	if err != nil {
+		return nil, err
+	}
+	return m.Run(ctx)
+}
+
+// runConfigs executes a batch of custom-config runs concurrently and
+// returns results index-aligned with cfgs.
+func (r *Runner) runConfigs(ctx context.Context, spec *workloads.Spec, scale workloads.Scale, cfgs []sim.Config) ([]*sim.Result, error) {
+	out := make([]*sim.Result, len(cfgs))
+	errs := make([]error, len(cfgs))
+	var wg sync.WaitGroup
+	for i, cfg := range cfgs {
+		wg.Add(1)
+		go func(i int, cfg sim.Config) {
+			defer wg.Done()
+			out[i], errs[i] = r.runConfig(ctx, spec, scale, cfg)
+		}(i, cfg)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return out, err
+		}
+	}
+	return out, nil
+}

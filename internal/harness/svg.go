@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -11,7 +12,7 @@ import (
 // WriteSVGs renders every figure into dir as standalone SVG files, mirroring
 // the paper's figure shapes (grouped bars over applications, CDF curves with
 // the 64-block capacity marker).
-func (r *Runner) WriteSVGs(dir string) error {
+func (r *Runner) WriteSVGs(ctx context.Context, dir string) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
@@ -25,7 +26,7 @@ func (r *Runner) WriteSVGs(dir string) error {
 	}
 
 	// Fig 1.
-	rows1, err := r.Fig1()
+	rows1, err := r.Fig1(ctx)
 	if err != nil {
 		return err
 	}
@@ -52,7 +53,7 @@ func (r *Runner) WriteSVGs(dir string) error {
 	}
 
 	// Fig 4a / 4b.
-	rows4, err := r.Fig4()
+	rows4, err := r.Fig4(ctx)
 	if err != nil {
 		return err
 	}
@@ -97,7 +98,7 @@ func (r *Runner) WriteSVGs(dir string) error {
 	}
 
 	// Fig 5 (stacked).
-	rows5, err := r.Fig5()
+	rows5, err := r.Fig5(ctx)
 	if err != nil {
 		return err
 	}
@@ -124,7 +125,7 @@ func (r *Runner) WriteSVGs(dir string) error {
 	}
 
 	// Fig 6 CDFs (one file per app).
-	series6, err := r.Fig6()
+	series6, err := r.Fig6(ctx)
 	if err != nil {
 		return err
 	}
@@ -154,7 +155,7 @@ func (r *Runner) WriteSVGs(dir string) error {
 	}
 
 	// Fig 7b and Fig 8 speedups.
-	rows7, err := r.Fig7()
+	rows7, err := r.Fig7(ctx)
 	if err != nil {
 		return err
 	}
@@ -177,7 +178,7 @@ func (r *Runner) WriteSVGs(dir string) error {
 	}); err != nil {
 		return err
 	}
-	rows8, err := r.Fig8()
+	rows8, err := r.Fig8(ctx)
 	if err != nil {
 		return err
 	}

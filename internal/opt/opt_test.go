@@ -1,6 +1,7 @@
 package opt
 
 import (
+	"context"
 	"testing"
 
 	"hintm/internal/classify"
@@ -42,7 +43,7 @@ func TestConstantFolding(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := m.Run(); err != nil {
+	if _, err := m.Run(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	if got := m.ReadGlobal("out", 0); got != 84 {
@@ -63,7 +64,7 @@ func TestDivModByZeroNotFolded(t *testing.T) {
 		t.Fatal(err)
 	}
 	m, _ := sim.New(sim.DefaultConfig(), b.M)
-	if _, err := m.Run(); err != nil {
+	if _, err := m.Run(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	if m.ReadGlobal("out", 0) != 0 || m.ReadGlobal("out", 1) != 0 {
@@ -140,7 +141,7 @@ func TestBranchSimplificationAndUnreachable(t *testing.T) {
 		t.Fatal("els block still present")
 	}
 	m, _ := sim.New(sim.DefaultConfig(), b.M)
-	if _, err := m.Run(); err != nil {
+	if _, err := m.Run(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	if got := m.ReadGlobal("out", 0); got != 7 {
@@ -195,7 +196,7 @@ func TestWorkloadsSemanticsPreserved(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			if _, err := m.Run(); err != nil {
+			if _, err := m.Run(context.Background()); err != nil {
 				t.Fatal(err)
 			}
 			return m

@@ -54,7 +54,7 @@ func (m *Machine) Store(t *interp.Thread, addr mem.Addr, val int64, staticSafe b
 // access performs the shared translation / coherence / tracking pipeline of
 // one memory access. It returns CtrlAbort if the acting context's own TX
 // aborted (thread already rolled back).
-func (m *Machine) access(c *context, t *interp.Thread, addr mem.Addr, write, staticSafe bool) interp.Ctrl {
+func (m *Machine) access(c *hwContext, t *interp.Thread, addr mem.Addr, write, staticSafe bool) interp.Ctrl {
 	page := addr.Page()
 	block := addr.Block()
 
@@ -158,7 +158,7 @@ func (m *Machine) access(c *context, t *interp.Thread, addr mem.Addr, write, sta
 // pageModeTransition handles a safe→unsafe page transition: slave shootdown
 // charges, conservative aborts of every TX that touched the page (paper
 // §III-B), and the Fig.-4b page-mode cost accounting.
-func (m *Machine) pageModeTransition(c *context, out vmem.Outcome) (selfAborted bool) {
+func (m *Machine) pageModeTransition(c *hwContext, out vmem.Outcome) (selfAborted bool) {
 	tr := out.Transition
 	cost := tr.InitiatorCycles
 	for _, s := range tr.Slaves {

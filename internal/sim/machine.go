@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -12,9 +13,9 @@ import (
 	"hintm/internal/vmem"
 )
 
-// context is one hardware context: a core slot (with SMT, two contexts share
-// a core, its L1 and — in L1TM — its transactional capacity pressure).
-type context struct {
+// hwContext is one hardware context: a core slot (with SMT, two contexts
+// share a core, its L1 and — in L1TM — its transactional capacity pressure).
+type hwContext struct {
 	id, core int
 
 	thread *interp.Thread
@@ -30,7 +31,7 @@ type context struct {
 	suspended bool
 }
 
-func (c *context) effectiveCycle() int64 {
+func (c *hwContext) effectiveCycle() int64 {
 	if c.backoffUntil > c.cycle {
 		return c.backoffUntil
 	}
@@ -46,13 +47,13 @@ type Machine struct {
 	caches *cache.Hierarchy
 	vm     *vmem.Manager
 
-	ctxs     []*context
-	byThread map[int]*context
+	ctxs     []*hwContext
+	byThread map[int]*hwContext
 
 	mainThread *interp.Thread
 	parallel   *parallelState
 
-	fallbackHolder *context
+	fallbackHolder *hwContext
 	res            *Result
 	profiler       Profiler
 }
@@ -165,13 +166,13 @@ func New(cfg Config, mod *ir.Module) (*Machine, error) {
 		alloc:    mem.NewAllocator(),
 		caches:   cache.New(cfg.Cache),
 		vm:       vmem.New(cfg.Contexts(), cfg.TLBEntries, cfg.VM, cfg.Hints.Dynamic()),
-		byThread: make(map[int]*context),
+		byThread: make(map[int]*hwContext),
 		res:      newResult(),
 	}
 	for i := 0; i < cfg.Contexts(); i++ {
 		ctrl := htm.NewController(m.newTracker())
 		ctrl.SetVersioning(cfg.Versioning)
-		m.ctxs = append(m.ctxs, &context{
+		m.ctxs = append(m.ctxs, &hwContext{
 			id: i,
 			// Contexts are spread across cores first, so SMT siblings are
 			// ctx i and ctx i+Cores.
@@ -197,9 +198,19 @@ func (m *Machine) newTracker() htm.Tracker {
 	panic("sim: unknown HTM kind")
 }
 
+// ctxCheckMask controls how often Run polls its context: cancellation is
+// noticed within 1<<16 simulated instructions, keeping the per-step cost of
+// cancellability to one branch on the step counter.
+const ctxCheckMask = 1<<16 - 1
+
 // Run executes the program's main function to completion and returns the
-// collected statistics.
-func (m *Machine) Run() (*Result, error) {
+// collected statistics. The context is checked periodically (every ~64k
+// simulated instructions): cancelling it is the way to stop a runaway
+// simulation before the MaxSteps guard trips.
+func (m *Machine) Run(ctx context.Context) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	mainFn := m.prog.M.Func("main")
 	if mainFn == nil {
 		return nil, fmt.Errorf("sim: module has no main")
@@ -217,6 +228,11 @@ func (m *Machine) Run() (*Result, error) {
 	}
 
 	for !m.mainThread.Done {
+		if m.res.Steps&ctxCheckMask == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("sim: cancelled after %d steps: %w", m.res.Steps, err)
+			}
+		}
 		if m.res.Steps >= maxSteps {
 			return nil, fmt.Errorf("sim: exceeded %d steps (livelock?)", maxSteps)
 		}
@@ -240,7 +256,7 @@ func (m *Machine) Run() (*Result, error) {
 
 // stepWorkers advances the runnable worker context with the smallest clock.
 func (m *Machine) stepWorkers() {
-	var pick *context
+	var pick *hwContext
 	for _, c := range m.ctxs {
 		if c.thread == nil || c.thread.Done {
 			continue
@@ -267,7 +283,7 @@ func (m *Machine) stepWorkers() {
 	m.stepThread(pick, pick.thread)
 }
 
-func (m *Machine) stepThread(c *context, t *interp.Thread) {
+func (m *Machine) stepThread(c *hwContext, t *interp.Thread) {
 	if c.backoffUntil > c.cycle {
 		c.cycle = c.backoffUntil
 	}
@@ -277,7 +293,7 @@ func (m *Machine) stepThread(c *context, t *interp.Thread) {
 }
 
 // ctxOf maps a thread to its hardware context.
-func (m *Machine) ctxOf(t *interp.Thread) *context {
+func (m *Machine) ctxOf(t *interp.Thread) *hwContext {
 	c, ok := m.byThread[t.ID]
 	if !ok {
 		panic(fmt.Sprintf("sim: unmapped thread %d", t.ID))
@@ -288,7 +304,7 @@ func (m *Machine) ctxOf(t *interp.Thread) *context {
 // abortTx aborts the context's running transaction: memory is restored from
 // the undo log, the thread rolls back to its TxBegin checkpoint, statistics
 // and the retry policy are updated.
-func (m *Machine) abortTx(c *context, reason htm.AbortReason) {
+func (m *Machine) abortTx(c *hwContext, reason htm.AbortReason) {
 	undo := c.ctrl.Abort()
 	for _, e := range undo {
 		m.memory.WriteWord(mem.Addr(e.Addr), e.Old)

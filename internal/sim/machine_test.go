@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"testing"
 
 	"hintm/internal/htm"
@@ -161,7 +162,7 @@ func TestProfilerReceivesAccesses(t *testing.T) {
 	}
 	probe := &countingProfiler{}
 	m.SetProfiler(probe)
-	if _, err := m.Run(); err != nil {
+	if _, err := m.Run(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	if probe.n == 0 {
@@ -184,7 +185,7 @@ func TestHotInstructions(t *testing.T) {
 		t.Fatal("profile should be nil before EnableProfile")
 	}
 	m.EnableProfile()
-	if _, err := m.Run(); err != nil {
+	if _, err := m.Run(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	hot := m.HotInstructions(3)

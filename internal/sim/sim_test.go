@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"testing"
 
 	"hintm/internal/classify"
@@ -101,7 +102,7 @@ func runModule(t *testing.T, mod *ir.Module, cfg Config) (*Machine, *Result) {
 	if err != nil {
 		t.Fatalf("New: %v", err)
 	}
-	res, err := m.Run()
+	res, err := m.Run(context.Background())
 	if err != nil {
 		t.Fatalf("Run: %v", err)
 	}

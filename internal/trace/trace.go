@@ -46,7 +46,7 @@ var magic = [4]byte{'T', 'I', 'R', '1'}
 //
 //	tw := trace.NewWriter(file)
 //	machine.SetProfiler(tw)
-//	machine.Run()
+//	machine.Run(ctx)
 //	tw.Flush()
 type Writer struct {
 	w        *bufio.Writer

@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bytes"
+	"context"
 	"io"
 	"strings"
 	"testing"
@@ -89,7 +90,7 @@ func recordWorkload(t *testing.T, name string, cfg sim.Config) (*bytes.Buffer, *
 	var buf bytes.Buffer
 	tw := NewWriter(&buf)
 	m.SetProfiler(tw)
-	res, err := m.Run()
+	res, err := m.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package workloads
 
 import (
+	"context"
 	"testing"
 
 	"hintm/internal/classify"
@@ -92,7 +93,7 @@ func TestSemanticInvariantsAcrossConfigs(t *testing.T) {
 				if err != nil {
 					t.Fatal(err)
 				}
-				if _, err := m.Run(); err != nil {
+				if _, err := m.Run(context.Background()); err != nil {
 					t.Fatalf("%s: %v", cfgDesc.name, err)
 				}
 				got := c.value(m)

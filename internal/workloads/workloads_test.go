@@ -1,6 +1,7 @@
 package workloads
 
 import (
+	"context"
 	"testing"
 
 	"hintm/internal/classify"
@@ -29,7 +30,7 @@ func runSmall(t *testing.T, name string, cfg sim.Config) (*classify.Report, *sim
 	if err != nil {
 		t.Fatalf("%s sim.New: %v", name, err)
 	}
-	res, err := m.Run()
+	res, err := m.Run(context.Background())
 	if err != nil {
 		t.Fatalf("%s run: %v", name, err)
 	}
