@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all test vet race bench figures svg ablate export clean
+.PHONY: all test vet race fuzz-short bench figures svg ablate export clean
 
 all: test
 
@@ -21,6 +21,11 @@ vet:
 # suite.
 race:
 	$(GO) test -race ./internal/harness/... ./internal/sim/...
+
+# fuzz-short gives the classifier-soundness fuzzer a 10-second native-fuzzing
+# budget — enough for CI to catch regressions the seeded corpus misses.
+fuzz-short:
+	$(GO) test -run='^$$' -fuzz=FuzzClassifierSoundness -fuzztime=10s ./internal/classify
 
 # The full verification artifacts the repository ships with.
 artifacts:

@@ -12,6 +12,13 @@
 //	-seed N                     simulation seed
 //	-workers N                  concurrent simulations (0 = GOMAXPROCS)
 //	-timeout D                  abort the whole run after D (e.g. 10m)
+//	-faults SPEC                fault-injection plan, e.g. "spurious=0.01,storm=0.001"
+//	-watchdog N                 livelock watchdog: fail a run after N cycles without progress
+//	-max-cycles N               hard cap on each run's simulated cycles
+//
+// When individual runs fail (injected faults, watchdog trips, panics) the
+// figures still render with the failed cells explicitly marked; the command
+// then exits non-zero with a summary of every failure.
 package main
 
 import (
@@ -22,6 +29,7 @@ import (
 	"os/signal"
 	"strings"
 
+	"hintm/internal/fault"
 	"hintm/internal/harness"
 	"hintm/internal/workloads"
 )
@@ -46,6 +54,9 @@ func main() {
 	workers := flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
 	timeout := flag.Duration("timeout", 0, "abort the whole run after this duration (0 = none)")
 	svgDir := flag.String("svg", "", "also render the figures as SVG files into this directory")
+	faultsFlag := flag.String("faults", "", `fault-injection plan, e.g. "spurious=0.01,storm=0.001,inval-delay=200"`)
+	watchdog := flag.Int64("watchdog", 0, "fail a run after this many cycles without forward progress (0 = off)")
+	maxCycles := flag.Int64("max-cycles", 0, "hard cap on each run's simulated cycles (0 = none)")
 	flag.Parse()
 
 	opts := harness.DefaultOptions()
@@ -61,6 +72,11 @@ func main() {
 	}
 	opts.Seed = *seed
 	opts.Workers = *workers
+	if opts.Faults, err = fault.ParsePlan(*faultsFlag); err != nil {
+		fatal(err)
+	}
+	opts.WatchdogCycles = *watchdog
+	opts.MaxCycles = *maxCycles
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
@@ -107,8 +123,12 @@ func main() {
 		err = r.WriteSVGs(ctx, *svgDir)
 	case "all":
 		err = r.RenderAll(ctx, os.Stdout)
-		if err == nil && *svgDir != "" {
-			err = r.WriteSVGs(ctx, *svgDir)
+		if *svgDir != "" && ctx.Err() == nil {
+			// Degraded text figures still produce SVGs for the cells that
+			// succeeded; keep the first error for the exit summary.
+			if serr := r.WriteSVGs(ctx, *svgDir); err == nil {
+				err = serr
+			}
 		}
 	default:
 		err = fmt.Errorf("unknown target %q (want table1|table2|fig1|fig4|fig5|fig6|fig7|fig8|ablate|extras|export|seeds|svg|all)", target)
@@ -119,6 +139,16 @@ func main() {
 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "hintm-bench:", err)
+	// Joined errors (one per failed run) print one per line under a single
+	// summary header, so a degraded campaign reads as a failure list.
+	lines := strings.Split(err.Error(), "\n")
+	if len(lines) > 1 {
+		fmt.Fprintf(os.Stderr, "hintm-bench: %d errors:\n", len(lines))
+		for _, l := range lines {
+			fmt.Fprintln(os.Stderr, "  "+l)
+		}
+	} else {
+		fmt.Fprintln(os.Stderr, "hintm-bench:", err)
+	}
 	os.Exit(1)
 }

@@ -17,10 +17,17 @@
 //	-smt N                     hardware threads per core (default 1)
 //	-seed N                    simulation seed
 //	-timeout D                 abort the simulation after D (e.g. 30s)
+//	-faults SPEC               fault-injection plan, e.g. "spurious=0.01,storm=0.001"
+//	-watchdog N                livelock watchdog: fail after N cycles without progress
+//	-max-cycles N              hard cap on simulated cycles
+//
+// A watchdog trip prints a per-core diagnostic snapshot (thread positions,
+// transaction states, retry counts, clocks, lock ownership) before exiting.
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -28,6 +35,7 @@ import (
 
 	"hintm/internal/cache"
 	"hintm/internal/classify"
+	"hintm/internal/fault"
 	"hintm/internal/htm"
 	"hintm/internal/ir"
 	"hintm/internal/sim"
@@ -48,6 +56,9 @@ func main() {
 	moduleFile := flag.String("module", "", "run a hand-written textual TIR module instead of a workload")
 	noClassify := flag.Bool("no-classify", false, "skip the static classification pass")
 	hot := flag.Int("hot", 0, "print the N most-executed instructions")
+	faultsFlag := flag.String("faults", "", `fault-injection plan, e.g. "spurious=0.01,storm=0.001,inval-delay=200"`)
+	watchdog := flag.Int64("watchdog", 0, "fail after this many cycles without forward progress (0 = off)")
+	maxCycles := flag.Int64("max-cycles", 0, "hard cap on simulated cycles (0 = none)")
 	flag.Parse()
 
 	if *printConfig {
@@ -73,6 +84,11 @@ func main() {
 	cfg := sim.DefaultConfig()
 	cfg.Seed = *seed
 	cfg.SMT = *smt
+	if cfg.Faults, err = fault.ParsePlan(*faultsFlag); err != nil {
+		fatal(err)
+	}
+	cfg.WatchdogCycles = *watchdog
+	cfg.MaxCycles = *maxCycles
 	switch *htmFlag {
 	case "p8":
 		cfg.HTM = sim.HTMP8
@@ -148,8 +164,14 @@ func main() {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
-	res, err := m.Run(ctx)
+	res, err := run(ctx, m)
 	if err != nil {
+		var lle *sim.LivelockError
+		if errors.As(err, &lle) {
+			fmt.Fprintln(os.Stderr, "hintm-sim:", lle)
+			fmt.Fprint(os.Stderr, lle.Snapshot())
+			os.Exit(1)
+		}
 		fatal(err)
 	}
 
@@ -162,8 +184,7 @@ func main() {
 	t.Row("instructions", res.Steps)
 	t.Row("HTM commits", res.Commits)
 	t.Row("fallback commits", res.FallbackCommits)
-	for _, reason := range []htm.AbortReason{htm.AbortConflict, htm.AbortFalseConflict,
-		htm.AbortCapacity, htm.AbortPageMode, htm.AbortFallbackLock, htm.AbortExplicit} {
+	for _, reason := range htm.AbortReasons {
 		if n := res.Aborts[reason]; n > 0 {
 			t.Row("aborts/"+reason.String(), n)
 		}
@@ -180,6 +201,12 @@ func main() {
 		float64(res.Cache.L1Hits+res.Cache.L1Misses))))
 	t.Row("TLB misses", res.VM.TLBMisses)
 	t.Row("page transitions", res.VM.Transitions)
+	if cfg.Faults.Enabled() {
+		t.Row("faults/spurious aborts", res.Faults.SpuriousAborts)
+		t.Row("faults/storms forced", res.Faults.StormsForced)
+		t.Row("faults/invals held", res.Faults.InvalsHeld)
+		t.Row("faults/inval bursts", res.Faults.InvalBursts)
+	}
 	t.Render(os.Stdout)
 
 	if *hot > 0 {
@@ -190,6 +217,22 @@ func main() {
 		}
 		ht.Render(os.Stdout)
 	}
+}
+
+// run executes the machine, recovering panics (e.g. the fault layer's
+// injected crash) into ordinary errors so the CLI reports them cleanly.
+func run(ctx context.Context, m *sim.Machine) (res *sim.Result, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			if e, ok := v.(error); ok {
+				err = fmt.Errorf("simulation panicked: %w", e)
+			} else {
+				err = fmt.Errorf("simulation panicked: %v", v)
+			}
+			res = nil
+		}
+	}()
+	return m.Run(ctx)
 }
 
 func renderConfig(cfg sim.Config) {

@@ -152,6 +152,47 @@ func runFuzz(t *testing.T, mod *ir.Module, kind sim.HTMKind, hints sim.HintMode)
 	return outputs(m), res
 }
 
+// checkSoundness generates the program for one seed, optionally optimizes
+// it, classifies it, and compares every configuration's outputs against the
+// InfCap golden run. It reports what the seed exercised so callers can
+// assert corpus strength.
+func checkSoundness(t *testing.T, seed int64, useOpt bool) (sawAborts, sawSafeMarks bool) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	mod := genProgram(rng)
+	if err := mod.Verify(); err != nil {
+		t.Fatalf("seed %d: generated invalid module: %v", seed, err)
+	}
+	if useOpt {
+		// The optimized half of the corpus fuzzes the whole
+		// opt → classify → simulate pipeline.
+		if _, err := opt.Run(mod); err != nil {
+			t.Fatalf("seed %d: opt: %v", seed, err)
+		}
+	}
+	rep, err := Run(mod)
+	if err != nil {
+		t.Fatalf("seed %d: classify: %v", seed, err)
+	}
+	sawSafeMarks = rep.SafeTxLoads+rep.SafeTxStores > 0
+
+	golden, _ := runFuzz(t, mod, sim.HTMInfCap, sim.HintNone)
+	baseline, bres := runFuzz(t, mod, sim.HTMP8, sim.HintNone)
+	hinted, _ := runFuzz(t, mod, sim.HTMP8, sim.HintStatic)
+	full, _ := runFuzz(t, mod, sim.HTMP8, sim.HintFull)
+	sawAborts = bres.TotalAborts() > 0
+
+	for name, got := range map[string][64]int64{
+		"P8/baseline": baseline, "P8/st": hinted, "P8/full": full,
+	} {
+		if got != golden {
+			t.Fatalf("seed %d: %s output diverged from golden\nmodule:\n%s",
+				seed, name, mod.String())
+		}
+	}
+	return sawAborts, sawSafeMarks
+}
+
 func TestClassifierSoundnessFuzz(t *testing.T) {
 	seeds := 150
 	if testing.Short() {
@@ -159,42 +200,9 @@ func TestClassifierSoundnessFuzz(t *testing.T) {
 	}
 	var sawAborts, sawSafeMarks bool
 	for seed := 0; seed < seeds; seed++ {
-		rng := rand.New(rand.NewSource(int64(seed)))
-		mod := genProgram(rng)
-		if err := mod.Verify(); err != nil {
-			t.Fatalf("seed %d: generated invalid module: %v", seed, err)
-		}
-		if seed%2 == 0 {
-			// Half the corpus additionally goes through the optimizer, so
-			// the whole opt → classify → simulate pipeline is fuzzed.
-			if _, err := opt.Run(mod); err != nil {
-				t.Fatalf("seed %d: opt: %v", seed, err)
-			}
-		}
-		rep, err := Run(mod)
-		if err != nil {
-			t.Fatalf("seed %d: classify: %v", seed, err)
-		}
-		if rep.SafeTxLoads+rep.SafeTxStores > 0 {
-			sawSafeMarks = true
-		}
-
-		golden, _ := runFuzz(t, mod, sim.HTMInfCap, sim.HintNone)
-		baseline, bres := runFuzz(t, mod, sim.HTMP8, sim.HintNone)
-		hinted, _ := runFuzz(t, mod, sim.HTMP8, sim.HintStatic)
-		full, _ := runFuzz(t, mod, sim.HTMP8, sim.HintFull)
-		if bres.TotalAborts() > 0 {
-			sawAborts = true
-		}
-
-		for name, got := range map[string][64]int64{
-			"P8/baseline": baseline, "P8/st": hinted, "P8/full": full,
-		} {
-			if got != golden {
-				t.Fatalf("seed %d: %s output diverged from golden\nmodule:\n%s",
-					seed, name, mod.String())
-			}
-		}
+		aborts, marks := checkSoundness(t, int64(seed), seed%2 == 0)
+		sawAborts = sawAborts || aborts
+		sawSafeMarks = sawSafeMarks || marks
 	}
 	if !sawSafeMarks {
 		t.Error("fuzzer never produced a safe-marked access — generator too weak")
@@ -202,4 +210,17 @@ func TestClassifierSoundnessFuzz(t *testing.T) {
 	if !sawAborts {
 		t.Error("fuzzer never saw an abort — tiny-buffer pressure missing")
 	}
+}
+
+// FuzzClassifierSoundness is the native-fuzzing entry point over the same
+// property: the engine mutates the generator seed (and the optimize bit),
+// searching for programs where hint-marked accesses change semantics.
+// `make fuzz-short` runs it for 10s as part of CI.
+func FuzzClassifierSoundness(f *testing.F) {
+	for seed := int64(0); seed < 8; seed++ {
+		f.Add(seed, seed%2 == 0)
+	}
+	f.Fuzz(func(t *testing.T, seed int64, useOpt bool) {
+		checkSoundness(t, seed, useOpt)
+	})
 }

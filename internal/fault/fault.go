@@ -1,0 +1,321 @@
+// Package fault implements a deterministic, seeded fault-injection engine
+// for the simulator. Real HTMs suffer aborts the paper's clean model never
+// generates — POWER8 and TSX transactions die on timer interrupts and TLB
+// misses, page-mode classification can be perturbed by hostile sharing, and
+// coherence traffic arrives late and in bursts under heavy load. The engine
+// injects those hostile events into a run the same way the classify fuzzer
+// injects hostile programs into the compiler: as a validation harness for
+// the abort/rollback/fallback recovery machinery.
+//
+// Every decision is drawn from per-context xorshift streams seeded from the
+// simulation seed, so a fault campaign replays bit-identically: same plan +
+// same seed + same program ⇒ same injected faults, same statistics.
+//
+// Fault classes:
+//
+//   - Spurious transaction aborts (Plan.SpuriousProb): with the given
+//     per-attempt probability, a transaction is doomed at begin to abort
+//     after a bounded random number of transactional accesses, modeling
+//     interrupt- and TLB-miss-induced aborts (htm.AbortSpurious).
+//   - Page-mode abort storms (Plan.StormProb): per-access, the touched page
+//     is forced safe→unsafe, triggering the full shootdown + page-mode-abort
+//     path on hot pages (requires dynamic classification).
+//   - Delayed/bursty invalidation delivery (Plan.InvalDelaySteps /
+//     Plan.InvalBurst): bus invalidations destined for remote contexts are
+//     held in per-context queues and delivered late — in bursts once a queue
+//     fills — stressing eager conflict detection. Delivery is always forced
+//     before the receiver commits, so atomicity is preserved (the hardware
+//     analogue: a coherence response is on the commit critical path).
+//   - Injected worker panic (Plan.PanicTx): the engine panics at the Nth
+//     transaction begin, machine-wide — the hook the harness degradation
+//     tests use to prove one crashed run cannot take down a figure grid.
+package fault
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Plan declares which faults a run injects. The zero Plan injects nothing.
+// All fields are scalars so a Plan can ride inside sim.Config by value.
+type Plan struct {
+	// SpuriousProb is the per-transaction-attempt probability in [0,1] that
+	// the attempt suffers a spurious abort.
+	SpuriousProb float64
+	// SpuriousWindow bounds how many transactional accesses a doomed attempt
+	// performs before the injected abort fires (0 = default 32).
+	SpuriousWindow int
+	// StormProb is the per-access probability in [0,1] of forcing the
+	// accessed page safe→unsafe (a page-mode abort storm). Only meaningful
+	// when dynamic classification is on; otherwise pages have no safe modes
+	// and the draw is a no-op.
+	StormProb float64
+	// InvalDelaySteps holds every bus invalidation for this many machine
+	// steps before delivering it to remote HTM controllers (0 = immediate).
+	InvalDelaySteps int64
+	// InvalBurst additionally flushes a context's whole queue once it holds
+	// this many invalidations, making delivery bursty (0 = delay only).
+	InvalBurst int
+	// PanicTx, when non-zero, panics at the PanicTx-th transaction begin
+	// counted machine-wide — deterministic worker-crash injection.
+	PanicTx uint64
+}
+
+// Enabled reports whether the plan injects anything.
+func (p Plan) Enabled() bool {
+	return p.SpuriousProb > 0 || p.StormProb > 0 || p.InvalDelaySteps > 0 || p.PanicTx > 0
+}
+
+// Validate rejects out-of-range probabilities and negative knobs.
+func (p Plan) Validate() error {
+	if p.SpuriousProb < 0 || p.SpuriousProb > 1 {
+		return fmt.Errorf("fault: spurious probability %v outside [0,1]", p.SpuriousProb)
+	}
+	if p.StormProb < 0 || p.StormProb > 1 {
+		return fmt.Errorf("fault: storm probability %v outside [0,1]", p.StormProb)
+	}
+	if p.SpuriousWindow < 0 || p.InvalDelaySteps < 0 || p.InvalBurst < 0 {
+		return fmt.Errorf("fault: negative plan knob: %+v", p)
+	}
+	return nil
+}
+
+// String renders the plan in ParsePlan's syntax (empty for the zero plan).
+func (p Plan) String() string {
+	var parts []string
+	add := func(k, v string) { parts = append(parts, k+"="+v) }
+	if p.SpuriousProb > 0 {
+		add("spurious", strconv.FormatFloat(p.SpuriousProb, 'g', -1, 64))
+	}
+	if p.SpuriousWindow > 0 {
+		add("spurious-window", strconv.Itoa(p.SpuriousWindow))
+	}
+	if p.StormProb > 0 {
+		add("storm", strconv.FormatFloat(p.StormProb, 'g', -1, 64))
+	}
+	if p.InvalDelaySteps > 0 {
+		add("inval-delay", strconv.FormatInt(p.InvalDelaySteps, 10))
+	}
+	if p.InvalBurst > 0 {
+		add("inval-burst", strconv.Itoa(p.InvalBurst))
+	}
+	if p.PanicTx > 0 {
+		add("panic-tx", strconv.FormatUint(p.PanicTx, 10))
+	}
+	return strings.Join(parts, ",")
+}
+
+// ParsePlan parses the CLI fault spec: comma-separated key=value pairs, e.g.
+// "spurious=0.01,storm=0.001,inval-delay=200,inval-burst=8,panic-tx=500".
+// The empty string is the zero (disabled) plan.
+func ParsePlan(spec string) (Plan, error) {
+	var p Plan
+	if strings.TrimSpace(spec) == "" {
+		return p, nil
+	}
+	for _, kv := range strings.Split(spec, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(kv), "=")
+		if !ok {
+			return Plan{}, fmt.Errorf("fault: bad spec entry %q (want key=value)", kv)
+		}
+		var err error
+		switch k {
+		case "spurious":
+			p.SpuriousProb, err = strconv.ParseFloat(v, 64)
+		case "spurious-window":
+			p.SpuriousWindow, err = strconv.Atoi(v)
+		case "storm":
+			p.StormProb, err = strconv.ParseFloat(v, 64)
+		case "inval-delay":
+			p.InvalDelaySteps, err = strconv.ParseInt(v, 10, 64)
+		case "inval-burst":
+			p.InvalBurst, err = strconv.Atoi(v)
+		case "panic-tx":
+			p.PanicTx, err = strconv.ParseUint(v, 10, 64)
+		default:
+			keys := []string{"spurious", "spurious-window", "storm", "inval-delay", "inval-burst", "panic-tx"}
+			sort.Strings(keys)
+			return Plan{}, fmt.Errorf("fault: unknown spec key %q (have %v)", k, keys)
+		}
+		if err != nil {
+			return Plan{}, fmt.Errorf("fault: bad value for %q: %v", k, err)
+		}
+	}
+	return p, p.Validate()
+}
+
+// Stats counts what the engine actually injected, so campaigns can assert
+// they were not vacuous.
+type Stats struct {
+	// SpuriousAborts fired; StormsForced succeeded in turning a page unsafe
+	// (draws on already-unsafe pages do not count); InvalsHeld were delayed,
+	// of which InvalBursts whole-queue flushes were burst-triggered.
+	SpuriousAborts uint64
+	StormsForced   uint64
+	InvalsHeld     uint64
+	InvalBursts    uint64
+}
+
+// Inval is one held bus invalidation awaiting delivery to a remote context.
+type Inval struct {
+	Block uint64
+	Write bool
+	due   int64
+}
+
+// InjectedPanic is the value the engine panics with at Plan.PanicTx, typed
+// so recovery layers can tell an injected crash from a genuine bug.
+type InjectedPanic struct {
+	// Tx is the machine-wide transaction ordinal that triggered the panic.
+	Tx uint64
+}
+
+func (p InjectedPanic) Error() string {
+	return fmt.Sprintf("fault: injected panic at transaction %d", p.Tx)
+}
+
+// Engine draws injection decisions for one machine. It is not safe for
+// concurrent use; the simulator is single-goroutine by construction.
+type Engine struct {
+	plan  Plan
+	stats Stats
+
+	// streams holds one xorshift64 state per hardware context, decoupled
+	// from the interpreter's per-thread streams so injecting faults never
+	// perturbs program-visible randomness.
+	streams []uint64
+	// countdown[ctx] is the number of transactional accesses until the armed
+	// spurious abort fires (0 = not armed).
+	countdown []int64
+	// inbox[ctx] queues invalidations held for that context, in arrival
+	// (deterministic) order.
+	inbox [][]Inval
+
+	txCount uint64
+}
+
+// NewEngine builds an engine for nContexts hardware contexts. Distinct
+// mixing constants keep its streams uncorrelated with interp's thread RNGs
+// even though both derive from the same simulation seed.
+func NewEngine(plan Plan, seed uint64, nContexts int) *Engine {
+	e := &Engine{
+		plan:      plan,
+		streams:   make([]uint64, nContexts),
+		countdown: make([]int64, nContexts),
+		inbox:     make([][]Inval, nContexts),
+	}
+	if e.plan.SpuriousWindow <= 0 {
+		e.plan.SpuriousWindow = 32
+	}
+	for i := range e.streams {
+		e.streams[i] = seed*0x94D049BB133111EB + uint64(i)*0xDA942042E4DD58B5 + 0x632BE59BD9B4E019
+	}
+	return e
+}
+
+// Stats returns a copy of the injection counters.
+func (e *Engine) Stats() Stats { return e.stats }
+
+func (e *Engine) next(ctx int) uint64 {
+	x := e.streams[ctx]
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	e.streams[ctx] = x
+	return x
+}
+
+// draw returns true with probability p on ctx's stream. A probability of 0
+// consumes no randomness, keeping disabled fault classes free and plans
+// with one class enabled independent of the others.
+func (e *Engine) draw(ctx int, p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	return float64(e.next(ctx)>>11)/(1<<53) < p
+}
+
+// TxBegun records a transaction begin on ctx: it advances the machine-wide
+// transaction counter (panicking at Plan.PanicTx) and arms the spurious
+// countdown for this attempt.
+func (e *Engine) TxBegun(ctx int) {
+	e.txCount++
+	if e.plan.PanicTx > 0 && e.txCount == e.plan.PanicTx {
+		panic(InjectedPanic{Tx: e.txCount})
+	}
+	e.countdown[ctx] = 0
+	if e.draw(ctx, e.plan.SpuriousProb) {
+		e.countdown[ctx] = 1 + int64(e.next(ctx)%uint64(e.plan.SpuriousWindow))
+	}
+}
+
+// SpuriousAbortNow reports whether the armed spurious abort fires on this
+// transactional access.
+func (e *Engine) SpuriousAbortNow(ctx int) bool {
+	if e.countdown[ctx] == 0 {
+		return false
+	}
+	e.countdown[ctx]--
+	if e.countdown[ctx] == 0 {
+		e.stats.SpuriousAborts++
+		return true
+	}
+	return false
+}
+
+// ForceUnsafe reports whether this access should force its page unsafe.
+func (e *Engine) ForceUnsafe(ctx int) bool {
+	return e.draw(ctx, e.plan.StormProb)
+}
+
+// StormForced records that a forced transition actually happened (the page
+// was in a safe mode).
+func (e *Engine) StormForced() { e.stats.StormsForced++ }
+
+// HoldInval queues a bus invalidation for the target context instead of
+// delivering it now. It returns false when delayed delivery is disabled.
+func (e *Engine) HoldInval(target int, block uint64, write bool, now int64) bool {
+	if e.plan.InvalDelaySteps <= 0 {
+		return false
+	}
+	e.inbox[target] = append(e.inbox[target], Inval{Block: block, Write: write, due: now + e.plan.InvalDelaySteps})
+	e.stats.InvalsHeld++
+	return true
+}
+
+// DueInvals pops the target's deliverable invalidations: everything, once
+// the queue reaches the burst threshold (a bursty flush), else the prefix
+// whose delay has expired.
+func (e *Engine) DueInvals(target int, now int64) []Inval {
+	q := e.inbox[target]
+	if len(q) == 0 {
+		return nil
+	}
+	if e.plan.InvalBurst > 0 && len(q) >= e.plan.InvalBurst {
+		e.stats.InvalBursts++
+		e.inbox[target] = nil
+		return q
+	}
+	n := 0
+	for n < len(q) && q[n].due <= now {
+		n++
+	}
+	if n == 0 {
+		return nil
+	}
+	due := q[:n:n]
+	e.inbox[target] = q[n:]
+	return due
+}
+
+// FlushInvals pops everything held for the target, regardless of due time.
+// The machine calls it before the target commits: a transaction may never
+// commit past a pending invalidation, which is what keeps delayed delivery
+// semantics-preserving.
+func (e *Engine) FlushInvals(target int) []Inval {
+	q := e.inbox[target]
+	e.inbox[target] = nil
+	return q
+}

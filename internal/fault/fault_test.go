@@ -1,0 +1,250 @@
+package fault
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestParsePlanRoundTrip(t *testing.T) {
+	specs := []string{
+		"",
+		"spurious=0.01",
+		"spurious=0.25,spurious-window=8",
+		"storm=0.001",
+		"inval-delay=200",
+		"inval-delay=200,inval-burst=8",
+		"spurious=0.01,storm=0.001,inval-delay=200,inval-burst=8,panic-tx=500",
+	}
+	for _, spec := range specs {
+		p, err := ParsePlan(spec)
+		if err != nil {
+			t.Fatalf("ParsePlan(%q): %v", spec, err)
+		}
+		// Round-trip: String() must parse back to the same plan.
+		p2, err := ParsePlan(p.String())
+		if err != nil {
+			t.Fatalf("ParsePlan(%q.String()=%q): %v", spec, p.String(), err)
+		}
+		if p != p2 {
+			t.Errorf("round trip %q: %+v != %+v", spec, p, p2)
+		}
+	}
+}
+
+func TestParsePlanErrors(t *testing.T) {
+	for _, spec := range []string{
+		"spurious",          // no value
+		"spurious=x",        // bad float
+		"spurious=1.5",      // out of [0,1]
+		"storm=-0.1",        // negative probability
+		"inval-delay=-5",    // negative knob
+		"frobnicate=1",      // unknown key
+		"spurious=0.1,,",    // empty entry
+		"panic-tx=notanint", // bad uint
+	} {
+		if _, err := ParsePlan(spec); err == nil {
+			t.Errorf("ParsePlan(%q) accepted", spec)
+		}
+	}
+}
+
+func TestPlanEnabled(t *testing.T) {
+	if (Plan{}).Enabled() {
+		t.Error("zero plan enabled")
+	}
+	if (Plan{SpuriousWindow: 8}).Enabled() {
+		t.Error("window alone should not enable the plan")
+	}
+	for _, p := range []Plan{
+		{SpuriousProb: 0.1},
+		{StormProb: 0.1},
+		{InvalDelaySteps: 10},
+		{PanicTx: 1},
+	} {
+		if !p.Enabled() {
+			t.Errorf("%+v not enabled", p)
+		}
+	}
+}
+
+// Engines with the same (plan, seed) must make identical decisions, and
+// different seeds must diverge — the property campaign replay rests on.
+func TestEngineDeterminism(t *testing.T) {
+	plan := Plan{SpuriousProb: 0.3, StormProb: 0.2}
+	drawSeq := func(seed uint64) []bool {
+		e := NewEngine(plan, seed, 4)
+		var out []bool
+		for i := 0; i < 256; i++ {
+			ctx := i % 4
+			e.TxBegun(ctx)
+			out = append(out, e.SpuriousAbortNow(ctx), e.ForceUnsafe(ctx))
+		}
+		return out
+	}
+	a, b := drawSeq(7), drawSeq(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at draw %d", i)
+		}
+	}
+	c := drawSeq(8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("seeds 7 and 8 produced identical decision sequences")
+	}
+}
+
+// A zero probability must not consume randomness: a spurious-only plan and a
+// combined plan must agree on the spurious stream.
+func TestDisabledClassConsumesNoRandomness(t *testing.T) {
+	seq := func(plan Plan) []bool {
+		e := NewEngine(plan, 3, 1)
+		var out []bool
+		for i := 0; i < 128; i++ {
+			e.TxBegun(0)
+			fired := false
+			for j := 0; j < 64 && !fired; j++ {
+				fired = e.SpuriousAbortNow(0)
+			}
+			out = append(out, fired)
+		}
+		return out
+	}
+	only := seq(Plan{SpuriousProb: 0.5})
+	withStorm := seq(Plan{SpuriousProb: 0.5}) // storm disabled: same stream
+	for i := range only {
+		if only[i] != withStorm[i] {
+			t.Fatalf("spurious stream diverged at tx %d", i)
+		}
+	}
+}
+
+func TestSpuriousProbabilityBounds(t *testing.T) {
+	// p=1 arms every transaction; p=0 arms none.
+	e := NewEngine(Plan{SpuriousProb: 1}, 1, 1)
+	for i := 0; i < 50; i++ {
+		e.TxBegun(0)
+		fired := false
+		for j := 0; j < 64; j++ {
+			if e.SpuriousAbortNow(0) {
+				fired = true
+				break
+			}
+		}
+		if !fired {
+			t.Fatalf("tx %d: p=1 did not fire within the window", i)
+		}
+	}
+	if got := e.Stats().SpuriousAborts; got != 50 {
+		t.Errorf("spurious aborts = %d, want 50", got)
+	}
+
+	z := NewEngine(Plan{SpuriousProb: 0, StormProb: 0}, 1, 1)
+	for i := 0; i < 50; i++ {
+		z.TxBegun(0)
+		if z.SpuriousAbortNow(0) || z.ForceUnsafe(0) {
+			t.Fatal("p=0 fired")
+		}
+	}
+}
+
+func TestSpuriousWindowBoundsCountdown(t *testing.T) {
+	e := NewEngine(Plan{SpuriousProb: 1, SpuriousWindow: 4}, 9, 1)
+	for i := 0; i < 100; i++ {
+		e.TxBegun(0)
+		fired := -1
+		for j := 0; j < 8; j++ {
+			if e.SpuriousAbortNow(0) {
+				fired = j
+				break
+			}
+		}
+		if fired < 0 || fired >= 4 {
+			t.Fatalf("tx %d: abort fired at access %d, want within [0,4)", i, fired)
+		}
+	}
+}
+
+func TestInvalQueueDelayAndBurst(t *testing.T) {
+	e := NewEngine(Plan{InvalDelaySteps: 100, InvalBurst: 3}, 1, 2)
+
+	if e.HoldInval(0, 1, false, 0) != true {
+		t.Fatal("HoldInval refused with delay enabled")
+	}
+	// Nothing due before the delay expires and below the burst threshold.
+	if got := e.DueInvals(0, 50); got != nil {
+		t.Fatalf("premature delivery: %v", got)
+	}
+	// Due-prefix pop after the delay.
+	if got := e.DueInvals(0, 100); len(got) != 1 || got[0].Block != 1 {
+		t.Fatalf("due pop = %v, want block 1", got)
+	}
+	// Filling to the burst threshold flushes everything regardless of due
+	// times.
+	e.HoldInval(0, 2, true, 10)
+	e.HoldInval(0, 3, false, 10)
+	e.HoldInval(0, 4, true, 10)
+	got := e.DueInvals(0, 11)
+	if len(got) != 3 {
+		t.Fatalf("burst flush returned %d invals, want 3", len(got))
+	}
+	if got[0].Block != 2 || !got[0].Write || got[2].Block != 4 {
+		t.Fatalf("burst order/content wrong: %v", got)
+	}
+	if e.DueInvals(0, 1<<40) != nil {
+		t.Fatal("queue not empty after burst")
+	}
+
+	// FlushInvals drains everything immediately.
+	e.HoldInval(1, 7, false, 0)
+	e.HoldInval(1, 8, true, 0)
+	if got := e.FlushInvals(1); len(got) != 2 {
+		t.Fatalf("flush returned %d, want 2", len(got))
+	}
+	if e.FlushInvals(1) != nil {
+		t.Fatal("double flush returned invals")
+	}
+
+	st := e.Stats()
+	if st.InvalsHeld != 6 || st.InvalBursts != 1 {
+		t.Errorf("stats = %+v, want 6 held / 1 burst", st)
+	}
+}
+
+func TestHoldInvalDisabled(t *testing.T) {
+	e := NewEngine(Plan{SpuriousProb: 0.5}, 1, 1)
+	if e.HoldInval(0, 1, false, 0) {
+		t.Fatal("HoldInval held with delay disabled")
+	}
+}
+
+func TestPanicTx(t *testing.T) {
+	e := NewEngine(Plan{PanicTx: 3}, 1, 1)
+	e.TxBegun(0)
+	e.TxBegun(0)
+	defer func() {
+		v := recover()
+		if v == nil {
+			t.Fatal("no panic at PanicTx")
+		}
+		ip, ok := v.(InjectedPanic)
+		if !ok {
+			t.Fatalf("panic value %T, want InjectedPanic", v)
+		}
+		if ip.Tx != 3 {
+			t.Errorf("panic at tx %d, want 3", ip.Tx)
+		}
+		var err error = ip
+		var target InjectedPanic
+		if !errors.As(err, &target) {
+			t.Error("InjectedPanic not matchable with errors.As")
+		}
+	}()
+	e.TxBegun(0)
+}

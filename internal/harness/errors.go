@@ -1,0 +1,53 @@
+package harness
+
+import (
+	"errors"
+	"fmt"
+)
+
+// RequestError attributes a failure to the Request whose simulation caused
+// it, so a grid submitter can tell which cell of a figure died. It unwraps
+// to the underlying cause: errors.Is/As see through it to context errors,
+// sim.ErrLivelock, PanicError, and the rest.
+type RequestError struct {
+	Req Request
+	Err error
+}
+
+func (e *RequestError) Error() string { return fmt.Sprintf("%v: %v", e.Req, e.Err) }
+
+func (e *RequestError) Unwrap() error { return e.Err }
+
+// PanicError is a worker panic recovered by the scheduler: the run that
+// panicked reports this instead of crashing the process, and every other
+// run in the grid completes. It unwraps to the panic value when that value
+// is itself an error (e.g. fault.InjectedPanic).
+type PanicError struct {
+	// Value is the recovered panic value; Stack the goroutine stack at the
+	// recovery point.
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string { return fmt.Sprintf("simulation panicked: %v", e.Value) }
+
+func (e *PanicError) Unwrap() error {
+	if err, ok := e.Value.(error); ok {
+		return err
+	}
+	return nil
+}
+
+// joinErrors deduplicates (by identity — shared flights yield the one error
+// instance) and joins a grid's failures, preserving request order.
+func joinErrors(errs []error) error {
+	seen := make(map[error]bool, len(errs))
+	var failed []error
+	for _, err := range errs {
+		if err != nil && !seen[err] {
+			seen[err] = true
+			failed = append(failed, err)
+		}
+	}
+	return errors.Join(failed...)
+}

@@ -18,6 +18,23 @@ import (
 // worker pool can run the grid's independent simulations concurrently), and
 // then reduce the per-request results into rows in deterministic workload
 // order.
+//
+// Figures degrade gracefully: when some of a figure's requests fail (panic,
+// livelock, cycle cap), the builder still returns every computable row,
+// marks the dead cells with Failed, and returns the joined error alongside
+// them. Renderers print FAILED markers for those cells, exclude them from
+// means, and pass the error on — so hintm-bench shows the surviving figure
+// and exits non-zero. Only a cancelled context aborts a figure outright.
+
+// anyNil reports whether any needed result is missing (its request failed).
+func anyNil(results ...*sim.Result) bool {
+	for _, res := range results {
+		if res == nil {
+			return true
+		}
+	}
+	return false
+}
 
 // fig7Apps is the subset the paper's larger-HTM studies show.
 var fig7Apps = []string{"bayes", "genome", "labyrinth", "tpcc-no", "vacation", "yada"}
@@ -38,6 +55,8 @@ type Fig1Row struct {
 	// SafeReadsPage / SafeReadsBlock: fraction of transactional accesses
 	// that are reads to safe regions at 4 KiB / 64 B granularity.
 	SafeReadsPage, SafeReadsBlock float64
+	// Failed marks a row whose underlying runs failed; value fields are zero.
+	Failed bool
 }
 
 // Fig1 runs the opportunity study.
@@ -68,19 +87,19 @@ func (r *Runner) Fig1(ctx context.Context) ([]Fig1Row, error) {
 	}
 	byReq, err := r.gather(ctx, reqs)
 	wg.Wait()
-	if err != nil {
+	if byReq == nil {
 		return nil, err
 	}
-	for _, perr := range perrs {
-		if perr != nil {
-			return nil, perr
-		}
-	}
+	err = joinErrors(append(perrs, err))
 
 	var rows []Fig1Row
 	for i, spec := range specs {
 		p8 := byReq[req(spec.Name, r.opts.Scale, sim.HTMP8, sim.HintNone)]
 		inf := byReq[req(spec.Name, r.opts.Scale, sim.HTMInfCap, sim.HintNone)]
+		if anyNil(p8, inf) || perrs[i] != nil {
+			rows = append(rows, Fig1Row{App: spec.Name, Failed: true})
+			continue
+		}
 		capTime := 1 - float64(inf.Cycles)/float64(p8.Cycles)
 		if capTime < 0 {
 			capTime = 0
@@ -93,35 +112,38 @@ func (r *Runner) Fig1(ctx context.Context) ([]Fig1Row, error) {
 			SafeReadsBlock: profs[i].SafeReadFracBlock,
 		})
 	}
-	return rows, nil
+	return rows, err
 }
 
 // RenderFig1 prints the figure as a table.
 func (r *Runner) RenderFig1(ctx context.Context, w io.Writer) error {
 	rows, err := r.Fig1(ctx)
-	if err != nil {
+	if rows == nil {
 		return err
 	}
 	fmt.Fprint(w, Title("Fig 1: capacity-abort time and safe-access opportunity (P8)"))
 	t := stats.NewTable("app", "capacity-time", "safe-pages", "safe-reads@4K", "safe-reads@64B")
+	chart := stats.NewBarChart("%")
 	var ct, sp, srp, srb []float64
 	for _, row := range rows {
+		if row.Failed {
+			t.Row(row.App, "FAILED", "-", "-", "-")
+			chart.FailedBar(row.App)
+			continue
+		}
 		t.Row(row.App, stats.Pct(row.CapacityTime), stats.Pct(row.SafePages),
 			stats.Pct(row.SafeReadsPage), stats.Pct(row.SafeReadsBlock))
 		ct = append(ct, row.CapacityTime)
 		sp = append(sp, row.SafePages)
 		srp = append(srp, row.SafeReadsPage)
 		srb = append(srb, row.SafeReadsBlock)
+		chart.Bar(row.App, row.CapacityTime*100)
 	}
 	t.Row("MEAN", stats.Pct(mean(ct)), stats.Pct(mean(sp)), stats.Pct(mean(srp)), stats.Pct(mean(srb)))
 	t.Render(w)
 	fmt.Fprintln(w, "\nruntime lost to capacity aborts:")
-	chart := stats.NewBarChart("%")
-	for _, row := range rows {
-		chart.Bar(row.App, row.CapacityTime*100)
-	}
 	chart.Render(w)
-	return nil
+	return err
 }
 
 // Fig4Row reproduces one application of paper Fig. 4 (P8 baseline).
@@ -136,6 +158,8 @@ type Fig4Row struct {
 	SpeedupFull       float64
 	SpeedupInf        float64
 	PageModeCycleFrac float64 // under HinTM (full), Fig. 4b secondary axis
+	// Failed marks a row whose underlying runs failed; value fields are zero.
+	Failed bool
 }
 
 // Fig4 runs the P8 capacity-abort-reduction and speedup study.
@@ -171,7 +195,7 @@ func (r *Runner) figOnHTM(ctx context.Context, kind sim.HTMKind, scale workloads
 			req(spec.Name, scale, sim.HTMInfCap, sim.HintNone))
 	}
 	byReq, err := r.gather(ctx, reqs)
-	if err != nil {
+	if byReq == nil {
 		return nil, err
 	}
 	var rows []Fig4Row
@@ -181,6 +205,10 @@ func (r *Runner) figOnHTM(ctx context.Context, kind sim.HTMKind, scale workloads
 		dyn := byReq[req(spec.Name, scale, kind, sim.HintDynamic)]
 		full := byReq[req(spec.Name, scale, kind, sim.HintFull)]
 		inf := byReq[req(spec.Name, scale, sim.HTMInfCap, sim.HintNone)]
+		if anyNil(base, st, dyn, full, inf) {
+			rows = append(rows, Fig4Row{App: spec.Name, Failed: true})
+			continue
+		}
 		baseCap := base.Aborts[htm.AbortCapacity]
 		rows = append(rows, Fig4Row{
 			App:               spec.Name,
@@ -195,19 +223,19 @@ func (r *Runner) figOnHTM(ctx context.Context, kind sim.HTMKind, scale workloads
 			PageModeCycleFrac: full.PageModeCycleFraction(),
 		})
 	}
-	return rows, nil
+	return rows, err
 }
 
 // RenderFig4 prints Fig. 4a+4b.
 func (r *Runner) RenderFig4(ctx context.Context, w io.Writer) error {
 	rows, err := r.Fig4(ctx)
-	if err != nil {
+	if rows == nil {
 		return err
 	}
 	renderHTMSweep(w, rows,
 		"Fig 4a: capacity-abort reduction vs P8",
 		"Fig 4b: speedup over P8 (and page-mode cycle fraction)")
-	return nil
+	return err
 }
 
 func renderHTMSweep(w io.Writer, rows []Fig4Row, titleA, titleB string) {
@@ -215,6 +243,10 @@ func renderHTMSweep(w io.Writer, rows []Fig4Row, titleA, titleB string) {
 	ta := stats.NewTable("app", "base-cap-aborts", "HinTM-st", "HinTM-dyn", "HinTM")
 	var rs, rd, rf []float64
 	for _, row := range rows {
+		if row.Failed {
+			ta.Row(row.App, "FAILED", "-", "-", "-")
+			continue
+		}
 		ta.Row(row.App, row.BaseCapacity, stats.Pct(row.CapRedSt),
 			stats.Pct(row.CapRedDyn), stats.Pct(row.CapRedFull))
 		if row.BaseCapacity > 0 {
@@ -228,8 +260,14 @@ func renderHTMSweep(w io.Writer, rows []Fig4Row, titleA, titleB string) {
 
 	fmt.Fprint(w, Title(titleB))
 	tb := stats.NewTable("app", "HinTM-st", "HinTM-dyn", "HinTM", "InfCap", "pagemode-cycles")
+	chart := stats.NewBarChart("x")
 	var ss, sd, sf, si []float64
 	for _, row := range rows {
+		if row.Failed {
+			tb.Row(row.App, "FAILED", "-", "-", "-", "-")
+			chart.FailedBar(row.App)
+			continue
+		}
 		tb.Row(row.App,
 			fmt.Sprintf("%.2fx", row.SpeedupSt),
 			fmt.Sprintf("%.2fx", row.SpeedupDyn),
@@ -240,6 +278,7 @@ func renderHTMSweep(w io.Writer, rows []Fig4Row, titleA, titleB string) {
 		sd = append(sd, row.SpeedupDyn)
 		sf = append(sf, row.SpeedupFull)
 		si = append(si, row.SpeedupInf)
+		chart.Bar(row.App, row.SpeedupFull)
 	}
 	tb.Row("GEOMEAN",
 		fmt.Sprintf("%.2fx", geomean(ss)),
@@ -248,10 +287,6 @@ func renderHTMSweep(w io.Writer, rows []Fig4Row, titleA, titleB string) {
 		fmt.Sprintf("%.2fx", geomean(si)), "-")
 	tb.Render(w)
 	fmt.Fprintln(w, "\nHinTM speedup:")
-	chart := stats.NewBarChart("x")
-	for _, row := range rows {
-		chart.Bar(row.App, row.SpeedupFull)
-	}
 	chart.Render(w)
 }
 
@@ -259,6 +294,8 @@ func renderHTMSweep(w io.Writer, rows []Fig4Row, titleA, titleB string) {
 type Fig5Row struct {
 	App                             string
 	StaticFrac, DynFrac, UnsafeFrac float64
+	// Failed marks a row whose underlying run failed; value fields are zero.
+	Failed bool
 }
 
 // Fig5 measures the access breakdown under InfCap + HinTM (the paper's
@@ -278,12 +315,16 @@ func (r *Runner) Fig5(ctx context.Context) ([]Fig5Row, error) {
 		reqs = append(reqs, req(spec.Name, r.opts.Scale, sim.HTMInfCap, sim.HintFull))
 	}
 	results, err := r.RunAll(ctx, reqs)
-	if err != nil {
+	if err != nil && ctx.Err() != nil {
 		return nil, err
 	}
 	var rows []Fig5Row
 	for i, spec := range keep {
 		res := results[i]
+		if res == nil {
+			rows = append(rows, Fig5Row{App: spec.Name, Failed: true})
+			continue
+		}
 		total := float64(res.TxAccesses())
 		if total == 0 {
 			total = 1
@@ -295,26 +336,30 @@ func (r *Runner) Fig5(ctx context.Context) ([]Fig5Row, error) {
 			UnsafeFrac: float64(res.UnsafeTxAccesses) / total,
 		})
 	}
-	return rows, nil
+	return rows, err
 }
 
 // RenderFig5 prints the breakdown.
 func (r *Runner) RenderFig5(ctx context.Context, w io.Writer) error {
 	rows, err := r.Fig5(ctx)
-	if err != nil {
+	if rows == nil {
 		return err
 	}
 	fmt.Fprint(w, Title("Fig 5: transactional access breakdown (compiler/runtime/unsafe)"))
 	t := stats.NewTable("app", "static-safe", "dynamic-safe", "unsafe")
 	var sf, df []float64
 	for _, row := range rows {
+		if row.Failed {
+			t.Row(row.App, "FAILED", "-", "-")
+			continue
+		}
 		t.Row(row.App, stats.Pct(row.StaticFrac), stats.Pct(row.DynFrac), stats.Pct(row.UnsafeFrac))
 		sf = append(sf, row.StaticFrac)
 		df = append(df, row.DynFrac)
 	}
 	t.Row("MEAN", stats.Pct(mean(sf)), stats.Pct(mean(df)), stats.Pct(1-mean(sf)-mean(df)))
 	t.Render(w)
-	return nil
+	return err
 }
 
 // Fig6Series reproduces one subplot of paper Fig. 6: transaction-footprint
@@ -323,6 +368,8 @@ type Fig6Series struct {
 	App            string
 	Points         []int
 	Base, St, Full []float64
+	// Failed marks a series whose underlying runs failed; CDFs are nil.
+	Failed bool
 }
 
 // fig6Apps matches the paper's four subplots.
@@ -349,7 +396,7 @@ func (r *Runner) Fig6(ctx context.Context) ([]Fig6Series, error) {
 			req(name, r.opts.Scale, sim.HTMInfCap, sim.HintFull))
 	}
 	byReq, err := r.gather(ctx, reqs)
-	if err != nil {
+	if byReq == nil {
 		return nil, err
 	}
 	var out []Fig6Series
@@ -357,6 +404,10 @@ func (r *Runner) Fig6(ctx context.Context) ([]Fig6Series, error) {
 		base := byReq[req(name, r.opts.Scale, sim.HTMInfCap, sim.HintNone)]
 		st := byReq[req(name, r.opts.Scale, sim.HTMInfCap, sim.HintStatic)]
 		full := byReq[req(name, r.opts.Scale, sim.HTMInfCap, sim.HintFull)]
+		if anyNil(base, st, full) {
+			out = append(out, Fig6Series{App: name, Points: points, Failed: true})
+			continue
+		}
 		out = append(out, Fig6Series{
 			App:    name,
 			Points: points,
@@ -365,24 +416,28 @@ func (r *Runner) Fig6(ctx context.Context) ([]Fig6Series, error) {
 			Full:   full.TxFootprints.CDF(points),
 		})
 	}
-	return out, nil
+	return out, err
 }
 
 // RenderFig6 prints the CDFs.
 func (r *Runner) RenderFig6(ctx context.Context, w io.Writer) error {
 	series, err := r.Fig6(ctx)
-	if err != nil {
+	if series == nil && err != nil {
 		return err
 	}
 	for _, s := range series {
 		fmt.Fprint(w, Title(fmt.Sprintf("Fig 6: TX size CDF — %s (x = blocks, P8 capacity = 64)", s.App)))
+		if s.Failed {
+			fmt.Fprintln(w, "FAILED: underlying runs did not complete")
+			continue
+		}
 		t := stats.NewTable("blocks", "baseline", "HinTM-st", "HinTM")
 		for i, p := range s.Points {
 			t.Row(p, s.Base[i], s.St[i], s.Full[i])
 		}
 		t.Render(w)
 	}
-	return nil
+	return err
 }
 
 // Fig7Row reproduces one application of paper Fig. 7 (P8S baseline).
@@ -398,6 +453,8 @@ type Fig7Row struct {
 	SpeedupDyn   float64
 	SpeedupFull  float64
 	SpeedupInf   float64
+	// Failed marks a row whose underlying runs failed; value fields are zero.
+	Failed bool
 }
 
 // Fig7 runs the P8S study on larger inputs.
@@ -421,7 +478,7 @@ func (r *Runner) Fig7(ctx context.Context) ([]Fig7Row, error) {
 			req(spec.Name, r.opts.LargeScale, sim.HTMInfCap, sim.HintNone))
 	}
 	byReq, err := r.gather(ctx, reqs)
-	if err != nil {
+	if byReq == nil {
 		return nil, err
 	}
 	var rows []Fig7Row
@@ -431,6 +488,10 @@ func (r *Runner) Fig7(ctx context.Context) ([]Fig7Row, error) {
 		dyn := byReq[req(spec.Name, r.opts.LargeScale, sim.HTMP8S, sim.HintDynamic)]
 		full := byReq[req(spec.Name, r.opts.LargeScale, sim.HTMP8S, sim.HintFull)]
 		inf := byReq[req(spec.Name, r.opts.LargeScale, sim.HTMInfCap, sim.HintNone)]
+		if anyNil(base, st, dyn, full, inf) {
+			rows = append(rows, Fig7Row{App: spec.Name, Failed: true})
+			continue
+		}
 		baseCap := base.Aborts[htm.AbortCapacity]
 		baseFalse := base.Aborts[htm.AbortFalseConflict]
 		rows = append(rows, Fig7Row{
@@ -447,18 +508,22 @@ func (r *Runner) Fig7(ctx context.Context) ([]Fig7Row, error) {
 			SpeedupInf:   speedup(base.Cycles, inf.Cycles),
 		})
 	}
-	return rows, nil
+	return rows, err
 }
 
 // RenderFig7 prints the P8S study.
 func (r *Runner) RenderFig7(ctx context.Context, w io.Writer) error {
 	rows, err := r.Fig7(ctx)
-	if err != nil {
+	if rows == nil {
 		return err
 	}
 	fmt.Fprint(w, Title("Fig 7a: capacity & false-conflict abort reduction vs P8S (large inputs)"))
 	ta := stats.NewTable("app", "base-cap", "base-false", "cap-red-st", "cap-red-dyn", "cap-red-full", "false-red-full")
 	for _, row := range rows {
+		if row.Failed {
+			ta.Row(row.App, "FAILED", "-", "-", "-", "-", "-")
+			continue
+		}
 		ta.Row(row.App, row.BaseCapacity, row.BaseFalse, stats.Pct(row.CapRedSt),
 			stats.Pct(row.CapRedDyn), stats.Pct(row.CapRedFull), stats.Pct(row.FalseRedFull))
 	}
@@ -468,6 +533,10 @@ func (r *Runner) RenderFig7(ctx context.Context, w io.Writer) error {
 	tb := stats.NewTable("app", "HinTM-st", "HinTM-dyn", "HinTM", "InfCap")
 	var sf []float64
 	for _, row := range rows {
+		if row.Failed {
+			tb.Row(row.App, "FAILED", "-", "-", "-")
+			continue
+		}
 		tb.Row(row.App,
 			fmt.Sprintf("%.2fx", row.SpeedupSt),
 			fmt.Sprintf("%.2fx", row.SpeedupDyn),
@@ -477,7 +546,7 @@ func (r *Runner) RenderFig7(ctx context.Context, w io.Writer) error {
 	}
 	tb.Row("GEOMEAN", "-", "-", fmt.Sprintf("%.2fx", geomean(sf)), "-")
 	tb.Render(w)
-	return nil
+	return err
 }
 
 // Fig8Row reproduces paper Fig. 8 (L1TM with 2-way SMT, large inputs).
@@ -490,6 +559,8 @@ type Fig8Row struct {
 	SpeedupFull       float64
 	SpeedupInf        float64
 	PageModeCycleFrac float64
+	// Failed marks a row whose underlying runs failed; value fields are zero.
+	Failed bool
 }
 
 // Fig8 runs the L1TM/SMT study.
@@ -516,7 +587,7 @@ func (r *Runner) Fig8(ctx context.Context) ([]Fig8Row, error) {
 			smt2(spec.Name, sim.HTMInfCap, sim.HintNone))
 	}
 	byReq, err := r.gather(ctx, reqs)
-	if err != nil {
+	if byReq == nil {
 		return nil, err
 	}
 	var rows []Fig8Row
@@ -526,6 +597,10 @@ func (r *Runner) Fig8(ctx context.Context) ([]Fig8Row, error) {
 		dyn := byReq[smt2(spec.Name, sim.HTML1TM, sim.HintDynamic)]
 		full := byReq[smt2(spec.Name, sim.HTML1TM, sim.HintFull)]
 		inf := byReq[smt2(spec.Name, sim.HTMInfCap, sim.HintNone)]
+		if anyNil(base, st, dyn, full, inf) {
+			rows = append(rows, Fig8Row{App: spec.Name, Failed: true})
+			continue
+		}
 		baseCap := base.Aborts[htm.AbortCapacity]
 		rows = append(rows, Fig8Row{
 			App:               spec.Name,
@@ -538,19 +613,23 @@ func (r *Runner) Fig8(ctx context.Context) ([]Fig8Row, error) {
 			PageModeCycleFrac: full.PageModeCycleFraction(),
 		})
 	}
-	return rows, nil
+	return rows, err
 }
 
 // RenderFig8 prints the L1TM study.
 func (r *Runner) RenderFig8(ctx context.Context, w io.Writer) error {
 	rows, err := r.Fig8(ctx)
-	if err != nil {
+	if rows == nil {
 		return err
 	}
 	fmt.Fprint(w, Title("Fig 8: speedup over L1TM with 2-way SMT (large inputs)"))
 	t := stats.NewTable("app", "base-cap-aborts", "cap-red-full", "HinTM-st", "HinTM-dyn", "HinTM", "InfCap", "pagemode-cycles")
 	var sf []float64
 	for _, row := range rows {
+		if row.Failed {
+			t.Row(row.App, "FAILED", "-", "-", "-", "-", "-", "-")
+			continue
+		}
 		t.Row(row.App, row.BaseCapacity, stats.Pct(row.CapRedFull),
 			fmt.Sprintf("%.2fx", row.SpeedupSt),
 			fmt.Sprintf("%.2fx", row.SpeedupDyn),
@@ -561,7 +640,7 @@ func (r *Runner) RenderFig8(ctx context.Context, w io.Writer) error {
 	}
 	t.Row("GEOMEAN", "-", "-", "-", "-", fmt.Sprintf("%.2fx", geomean(sf)), "-", "-")
 	t.Render(w)
-	return nil
+	return err
 }
 
 // Extras runs the Fig.-4-style sweep over the non-paper microbenchmarks.
@@ -572,25 +651,31 @@ func (r *Runner) Extras(ctx context.Context) ([]Fig4Row, error) {
 // RenderExtras prints the microbenchmark sweep.
 func (r *Runner) RenderExtras(ctx context.Context, w io.Writer) error {
 	rows, err := r.Extras(ctx)
-	if err != nil {
+	if rows == nil {
 		return err
 	}
 	renderHTMSweep(w, rows,
 		"Extras: capacity-abort reduction vs P8 (intset microbenchmarks)",
 		"Extras: speedup over P8 — note the honest negative: pointer chasing over shared RW nodes defeats both classifiers")
-	return nil
+	return err
 }
 
-// RenderAll runs every figure in order.
+// RenderAll runs every figure in order. A figure with failed cells renders
+// degraded and its error is collected; only a cancelled context (or a
+// figure yielding nothing at all) stops the sequence early.
 func (r *Runner) RenderAll(ctx context.Context, w io.Writer) error {
+	var errs []error
 	for _, f := range []func(context.Context, io.Writer) error{
 		r.RenderFig1, r.RenderFig4, r.RenderFig5, r.RenderFig6, r.RenderFig7, r.RenderFig8,
 	} {
 		if err := f(ctx, w); err != nil {
-			return err
+			if ctx.Err() != nil {
+				return err
+			}
+			errs = append(errs, err)
 		}
 	}
-	return nil
+	return joinErrors(errs)
 }
 
 func mean(vals []float64) float64 {

@@ -18,6 +18,7 @@ import (
 	"strings"
 	"sync"
 
+	"hintm/internal/fault"
 	"hintm/internal/ir"
 	"hintm/internal/sim"
 	"hintm/internal/workloads"
@@ -38,6 +39,14 @@ type Options struct {
 	// (0 = runtime.GOMAXPROCS(0)). Results are deterministic for any
 	// worker count: each simulation is self-contained and seeded.
 	Workers int
+	// Faults is the fault-injection plan applied to every simulation (zero
+	// value = no injection); campaigns replay bit-identically for a given
+	// (plan, Seed) pair.
+	Faults fault.Plan
+	// WatchdogCycles arms the sim livelock watchdog per run (0 = off).
+	WatchdogCycles int64
+	// MaxCycles hard-caps each run's simulated clock (0 = no cap).
+	MaxCycles int64
 }
 
 // DefaultOptions mirrors the paper's setup.

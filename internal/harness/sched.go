@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime/debug"
 	"sync"
 
 	"hintm/internal/cache"
@@ -70,12 +71,17 @@ func (r *Runner) Run(ctx context.Context, req Request) (*sim.Result, error) {
 	r.mu.Unlock()
 
 	f.val, f.err = r.execute(ctx, req)
-	if f.err != nil && (errors.Is(f.err, context.Canceled) || errors.Is(f.err, context.DeadlineExceeded)) {
-		// A cancellation is this caller's, not the configuration's: evict
-		// the flight so a later call with a live context can retry.
-		r.mu.Lock()
-		delete(r.runs, req)
-		r.mu.Unlock()
+	if f.err != nil {
+		// Every failure names its request; RequestError unwraps, so callers
+		// still match the cause with errors.Is/As.
+		f.err = &RequestError{Req: req, Err: f.err}
+		if errors.Is(f.err, context.Canceled) || errors.Is(f.err, context.DeadlineExceeded) {
+			// A cancellation is this caller's, not the configuration's: evict
+			// the flight so a later call with a live context can retry.
+			r.mu.Lock()
+			delete(r.runs, req)
+			r.mu.Unlock()
+		}
 	}
 	close(f.done)
 	return f.val, f.err
@@ -83,8 +89,10 @@ func (r *Runner) Run(ctx context.Context, req Request) (*sim.Result, error) {
 
 // RunAll submits the whole grid at once and waits for every request. The
 // returned slice is index-aligned with reqs (duplicates resolve to the same
-// *sim.Result). On failure the first error in request order is returned and
-// the slice may be partially filled.
+// *sim.Result). Failures degrade, not abort: every other request still runs
+// to completion, failed slots stay nil, and the returned error joins one
+// RequestError per distinct failure — so callers both get the partial
+// results and learn exactly which requests died.
 func (r *Runner) RunAll(ctx context.Context, reqs []Request) ([]*sim.Result, error) {
 	out := make([]*sim.Result, len(reqs))
 	errs := make([]error, len(reqs))
@@ -97,33 +105,38 @@ func (r *Runner) RunAll(ctx context.Context, reqs []Request) ([]*sim.Result, err
 		}(i, req)
 	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return out, err
-		}
-	}
-	return out, nil
+	return out, joinErrors(errs)
 }
 
-// gather runs the grid and indexes the results by (normalized) Request —
-// the shape figure builders consume.
+// gather runs the grid and indexes the successful results by (normalized)
+// Request — the shape figure builders consume. On failure the map still
+// carries every request that succeeded (failed requests are simply absent)
+// alongside the joined error; builders mark the missing cells failed. Only
+// a cancelled context returns a nil map: nothing can be salvaged.
 func (r *Runner) gather(ctx context.Context, reqs []Request) (map[Request]*sim.Result, error) {
 	res, err := r.RunAll(ctx, reqs)
-	if err != nil {
+	if err != nil && ctx.Err() != nil {
 		return nil, err
 	}
 	out := make(map[Request]*sim.Result, len(reqs))
 	for i, req := range reqs {
-		out[req.normalize()] = res[i]
+		if res[i] != nil {
+			out[req.normalize()] = res[i]
+		}
 	}
-	return out, nil
+	return out, err
 }
 
 // RunProfiled executes req with the sharing profiler attached and returns
 // the run's result alongside the profiler's report. Profiled runs are never
 // memoized (the profiler is a per-run observer) but they respect the worker
 // pool like every other run.
-func (r *Runner) RunProfiled(ctx context.Context, req Request) (*sim.Result, profile.Report, error) {
+func (r *Runner) RunProfiled(ctx context.Context, req Request) (res *sim.Result, rep profile.Report, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			res, err = nil, &RequestError{Req: req, Err: &PanicError{Value: v, Stack: debug.Stack()}}
+		}
+	}()
 	req = req.normalize()
 	spec, err := workloads.ByName(req.Workload)
 	if err != nil {
@@ -145,15 +158,23 @@ func (r *Runner) RunProfiled(ctx context.Context, req Request) (*sim.Result, pro
 	}
 	prof := profile.NewSharing(cfg.Contexts() - 1)
 	m.SetProfiler(prof)
-	res, err := m.Run(ctx)
+	res, err = m.Run(ctx)
 	if err != nil {
-		return nil, profile.Report{}, fmt.Errorf("%v (profiled): %w", req, err)
+		return nil, profile.Report{}, &RequestError{Req: req, Err: fmt.Errorf("profiled: %w", err)}
 	}
 	return res, prof.Report(), nil
 }
 
-// execute performs one simulation under a worker-pool slot.
-func (r *Runner) execute(ctx context.Context, req Request) (*sim.Result, error) {
+// execute performs one simulation under a worker-pool slot. A panicking
+// simulation (an interpreter bug, or the fault layer's injected crash) is
+// recovered into a PanicError: the worker survives, the pool slot is
+// released, and the grid's other requests keep running.
+func (r *Runner) execute(ctx context.Context, req Request) (res *sim.Result, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			res, err = nil, &PanicError{Value: v, Stack: debug.Stack()}
+		}
+	}()
 	spec, err := workloads.ByName(req.Workload)
 	if err != nil {
 		return nil, err
@@ -171,11 +192,7 @@ func (r *Runner) execute(ctx context.Context, req Request) (*sim.Result, error) 
 	if err != nil {
 		return nil, err
 	}
-	res, err := m.Run(ctx)
-	if err != nil {
-		return nil, fmt.Errorf("%v: %w", req, err)
-	}
-	return res, nil
+	return m.Run(ctx)
 }
 
 // module builds and classifies a workload module, single-flighted: the
@@ -222,13 +239,21 @@ func (r *Runner) configFor(spec *workloads.Spec, req Request) sim.Config {
 		cfg.Cache = cache.DefaultConfig(cfg.Cores)
 	}
 	cfg.Seed = r.opts.Seed
+	cfg.Faults = r.opts.Faults
+	cfg.WatchdogCycles = r.opts.WatchdogCycles
+	cfg.MaxCycles = r.opts.MaxCycles
 	return cfg
 }
 
 // runConfig executes one custom-config run under the worker pool — the
 // ablation path, where each sweep point perturbs fields Request does not
-// carry. Never memoized.
-func (r *Runner) runConfig(ctx context.Context, spec *workloads.Spec, scale workloads.Scale, cfg sim.Config) (*sim.Result, error) {
+// carry. Never memoized; panics are recovered like Run's.
+func (r *Runner) runConfig(ctx context.Context, spec *workloads.Spec, scale workloads.Scale, cfg sim.Config) (res *sim.Result, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			res, err = nil, &PanicError{Value: v, Stack: debug.Stack()}
+		}
+	}()
 	release, err := r.acquire(ctx)
 	if err != nil {
 		return nil, err

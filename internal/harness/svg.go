@@ -11,11 +11,14 @@ import (
 
 // WriteSVGs renders every figure into dir as standalone SVG files, mirroring
 // the paper's figure shapes (grouped bars over applications, CDF curves with
-// the 64-block capacity marker).
+// the 64-block capacity marker). Failed figure cells are omitted from the
+// charts and their errors joined into the returned error, so a partially
+// failed campaign still produces the plottable remainder.
 func (r *Runner) WriteSVGs(ctx context.Context, dir string) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
+	var figErrs []error
 	write := func(name string, render func(f *os.File) error) error {
 		f, err := os.Create(filepath.Join(dir, name))
 		if err != nil {
@@ -27,9 +30,10 @@ func (r *Runner) WriteSVGs(ctx context.Context, dir string) error {
 
 	// Fig 1.
 	rows1, err := r.Fig1(ctx)
-	if err != nil {
+	if rows1 == nil && err != nil {
 		return err
 	}
+	figErrs = append(figErrs, err)
 	if err := write("fig1.svg", func(f *os.File) error {
 		c := &svgplot.BarChart{
 			Title:   "Fig 1: capacity-abort time and safe-access opportunity",
@@ -41,6 +45,9 @@ func (r *Runner) WriteSVGs(ctx context.Context, dir string) error {
 			},
 		}
 		for _, row := range rows1 {
+			if row.Failed {
+				continue
+			}
 			c.Categories = append(c.Categories, row.App)
 			c.Series[0].Values = append(c.Series[0].Values, row.CapacityTime)
 			c.Series[1].Values = append(c.Series[1].Values, row.SafePages)
@@ -54,9 +61,10 @@ func (r *Runner) WriteSVGs(ctx context.Context, dir string) error {
 
 	// Fig 4a / 4b.
 	rows4, err := r.Fig4(ctx)
-	if err != nil {
+	if rows4 == nil && err != nil {
 		return err
 	}
+	figErrs = append(figErrs, err)
 	if err := write("fig4a.svg", func(f *os.File) error {
 		c := &svgplot.BarChart{
 			Title:   "Fig 4a: capacity-abort reduction vs P8",
@@ -68,6 +76,9 @@ func (r *Runner) WriteSVGs(ctx context.Context, dir string) error {
 			},
 		}
 		for _, row := range rows4 {
+			if row.Failed {
+				continue
+			}
 			c.Categories = append(c.Categories, row.App)
 			c.Series[0].Values = append(c.Series[0].Values, row.CapRedSt)
 			c.Series[1].Values = append(c.Series[1].Values, row.CapRedDyn)
@@ -86,6 +97,9 @@ func (r *Runner) WriteSVGs(ctx context.Context, dir string) error {
 			},
 		}
 		for _, row := range rows4 {
+			if row.Failed {
+				continue
+			}
 			c.Categories = append(c.Categories, row.App)
 			c.Series[0].Values = append(c.Series[0].Values, row.SpeedupSt)
 			c.Series[1].Values = append(c.Series[1].Values, row.SpeedupDyn)
@@ -99,9 +113,10 @@ func (r *Runner) WriteSVGs(ctx context.Context, dir string) error {
 
 	// Fig 5 (stacked).
 	rows5, err := r.Fig5(ctx)
-	if err != nil {
+	if rows5 == nil && err != nil {
 		return err
 	}
+	figErrs = append(figErrs, err)
 	if err := write("fig5.svg", func(f *os.File) error {
 		c := &svgplot.BarChart{
 			Title:   "Fig 5: transactional access breakdown",
@@ -114,6 +129,9 @@ func (r *Runner) WriteSVGs(ctx context.Context, dir string) error {
 			},
 		}
 		for _, row := range rows5 {
+			if row.Failed {
+				continue
+			}
 			c.Categories = append(c.Categories, row.App)
 			c.Series[0].Values = append(c.Series[0].Values, row.StaticFrac)
 			c.Series[1].Values = append(c.Series[1].Values, row.DynFrac)
@@ -126,11 +144,15 @@ func (r *Runner) WriteSVGs(ctx context.Context, dir string) error {
 
 	// Fig 6 CDFs (one file per app).
 	series6, err := r.Fig6(ctx)
-	if err != nil {
+	if series6 == nil && err != nil {
 		return err
 	}
+	figErrs = append(figErrs, err)
 	for _, s := range series6 {
 		s := s
+		if s.Failed {
+			continue
+		}
 		name := fmt.Sprintf("fig6-%s.svg", s.App)
 		if err := write(name, func(f *os.File) error {
 			xs := make([]float64, len(s.Points))
@@ -156,9 +178,10 @@ func (r *Runner) WriteSVGs(ctx context.Context, dir string) error {
 
 	// Fig 7b and Fig 8 speedups.
 	rows7, err := r.Fig7(ctx)
-	if err != nil {
+	if rows7 == nil && err != nil {
 		return err
 	}
+	figErrs = append(figErrs, err)
 	if err := write("fig7b.svg", func(f *os.File) error {
 		c := &svgplot.BarChart{
 			Title:  "Fig 7b: speedup over P8S (large inputs)",
@@ -168,6 +191,9 @@ func (r *Runner) WriteSVGs(ctx context.Context, dir string) error {
 			},
 		}
 		for _, row := range rows7 {
+			if row.Failed {
+				continue
+			}
 			c.Categories = append(c.Categories, row.App)
 			c.Series[0].Values = append(c.Series[0].Values, row.SpeedupSt)
 			c.Series[1].Values = append(c.Series[1].Values, row.SpeedupDyn)
@@ -179,10 +205,11 @@ func (r *Runner) WriteSVGs(ctx context.Context, dir string) error {
 		return err
 	}
 	rows8, err := r.Fig8(ctx)
-	if err != nil {
+	if rows8 == nil && err != nil {
 		return err
 	}
-	return write("fig8.svg", func(f *os.File) error {
+	figErrs = append(figErrs, err)
+	if err := write("fig8.svg", func(f *os.File) error {
 		c := &svgplot.BarChart{
 			Title:  "Fig 8: speedup over L1TM with 2-way SMT (large inputs)",
 			YLabel: "speedup (x)",
@@ -191,6 +218,9 @@ func (r *Runner) WriteSVGs(ctx context.Context, dir string) error {
 			},
 		}
 		for _, row := range rows8 {
+			if row.Failed {
+				continue
+			}
 			c.Categories = append(c.Categories, row.App)
 			c.Series[0].Values = append(c.Series[0].Values, row.SpeedupSt)
 			c.Series[1].Values = append(c.Series[1].Values, row.SpeedupDyn)
@@ -198,5 +228,8 @@ func (r *Runner) WriteSVGs(ctx context.Context, dir string) error {
 			c.Series[3].Values = append(c.Series[3].Values, row.SpeedupInf)
 		}
 		return c.WriteSVG(f)
-	})
+	}); err != nil {
+		return err
+	}
+	return joinErrors(figErrs)
 }

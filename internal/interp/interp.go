@@ -127,6 +127,22 @@ type Thread struct {
 	checkpoint *Checkpoint
 }
 
+// Where describes the thread's current position as "fn/block:pc" for
+// diagnostic snapshots (watchdog reports, livelock dumps).
+func (t *Thread) Where() string {
+	if t.Done {
+		return "done"
+	}
+	if len(t.Frames) == 0 {
+		return "no-frame"
+	}
+	f := t.Frames[len(t.Frames)-1]
+	if f.Block < 0 || f.Block >= len(f.Fn.Blocks) {
+		return fmt.Sprintf("%s/block%d:%d", f.Fn.Name, f.Block, f.PC)
+	}
+	return fmt.Sprintf("%s/%s:%d", f.Fn.Name, f.Fn.Blocks[f.Block].Name, f.PC)
+}
+
 // NewThread prepares a thread executing fn(args...). The environment must
 // have been consulted for the entry frame's stack storage.
 func (p *Program) NewThread(id int, fn string, args []int64, stackBase mem.Addr, seed uint64) *Thread {

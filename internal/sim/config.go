@@ -11,6 +11,7 @@ import (
 	"fmt"
 
 	"hintm/internal/cache"
+	"hintm/internal/fault"
 	"hintm/internal/htm"
 	"hintm/internal/vmem"
 )
@@ -133,6 +134,20 @@ type Config struct {
 	Seed uint64
 	// MaxSteps aborts runaway simulations (0 = default guard).
 	MaxSteps int64
+	// MaxCycles hard-caps the simulated clock: a run whose furthest context
+	// clock exceeds it stops with a CycleLimitError (0 = no cap). Unlike
+	// MaxSteps (an implementation guard against interpreter runaway), this
+	// bounds *simulated time*, the natural budget for hand-written .tir
+	// programs.
+	MaxCycles int64
+	// WatchdogCycles arms the livelock watchdog: if no transaction commits
+	// (HTM or via fallback) and no fallback lock is acquired for this many
+	// simulated cycles while transactional work is pending, the run stops
+	// with a LivelockError carrying a per-context diagnostic snapshot
+	// (0 = watchdog off).
+	WatchdogCycles int64
+	// Faults is the fault-injection plan (zero value = no injection).
+	Faults fault.Plan
 }
 
 // DefaultConfig returns the paper's P8 baseline on 8 cores.
@@ -176,6 +191,13 @@ func (c Config) validate() error {
 	if c.Cache.Cores != c.Cores {
 		return fmt.Errorf("sim: cache config is for %d cores, machine has %d",
 			c.Cache.Cores, c.Cores)
+	}
+	if c.MaxCycles < 0 || c.WatchdogCycles < 0 {
+		return fmt.Errorf("sim: negative cycle limit (max-cycles %d, watchdog %d)",
+			c.MaxCycles, c.WatchdogCycles)
+	}
+	if err := c.Faults.Validate(); err != nil {
+		return err
 	}
 	return nil
 }

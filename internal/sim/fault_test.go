@@ -1,0 +1,155 @@
+package sim
+
+import (
+	"context"
+	"testing"
+
+	"hintm/internal/fault"
+	"hintm/internal/htm"
+	"hintm/internal/mem"
+)
+
+// Fault campaigns must perturb timing, never semantics: every test here runs
+// a workload under injection and asserts both that the faults actually fired
+// (the campaign was not vacuous) and that the program's outputs are exactly
+// what a fault-free run produces.
+
+func TestSpuriousCampaignPreservesSemantics(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Faults = fault.Plan{SpuriousProb: 0.2}
+	mod := counterModule(8, 20)
+	m, res := runModule(t, mod, cfg)
+	if got := m.memory.ReadWord(m.prog.GlobalAddr("ctr")); got != 160 {
+		t.Fatalf("counter = %d under spurious campaign, want 160", got)
+	}
+	if res.Faults.SpuriousAborts == 0 {
+		t.Fatalf("campaign vacuous: no spurious aborts fired (%v)", res)
+	}
+	if res.Aborts[htm.AbortSpurious] != res.Faults.SpuriousAborts {
+		t.Fatalf("abort stats disagree: reason says %d, engine says %d",
+			res.Aborts[htm.AbortSpurious], res.Faults.SpuriousAborts)
+	}
+	if res.Commits+res.FallbackCommits != 160 {
+		t.Fatalf("commits %d + fallback %d != 160", res.Commits, res.FallbackCommits)
+	}
+}
+
+func TestStormCampaignPreservesSemantics(t *testing.T) {
+	// Dynamic hints mark the private read buffers safe; the storm forces
+	// those pages back to unsafe mid-run, exercising the shootdown +
+	// page-mode-abort path far more often than organic sharing would.
+	cfg := DefaultConfig()
+	cfg.Hints = HintDynamic
+	cfg.Faults = fault.Plan{StormProb: 0.02}
+	m, res := runModule(t, bigTxModule(2, 3, 100), cfg)
+	if res.Faults.StormsForced == 0 {
+		t.Fatalf("campaign vacuous: no storms forced (%v)", res)
+	}
+	base := m.prog.GlobalAddr("out")
+	want := int64(99 * 100 / 2)
+	for tid := int64(0); tid < 2; tid++ {
+		if got := m.memory.ReadWord(base + mem.Addr(tid*8)); got != want {
+			t.Fatalf("out[%d] = %d under storm campaign, want %d", tid, got, want)
+		}
+	}
+	if res.VM.Transitions == 0 {
+		t.Fatalf("storms fired but no page transitions recorded: %v", res)
+	}
+}
+
+func TestInvalDelayCampaignPreservesSemantics(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Faults = fault.Plan{InvalDelaySteps: 100, InvalBurst: 4}
+	mod := counterModule(8, 30)
+	m, res := runModule(t, mod, cfg)
+	if got := m.memory.ReadWord(m.prog.GlobalAddr("ctr")); got != 240 {
+		t.Fatalf("counter = %d under inval-delay campaign, want 240", got)
+	}
+	if res.Faults.InvalsHeld == 0 {
+		t.Fatalf("campaign vacuous: no invalidations held (%v)", res)
+	}
+	if res.Commits+res.FallbackCommits != 240 {
+		t.Fatalf("commits %d + fallback %d != 240", res.Commits, res.FallbackCommits)
+	}
+}
+
+func TestCombinedCampaignPreservesSemantics(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Hints = HintFull
+	cfg.Faults = fault.Plan{
+		SpuriousProb:    0.1,
+		StormProb:       0.01,
+		InvalDelaySteps: 50,
+		InvalBurst:      8,
+	}
+	mod := classified(t, bigTxModule(4, 4, 100))
+	m, res := runModule(t, mod, cfg)
+	base := m.prog.GlobalAddr("out")
+	want := int64(99 * 100 / 2)
+	for tid := int64(0); tid < 4; tid++ {
+		if got := m.memory.ReadWord(base + mem.Addr(tid*8)); got != want {
+			t.Fatalf("out[%d] = %d under combined campaign, want %d", tid, got, want)
+		}
+	}
+	if res.Faults.SpuriousAborts == 0 {
+		t.Fatalf("combined campaign fired no spurious aborts: %+v", res.Faults)
+	}
+}
+
+// Same plan + same seed ⇒ bit-identical run, including the injected faults.
+func TestFaultCampaignReplaysDeterministically(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Faults = fault.Plan{SpuriousProb: 0.15, InvalDelaySteps: 80, InvalBurst: 4}
+	_, r1 := runModule(t, counterModule(8, 20), cfg)
+	_, r2 := runModule(t, counterModule(8, 20), cfg)
+	if r1.Cycles != r2.Cycles || r1.Steps != r2.Steps || r1.Faults != r2.Faults ||
+		r1.TotalAborts() != r2.TotalAborts() {
+		t.Fatalf("campaign replay diverged:\n%v (faults %+v)\n%v (faults %+v)",
+			r1, r1.Faults, r2, r2.Faults)
+	}
+
+	cfg2 := cfg
+	cfg2.Seed = 2
+	_, r3 := runModule(t, counterModule(8, 20), cfg2)
+	if r1.Cycles == r3.Cycles && r1.Faults == r3.Faults {
+		t.Log("note: seeds 1 and 2 produced identical campaigns (unlikely but legal)")
+	}
+}
+
+func TestFaultFreeRunUnchangedByFaultPlumbing(t *testing.T) {
+	// The zero plan must not even allocate an engine: results match a config
+	// that never heard of faults.
+	cfg := DefaultConfig()
+	_, r1 := runModule(t, counterModule(8, 10), cfg)
+	cfg.Faults = fault.Plan{} // explicit zero
+	m, r2 := runModule(t, counterModule(8, 10), cfg)
+	if m.faults != nil {
+		t.Fatal("zero plan allocated a fault engine")
+	}
+	if r1.Cycles != r2.Cycles || r1.Steps != r2.Steps {
+		t.Fatalf("zero plan changed the run: %v vs %v", r1, r2)
+	}
+}
+
+func TestPanicInjection(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Faults = fault.Plan{PanicTx: 5}
+	m, err := New(cfg, counterModule(4, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		v := recover()
+		if v == nil {
+			t.Fatal("PanicTx did not panic")
+		}
+		ip, ok := v.(fault.InjectedPanic)
+		if !ok {
+			t.Fatalf("panic value %T, want fault.InjectedPanic", v)
+		}
+		if ip.Tx != 5 {
+			t.Errorf("panicked at tx %d, want 5", ip.Tx)
+		}
+	}()
+	m.Run(context.Background())
+}

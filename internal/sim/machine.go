@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"hintm/internal/cache"
+	"hintm/internal/fault"
 	"hintm/internal/htm"
 	"hintm/internal/interp"
 	"hintm/internal/ir"
@@ -56,6 +57,14 @@ type Machine struct {
 	fallbackHolder *hwContext
 	res            *Result
 	profiler       Profiler
+
+	// faults is the injection engine (nil unless cfg.Faults is enabled).
+	faults *fault.Engine
+	// fallbackAcquires counts lock acquisitions; with commits it forms the
+	// watchdog's progress signal.
+	fallbackAcquires  uint64
+	lastProgress      uint64
+	lastProgressCycle int64
 }
 
 // Profiler observes every data memory access the simulated program performs.
@@ -180,6 +189,9 @@ func New(cfg Config, mod *ir.Module) (*Machine, error) {
 			ctrl: ctrl,
 		})
 	}
+	if cfg.Faults.Enabled() {
+		m.faults = fault.NewEngine(cfg.Faults, cfg.Seed, cfg.Contexts())
+	}
 	return m, nil
 }
 
@@ -236,6 +248,11 @@ func (m *Machine) Run(ctx context.Context) (*Result, error) {
 		if m.res.Steps >= maxSteps {
 			return nil, fmt.Errorf("sim: exceeded %d steps (livelock?)", maxSteps)
 		}
+		if m.res.Steps&guardMask == 0 {
+			if err := m.checkGuards(); err != nil {
+				return nil, err
+			}
+		}
 		if m.parallel != nil && !m.parallel.finished {
 			m.stepWorkers()
 			continue
@@ -251,6 +268,9 @@ func (m *Machine) Run(ctx context.Context) (*Result, error) {
 	}
 	m.res.Cache = m.caches.Stats()
 	m.res.VM = m.vm.Stats()
+	if m.faults != nil {
+		m.res.Faults = m.faults.Stats()
+	}
 	return m.res, nil
 }
 
@@ -333,7 +353,10 @@ func (m *Machine) abortTx(c *hwContext, reason htm.AbortReason) {
 		} else {
 			c.backoffUntil = c.cycle + m.cfg.BackoffBase
 		}
-	case htm.AbortConflict, htm.AbortFalseConflict, htm.AbortExplicit:
+	case htm.AbortConflict, htm.AbortFalseConflict, htm.AbortExplicit, htm.AbortSpurious:
+		// Spurious (injected) aborts share the conflict policy: bounded
+		// backed-off retries, then the fallback lock — so injection can
+		// never livelock a run by itself.
 		c.retries++
 		if c.retries > m.cfg.MaxConflictRetries {
 			c.fallbackNext = true

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"hintm/internal/cache"
+	"hintm/internal/fault"
 	"hintm/internal/htm"
 	"hintm/internal/stats"
 	"hintm/internal/vmem"
@@ -41,6 +42,9 @@ type Result struct {
 
 	Cache cache.Stats
 	VM    vmem.Stats
+	// Faults counts injected events when a fault plan was active (zero
+	// otherwise) — campaigns assert on it to prove they were not vacuous.
+	Faults fault.Stats
 }
 
 func newResult() *Result {
@@ -88,8 +92,7 @@ func (r *Result) String() string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "cycles=%d commits=%d fallback=%d aborts=%d",
 		r.Cycles, r.Commits, r.FallbackCommits, r.TotalAborts())
-	for _, reason := range []htm.AbortReason{htm.AbortConflict, htm.AbortFalseConflict,
-		htm.AbortCapacity, htm.AbortPageMode, htm.AbortFallbackLock, htm.AbortExplicit} {
+	for _, reason := range htm.AbortReasons {
 		if n := r.Aborts[reason]; n > 0 {
 			fmt.Fprintf(&sb, " %s=%d", reason, n)
 		}

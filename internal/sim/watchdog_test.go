@@ -1,0 +1,154 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"hintm/internal/ir"
+)
+
+// livelockModule is a crafted livelock-prone program: each thread opens a
+// transaction and then spins for an effectively unbounded number of
+// iterations before reaching TxEnd. No commit, no fallback acquisition —
+// exactly the no-forward-progress condition the watchdog exists to catch.
+func livelockModule(nThreads int64) *ir.Module {
+	b := ir.NewBuilder("livelock")
+	b.Global("x", 8)
+
+	w := b.ThreadBody("worker", 1)
+	spin := w.NewBlock("spin")
+	done := w.NewBlock("done")
+	i := w.C(0)
+	w.TxBegin()
+	w.Br(spin)
+	w.SetBlock(spin)
+	g := w.GlobalAddr("x")
+	v := w.Load(g, 0)
+	w.Store(g, 0, w.AddI(v, 1))
+	w.MovTo(i, w.AddI(i, 1))
+	c := w.Cmp(ir.CmpLT, i, w.C(1_000_000_000_000))
+	w.CondBr(c, spin, done)
+	w.SetBlock(done)
+	w.TxEnd()
+	w.RetVoid()
+
+	mn := b.Function("main", 0)
+	n := mn.C(nThreads)
+	mn.Parallel(n, "worker")
+	mn.RetVoid()
+	return b.M
+}
+
+func TestWatchdogCatchesLivelock(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.WatchdogCycles = 50_000
+	cfg.MaxSteps = 50_000_000 // safety net: the test fails, never hangs
+	m, err := New(cfg, livelockModule(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = m.Run(context.Background())
+	if err == nil {
+		t.Fatal("livelocked run completed")
+	}
+	if !errors.Is(err, ErrLivelock) {
+		t.Fatalf("err = %v, want ErrLivelock", err)
+	}
+	var lle *LivelockError
+	if !errors.As(err, &lle) {
+		t.Fatalf("err %T not a *LivelockError", err)
+	}
+	if lle.SinceProgress <= cfg.WatchdogCycles {
+		t.Errorf("stall %d not beyond watchdog %d", lle.SinceProgress, cfg.WatchdogCycles)
+	}
+	if lle.Commits != 0 || lle.FallbackCommits != 0 {
+		t.Errorf("livelock error reports progress: %+v", lle)
+	}
+	if len(lle.Cores) != cfg.Contexts() {
+		t.Fatalf("snapshot has %d contexts, want %d", len(lle.Cores), cfg.Contexts())
+	}
+	// The spinning thread must show up in-TX with a meaningful location.
+	var inTx *CoreSnapshot
+	for i := range lle.Cores {
+		if lle.Cores[i].InTx {
+			inTx = &lle.Cores[i]
+			break
+		}
+	}
+	if inTx == nil {
+		t.Fatalf("no context in-TX in snapshot: %+v", lle.Cores)
+	}
+	if !strings.Contains(inTx.Where, "worker/") {
+		t.Errorf("stuck thread located at %q, want a worker position", inTx.Where)
+	}
+	snap := lle.Snapshot()
+	for _, want := range []string{"ctx", "where", "in-tx", "worker/"} {
+		if !strings.Contains(snap, want) {
+			t.Errorf("snapshot missing %q:\n%s", want, snap)
+		}
+	}
+}
+
+func TestWatchdogQuietOnHealthyRun(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.WatchdogCycles = 10_000
+	m, err := New(cfg, counterModule(8, 20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(context.Background()); err != nil {
+		t.Fatalf("healthy run tripped a guard: %v", err)
+	}
+}
+
+func TestWatchdogIgnoresNonTxPhases(t *testing.T) {
+	// bigTxModule's long non-transactional init loop must not count as a
+	// stall even under an aggressively small watchdog.
+	cfg := DefaultConfig()
+	cfg.WatchdogCycles = 2_000
+	m, err := New(cfg, bigTxModule(1, 2, 200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(context.Background()); err != nil {
+		t.Fatalf("non-transactional phase tripped the watchdog: %v", err)
+	}
+}
+
+func TestMaxCyclesCap(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxCycles = 5_000
+	m, err := New(cfg, counterModule(8, 10_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = m.Run(context.Background())
+	if err == nil {
+		t.Fatal("capped run completed")
+	}
+	if !errors.Is(err, ErrMaxCycles) {
+		t.Fatalf("err = %v, want ErrMaxCycles", err)
+	}
+	var cle *CycleLimitError
+	if !errors.As(err, &cle) {
+		t.Fatalf("err %T not a *CycleLimitError", err)
+	}
+	if cle.Limit != 5_000 || cle.Cycles <= cle.Limit {
+		t.Errorf("limit error inconsistent: %+v", cle)
+	}
+}
+
+func TestGuardConfigValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxCycles = -1
+	if _, err := New(cfg, counterModule(1, 1)); err == nil {
+		t.Error("negative MaxCycles accepted")
+	}
+	cfg = DefaultConfig()
+	cfg.WatchdogCycles = -1
+	if _, err := New(cfg, counterModule(1, 1)); err == nil {
+		t.Error("negative WatchdogCycles accepted")
+	}
+}

@@ -10,6 +10,9 @@ import (
 type BarRow struct {
 	Label string
 	Value float64
+	// Failed marks a bar whose value could not be computed (its run
+	// failed); it renders as an explicit FAILED marker, not a zero bar.
+	Failed bool
 }
 
 // BarChart renders labeled horizontal bars, the terminal rendition of the
@@ -28,6 +31,11 @@ func NewBarChart(unit string) *BarChart { return &BarChart{Unit: unit, Width: 40
 // Bar appends one bar.
 func (b *BarChart) Bar(label string, value float64) {
 	b.rows = append(b.rows, BarRow{Label: label, Value: value})
+}
+
+// FailedBar appends a failed-run marker in place of a bar.
+func (b *BarChart) FailedBar(label string) {
+	b.rows = append(b.rows, BarRow{Label: label, Failed: true})
 }
 
 // Render writes the chart; bars scale to the maximum value.
@@ -53,6 +61,11 @@ func (b *BarChart) Render(w io.Writer) {
 		width = 40
 	}
 	for _, r := range b.rows {
+		if r.Failed {
+			fmt.Fprintf(w, "%s %s FAILED\n", pad(r.Label, maxLabel),
+				pad("xx", width))
+			continue
+		}
 		n := int(r.Value / maxVal * float64(width))
 		if n < 0 {
 			n = 0

@@ -1,0 +1,150 @@
+package workloads
+
+import (
+	"context"
+	"testing"
+
+	"hintm/internal/classify"
+	"hintm/internal/fault"
+	"hintm/internal/sim"
+)
+
+// runInvariant builds, classifies, and runs one checked workload under cfg,
+// returning the invariant value and the run result.
+func runInvariant(t *testing.T, c invariantCheck, cfg sim.Config) (int64, *sim.Result) {
+	t.Helper()
+	spec, err := ByName(c.workload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod := spec.Build(spec.DefaultThreads, Small)
+	if _, err := classify.Run(mod); err != nil {
+		t.Fatal(err)
+	}
+	m, err := sim.New(cfg, mod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Run(context.Background())
+	if err != nil {
+		t.Fatalf("%s: %v", c.workload, err)
+	}
+	return c.value(m), res
+}
+
+// The fault-injection extension of the invariants matrix: injected spurious
+// aborts, page-mode storms, and delayed invalidations perturb timing and
+// the abort/retry/fallback paths, but every schedule-independent output must
+// still match the fault-free run — and each campaign must actually fire.
+func TestSemanticInvariantsUnderFaultCampaigns(t *testing.T) {
+	campaigns := []struct {
+		name string
+		plan fault.Plan
+		// fired checks the aggregated fault stats prove the campaign injected
+		// something somewhere in the matrix.
+		fired func(s fault.Stats) bool
+	}{
+		{
+			name:  "spurious",
+			plan:  fault.Plan{SpuriousProb: 0.05},
+			fired: func(s fault.Stats) bool { return s.SpuriousAborts > 0 },
+		},
+		{
+			name:  "storm",
+			plan:  fault.Plan{StormProb: 0.01},
+			fired: func(s fault.Stats) bool { return s.StormsForced > 0 },
+		},
+		{
+			name:  "inval-delay",
+			plan:  fault.Plan{InvalDelaySteps: 100, InvalBurst: 4},
+			fired: func(s fault.Stats) bool { return s.InvalsHeld > 0 },
+		},
+		{
+			name: "combined",
+			plan: fault.Plan{SpuriousProb: 0.02, StormProb: 0.005,
+				InvalDelaySteps: 50, InvalBurst: 8},
+			fired: func(s fault.Stats) bool {
+				return s.SpuriousAborts > 0 && s.InvalsHeld > 0
+			},
+		},
+	}
+
+	// HinTM-full on P8: the configuration where every fault class is live
+	// (storms need dynamic classification).
+	base := sim.DefaultConfig()
+	base.Hints = sim.HintFull
+
+	for _, camp := range campaigns {
+		camp := camp
+		t.Run(camp.name, func(t *testing.T) {
+			var total fault.Stats
+			for _, c := range invariantChecks {
+				want, _ := runInvariant(t, c, base)
+				if want == 0 {
+					t.Fatalf("%s: fault-free invariant value is zero — workload broken", c.workload)
+				}
+				cfg := base
+				cfg.Faults = camp.plan
+				got, res := runInvariant(t, c, cfg)
+				if got != want {
+					t.Errorf("%s: %s = %d under %s campaign, want %d",
+						c.workload, c.describe, got, camp.name, want)
+				}
+				total.SpuriousAborts += res.Faults.SpuriousAborts
+				total.StormsForced += res.Faults.StormsForced
+				total.InvalsHeld += res.Faults.InvalsHeld
+				total.InvalBursts += res.Faults.InvalBursts
+			}
+			if !camp.fired(total) {
+				t.Errorf("%s campaign was vacuous across the whole matrix: %+v",
+					camp.name, total)
+			}
+		})
+	}
+}
+
+// Forcing every workload through the fallback lock: a 4-entry tracker with
+// zero retries makes nearly every transaction overflow or conflict straight
+// into the fallback path, which must still produce correct outputs.
+func TestAllWorkloadsThroughFallbackPath(t *testing.T) {
+	cfg := sim.DefaultConfig()
+	cfg.P8Entries = 4
+	cfg.CapacityRetries = 0
+	cfg.MaxConflictRetries = 0
+
+	byName := make(map[string]invariantCheck)
+	for _, c := range invariantChecks {
+		byName[c.workload] = c
+	}
+
+	for _, spec := range All() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			mod := spec.Build(spec.DefaultThreads, Small)
+			if _, err := classify.Run(mod); err != nil {
+				t.Fatal(err)
+			}
+			m, err := sim.New(cfg, mod)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := m.Run(context.Background())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.FallbackCommits == 0 {
+				t.Errorf("4-entry tracker never forced %s through the fallback lock: %v",
+					spec.Name, res)
+			}
+			// For the workloads with a checked invariant, the fallback-heavy
+			// run must still produce the canonical value.
+			if c, ok := byName[spec.Name]; ok {
+				want, _ := runInvariant(t, c, sim.DefaultConfig())
+				if got := c.value(m); got != want {
+					t.Errorf("%s: %s = %d via fallback path, want %d",
+						spec.Name, c.describe, got, want)
+				}
+			}
+		})
+	}
+}

@@ -9,51 +9,56 @@ import (
 	"hintm/internal/sim"
 )
 
+// invariantCheck names one schedule-independent output of a workload: a
+// quantity that depends only on per-thread PRNG streams and TX atomicity,
+// not on interleaving, so it must be bit-identical across every HTM
+// baseline, hint mode — and fault campaign (fault_test.go).
+type invariantCheck struct {
+	workload string
+	describe string
+	value    func(m *sim.Machine) int64
+}
+
+var invariantChecks = []invariantCheck{
+	{
+		workload: "kmeans",
+		describe: "sum of cluster counts == points processed",
+		value: func(m *sim.Machine) int64 {
+			var sum int64
+			for c := int64(0); c < kmK; c++ {
+				sum += m.ReadGlobal("centers", c*16)
+			}
+			return sum
+		},
+	},
+	{
+		workload: "tpcc-p",
+		describe: "warehouse YTD == initial + all payment amounts",
+		value: func(m *sim.Machine) int64 {
+			return m.ReadGlobal("warehouse", 0)
+		},
+	},
+	{
+		workload: "intruder",
+		describe: "queue head == packet count (all packets consumed once)",
+		value: func(m *sim.Machine) int64 {
+			return m.ReadGlobal("qhead", 0)
+		},
+	},
+	{
+		workload: "yada",
+		describe: "refined counter == threads * refinements",
+		value: func(m *sim.Machine) int64 {
+			return m.ReadGlobal("refined", 0)
+		},
+	},
+}
+
 // Safety hints must never change program semantics: a workload's
 // configuration-independent outputs have to be identical across every HTM
-// baseline and hint mode. Each checked quantity below is provably
-// schedule-independent (it depends only on per-thread PRNG streams and TX
-// atomicity, not on interleaving).
+// baseline and hint mode.
 func TestSemanticInvariantsAcrossConfigs(t *testing.T) {
-	type check struct {
-		workload string
-		describe string
-		value    func(m *sim.Machine) int64
-	}
-	checks := []check{
-		{
-			workload: "kmeans",
-			describe: "sum of cluster counts == points processed",
-			value: func(m *sim.Machine) int64 {
-				var sum int64
-				for c := int64(0); c < kmK; c++ {
-					sum += m.ReadGlobal("centers", c*16)
-				}
-				return sum
-			},
-		},
-		{
-			workload: "tpcc-p",
-			describe: "warehouse YTD == initial + all payment amounts",
-			value: func(m *sim.Machine) int64 {
-				return m.ReadGlobal("warehouse", 0)
-			},
-		},
-		{
-			workload: "intruder",
-			describe: "queue head == packet count (all packets consumed once)",
-			value: func(m *sim.Machine) int64 {
-				return m.ReadGlobal("qhead", 0)
-			},
-		},
-		{
-			workload: "yada",
-			describe: "refined counter == threads * refinements",
-			value: func(m *sim.Machine) int64 {
-				return m.ReadGlobal("refined", 0)
-			},
-		},
-	}
+	checks := invariantChecks
 
 	configs := []struct {
 		name       string
