@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all test vet race fuzz-short bench figures svg ablate export clean
+.PHONY: all test vet race fuzz-short bench bench-smoke trace-check figures svg ablate export clean
 
 all: test
 
@@ -49,5 +49,22 @@ export:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
+# bench-smoke runs every benchmark exactly once — the CI gate that the
+# benchmark harness itself still works (including the zero-alloc assertion
+# on the nil-tracer access path).
+bench-smoke:
+	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
+
+# trace-check records the same seeded run twice and requires byte-identical
+# traces and autopsies — the end-to-end determinism property the
+# observability layer guarantees (DESIGN.md §11).
+trace-check:
+	rm -rf .trace-check && mkdir -p .trace-check
+	$(GO) run ./cmd/hintm-sim -scale small -trace-out .trace-check/a.json -autopsy vacation > .trace-check/a.txt
+	$(GO) run ./cmd/hintm-sim -scale small -trace-out .trace-check/b.json -autopsy vacation > .trace-check/b.txt
+	cmp .trace-check/a.json .trace-check/b.json
+	diff .trace-check/a.txt .trace-check/b.txt
+	rm -rf .trace-check
+
 clean:
-	rm -rf figures results.json
+	rm -rf figures results.json BENCH_results.json .trace-check

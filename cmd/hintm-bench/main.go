@@ -15,6 +15,10 @@
 //	-faults SPEC                fault-injection plan, e.g. "spurious=0.01,storm=0.001"
 //	-watchdog N                 livelock watchdog: fail a run after N cycles without progress
 //	-max-cycles N               hard cap on each run's simulated cycles
+//	-trace-dir DIR              write per-run Chrome traces + abort autopsies into DIR
+//	-results FILE               write machine-readable headline metrics ("all" target;
+//	                            default BENCH_results.json, "" disables)
+//	-cpuprofile/-memprofile     write Go pprof profiles of the harness itself
 //
 // When individual runs fail (injected faults, watchdog trips, panics) the
 // figures still render with the failed cells explicitly marked; the command
@@ -27,7 +31,10 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"strings"
+	"time"
 
 	"hintm/internal/fault"
 	"hintm/internal/harness"
@@ -57,10 +64,21 @@ func main() {
 	faultsFlag := flag.String("faults", "", `fault-injection plan, e.g. "spurious=0.01,storm=0.001,inval-delay=200"`)
 	watchdog := flag.Int64("watchdog", 0, "fail a run after this many cycles without forward progress (0 = off)")
 	maxCycles := flag.Int64("max-cycles", 0, "hard cap on each run's simulated cycles (0 = none)")
+	traceDir := flag.String("trace-dir", "", "write per-run Chrome traces and abort autopsies into this directory")
+	sampleCycles := flag.Int64("sample-cycles", 0, "counter-sample period for traced runs (0 = 10000-cycle default)")
+	results := flag.String("results", "BENCH_results.json", `write machine-readable headline metrics here on the "all" target ("" = off)`)
+	cpuprofile := flag.String("cpuprofile", "", "write a Go CPU profile of the harness to this file")
+	memprofile := flag.String("memprofile", "", "write a Go heap profile of the harness to this file")
 	flag.Parse()
 
+	stopProfiles, err := startProfiles(*cpuprofile, *memprofile)
+	if err != nil {
+		fatal(err)
+	}
+	cleanup = stopProfiles
+	defer stopProfiles()
+
 	opts := harness.DefaultOptions()
-	var err error
 	if opts.Scale, err = parseScale(*scaleFlag); err != nil {
 		fatal(err)
 	}
@@ -77,6 +95,8 @@ func main() {
 	}
 	opts.WatchdogCycles = *watchdog
 	opts.MaxCycles = *maxCycles
+	opts.TraceDir = *traceDir
+	opts.SampleCycles = *sampleCycles
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
@@ -122,12 +142,20 @@ func main() {
 		}
 		err = r.WriteSVGs(ctx, *svgDir)
 	case "all":
+		start := time.Now()
 		err = r.RenderAll(ctx, os.Stdout)
 		if *svgDir != "" && ctx.Err() == nil {
 			// Degraded text figures still produce SVGs for the cells that
 			// succeeded; keep the first error for the exit summary.
 			if serr := r.WriteSVGs(ctx, *svgDir); err == nil {
 				err = serr
+			}
+		}
+		if *results != "" && ctx.Err() == nil {
+			// The memoized scheduler recalls every figure's runs, so the
+			// summary is a pure reduction at this point.
+			if rerr := writeResults(ctx, r, *results, time.Since(start)); err == nil {
+				err = rerr
 			}
 		}
 	default:
@@ -138,7 +166,71 @@ func main() {
 	}
 }
 
+// writeResults reduces the run into BENCH_results.json-style headline
+// metrics and writes them to path.
+func writeResults(ctx context.Context, r *harness.Runner, path string, wall time.Duration) error {
+	sum, err := r.BenchResults(ctx)
+	if err != nil {
+		return err
+	}
+	sum.WallSeconds = wall.Seconds()
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := sum.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "results: wrote %s\n", path)
+	return nil
+}
+
+// startProfiles arms the requested Go pprof profiles; the returned stop
+// finalizes them and runs at most once (deferred normally, via cleanup on
+// the fatal path, because os.Exit skips defers).
+func startProfiles(cpu, mem string) (stop func(), err error) {
+	if cpu != "" {
+		f, err := os.Create(cpu)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	done := false
+	return func() {
+		if done {
+			return
+		}
+		done = true
+		if cpu != "" {
+			pprof.StopCPUProfile()
+		}
+		if mem != "" {
+			f, err := os.Create(mem)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "hintm-bench: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "hintm-bench: memprofile:", err)
+			}
+		}
+	}, nil
+}
+
+var cleanup = func() {}
+
 func fatal(err error) {
+	cleanup()
 	// Joined errors (one per failed run) print one per line under a single
 	// summary header, so a degraded campaign reads as a failure list.
 	lines := strings.Split(err.Error(), "\n")

@@ -20,9 +20,15 @@
 //	-faults SPEC               fault-injection plan, e.g. "spurious=0.01,storm=0.001"
 //	-watchdog N                livelock watchdog: fail after N cycles without progress
 //	-max-cycles N              hard cap on simulated cycles
+//	-trace-out FILE            write a Chrome trace-event JSON (ui.perfetto.dev)
+//	-autopsy                   print the capacity-abort autopsy after the run
+//	-sample-cycles N           counter-sample period for traced runs
+//	-cpuprofile/-memprofile    write Go pprof profiles of the simulator itself
 //
 // A watchdog trip prints a per-core diagnostic snapshot (thread positions,
 // transaction states, retry counts, clocks, lock ownership) before exiting.
+// The trace file is completed and the autopsy rendered even when the run
+// fails — a livelocked run's trace is exactly the one worth reading.
 package main
 
 import (
@@ -32,12 +38,15 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 
 	"hintm/internal/cache"
 	"hintm/internal/classify"
 	"hintm/internal/fault"
 	"hintm/internal/htm"
 	"hintm/internal/ir"
+	"hintm/internal/obs"
 	"hintm/internal/sim"
 	"hintm/internal/stats"
 	"hintm/internal/workloads"
@@ -59,7 +68,19 @@ func main() {
 	faultsFlag := flag.String("faults", "", `fault-injection plan, e.g. "spurious=0.01,storm=0.001,inval-delay=200"`)
 	watchdog := flag.Int64("watchdog", 0, "fail after this many cycles without forward progress (0 = off)")
 	maxCycles := flag.Int64("max-cycles", 0, "hard cap on simulated cycles (0 = none)")
+	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON file (open in ui.perfetto.dev)")
+	autopsy := flag.Bool("autopsy", false, "print the capacity-abort autopsy report after the run")
+	sampleCycles := flag.Int64("sample-cycles", 10000, "counter-sample period in cycles for traced runs (0 = off)")
+	cpuprofile := flag.String("cpuprofile", "", "write a Go CPU profile of the simulator to this file")
+	memprofile := flag.String("memprofile", "", "write a Go heap profile of the simulator to this file")
 	flag.Parse()
+
+	stopProfiles, err := startProfiles(*cpuprofile, *memprofile)
+	if err != nil {
+		fatal(err)
+	}
+	cleanup = stopProfiles
+	defer stopProfiles()
 
 	if *printConfig {
 		renderConfig(sim.DefaultConfig())
@@ -150,6 +171,47 @@ func main() {
 			fatal(err)
 		}
 	}
+
+	// Observability sinks: the Chrome trace streams to disk, the collector
+	// powers the autopsy. finishObs completes both even when the run fails.
+	var tracers []obs.Tracer
+	var chrome *obs.ChromeTracer
+	var traceFile *os.File
+	if *traceOut != "" {
+		if traceFile, err = os.Create(*traceOut); err != nil {
+			fatal(err)
+		}
+		chrome = obs.NewChromeTracer(traceFile)
+		tracers = append(tracers, chrome)
+	}
+	var col *obs.Collector
+	if *autopsy {
+		col = obs.NewCollector()
+		tracers = append(tracers, col)
+	}
+	if len(tracers) > 0 {
+		cfg.Tracer = obs.Multi(tracers...)
+		cfg.SampleCycles = *sampleCycles
+	}
+	finishObs := func() {
+		if chrome != nil {
+			if err := chrome.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "hintm-sim: trace:", err)
+			} else if err := traceFile.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "hintm-sim: trace:", err)
+			} else {
+				fmt.Fprintf(os.Stderr, "trace: %d events written to %s (open in ui.perfetto.dev)\n",
+					chrome.Events(), *traceOut)
+			}
+			chrome = nil
+		}
+		if col != nil {
+			fmt.Println()
+			col.Autopsy().Render(os.Stdout)
+			col = nil
+		}
+	}
+
 	m, err := sim.New(cfg, mod)
 	if err != nil {
 		fatal(err)
@@ -166,10 +228,12 @@ func main() {
 	}
 	res, err := run(ctx, m)
 	if err != nil {
+		finishObs()
 		var lle *sim.LivelockError
 		if errors.As(err, &lle) {
 			fmt.Fprintln(os.Stderr, "hintm-sim:", lle)
 			fmt.Fprint(os.Stderr, lle.Snapshot())
+			cleanup()
 			os.Exit(1)
 		}
 		fatal(err)
@@ -217,6 +281,45 @@ func main() {
 		}
 		ht.Render(os.Stdout)
 	}
+	finishObs()
+}
+
+// startProfiles arms the requested Go pprof profiles and returns the stop
+// function that finalizes them; it runs at most once (both on the normal
+// return path and via cleanup on the fatal paths).
+func startProfiles(cpu, mem string) (stop func(), err error) {
+	if cpu != "" {
+		f, err := os.Create(cpu)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	done := false
+	return func() {
+		if done {
+			return
+		}
+		done = true
+		if cpu != "" {
+			pprof.StopCPUProfile()
+		}
+		if mem != "" {
+			f, err := os.Create(mem)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "hintm-sim: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "hintm-sim: memprofile:", err)
+			}
+		}
+	}, nil
 }
 
 // run executes the machine, recovering panics (e.g. the fault layer's
@@ -266,7 +369,12 @@ func parseScale(s string) (workloads.Scale, error) {
 	return 0, fmt.Errorf("unknown scale %q", s)
 }
 
+// cleanup finalizes any armed profiles before an early exit; fatal and the
+// livelock path call it because os.Exit skips deferred stops.
+var cleanup = func() {}
+
 func fatal(err error) {
+	cleanup()
 	fmt.Fprintln(os.Stderr, "hintm-sim:", err)
 	os.Exit(1)
 }

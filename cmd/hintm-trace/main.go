@@ -21,6 +21,7 @@ import (
 	"sort"
 
 	"hintm/internal/classify"
+	"hintm/internal/htm"
 	"hintm/internal/profile"
 	"hintm/internal/sim"
 	"hintm/internal/stats"
@@ -139,9 +140,18 @@ func report(args []string) {
 		fatal(err)
 	}
 	sharing := profile.NewSharing(*maxTID)
+	var attempts, commits uint64
+	aborts := make(map[htm.AbortReason]uint64)
 	if err := tr.ForEach(func(ev trace.Event) error {
-		if ev.Kind == trace.KindAccess {
+		switch ev.Kind {
+		case trace.KindAccess:
 			sharing.OnAccess(ev.TID, ev.Addr, ev.Write, ev.InTx)
+		case trace.KindTxBegin:
+			attempts++
+		case trace.KindTxCommit:
+			commits++
+		case trace.KindTxAbort:
+			aborts[ev.Reason]++
 		}
 		return nil
 	}); err != nil {
@@ -159,6 +169,22 @@ func report(args []string) {
 	t.Row("safe TX reads @64B", stats.Pct(rep.SafeReadFracBlock))
 	t.Row("safe TX reads @4K", stats.Pct(rep.SafeReadFracPage))
 	t.Render(os.Stdout)
+
+	var totalAborts uint64
+	for _, n := range aborts {
+		totalAborts += n
+	}
+	fmt.Printf("\ntransaction outcomes: %d attempts, %d commits, %d aborts\n",
+		attempts, commits, totalAborts)
+	if totalAborts > 0 {
+		ta := stats.NewTable("abort reason", "count", "share")
+		for _, r := range htm.AbortReasons {
+			if n := aborts[r]; n > 0 {
+				ta.Row(r.String(), n, stats.Pct(float64(n)/float64(totalAborts)))
+			}
+		}
+		ta.Render(os.Stdout)
+	}
 
 	// Pass 2: footprint limit study.
 	f2, err := os.Open(path)

@@ -4,12 +4,16 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
 	"runtime/debug"
+	"strings"
 	"sync"
 
 	"hintm/internal/cache"
 	"hintm/internal/classify"
 	"hintm/internal/ir"
+	"hintm/internal/obs"
 	"hintm/internal/profile"
 	"hintm/internal/sim"
 	"hintm/internal/workloads"
@@ -168,11 +172,17 @@ func (r *Runner) RunProfiled(ctx context.Context, req Request) (res *sim.Result,
 // execute performs one simulation under a worker-pool slot. A panicking
 // simulation (an interpreter bug, or the fault layer's injected crash) is
 // recovered into a PanicError: the worker survives, the pool slot is
-// released, and the grid's other requests keep running.
+// released, and the grid's other requests keep running. When the runner has
+// a TraceDir, the run carries a tracer and its artifacts are finalized even
+// on failure — a livelocked run's trace is exactly the one worth reading.
 func (r *Runner) execute(ctx context.Context, req Request) (res *sim.Result, err error) {
+	var finish func(error) error
 	defer func() {
 		if v := recover(); v != nil {
 			res, err = nil, &PanicError{Value: v, Stack: debug.Stack()}
+		}
+		if finish != nil {
+			err = finish(err)
 		}
 	}()
 	spec, err := workloads.ByName(req.Workload)
@@ -188,11 +198,51 @@ func (r *Runner) execute(ctx context.Context, req Request) (res *sim.Result, err
 	if err != nil {
 		return nil, err
 	}
-	m, err := sim.New(r.configFor(spec, req), mod)
+	cfg := r.configFor(spec, req)
+	if finish, err = r.attachTrace(&cfg, req); err != nil {
+		return nil, err
+	}
+	m, err := sim.New(cfg, mod)
 	if err != nil {
 		return nil, err
 	}
 	return m.Run(ctx)
+}
+
+// attachTrace wires per-run observability into cfg when the runner has a
+// TraceDir: a Chrome trace-event file plus an in-memory collector whose
+// autopsy is written alongside it. The returned finish closes both artifacts
+// (merging close errors into the run's) and must be called exactly once.
+func (r *Runner) attachTrace(cfg *sim.Config, req Request) (finish func(error) error, err error) {
+	if r.opts.TraceDir == "" {
+		return nil, nil
+	}
+	if err := os.MkdirAll(r.opts.TraceDir, 0o755); err != nil {
+		return nil, err
+	}
+	base := filepath.Join(r.opts.TraceDir, strings.ReplaceAll(req.String(), "/", "_"))
+	f, err := os.Create(base + ".trace.json")
+	if err != nil {
+		return nil, err
+	}
+	chrome := obs.NewChromeTracer(f)
+	col := obs.NewCollector()
+	cfg.Tracer = obs.Multi(chrome, col)
+	cfg.SampleCycles = r.opts.SampleCycles
+	if cfg.SampleCycles == 0 {
+		cfg.SampleCycles = 10000
+	}
+	return func(runErr error) error {
+		errs := []error{runErr, chrome.Close(), f.Close()}
+		af, err := os.Create(base + ".autopsy.txt")
+		if err != nil {
+			errs = append(errs, err)
+		} else {
+			col.Autopsy().Render(af)
+			errs = append(errs, af.Close())
+		}
+		return joinErrors(errs)
+	}, nil
 }
 
 // module builds and classifies a workload module, single-flighted: the

@@ -13,6 +13,7 @@ import (
 	"hintm/internal/cache"
 	"hintm/internal/fault"
 	"hintm/internal/htm"
+	"hintm/internal/obs"
 	"hintm/internal/vmem"
 )
 
@@ -148,6 +149,17 @@ type Config struct {
 	WatchdogCycles int64
 	// Faults is the fault-injection plan (zero value = no injection).
 	Faults fault.Plan
+
+	// Tracer receives cycle-timestamped observability events: transaction
+	// spans, instant events (page transitions, shootdowns, evictions,
+	// injected faults), and periodic counter samples. nil is the disabled
+	// fast path: every emission site is one nil check and the access hot
+	// path allocates nothing (see internal/obs).
+	Tracer obs.Tracer
+	// SampleCycles is the counter-sample period in simulated cycles; a
+	// sample is emitted each time a context clock crosses the next multiple
+	// (0 = sampling off). Only meaningful with a Tracer attached.
+	SampleCycles int64
 }
 
 // DefaultConfig returns the paper's P8 baseline on 8 cores.
@@ -195,6 +207,9 @@ func (c Config) validate() error {
 	if c.MaxCycles < 0 || c.WatchdogCycles < 0 {
 		return fmt.Errorf("sim: negative cycle limit (max-cycles %d, watchdog %d)",
 			c.MaxCycles, c.WatchdogCycles)
+	}
+	if c.SampleCycles < 0 {
+		return fmt.Errorf("sim: negative sample period %d", c.SampleCycles)
 	}
 	if err := c.Faults.Validate(); err != nil {
 		return err

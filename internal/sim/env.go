@@ -7,6 +7,7 @@ import (
 	"hintm/internal/htm"
 	"hintm/internal/interp"
 	"hintm/internal/mem"
+	"hintm/internal/obs"
 	"hintm/internal/vmem"
 )
 
@@ -71,6 +72,9 @@ func (m *Machine) access(c *hwContext, t *interp.Thread, addr mem.Addr, write, s
 			return interp.CtrlAbort
 		}
 		if c.ctrl.Active() && !c.suspended && m.faults.SpuriousAbortNow(c.id) {
+			if m.tracer != nil {
+				m.tracer.Instant(c.id, c.cycle, obs.EvFaultSpurious, uint64(block))
+			}
 			m.abortTx(c, htm.AbortSpurious)
 			return interp.CtrlAbort
 		}
@@ -80,6 +84,9 @@ func (m *Machine) access(c *hwContext, t *interp.Thread, addr mem.Addr, write, s
 	// safe instructions skip dynamic classification but still translate.
 	out := m.vm.Access(c.id, t.ID, page, write)
 	c.cycle += out.FaultCycles
+	if m.tracer != nil && out.MinorFault {
+		m.tracer.Instant(c.id, c.cycle, obs.EvMinorFault, uint64(page))
+	}
 	if out.Transition != nil {
 		if selfAborted := m.pageModeTransition(c, out); selfAborted {
 			return interp.CtrlAbort
@@ -91,6 +98,9 @@ func (m *Machine) access(c *hwContext, t *interp.Thread, addr mem.Addr, write, s
 	if m.faults != nil && m.faults.ForceUnsafe(c.id) {
 		if tr := m.vm.ForceUnsafe(c.id, page); tr != nil {
 			m.faults.StormForced()
+			if m.tracer != nil {
+				m.tracer.Instant(c.id, c.cycle, obs.EvFaultStorm, uint64(page))
+			}
 			c.cycle += tr.InitiatorCycles
 			if selfAborted := m.pageModeTransition(c, vmem.Outcome{Transition: tr}); selfAborted {
 				return interp.CtrlAbort
@@ -124,11 +134,17 @@ func (m *Machine) access(c *hwContext, t *interp.Thread, addr mem.Addr, write, s
 
 	// 4. L1 evictions: contexts on this core may lose in-L1 tracked state.
 	for _, ev := range res.Evicted {
+		if m.tracer != nil {
+			m.tracer.Instant(c.id, c.cycle, obs.EvEviction, ev)
+		}
 		for _, o := range m.ctxs {
 			if o.core != c.core {
 				continue
 			}
 			if r := o.ctrl.OnLocalEviction(ev); r != htm.AbortNone {
+				if r == htm.AbortCapacity {
+					o.capStructure = "l1-eviction"
+				}
 				if o == c {
 					m.abortTx(c, r)
 					return interp.CtrlAbort
@@ -153,6 +169,9 @@ func (m *Machine) access(c *hwContext, t *interp.Thread, addr mem.Addr, write, s
 			// let us read uncommitted data.
 			if m.faults != nil && o.ctrl.OnRemoteOp(block, false) == htm.AbortNone &&
 				m.faults.HoldInval(o.id, block, write, m.res.Steps) {
+				if m.tracer != nil {
+					m.tracer.Instant(o.id, o.cycle, obs.EvFaultInvalHeld, block)
+				}
 				continue
 			}
 			if r := o.ctrl.OnRemoteOp(block, write); r != htm.AbortNone {
@@ -173,6 +192,12 @@ func (m *Machine) access(c *hwContext, t *interp.Thread, addr mem.Addr, write, s
 	// (TxSuspend) bypasses tracking entirely, like a blanket safe hint that
 	// also covers stores and skips the undo log.
 	if c.ctrl.Active() && !c.suspended {
+		if c.intro != nil {
+			c.intro.counts[block]++
+			if safe {
+				c.intro.skipped[block] = struct{}{}
+			}
+		}
 		// STM baseline: every instrumented (unsafe) access pays the
 		// software barrier; hinted-safe accesses elide it — the very
 		// optimization HinTM's classification descends from (§II-C).
@@ -197,9 +222,15 @@ func (m *Machine) access(c *hwContext, t *interp.Thread, addr mem.Addr, write, s
 func (m *Machine) pageModeTransition(c *hwContext, out vmem.Outcome) (selfAborted bool) {
 	tr := out.Transition
 	cost := tr.InitiatorCycles
+	if m.tracer != nil {
+		m.tracer.Instant(c.id, c.cycle, obs.EvPageTransition, tr.Page)
+	}
 	for _, s := range tr.Slaves {
 		m.ctxs[s].cycle += m.vm.SlaveCost()
 		cost += m.vm.SlaveCost()
+		if m.tracer != nil {
+			m.tracer.Instant(s, m.ctxs[s].cycle, obs.EvTLBShootdown, tr.Page)
+		}
 	}
 	m.res.PageModeCycles += cost
 
@@ -284,6 +315,9 @@ func (m *Machine) TxBegin(t *interp.Thread) interp.Ctrl {
 		t.Fallback = true
 		c.txStart = c.cycle
 		m.fallbackAcquires++
+		if m.tracer != nil {
+			m.tracer.TxBegin(c.id, t.ID, c.cycle, true)
+		}
 		return interp.CtrlOK
 	}
 	t.Capture(m.alloc.StackTop(t.ID))
@@ -294,7 +328,11 @@ func (m *Machine) TxBegin(t *interp.Thread) interp.Ctrl {
 	t.InTx = true
 	c.txStart = c.cycle
 	if m.profiler != nil {
-		m.notifyTx(t.ID, TxEventBegin)
+		m.notifyTx(t.ID, TxEventBegin, htm.AbortNone)
+	}
+	if m.tracer != nil {
+		c.intro.reset()
+		m.tracer.TxBegin(c.id, t.ID, c.cycle, false)
 	}
 	return interp.CtrlOK
 }
@@ -338,9 +376,28 @@ func (m *Machine) TxEnd(t *interp.Thread) interp.Ctrl {
 		c.fallbackNext = false
 		c.retries = 0
 		m.res.FallbackCommits++
+		if m.tracer != nil {
+			m.tracer.TxEnd(obs.TxAttempt{
+				Ctx: c.id, TID: t.ID,
+				Start: c.txStart, End: c.cycle,
+				Outcome: obs.OutcomeFallbackCommit, Fallback: true,
+			})
+		}
 		return interp.CtrlOK
 	}
 	m.res.TxFootprints.Add(c.ctrl.FootprintBlocks())
+	// Commit spans are captured before Commit() resets the tracker.
+	var span obs.TxAttempt
+	if m.tracer != nil {
+		span = obs.TxAttempt{
+			Ctx: c.id, TID: t.ID, Start: c.txStart,
+			Outcome:     obs.OutcomeCommit,
+			ReadSet:     c.ctrl.ReadSetSize(),
+			WriteSet:    c.ctrl.WriteSetSize(),
+			Tracked:     c.ctrl.FootprintBlocks(),
+			SafeSkipped: len(c.intro.skipped),
+		}
+	}
 	if c.ctrl.Lazy() {
 		// Drain the write buffer: the lines are already owned (conflict
 		// detection acquired them eagerly), so the drain is local.
@@ -355,7 +412,11 @@ func (m *Machine) TxEnd(t *interp.Thread) interp.Ctrl {
 	c.retries = 0
 	m.res.Commits++
 	if m.profiler != nil {
-		m.notifyTx(t.ID, TxEventCommit)
+		m.notifyTx(t.ID, TxEventCommit, htm.AbortNone)
+	}
+	if m.tracer != nil {
+		span.End = c.cycle
+		m.tracer.TxEnd(span)
 	}
 	return interp.CtrlOK
 }

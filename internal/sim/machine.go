@@ -11,6 +11,7 @@ import (
 	"hintm/internal/interp"
 	"hintm/internal/ir"
 	"hintm/internal/mem"
+	"hintm/internal/obs"
 	"hintm/internal/vmem"
 )
 
@@ -30,6 +31,55 @@ type hwContext struct {
 	// suspended marks escape-action mode (TxSuspend..TxResume): accesses
 	// bypass transactional tracking entirely.
 	suspended bool
+
+	// intro accumulates per-attempt introspection for the tracer (block
+	// access counts and the hint-skipped set); nil when tracing is disabled
+	// so the hot path allocates nothing.
+	intro *txIntro
+	// capStructure names the hardware structure behind an imminent capacity
+	// abort; the machine sets it immediately before abortTx(AbortCapacity).
+	capStructure string
+}
+
+// txIntro is one attempt's footprint introspection, maintained only while a
+// tracer is attached.
+type txIntro struct {
+	// counts maps block → access count for the running attempt.
+	counts map[uint64]int
+	// skipped holds distinct blocks the safety hints kept out of tracking.
+	skipped map[uint64]struct{}
+}
+
+func newTxIntro() *txIntro {
+	return &txIntro{counts: make(map[uint64]int), skipped: make(map[uint64]struct{})}
+}
+
+func (ti *txIntro) reset() {
+	for k := range ti.counts {
+		delete(ti.counts, k)
+	}
+	for k := range ti.skipped {
+		delete(ti.skipped, k)
+	}
+}
+
+// top ranks the attempt's most-accessed blocks, highest count first (block
+// number breaks ties, keeping traces deterministic despite map order).
+func (ti *txIntro) top(n int) []obs.BlockCount {
+	out := make([]obs.BlockCount, 0, len(ti.counts))
+	for b, c := range ti.counts {
+		out = append(out, obs.BlockCount{Block: b, Count: c})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Block < out[j].Block
+	})
+	if n > 0 && len(out) > n {
+		out = out[:n]
+	}
+	return out
 }
 
 func (c *hwContext) effectiveCycle() int64 {
@@ -57,6 +107,11 @@ type Machine struct {
 	fallbackHolder *hwContext
 	res            *Result
 	profiler       Profiler
+
+	// tracer is the observability sink (nil = tracing disabled); nextSample
+	// is the cycle the next counter sample is due at.
+	tracer     obs.Tracer
+	nextSample int64
 
 	// faults is the injection engine (nil unless cfg.Faults is enabled).
 	faults *fault.Engine
@@ -88,15 +143,16 @@ const (
 
 // TxObserver is an optional extension of Profiler: observers implementing it
 // additionally receive transaction begin/commit/abort events, which the
-// trace recorder needs to delimit transactions offline.
+// trace recorder needs to delimit transactions offline. Abort events carry
+// their reason (htm.AbortNone for begin/commit).
 type TxObserver interface {
-	OnTxEvent(tid int, ev TxEventKind)
+	OnTxEvent(tid int, ev TxEventKind, reason htm.AbortReason)
 }
 
 // notifyTx forwards a lifecycle event to the profiler, if it observes them.
-func (m *Machine) notifyTx(tid int, ev TxEventKind) {
+func (m *Machine) notifyTx(tid int, ev TxEventKind, reason htm.AbortReason) {
 	if o, ok := m.profiler.(TxObserver); ok {
-		o.OnTxEvent(tid, ev)
+		o.OnTxEvent(tid, ev, reason)
 	}
 }
 
@@ -191,6 +247,12 @@ func New(cfg Config, mod *ir.Module) (*Machine, error) {
 	}
 	if cfg.Faults.Enabled() {
 		m.faults = fault.NewEngine(cfg.Faults, cfg.Seed, cfg.Contexts())
+	}
+	if cfg.Tracer != nil {
+		m.tracer = cfg.Tracer
+		for _, c := range m.ctxs {
+			c.intro = newTxIntro()
+		}
 	}
 	return m, nil
 }
@@ -310,6 +372,33 @@ func (m *Machine) stepThread(c *hwContext, t *interp.Thread) {
 	m.prog.Step(m, t)
 	c.cycle++ // base instruction cost
 	m.res.Steps++
+	if m.tracer != nil && m.cfg.SampleCycles > 0 && c.cycle >= m.nextSample {
+		m.sample(c.cycle)
+	}
+}
+
+// sample emits one periodic counter snapshot and schedules the next one on
+// the sample grid, so a long-running instruction advances past several
+// periods without emitting a burst.
+func (m *Machine) sample(now int64) {
+	s := obs.CounterSample{
+		Cycle:           now,
+		Steps:           m.res.Steps,
+		Commits:         m.res.Commits,
+		FallbackCommits: m.res.FallbackCommits,
+	}
+	for r, n := range m.res.Aborts {
+		if int(r) < len(s.Aborts) {
+			s.Aborts[r] = n
+		}
+	}
+	cs := m.caches.Stats()
+	s.L1Hits, s.L1Misses, s.BusOps = cs.L1Hits, cs.L1Misses, cs.BusOps
+	vs := m.vm.Stats()
+	s.TLBMisses, s.PageTransitions = vs.TLBMisses, vs.Transitions
+	m.tracer.Sample(s)
+	step := m.cfg.SampleCycles
+	m.nextSample = now - now%step + step
 }
 
 // ctxOf maps a thread to its hardware context.
@@ -325,6 +414,33 @@ func (m *Machine) ctxOf(t *interp.Thread) *hwContext {
 // the undo log, the thread rolls back to its TxBegin checkpoint, statistics
 // and the retry policy are updated.
 func (m *Machine) abortTx(c *hwContext, reason htm.AbortReason) {
+	// The span must be captured before Abort() resets the tracker: set sizes
+	// and the footprint are the attempt's state at the moment of death.
+	var span obs.TxAttempt
+	if m.tracer != nil {
+		span = obs.TxAttempt{
+			Ctx: c.id, TID: c.thread.ID,
+			Start:    c.txStart,
+			Outcome:  obs.OutcomeAbort,
+			Reason:   reason,
+			ReadSet:  c.ctrl.ReadSetSize(),
+			WriteSet: c.ctrl.WriteSetSize(),
+			Tracked:  c.ctrl.FootprintBlocks(),
+		}
+		span.SafeSkipped = len(c.intro.skipped)
+		if reason == htm.AbortCapacity {
+			structure := c.capStructure
+			if structure == "" {
+				structure = m.capacityStructure()
+			}
+			span.Overflow = &obs.Overflow{
+				Structure: structure,
+				Tracked:   span.Tracked,
+				Skipped:   span.SafeSkipped,
+				Top:       c.intro.top(8),
+			}
+		}
+	}
 	undo := c.ctrl.Abort()
 	for _, e := range undo {
 		m.memory.WriteWord(mem.Addr(e.Addr), e.Old)
@@ -335,7 +451,12 @@ func (m *Machine) abortTx(c *hwContext, reason htm.AbortReason) {
 	m.alloc.StackRelease(c.thread.ID, cp.StackTop)
 	c.suspended = false
 	if m.profiler != nil {
-		m.notifyTx(c.thread.ID, TxEventAbort)
+		m.notifyTx(c.thread.ID, TxEventAbort, reason)
+	}
+	if m.tracer != nil {
+		span.End = c.cycle
+		m.tracer.TxEnd(span)
+		c.capStructure = ""
 	}
 
 	m.res.Aborts[reason]++
@@ -368,4 +489,19 @@ func (m *Machine) abortTx(c *hwContext, reason htm.AbortReason) {
 	case htm.AbortFallbackLock:
 		// The thread will stall at TxBegin until the lock is free.
 	}
+}
+
+// capacityStructure names the bounded structure behind a capacity abort from
+// the tracker itself (the eviction path labels itself "l1-eviction" via
+// hwContext.capStructure before calling abortTx).
+func (m *Machine) capacityStructure() string {
+	switch m.cfg.HTM {
+	case HTMP8:
+		return "tx-buffer"
+	case HTMP8S:
+		return "tx-buffer-writeset"
+	case HTML1TM:
+		return "l1"
+	}
+	return "tracker"
 }

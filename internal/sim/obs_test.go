@@ -1,0 +1,227 @@
+package sim
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+
+	"hintm/internal/fault"
+	"hintm/internal/htm"
+	"hintm/internal/interp"
+	"hintm/internal/ir"
+	"hintm/internal/mem"
+	"hintm/internal/obs"
+)
+
+// chromeRun executes a freshly-built module under cfg with a ChromeTracer
+// attached and returns the rendered trace bytes.
+func chromeRun(t *testing.T, build func() *ir.Module, cfg Config) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	ct := obs.NewChromeTracer(&buf)
+	cfg.Tracer = ct
+	m, err := New(cfg, build())
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if _, err := m.Run(context.Background()); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if err := ct.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if ct.Events() == 0 {
+		t.Fatal("trace recorded no events")
+	}
+	return buf.Bytes()
+}
+
+func TestChromeTraceDeterministic(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.SampleCycles = 100
+	build := func() *ir.Module { return counterModule(4, 30) }
+	a := chromeRun(t, build, cfg)
+	b := chromeRun(t, build, cfg)
+	if !json.Valid(a) {
+		t.Fatalf("trace is not valid JSON:\n%s", a)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("same-seed runs produced different traces")
+	}
+}
+
+// The fault campaign draws from seeded PRNG streams, so even a run full of
+// injected aborts and page storms must trace byte-identically.
+func TestChromeTraceDeterministicUnderFaults(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Hints = HintFull
+	cfg.SampleCycles = 500
+	cfg.Faults = fault.Plan{SpuriousProb: 0.05, StormProb: 0.002}
+	build := func() *ir.Module { return classified(t, bigTxModule(4, 5, 80)) }
+	a := chromeRun(t, build, cfg)
+	b := chromeRun(t, build, cfg)
+	if !bytes.Equal(a, b) {
+		t.Fatal("same-seed fault-campaign runs produced different traces")
+	}
+	if !json.Valid(a) {
+		t.Fatalf("trace is not valid JSON:\n%s", a)
+	}
+}
+
+// Every capacity abort the run counts must appear in the autopsy with a full
+// overflow attribution: the structure that overflowed and a non-empty
+// offending-block ranking.
+func TestAutopsyAttributesEveryCapacityAbort(t *testing.T) {
+	col := obs.NewCollector()
+	cfg := DefaultConfig()
+	cfg.Tracer = col
+	_, res := runModule(t, bigTxModule(2, 5, 100), cfg)
+
+	nCap := res.Aborts[htm.AbortCapacity]
+	if nCap == 0 {
+		t.Fatal("workload produced no capacity aborts; test is vacuous")
+	}
+	a := col.Autopsy()
+	if uint64(len(a.Capacity)) != nCap {
+		t.Fatalf("autopsy attributes %d capacity aborts, result counts %d",
+			len(a.Capacity), nCap)
+	}
+	for i, at := range a.Capacity {
+		if at.Overflow == nil {
+			t.Fatalf("capacity abort %d has no overflow detail", i)
+		}
+		if at.Overflow.Structure == "" {
+			t.Errorf("capacity abort %d has no overflowed structure", i)
+		}
+		if len(at.Overflow.Top) == 0 {
+			t.Errorf("capacity abort %d has no offending blocks", i)
+		}
+		if at.Overflow.Tracked == 0 {
+			t.Errorf("capacity abort %d tracked 0 blocks at overflow", i)
+		}
+	}
+	if len(a.TopBlocks) == 0 {
+		t.Error("aggregated top-blocks ranking is empty")
+	}
+}
+
+// The span stream must account for every transaction outcome the result
+// counters report — nothing double-counted, nothing dropped.
+func TestSpanAccountingMatchesResult(t *testing.T) {
+	col := obs.NewCollector()
+	cfg := DefaultConfig()
+	cfg.Tracer = col
+	cfg.SampleCycles = 200
+	_, res := runModule(t, counterModule(8, 20), cfg)
+
+	a := col.Autopsy()
+	if uint64(a.Commits) != res.Commits {
+		t.Errorf("span commits = %d, result commits = %d", a.Commits, res.Commits)
+	}
+	if uint64(a.FallbackCommits) != res.FallbackCommits {
+		t.Errorf("span fallback commits = %d, result = %d", a.FallbackCommits, res.FallbackCommits)
+	}
+	if uint64(a.Aborts) != res.TotalAborts() {
+		t.Errorf("span aborts = %d, result aborts = %d", a.Aborts, res.TotalAborts())
+	}
+	for _, r := range htm.AbortReasons {
+		if uint64(a.AbortsByReason[r]) != res.Aborts[r] {
+			t.Errorf("span aborts[%s] = %d, result = %d",
+				r, a.AbortsByReason[r], res.Aborts[r])
+		}
+	}
+
+	if len(col.Samples) == 0 {
+		t.Fatal("sampling produced no counter samples")
+	}
+	prev := int64(-1)
+	for _, s := range col.Samples {
+		if s.Cycle <= prev {
+			t.Fatalf("sample cycles not strictly increasing: %d after %d", s.Cycle, prev)
+		}
+		prev = s.Cycle
+	}
+	last := col.Samples[len(col.Samples)-1]
+	if last.Commits > res.Commits || last.TotalAborts() > res.TotalAborts() {
+		t.Errorf("final sample (%d commits, %d aborts) exceeds run totals (%d, %d)",
+			last.Commits, last.TotalAborts(), res.Commits, res.TotalAborts())
+	}
+}
+
+// benchMachine assembles a machine plus a bare thread without running it, so
+// the access path can be exercised directly.
+func benchMachine(tb testing.TB, cfg Config) (*Machine, *interp.Thread, mem.Addr) {
+	tb.Helper()
+	m, err := New(cfg, counterModule(1, 1))
+	if err != nil {
+		tb.Fatalf("New: %v", err)
+	}
+	m.prog.LayoutGlobals(m.alloc, m.memory)
+	mainFn := m.prog.M.Func("main")
+	mtid := m.mainTID()
+	base := m.alloc.StackAlloc(mtid, mainFn.AllocaWords*mem.WordSize)
+	th := m.prog.NewThread(mtid, "main", nil, base, cfg.Seed)
+	m.byThread[mtid] = m.ctxs[0]
+	return m, th, m.prog.GlobalAddr("ctr")
+}
+
+// With a nil tracer the steady-state access path must not allocate — tracing
+// support is free when disabled.
+func TestNilTracerAccessDoesNotAllocate(t *testing.T) {
+	m, th, addr := benchMachine(t, DefaultConfig())
+	// Warm up: fault the page in, fill the cache line.
+	m.Load(th, addr, false)
+	m.Store(th, addr, 1, false)
+	if n := testing.AllocsPerRun(200, func() {
+		m.Load(th, addr, false)
+		m.Store(th, addr, 1, false)
+	}); n != 0 {
+		t.Errorf("non-tx access allocates %.1f times per op with nil tracer", n)
+	}
+
+	if ctrl := m.TxBegin(th); ctrl != interp.CtrlOK {
+		t.Fatalf("TxBegin = %v", ctrl)
+	}
+	m.Load(th, addr, false) // warm up the tracker entry
+	if n := testing.AllocsPerRun(200, func() {
+		m.Load(th, addr, false)
+	}); n != 0 {
+		t.Errorf("in-tx read allocates %.1f times per op with nil tracer", n)
+	}
+	if ctrl := m.TxEnd(th); ctrl != interp.CtrlOK {
+		t.Fatalf("TxEnd = %v", ctrl)
+	}
+}
+
+func BenchmarkNilTracerAccess(b *testing.B) {
+	m, th, addr := benchMachine(b, DefaultConfig())
+	m.Load(th, addr, false)
+	m.Store(th, addr, 1, false)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Load(th, addr, false)
+		m.Store(th, addr, 1, false)
+	}
+}
+
+// With a tracer attached the same run must still succeed and emit spans; the
+// comparison benchmark documents the (bounded) cost of tracing.
+func BenchmarkCollectorTracedRun(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		col := obs.NewCollector()
+		cfg := DefaultConfig()
+		cfg.Tracer = col
+		m, err := New(cfg, counterModule(4, 10))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := m.Run(context.Background()); err != nil {
+			b.Fatal(err)
+		}
+		if len(col.Attempts) == 0 {
+			b.Fatal("no spans collected")
+		}
+	}
+}

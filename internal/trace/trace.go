@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"io"
 
+	"hintm/internal/htm"
 	"hintm/internal/mem"
 	"hintm/internal/sim"
 	"hintm/internal/stats"
@@ -36,10 +37,17 @@ type Event struct {
 	Addr  mem.Addr // valid for KindAccess
 	Write bool
 	InTx  bool
+	// Reason is the abort reason (valid for KindTxAbort; format TIR2+).
+	Reason htm.AbortReason
 }
 
-// magic identifies the trace format (and its version).
-var magic = [4]byte{'T', 'I', 'R', '1'}
+// magic identifies the trace format (and its version). TIR2 added the abort
+// reason varint trailing every KindTxAbort record.
+var magic = [4]byte{'T', 'I', 'R', '2'}
+
+// magicV1 is the pre-abort-reason format, recognized only to reject it with
+// an actionable error.
+var magicV1 = [4]byte{'T', 'I', 'R', '1'}
 
 // Writer serializes events; it implements sim.Profiler and sim.TxObserver,
 // so attaching it via Machine.SetProfiler records the whole run.
@@ -97,8 +105,9 @@ func (tw *Writer) OnAccess(tid int, addr mem.Addr, write, inTx bool) {
 	tw.n++
 }
 
-// OnTxEvent implements sim.TxObserver.
-func (tw *Writer) OnTxEvent(tid int, ev sim.TxEventKind) {
+// OnTxEvent implements sim.TxObserver. Abort records carry their reason as a
+// trailing varint (TIR2).
+func (tw *Writer) OnTxEvent(tid int, ev sim.TxEventKind, reason htm.AbortReason) {
 	kind := KindTxBegin
 	switch ev {
 	case sim.TxEventCommit:
@@ -107,6 +116,9 @@ func (tw *Writer) OnTxEvent(tid int, ev sim.TxEventKind) {
 		kind = KindTxAbort
 	}
 	tw.putUvarint(uint64(kind) | uint64(tid)<<4)
+	if kind == KindTxAbort {
+		tw.putUvarint(uint64(reason))
+	}
 	tw.n++
 }
 
@@ -137,6 +149,10 @@ func NewReader(r io.Reader) (*Reader, error) {
 	if _, err := io.ReadFull(br, hdr[:]); err != nil {
 		return nil, fmt.Errorf("trace: short header: %w", err)
 	}
+	if hdr == magicV1 {
+		return nil, fmt.Errorf("trace: format TIR1 is no longer readable " +
+			"(TIR2 added abort reasons); re-record the trace")
+	}
 	if hdr != magic {
 		return nil, fmt.Errorf("trace: bad magic %q", hdr)
 	}
@@ -151,7 +167,15 @@ func (tr *Reader) Next() (Event, error) {
 	}
 	kind := Kind(head & 3)
 	if kind != KindAccess {
-		return Event{Kind: kind, TID: int(head >> 4)}, nil
+		ev := Event{Kind: kind, TID: int(head >> 4)}
+		if kind == KindTxAbort {
+			reason, err := binary.ReadUvarint(tr.r)
+			if err != nil {
+				return Event{}, fmt.Errorf("trace: truncated abort record: %w", err)
+			}
+			ev.Reason = htm.AbortReason(reason)
+		}
+		return ev, nil
 	}
 	delta, err := binary.ReadUvarint(tr.r)
 	if err != nil {

@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"hintm/internal/classify"
+	"hintm/internal/htm"
 	"hintm/internal/mem"
 	"hintm/internal/sim"
 	"hintm/internal/workloads"
@@ -16,12 +17,12 @@ import (
 func TestRoundTripEvents(t *testing.T) {
 	var buf bytes.Buffer
 	tw := NewWriter(&buf)
-	tw.OnTxEvent(3, sim.TxEventBegin)
+	tw.OnTxEvent(3, sim.TxEventBegin, htm.AbortNone)
 	tw.OnAccess(3, 0x1000, false, true)
 	tw.OnAccess(3, 0x1008, true, true)
 	tw.OnAccess(3, 0x40, false, false) // backwards delta
-	tw.OnTxEvent(3, sim.TxEventCommit)
-	tw.OnTxEvent(5, sim.TxEventAbort)
+	tw.OnTxEvent(3, sim.TxEventCommit, htm.AbortNone)
+	tw.OnTxEvent(5, sim.TxEventAbort, htm.AbortCapacity)
 	if err := tw.Flush(); err != nil {
 		t.Fatal(err)
 	}
@@ -39,7 +40,7 @@ func TestRoundTripEvents(t *testing.T) {
 		{Kind: KindAccess, TID: 3, Addr: 0x1008, Write: true, InTx: true},
 		{Kind: KindAccess, TID: 3, Addr: 0x40},
 		{Kind: KindTxCommit, TID: 3},
-		{Kind: KindTxAbort, TID: 5},
+		{Kind: KindTxAbort, TID: 5, Reason: htm.AbortCapacity},
 	}
 	for i, w := range want {
 		got, err := tr.Next()
@@ -61,6 +62,49 @@ func TestBadMagicRejected(t *testing.T) {
 	}
 	if _, err := NewReader(strings.NewReader("")); err == nil {
 		t.Fatal("empty stream accepted")
+	}
+}
+
+func TestOldFormatRejectedWithHint(t *testing.T) {
+	_, err := NewReader(strings.NewReader("TIR1...."))
+	if err == nil {
+		t.Fatal("TIR1 stream accepted")
+	}
+	if !strings.Contains(err.Error(), "re-record") {
+		t.Fatalf("TIR1 rejection should tell the user to re-record, got: %v", err)
+	}
+}
+
+func TestAbortReasonRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	tw := NewWriter(&buf)
+	for _, r := range htm.AbortReasons {
+		tw.OnTxEvent(1, sim.TxEventBegin, htm.AbortNone)
+		tw.OnTxEvent(1, sim.TxEventAbort, r)
+	}
+	if err := tw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []htm.AbortReason
+	if err := tr.ForEach(func(ev Event) error {
+		if ev.Kind == KindTxAbort {
+			got = append(got, ev.Reason)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(htm.AbortReasons) {
+		t.Fatalf("decoded %d aborts, want %d", len(got), len(htm.AbortReasons))
+	}
+	for i, r := range htm.AbortReasons {
+		if got[i] != r {
+			t.Fatalf("abort %d decoded reason %v, want %v", i, got[i], r)
+		}
 	}
 }
 
@@ -129,15 +173,15 @@ func TestAbortedAttemptsDiscarded(t *testing.T) {
 	var buf bytes.Buffer
 	tw := NewWriter(&buf)
 	// One aborted attempt touching 5 blocks, then a committed retry with 2.
-	tw.OnTxEvent(0, sim.TxEventBegin)
+	tw.OnTxEvent(0, sim.TxEventBegin, htm.AbortNone)
 	for i := 0; i < 5; i++ {
 		tw.OnAccess(0, mem.Addr(i*64), false, true)
 	}
-	tw.OnTxEvent(0, sim.TxEventAbort)
-	tw.OnTxEvent(0, sim.TxEventBegin)
+	tw.OnTxEvent(0, sim.TxEventAbort, htm.AbortConflict)
+	tw.OnTxEvent(0, sim.TxEventBegin, htm.AbortNone)
 	tw.OnAccess(0, 0, false, true)
 	tw.OnAccess(0, 64, true, true)
-	tw.OnTxEvent(0, sim.TxEventCommit)
+	tw.OnTxEvent(0, sim.TxEventCommit, htm.AbortNone)
 	tw.Flush()
 
 	rep, err := LimitStudy(bytes.NewReader(buf.Bytes()), []int{1})

@@ -87,6 +87,8 @@ type Outcome struct {
 	Safe bool
 	// TLBMiss reports a page walk occurred.
 	TLBMiss bool
+	// MinorFault reports a (private,ro)→(private,rw) upgrade fault fired.
+	MinorFault bool
 	// FaultCycles is extra latency charged to the initiator (minor fault
 	// and/or shootdown initiation).
 	FaultCycles int64
@@ -269,6 +271,7 @@ func (m *Manager) walk(ctx, tid int, page uint64, write bool, pe *pageEntry, out
 		case tid == pe.tid && write:
 			// Minor fault: own page upgrades ro→rw.
 			pe.mode = PrivateRW
+			out.MinorFault = true
 			out.FaultCycles += m.costs.MinorFault
 			m.stats.MinorFaults++
 		case !write:
