@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all test vet race fuzz-short bench bench-smoke trace-check figures svg ablate export clean
+.PHONY: all test vet race fuzz-short bench bench-smoke bench-diff trace-check serve-smoke figures svg ablate export clean
 
 all: test
 
@@ -55,6 +55,22 @@ bench:
 bench-smoke:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
 
+# bench-diff re-runs the small-input benchmark trajectory and fails when a
+# headline metric regresses the committed BENCH_baseline.json beyond the
+# tolerance (default 5%). The simulator is seeded-deterministic, so an
+# unchanged tree diffs exactly zero; regenerate the baseline deliberately
+# with: go run ./cmd/hintm-bench -scale small -large small -results BENCH_baseline.json all
+bench-diff:
+	$(GO) run ./cmd/hintm-bench -scale small -large small -results .bench-current.json all > /dev/null
+	$(GO) run ./cmd/hintm-bench benchdiff BENCH_baseline.json .bench-current.json
+	rm -f .bench-current.json
+
+# serve-smoke boots hintm-served against a temp store, submits the same
+# seeded run twice over HTTP, and asserts the second is a store hit with a
+# byte-identical body and zero extra simulations — then SIGTERM-drains it.
+serve-smoke:
+	./scripts/serve-smoke.sh
+
 # trace-check records the same seeded run twice and requires byte-identical
 # traces and autopsies — the end-to-end determinism property the
 # observability layer guarantees (DESIGN.md §11).
@@ -67,4 +83,4 @@ trace-check:
 	rm -rf .trace-check
 
 clean:
-	rm -rf figures results.json BENCH_results.json .trace-check
+	rm -rf figures results.json BENCH_results.json .trace-check .bench-current.json .hintm-store

@@ -3,6 +3,7 @@
 // Usage:
 //
 //	hintm-bench [flags] [table1|table2|fig1|fig4|fig5|fig6|fig7|fig8|ablate|extras|export|seeds|svg|all]
+//	hintm-bench [-tolerance F] benchdiff BASELINE.json CURRENT.json
 //
 // Flags:
 //
@@ -18,6 +19,11 @@
 //	-trace-dir DIR              write per-run Chrome traces + abort autopsies into DIR
 //	-results FILE               write machine-readable headline metrics ("all" target;
 //	                            default BENCH_results.json, "" disables)
+//	-store DIR                  recall/persist every run in a content-addressed
+//	                            result store (warm-cache figure regeneration;
+//	                            shared with hintm-served)
+//	-tolerance F                relative tolerance for the benchdiff target
+//	                            (default 0.05)
 //	-cpuprofile/-memprofile     write Go pprof profiles of the harness itself
 //
 // When individual runs fail (injected faults, watchdog trips, panics) the
@@ -34,24 +40,14 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"syscall"
 	"time"
 
 	"hintm/internal/fault"
 	"hintm/internal/harness"
+	"hintm/internal/store"
 	"hintm/internal/workloads"
 )
-
-func parseScale(s string) (workloads.Scale, error) {
-	switch s {
-	case "small":
-		return workloads.Small, nil
-	case "medium":
-		return workloads.Medium, nil
-	case "large":
-		return workloads.Large, nil
-	}
-	return 0, fmt.Errorf("unknown scale %q", s)
-}
 
 func main() {
 	scaleFlag := flag.String("scale", "medium", "input scale for P8 figures")
@@ -67,6 +63,8 @@ func main() {
 	traceDir := flag.String("trace-dir", "", "write per-run Chrome traces and abort autopsies into this directory")
 	sampleCycles := flag.Int64("sample-cycles", 0, "counter-sample period for traced runs (0 = 10000-cycle default)")
 	results := flag.String("results", "BENCH_results.json", `write machine-readable headline metrics here on the "all" target ("" = off)`)
+	storeDir := flag.String("store", "", "recall/persist every run in this content-addressed result store directory")
+	tolerance := flag.Float64("tolerance", 0.05, `relative headline-metric tolerance for the "benchdiff" target`)
 	cpuprofile := flag.String("cpuprofile", "", "write a Go CPU profile of the harness to this file")
 	memprofile := flag.String("memprofile", "", "write a Go heap profile of the harness to this file")
 	flag.Parse()
@@ -79,10 +77,10 @@ func main() {
 	defer stopProfiles()
 
 	opts := harness.DefaultOptions()
-	if opts.Scale, err = parseScale(*scaleFlag); err != nil {
+	if opts.Scale, err = workloads.ParseScale(*scaleFlag); err != nil {
 		fatal(err)
 	}
-	if opts.LargeScale, err = parseScale(*largeFlag); err != nil {
+	if opts.LargeScale, err = workloads.ParseScale(*largeFlag); err != nil {
 		fatal(err)
 	}
 	if *wlFlag != "" {
@@ -98,7 +96,18 @@ func main() {
 	opts.TraceDir = *traceDir
 	opts.SampleCycles = *sampleCycles
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	if *storeDir != "" {
+		// The content-addressed store makes repeated figure regeneration
+		// warm-cache: any run already stored (by an earlier bench run or by
+		// hintm-served over the same directory) is recalled, not re-run.
+		if opts.Store, err = store.Open(*storeDir); err != nil {
+			fatal(err)
+		}
+	}
+
+	// SIGTERM alongside SIGINT: containerized and service-managed runs get
+	// the same graceful cancellation path as an interactive ^C.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	if *timeout > 0 {
 		var cancel context.CancelFunc
@@ -132,6 +141,14 @@ func main() {
 		err = r.ExportAll(ctx, os.Stdout)
 	case "seeds":
 		err = harness.RenderSeedSweep(ctx, os.Stdout, opts, []uint64{1, 2, 3, 4, 5})
+	case "benchdiff":
+		// benchdiff never simulates: it loads two BENCH_results.json files
+		// and exits non-zero when the new one regresses the baseline's
+		// headline metrics beyond -tolerance.
+		if flag.NArg() != 3 {
+			fatal(fmt.Errorf("usage: hintm-bench [-tolerance F] benchdiff BASELINE.json CURRENT.json"))
+		}
+		err = runBenchDiff(flag.Arg(1), flag.Arg(2), *tolerance)
 	case "table1":
 		harness.RenderTable1(os.Stdout)
 	case "table2":
@@ -159,11 +176,39 @@ func main() {
 			}
 		}
 	default:
-		err = fmt.Errorf("unknown target %q (want table1|table2|fig1|fig4|fig5|fig6|fig7|fig8|ablate|extras|export|seeds|svg|all)", target)
+		err = fmt.Errorf("unknown target %q (want table1|table2|fig1|fig4|fig5|fig6|fig7|fig8|ablate|extras|export|seeds|svg|benchdiff|all)", target)
 	}
 	if err != nil {
 		fatal(err)
 	}
+}
+
+// runBenchDiff compares two headline-metric files and fails on regressions.
+func runBenchDiff(basePath, curPath string, tolerance float64) error {
+	load := func(path string) (*harness.BenchResults, error) {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return harness.ReadBenchResults(f)
+	}
+	base, err := load(basePath)
+	if err != nil {
+		return err
+	}
+	cur, err := load(curPath)
+	if err != nil {
+		return err
+	}
+	regressions := harness.DiffBenchResults(base, cur, tolerance)
+	if len(regressions) == 0 {
+		fmt.Printf("benchdiff: %s vs %s: no regressions beyond %.1f%% tolerance\n",
+			basePath, curPath, tolerance*100)
+		return nil
+	}
+	return fmt.Errorf("benchdiff: %s regresses %s:\n%s",
+		curPath, basePath, strings.Join(regressions, "\n"))
 }
 
 // writeResults reduces the run into BENCH_results.json-style headline

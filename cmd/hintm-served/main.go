@@ -1,0 +1,132 @@
+// Command hintm-served is the persistent experiment service: it keeps a
+// scheduler and a content-addressed result store resident, so experiments
+// are submitted over HTTP, simulated at most once, and served from the
+// store forever after — across clients and across restarts.
+//
+// Usage:
+//
+//	hintm-served [flags]
+//
+// Flags:
+//
+//	-addr HOST:PORT             listen address (default 127.0.0.1:8347)
+//	-store DIR                  result store directory (default .hintm-store)
+//	-scale small|medium|large   default input scale for requests/figures
+//	-large small|medium|large   input scale for Fig 7/8 assembly
+//	-workloads a,b,c            restrict figure assembly to a subset
+//	-seed N                     simulation seed (part of every store key)
+//	-workers N                  concurrent simulations (0 = GOMAXPROCS)
+//	-faults SPEC                fault-injection plan applied to every run
+//	-watchdog N                 livelock watchdog cycles per run
+//	-max-cycles N               hard cap on each run's simulated cycles
+//	-trace-dir DIR              per-run trace/autopsy artifacts, linked
+//	                            from each store entry
+//	-drain D                    graceful-shutdown budget (default 30s)
+//
+// Endpoints:
+//
+//	POST /v1/runs[?wait=1]   submit a run or a grid; hits answer instantly
+//	GET  /v1/runs/{key}      stored result (byte-identical per key) or 202
+//	GET  /v1/figures/{name}  figure rows assembled from the store
+//	GET  /healthz            liveness + store/queue summary
+//	GET  /metrics            store hits/misses, queue depth, sim runs, ...
+//
+// On SIGINT/SIGTERM the listener stops accepting, enqueued runs get the
+// drain budget to finish persisting, and only then does the process exit.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"hintm/internal/fault"
+	"hintm/internal/harness"
+	"hintm/internal/obs"
+	"hintm/internal/server"
+	"hintm/internal/store"
+	"hintm/internal/workloads"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8347", "listen address")
+	storeDir := flag.String("store", ".hintm-store", "result store directory")
+	scaleFlag := flag.String("scale", "medium", "default input scale for requests and P8 figures")
+	largeFlag := flag.String("large", "large", "input scale for Fig 7/8 assembly")
+	wlFlag := flag.String("workloads", "", "comma-separated workload subset for figure assembly")
+	seed := flag.Uint64("seed", 1, "simulation seed (part of every store key)")
+	workers := flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
+	faultsFlag := flag.String("faults", "", `fault-injection plan, e.g. "spurious=0.01,storm=0.001"`)
+	watchdog := flag.Int64("watchdog", 0, "fail a run after this many cycles without forward progress (0 = off)")
+	maxCycles := flag.Int64("max-cycles", 0, "hard cap on each run's simulated cycles (0 = none)")
+	traceDir := flag.String("trace-dir", "", "write per-run traces and autopsies into this directory")
+	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown budget for in-flight runs")
+	flag.Parse()
+
+	opts := harness.DefaultOptions()
+	var err error
+	if opts.Scale, err = workloads.ParseScale(*scaleFlag); err != nil {
+		fatal(err)
+	}
+	if opts.LargeScale, err = workloads.ParseScale(*largeFlag); err != nil {
+		fatal(err)
+	}
+	if *wlFlag != "" {
+		opts.Filter = strings.Split(*wlFlag, ",")
+	}
+	opts.Seed = *seed
+	opts.Workers = *workers
+	if opts.Faults, err = fault.ParsePlan(*faultsFlag); err != nil {
+		fatal(err)
+	}
+	opts.WatchdogCycles = *watchdog
+	opts.MaxCycles = *maxCycles
+	opts.TraceDir = *traceDir
+
+	st, err := store.Open(*storeDir)
+	if err != nil {
+		fatal(err)
+	}
+	srv := server.New(server.Config{Store: st, Options: opts, Metrics: obs.NewMetrics()})
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	// SIGTERM alongside SIGINT: containers and service managers send TERM,
+	// and a drained shutdown is what keeps the store's index consistent
+	// with every run clients were promised.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "hintm-served: listening on %s (store %s, %d entries)\n",
+		*addr, *storeDir, st.Len())
+
+	select {
+	case err := <-errc:
+		fatal(err)
+	case <-ctx.Done():
+	}
+
+	fmt.Fprintf(os.Stderr, "hintm-served: shutting down, draining for up to %v\n", *drain)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(drainCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "hintm-served: shutdown:", err)
+	}
+	if err := srv.Drain(drainCtx); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintln(os.Stderr, "hintm-served: drained cleanly")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hintm-served:", err)
+	os.Exit(1)
+}

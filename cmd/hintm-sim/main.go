@@ -40,6 +40,7 @@ import (
 	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"syscall"
 
 	"hintm/internal/cache"
 	"hintm/internal/classify"
@@ -98,7 +99,7 @@ func main() {
 		fatal(fmt.Errorf("usage: hintm-sim [flags] <workload>; see -list"))
 	}
 
-	scale, err := parseScale(*scaleFlag)
+	scale, err := workloads.ParseScale(*scaleFlag)
 	if err != nil {
 		fatal(err)
 	}
@@ -110,31 +111,11 @@ func main() {
 	}
 	cfg.WatchdogCycles = *watchdog
 	cfg.MaxCycles = *maxCycles
-	switch *htmFlag {
-	case "p8":
-		cfg.HTM = sim.HTMP8
-	case "p8s":
-		cfg.HTM = sim.HTMP8S
-	case "l1tm":
-		cfg.HTM = sim.HTML1TM
-	case "infcap":
-		cfg.HTM = sim.HTMInfCap
-	case "stm":
-		cfg.HTM = sim.HTMSTM
-	default:
-		fatal(fmt.Errorf("unknown -htm %q", *htmFlag))
+	if cfg.HTM, err = sim.ParseHTMKind(*htmFlag); err != nil {
+		fatal(err)
 	}
-	switch *hintsFlag {
-	case "none":
-		cfg.Hints = sim.HintNone
-	case "st":
-		cfg.Hints = sim.HintStatic
-	case "dyn":
-		cfg.Hints = sim.HintDynamic
-	case "full":
-		cfg.Hints = sim.HintFull
-	default:
-		fatal(fmt.Errorf("unknown -hints %q", *hintsFlag))
+	if cfg.Hints, err = sim.ParseHintMode(*hintsFlag); err != nil {
+		fatal(err)
 	}
 
 	var mod *ir.Module
@@ -219,7 +200,9 @@ func main() {
 	if *hot > 0 {
 		m.EnableProfile()
 	}
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	// SIGTERM alongside SIGINT: containerized and service-managed runs get
+	// the same graceful cancellation path as an interactive ^C.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	if *timeout > 0 {
 		var cancel context.CancelFunc
@@ -355,18 +338,6 @@ func renderConfig(cfg sim.Config) {
 		cfg.VM.ShootdownInitiator, cfg.VM.ShootdownSlave))
 	t.Row("conflict retries", fmt.Sprintf("%d, then fallback lock", cfg.MaxConflictRetries))
 	t.Render(os.Stdout)
-}
-
-func parseScale(s string) (workloads.Scale, error) {
-	switch s {
-	case "small":
-		return workloads.Small, nil
-	case "medium":
-		return workloads.Medium, nil
-	case "large":
-		return workloads.Large, nil
-	}
-	return 0, fmt.Errorf("unknown scale %q", s)
 }
 
 // cleanup finalizes any armed profiles before an early exit; fatal and the

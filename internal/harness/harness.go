@@ -17,10 +17,13 @@ import (
 	"runtime"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"hintm/internal/fault"
 	"hintm/internal/ir"
+	"hintm/internal/obs"
 	"hintm/internal/sim"
+	"hintm/internal/store"
 	"hintm/internal/workloads"
 )
 
@@ -55,6 +58,15 @@ type Options struct {
 	// SampleCycles is the counter-sample period for traced runs
 	// (0 = a 10000-cycle default; only meaningful with TraceDir set).
 	SampleCycles int64
+	// Store, when non-nil, is the content-addressed result store the
+	// scheduler consults before simulating and persists into afterwards:
+	// a warm store turns figure regeneration into a pure, byte-identical
+	// reduction, and lets separate processes share completed runs.
+	Store *store.Store
+	// Metrics, when non-nil, receives the runner's counters (simulations
+	// executed, in-flight workers, store persistence failures); the
+	// serving layer renders it on /metrics.
+	Metrics *obs.Metrics
 }
 
 // DefaultOptions mirrors the paper's setup.
@@ -76,10 +88,18 @@ type Runner struct {
 	// simulation.
 	sem chan struct{}
 
+	// execs counts actual simulator invocations (store hits and memoized
+	// recalls excluded) — the "warm serve runs nothing" assertions read it.
+	execs atomic.Uint64
+
 	mu   sync.Mutex
 	mods map[moduleKey]*flight[*ir.Module]
 	runs map[Request]*flight[*sim.Result]
 }
+
+// SimRuns reports how many simulator invocations the runner has performed
+// (memoized recalls and store hits do not count).
+func (r *Runner) SimRuns() uint64 { return r.execs.Load() }
 
 // NewRunner returns a runner for the given options.
 func NewRunner(opts Options) *Runner {

@@ -1,0 +1,125 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"path/filepath"
+	"strings"
+
+	"hintm/internal/htm"
+	"hintm/internal/sim"
+	"hintm/internal/stats"
+	"hintm/internal/store"
+)
+
+// The store hook makes every scheduled run a durable, content-addressed
+// artifact: before a request simulates, the runner consults the configured
+// result store; after it completes, the result is persisted. A warm store
+// therefore makes figure regeneration a pure reduction — byte-identical to
+// the cold run, asserted by TestStoreWarmRunByteIdentical — and two
+// processes sharing a store directory (hintm-bench and hintm-served, say)
+// share one set of simulations.
+
+// runKey is the canonical preimage of a request's store key. It captures
+// every input that determines the run's result: the request coordinates
+// plus the runner options that reach sim.Config, all spelled as their
+// stable string forms, prefixed with the store schema version. Field order
+// is fixed by the struct, so json.Marshal is a canonical encoding.
+type runKey struct {
+	Schema         string `json:"schema"`
+	Workload       string `json:"workload"`
+	Scale          string `json:"scale"`
+	HTM            string `json:"htm"`
+	Hints          string `json:"hints"`
+	SMT            int    `json:"smt"`
+	Seed           uint64 `json:"seed"`
+	Faults         string `json:"faults,omitempty"`
+	WatchdogCycles int64  `json:"watchdogCycles,omitempty"`
+	MaxCycles      int64  `json:"maxCycles,omitempty"`
+}
+
+// KeyPreimage returns the canonical JSON encoding of req under the
+// runner's options — the bytes whose SHA-256 is the request's store key.
+func (r *Runner) KeyPreimage(req Request) []byte {
+	req = req.normalize()
+	k := runKey{
+		Schema:         store.Schema,
+		Workload:       req.Workload,
+		Scale:          req.Scale.String(),
+		HTM:            req.HTM.String(),
+		Hints:          req.Hints.String(),
+		SMT:            req.SMT,
+		Seed:           r.opts.Seed,
+		Faults:         r.opts.Faults.String(),
+		WatchdogCycles: r.opts.WatchdogCycles,
+		MaxCycles:      r.opts.MaxCycles,
+	}
+	data, err := json.Marshal(k)
+	if err != nil {
+		// A struct of strings and integers cannot fail to marshal.
+		panic(fmt.Sprintf("harness: canonical key encoding: %v", err))
+	}
+	return data
+}
+
+// StoreKey returns req's content address under the runner's options. It is
+// derivable with or without a configured store (the serving layer uses it
+// for addressing before deciding whether to run anything).
+func (r *Runner) StoreKey(req Request) string {
+	return store.Key(r.KeyPreimage(req))
+}
+
+// storeGet recalls req's result from the configured store. Any failure —
+// no store, miss, quarantined entry, undecodable result — degrades to
+// (nil, false): the scheduler just simulates.
+func (r *Runner) storeGet(req Request) (*sim.Result, bool) {
+	st := r.opts.Store
+	if st == nil {
+		return nil, false
+	}
+	e, _, err := st.Get(r.StoreKey(req))
+	if err != nil || e == nil {
+		return nil, false
+	}
+	var res sim.Result
+	if err := json.Unmarshal(e.Result, &res); err != nil {
+		return nil, false
+	}
+	// Restore the invariants sim.newResult guarantees and plain JSON does
+	// not: consumers index these without nil checks.
+	if res.Aborts == nil {
+		res.Aborts = make(map[htm.AbortReason]uint64)
+	}
+	if res.CyclesLost == nil {
+		res.CyclesLost = make(map[htm.AbortReason]int64)
+	}
+	if res.TxFootprints == nil {
+		res.TxFootprints = stats.NewHist()
+	}
+	return &res, true
+}
+
+// storePut persists a completed run. Persistence failures are deliberately
+// non-fatal — the simulation succeeded and its result is correct; a full
+// disk should not fail the figure — but they are counted so a service
+// operator sees them on /metrics.
+func (r *Runner) storePut(req Request, res *sim.Result) {
+	st := r.opts.Store
+	if st == nil {
+		return
+	}
+	data, err := json.Marshal(res)
+	if err != nil {
+		r.opts.Metrics.Counter("store_put_errors_total").Inc()
+		return
+	}
+	e := store.Entry{Request: r.KeyPreimage(req), Result: data}
+	if r.opts.TraceDir != "" {
+		base := filepath.Join(r.opts.TraceDir, strings.ReplaceAll(req.String(), "/", "_"))
+		e.TracePath = base + ".trace.json"
+		e.AutopsyPath = base + ".autopsy.txt"
+	}
+	if _, err := st.Put(e); err != nil {
+		r.opts.Metrics.Counter("store_put_errors_total").Inc()
+	}
+}

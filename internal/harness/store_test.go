@@ -1,0 +1,161 @@
+package harness
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+
+	"hintm/internal/fault"
+	"hintm/internal/sim"
+	"hintm/internal/store"
+	"hintm/internal/workloads"
+)
+
+// storeOpts returns quick options bound to a fresh store over dir.
+func storeOpts(t *testing.T, dir string) Options {
+	t.Helper()
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := QuickOptions()
+	opts.Filter = []string{"labyrinth"}
+	opts.Store = st
+	return opts
+}
+
+// TestStoreWarmRunByteIdentical is the subsystem's central guarantee: the
+// same seeded Request served cold (simulated, persisted) and then warm
+// (recalled by a brand-new runner over the same store) yields deeply equal
+// results, byte-identical JSON encodings and byte-identical stored object
+// bytes — and the warm runner never invokes the simulator.
+func TestStoreWarmRunByteIdentical(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	req := Request{Workload: "labyrinth", Scale: workloads.Small, HTM: sim.HTMP8, Hints: sim.HintFull}
+
+	cold := NewRunner(storeOpts(t, dir))
+	res1, err := cold.Run(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cold.SimRuns(); got != 1 {
+		t.Fatalf("cold run executed %d simulations, want 1", got)
+	}
+	_, raw1, err := cold.opts.Store.Get(cold.StoreKey(req))
+	if err != nil || raw1 == nil {
+		t.Fatalf("cold run did not persist: raw=%v err=%v", raw1, err)
+	}
+
+	warm := NewRunner(storeOpts(t, dir))
+	res2, err := warm.Run(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := warm.SimRuns(); got != 0 {
+		t.Fatalf("warm run executed %d simulations, want 0 (store hit)", got)
+	}
+	if !reflect.DeepEqual(res1, res2) {
+		t.Errorf("warm result differs from cold:\ncold: %v\nwarm: %v", res1, res2)
+	}
+	b1, _ := json.Marshal(res1)
+	b2, _ := json.Marshal(res2)
+	if !bytes.Equal(b1, b2) {
+		t.Errorf("result JSON differs:\ncold: %s\nwarm: %s", b1, b2)
+	}
+	_, raw2, _ := warm.opts.Store.Get(warm.StoreKey(req))
+	if !bytes.Equal(raw1, raw2) {
+		t.Error("stored object bytes changed between cold and warm reads")
+	}
+}
+
+// TestStoreWarmFigureByteIdentical renders the same figure cold and warm
+// and requires identical text — the regeneration workflow the store exists
+// for.
+func TestStoreWarmFigureByteIdentical(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+
+	render := func() (string, uint64) {
+		r := NewRunner(storeOpts(t, dir))
+		var sb strings.Builder
+		if err := r.RenderFig4(ctx, &sb); err != nil {
+			t.Fatal(err)
+		}
+		return sb.String(), r.SimRuns()
+	}
+	coldOut, coldRuns := render()
+	warmOut, warmRuns := render()
+	if coldRuns == 0 {
+		t.Fatal("cold render simulated nothing")
+	}
+	if warmRuns != 0 {
+		t.Errorf("warm render executed %d simulations, want 0", warmRuns)
+	}
+	if coldOut != warmOut {
+		t.Errorf("warm figure differs from cold:\n--- cold ---\n%s--- warm ---\n%s", coldOut, warmOut)
+	}
+}
+
+// TestStoreKeyCoversRunDeterminants asserts the canonical key moves with
+// every input that changes a run's result — and only with those.
+func TestStoreKeyCoversRunDeterminants(t *testing.T) {
+	base := QuickOptions()
+	req := Request{Workload: "labyrinth", Scale: workloads.Small, HTM: sim.HTMP8, Hints: sim.HintNone, SMT: 1}
+	key := func(opts Options, q Request) string { return NewRunner(opts).StoreKey(q) }
+
+	k0 := key(base, req)
+	if k0 != key(base, req) {
+		t.Fatal("key not stable for identical inputs")
+	}
+	// SMT 0 normalizes to 1: one cache slot, one key.
+	if k0 != key(base, Request{Workload: "labyrinth", Scale: workloads.Small, HTM: sim.HTMP8}) {
+		t.Error("SMT 0 and SMT 1 should share a key")
+	}
+
+	seeded := base
+	seeded.Seed = 99
+	if key(seeded, req) == k0 {
+		t.Error("seed change did not change the key")
+	}
+	faulty := base
+	var err error
+	if faulty.Faults, err = fault.ParsePlan("spurious=0.01"); err != nil {
+		t.Fatal(err)
+	}
+	if key(faulty, req) == k0 {
+		t.Error("fault plan change did not change the key")
+	}
+	capped := base
+	capped.MaxCycles = 12345
+	if key(capped, req) == k0 {
+		t.Error("max-cycles change did not change the key")
+	}
+	other := req
+	other.Hints = sim.HintFull
+	if key(base, other) == k0 {
+		t.Error("hint-mode change did not change the key")
+	}
+
+	// Options that do NOT reach the simulator must not shift addresses —
+	// a wider worker pool serves the same cache.
+	wide := base
+	wide.Workers = 7
+	if key(wide, req) != k0 {
+		t.Error("worker-count change shifted the key")
+	}
+}
+
+// TestStorePreimageIsCanonical pins the preimage encoding: changing it
+// silently would orphan every existing store.
+func TestStorePreimageIsCanonical(t *testing.T) {
+	r := NewRunner(QuickOptions())
+	req := Request{Workload: "labyrinth", Scale: workloads.Small, HTM: sim.HTMP8S, Hints: sim.HintStatic, SMT: 2}
+	want := `{"schema":"hintm-store/v1","workload":"labyrinth","scale":"small","htm":"P8S","hints":"HinTM-st","smt":2,"seed":1}`
+	if got := string(r.KeyPreimage(req)); got != want {
+		t.Errorf("preimage:\n got %s\nwant %s", got, want)
+	}
+}

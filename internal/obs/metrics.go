@@ -1,0 +1,120 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Metrics is a tiny registry of named int64 counters and gauges shared by
+// the scheduler, the result store, and the serving layer. It exists so
+// `hintm-served /metrics` has one deterministic place to read from: every
+// component increments named metrics here, and Render writes them in
+// sorted-name order (Prometheus text exposition format, counters only).
+//
+// A nil *Metrics is the disabled registry: Counter returns a nil *Metric
+// whose methods are no-ops, so instrumentation sites need no branching.
+type Metrics struct {
+	mu   sync.Mutex
+	vals map[string]*Metric
+}
+
+// NewMetrics returns an empty registry.
+func NewMetrics() *Metrics {
+	return &Metrics{vals: make(map[string]*Metric)}
+}
+
+// Metric is one named value. Use Inc/Add for counters and Set/Add for
+// gauges; the registry does not distinguish the two beyond naming
+// convention (`*_total` counters, bare-name gauges).
+type Metric struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (m *Metric) Inc() { m.Add(1) }
+
+// Add adds delta (negative deltas are how gauges shrink).
+func (m *Metric) Add(delta int64) {
+	if m == nil {
+		return
+	}
+	m.v.Add(delta)
+}
+
+// Set stores an absolute value.
+func (m *Metric) Set(v int64) {
+	if m == nil {
+		return
+	}
+	m.v.Store(v)
+}
+
+// Value reads the current value (0 on the nil no-op metric).
+func (m *Metric) Value() int64 {
+	if m == nil {
+		return 0
+	}
+	return m.v.Load()
+}
+
+// Counter returns the named metric, registering it on first use. Safe for
+// concurrent use; on a nil registry it returns the nil no-op metric.
+func (m *Metrics) Counter(name string) *Metric {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c, ok := m.vals[name]
+	if !ok {
+		c = &Metric{}
+		m.vals[name] = c
+	}
+	return c
+}
+
+// Value reads the named metric without registering it.
+func (m *Metrics) Value(name string) int64 {
+	if m == nil {
+		return 0
+	}
+	m.mu.Lock()
+	c := m.vals[name]
+	m.mu.Unlock()
+	return c.Value()
+}
+
+// Snapshot copies every metric's current value.
+func (m *Metrics) Snapshot() map[string]int64 {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]int64, len(m.vals))
+	for name, c := range m.vals {
+		out[name] = c.Value()
+	}
+	return out
+}
+
+// Render writes `name value` lines in sorted-name order — deterministic
+// for a deterministic sequence of updates, like every artifact this
+// package produces.
+func (m *Metrics) Render(w io.Writer) error {
+	snap := m.Snapshot()
+	names := make([]string, 0, len(snap))
+	for name := range snap {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if _, err := fmt.Fprintf(w, "%s %d\n", name, snap[name]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

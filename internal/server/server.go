@@ -1,0 +1,384 @@
+// Package server is the hintm-served HTTP service: a long-running process
+// that turns experiments into cacheable, addressable, queryable artifacts.
+//
+// Request lifecycle: POST /v1/runs accepts a run spec (or a grid of them),
+// derives each spec's content address (the harness's canonical key), and
+// answers store hits immediately; misses are enqueued onto the scheduler's
+// worker pool, where the runner's single-flight dedup guarantees each
+// distinct request simulates at most once no matter how many HTTP clients
+// ask for it. Completed runs persist into the store, so a result computed
+// once is a hit forever after — across restarts, and across processes
+// sharing the store directory (hintm-bench -store warms the same cache
+// this service serves from).
+//
+// Byte-identity: GET /v1/runs/{key} responds with the store's raw object
+// bytes verbatim. Two GETs of the same key — cold-then-warm, today or
+// after a restart — return byte-identical bodies; the X-Hintm-Store
+// header says whether this response was served warm.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+
+	"hintm/internal/harness"
+	"hintm/internal/obs"
+	"hintm/internal/sim"
+	"hintm/internal/store"
+	"hintm/internal/workloads"
+)
+
+// Config assembles a Server.
+type Config struct {
+	// Store is the content-addressed result store (required).
+	Store *store.Store
+	// Options configures the scheduler; Options.Store/Metrics are
+	// overwritten with the server's own.
+	Options harness.Options
+	// Metrics receives every component's counters (nil = a fresh registry).
+	Metrics *obs.Metrics
+}
+
+// Server handles the /v1 API. Create with New, expose via Handler, and
+// call Drain on shutdown to let enqueued runs finish persisting.
+type Server struct {
+	store   *store.Store
+	runner  *harness.Runner
+	opts    harness.Options
+	metrics *obs.Metrics
+
+	// baseCtx outlives individual HTTP requests: enqueued runs must not
+	// die with the client connection that triggered them. Cancelling it
+	// (via the cancel returned at New) aborts in-flight simulations during
+	// a forced shutdown.
+	baseCtx context.Context
+	cancel  context.CancelFunc
+
+	mux *http.ServeMux
+	wg  sync.WaitGroup
+
+	mu       sync.Mutex
+	inflight map[string]bool
+	draining bool
+}
+
+// New builds a server over cfg.
+func New(cfg Config) *Server {
+	m := cfg.Metrics
+	if m == nil {
+		m = obs.NewMetrics()
+	}
+	cfg.Store.SetMetrics(m)
+	opts := cfg.Options
+	opts.Store = cfg.Store
+	opts.Metrics = m
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		store:    cfg.Store,
+		runner:   harness.NewRunner(opts),
+		opts:     opts,
+		metrics:  m,
+		baseCtx:  ctx,
+		cancel:   cancel,
+		mux:      http.NewServeMux(),
+		inflight: make(map[string]bool),
+	}
+	s.mux.HandleFunc("POST /v1/runs", s.handleRuns)
+	s.mux.HandleFunc("GET /v1/runs/{key}", s.handleRun)
+	s.mux.HandleFunc("GET /v1/figures/{name}", s.handleFigure)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Drain waits for every enqueued run to complete (and persist) or for ctx
+// to expire, whichever comes first; on expiry it cancels the in-flight
+// simulations. Call after the HTTP listener has stopped accepting.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.cancel()
+		<-done
+		return fmt.Errorf("server: drain cut short: %w", ctx.Err())
+	}
+}
+
+// RunSpec is the wire form of one experiment request. Scale defaults to
+// the server's configured scale; HTM to p8; hints to none; SMT to 1.
+type RunSpec struct {
+	Workload string `json:"workload"`
+	Scale    string `json:"scale,omitempty"`
+	HTM      string `json:"htm,omitempty"`
+	Hints    string `json:"hints,omitempty"`
+	SMT      int    `json:"smt,omitempty"`
+}
+
+// parse resolves the spec into a harness Request.
+func (s *Server) parse(spec RunSpec) (harness.Request, error) {
+	var req harness.Request
+	if spec.Workload == "" {
+		return req, errors.New("missing workload")
+	}
+	if _, err := workloads.ByName(spec.Workload); err != nil {
+		return req, err
+	}
+	req.Workload = spec.Workload
+	req.Scale = s.opts.Scale
+	if spec.Scale != "" {
+		var err error
+		if req.Scale, err = workloads.ParseScale(spec.Scale); err != nil {
+			return req, err
+		}
+	}
+	if spec.HTM != "" {
+		var err error
+		if req.HTM, err = sim.ParseHTMKind(spec.HTM); err != nil {
+			return req, err
+		}
+	}
+	if spec.Hints != "" {
+		var err error
+		if req.Hints, err = sim.ParseHintMode(spec.Hints); err != nil {
+			return req, err
+		}
+	}
+	req.SMT = spec.SMT
+	return req, nil
+}
+
+// RunStatus is one submitted request's disposition.
+type RunStatus struct {
+	// Key is the request's content address; ResultURL dereferences it.
+	Key       string `json:"key"`
+	Request   string `json:"request"`
+	ResultURL string `json:"resultUrl"`
+	// Status: "hit" (already stored), "done" (simulated under ?wait=1),
+	// "enqueued" (simulation started), "running" (already in flight),
+	// "failed" (run error; Error has details).
+	Status string `json:"status"`
+	Error  string `json:"error,omitempty"`
+}
+
+// runsRequest accepts either {"requests":[spec...]} or one inline spec.
+type runsRequest struct {
+	Requests []RunSpec `json:"requests"`
+	RunSpec
+}
+
+type runsResponse struct {
+	Runs []RunStatus `json:"runs"`
+}
+
+// handleRuns is POST /v1/runs: submit a request or a grid. With ?wait=1
+// the response blocks until every submitted run completes (store hits
+// still answer without simulating); without it, misses are enqueued and
+// the client polls GET /v1/runs/{key}.
+func (s *Server) handleRuns(w http.ResponseWriter, r *http.Request) {
+	s.metrics.Counter("serve_requests_total").Inc()
+	var body runsRequest
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	specs := body.Requests
+	if len(specs) == 0 {
+		specs = []RunSpec{body.RunSpec}
+	}
+	reqs := make([]harness.Request, len(specs))
+	for i, spec := range specs {
+		var err error
+		if reqs[i], err = s.parse(spec); err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("requests[%d]: %w", i, err))
+			return
+		}
+	}
+
+	wait := r.URL.Query().Get("wait") != ""
+	out := runsResponse{Runs: make([]RunStatus, len(reqs))}
+	status := http.StatusOK
+	for i, req := range reqs {
+		key := s.runner.StoreKey(req)
+		rs := RunStatus{Key: key, Request: req.String(), ResultURL: "/v1/runs/" + key}
+		switch {
+		case s.store.Contains(key):
+			rs.Status = "hit"
+		case wait:
+			// The runner single-flights concurrent duplicates, so a grid
+			// containing repeats still simulates each point once.
+			if _, err := s.runner.Run(r.Context(), req); err != nil {
+				rs.Status, rs.Error = "failed", err.Error()
+			} else {
+				rs.Status = "done"
+			}
+		default:
+			rs.Status = s.enqueue(key, req)
+			if rs.Status == "enqueued" || rs.Status == "running" {
+				status = http.StatusAccepted
+			}
+		}
+		out.Runs[i] = rs
+	}
+	writeJSON(w, status, out)
+}
+
+// enqueue starts req on the scheduler unless that key is already in
+// flight; it reports the resulting status.
+func (s *Server) enqueue(key string, req harness.Request) string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.inflight[key] {
+		return "running"
+	}
+	if s.draining || s.baseCtx.Err() != nil {
+		return "failed" // draining: no new work
+	}
+	s.inflight[key] = true
+	s.metrics.Counter("serve_queue_depth").Set(int64(len(s.inflight)))
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		// Errors are not lost: the failed key stays absent from the store
+		// and a ?wait=1 resubmission reports the error inline.
+		_, _ = s.runner.Run(s.baseCtx, req)
+		s.mu.Lock()
+		delete(s.inflight, key)
+		s.metrics.Counter("serve_queue_depth").Set(int64(len(s.inflight)))
+		s.mu.Unlock()
+	}()
+	return "enqueued"
+}
+
+// handleRun is GET /v1/runs/{key}: the stored entry verbatim (200), a
+// progress report while the run is in flight (202), or 404.
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	s.metrics.Counter("serve_requests_total").Inc()
+	key := r.PathValue("key")
+	_, raw, err := s.store.Get(key)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	if raw != nil {
+		// The raw object file bytes, verbatim: every hit of a key serves
+		// the identical body.
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("X-Hintm-Store", "hit")
+		w.WriteHeader(http.StatusOK)
+		w.Write(raw)
+		return
+	}
+	s.mu.Lock()
+	running := s.inflight[key]
+	queue := len(s.inflight)
+	s.mu.Unlock()
+	if running {
+		w.Header().Set("X-Hintm-Store", "miss")
+		writeJSON(w, http.StatusAccepted, map[string]any{
+			"key": key, "status": "running", "queueDepth": queue,
+		})
+		return
+	}
+	w.Header().Set("X-Hintm-Store", "miss")
+	httpError(w, http.StatusNotFound, fmt.Errorf("no run with key %s (POST /v1/runs to submit)", key))
+}
+
+// handleFigure is GET /v1/figures/{name}: the named figure's rows,
+// assembled by the scheduler — which means from the store when it is
+// warm, so regenerating a figure over cached runs simulates nothing.
+func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
+	s.metrics.Counter("serve_requests_total").Inc()
+	name := r.PathValue("name")
+	build, ok := s.figureBuilders()[name]
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf("unknown figure %q (want one of %v)", name, s.figureNames()))
+		return
+	}
+	rows, err := build(r.Context())
+	if r.Context().Err() != nil {
+		httpError(w, http.StatusServiceUnavailable, r.Context().Err())
+		return
+	}
+	resp := map[string]any{"figure": name, "rows": rows}
+	if err != nil {
+		// Degraded figures still serve their surviving rows, same contract
+		// as hintm-bench.
+		resp["error"] = err.Error()
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// figureBuilders maps API figure names onto harness builders.
+func (s *Server) figureBuilders() map[string]func(context.Context) (any, error) {
+	return map[string]func(context.Context) (any, error){
+		"fig1": func(ctx context.Context) (any, error) { return s.runner.Fig1(ctx) },
+		"fig4": func(ctx context.Context) (any, error) { return s.runner.Fig4(ctx) },
+		"fig5": func(ctx context.Context) (any, error) { return s.runner.Fig5(ctx) },
+		"fig6": func(ctx context.Context) (any, error) { return s.runner.Fig6(ctx) },
+		"fig7": func(ctx context.Context) (any, error) { return s.runner.Fig7(ctx) },
+		"fig8": func(ctx context.Context) (any, error) { return s.runner.Fig8(ctx) },
+	}
+}
+
+func (s *Server) figureNames() []string {
+	names := make([]string, 0, 6)
+	for name := range s.figureBuilders() {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// handleHealthz is the liveness/readiness probe.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	queue := len(s.inflight)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":       "ok",
+		"schema":       store.Schema,
+		"storeEntries": s.store.Len(),
+		"queueDepth":   queue,
+	})
+}
+
+// handleMetrics renders the shared registry (store hit/miss/put counters,
+// scheduler run counts, in-flight workers, queue depth) in Prometheus
+// text exposition format.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	s.metrics.Counter("serve_queue_depth").Set(int64(len(s.inflight)))
+	s.mu.Unlock()
+	s.metrics.Counter("store_entries").Set(int64(s.store.Len()))
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.metrics.Render(w)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]any{"error": err.Error()})
+}

@@ -1,0 +1,336 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"hintm/internal/harness"
+	"hintm/internal/obs"
+	"hintm/internal/store"
+)
+
+// newTestServer builds a server over a fresh store with quick options.
+func newTestServer(t *testing.T, dir string) (*Server, *httptest.Server, *obs.Metrics) {
+	t.Helper()
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := harness.QuickOptions()
+	opts.Filter = []string{"labyrinth"}
+	m := obs.NewMetrics()
+	s := New(Config{Store: st, Options: opts, Metrics: m})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts, m
+}
+
+func postRuns(t *testing.T, ts *httptest.Server, query, body string) (int, runsResponse) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/runs"+query, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out runsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("decode response: %v", err)
+	}
+	return resp.StatusCode, out
+}
+
+func getRun(t *testing.T, ts *httptest.Server, key string) (int, string, []byte) {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/v1/runs/" + key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, resp.Header.Get("X-Hintm-Store"), body
+}
+
+const labyrinthSmall = `{"workload":"labyrinth","scale":"small","htm":"p8","hints":"full"}`
+
+// TestServeColdThenWarmByteIdentical is the PR's acceptance criterion end
+// to end: the same seeded request served twice returns byte-identical JSON
+// bodies, the second submission reports a store hit, and the warm path
+// never invokes the simulator.
+func TestServeColdThenWarmByteIdentical(t *testing.T) {
+	s, ts, m := newTestServer(t, t.TempDir())
+
+	code, out := postRuns(t, ts, "?wait=1", labyrinthSmall)
+	if code != http.StatusOK || len(out.Runs) != 1 || out.Runs[0].Status != "done" {
+		t.Fatalf("cold submit: code=%d out=%+v", code, out)
+	}
+	key := out.Runs[0].Key
+	coldRuns := m.Value("runner_sim_runs_total")
+	if coldRuns == 0 {
+		t.Fatal("cold submit simulated nothing")
+	}
+
+	gcode, hdr, body1 := getRun(t, ts, key)
+	if gcode != http.StatusOK || hdr != "hit" {
+		t.Fatalf("GET after cold run: code=%d X-Hintm-Store=%q", gcode, hdr)
+	}
+
+	// Second submission: a hit, answered without touching the simulator.
+	code, out = postRuns(t, ts, "?wait=1", labyrinthSmall)
+	if code != http.StatusOK || out.Runs[0].Status != "hit" {
+		t.Fatalf("warm submit: code=%d status=%q, want 200/hit", code, out.Runs[0].Status)
+	}
+	if out.Runs[0].Key != key {
+		t.Errorf("warm submit key %s != cold key %s", out.Runs[0].Key, key)
+	}
+	if got := m.Value("runner_sim_runs_total"); got != coldRuns {
+		t.Errorf("warm submit ran %d extra simulations, want 0", got-coldRuns)
+	}
+	if got := s.runner.SimRuns(); got != uint64(coldRuns) {
+		t.Errorf("runner executed %d simulations, want %d", got, coldRuns)
+	}
+
+	gcode, hdr, body2 := getRun(t, ts, key)
+	if gcode != http.StatusOK || hdr != "hit" {
+		t.Fatalf("warm GET: code=%d X-Hintm-Store=%q", gcode, hdr)
+	}
+	if !bytes.Equal(body1, body2) {
+		t.Errorf("served bodies differ between cold and warm GET:\n%s\nvs\n%s", body1, body2)
+	}
+	if !json.Valid(body1) {
+		t.Error("served body is not valid JSON")
+	}
+}
+
+// TestServeWarmAcrossRestart re-opens the same store directory in a second
+// server instance: the result survives the "process" and serves as a hit.
+func TestServeWarmAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	_, ts1, _ := newTestServer(t, dir)
+	code, out := postRuns(t, ts1, "?wait=1", labyrinthSmall)
+	if code != http.StatusOK || out.Runs[0].Status != "done" {
+		t.Fatalf("first instance: %d %+v", code, out)
+	}
+	key := out.Runs[0].Key
+	_, _, body1 := getRun(t, ts1, key)
+	ts1.Close()
+
+	_, ts2, m2 := newTestServer(t, dir)
+	code, out = postRuns(t, ts2, "?wait=1", labyrinthSmall)
+	if code != http.StatusOK || out.Runs[0].Status != "hit" {
+		t.Fatalf("restarted instance: %d %+v, want hit", code, out)
+	}
+	_, hdr, body2 := getRun(t, ts2, key)
+	if hdr != "hit" || !bytes.Equal(body1, body2) {
+		t.Errorf("restarted instance served different bytes (hdr=%q)", hdr)
+	}
+	if m2.Value("runner_sim_runs_total") != 0 {
+		t.Error("restarted instance re-simulated a stored run")
+	}
+}
+
+// TestServeAsyncEnqueue submits without wait and polls until the run
+// lands in the store.
+func TestServeAsyncEnqueue(t *testing.T) {
+	_, ts, _ := newTestServer(t, t.TempDir())
+	code, out := postRuns(t, ts, "", labyrinthSmall)
+	if code != http.StatusAccepted {
+		t.Fatalf("async submit code = %d, want 202", code)
+	}
+	st := out.Runs[0].Status
+	if st != "enqueued" && st != "running" {
+		t.Fatalf("async status = %q", st)
+	}
+	key := out.Runs[0].Key
+
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		gcode, hdr, _ := getRun(t, ts, key)
+		if gcode == http.StatusOK {
+			if hdr != "hit" {
+				t.Errorf("completed async run served with X-Hintm-Store=%q", hdr)
+			}
+			break
+		}
+		if gcode != http.StatusAccepted {
+			t.Fatalf("poll returned %d", gcode)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("async run never completed")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Resubmitting the identical spec is now a hit even without wait.
+	code, out = postRuns(t, ts, "", labyrinthSmall)
+	if code != http.StatusOK || out.Runs[0].Status != "hit" {
+		t.Errorf("resubmit after async completion: %d %+v", code, out)
+	}
+}
+
+// TestServeGridDedup submits a grid with duplicates and distinct points.
+func TestServeGridDedup(t *testing.T) {
+	_, ts, m := newTestServer(t, t.TempDir())
+	grid := `{"requests":[
+		{"workload":"labyrinth","scale":"small","htm":"p8","hints":"none"},
+		{"workload":"labyrinth","scale":"small","htm":"p8","hints":"none"},
+		{"workload":"labyrinth","scale":"small","htm":"p8","hints":"full"}
+	]}`
+	code, out := postRuns(t, ts, "?wait=1", grid)
+	if code != http.StatusOK || len(out.Runs) != 3 {
+		t.Fatalf("grid submit: %d %+v", code, out)
+	}
+	if out.Runs[0].Key != out.Runs[1].Key || out.Runs[0].Key == out.Runs[2].Key {
+		t.Errorf("grid keys wrong: %+v", out.Runs)
+	}
+	// Two distinct points → exactly two simulations despite three specs.
+	if got := m.Value("runner_sim_runs_total"); got != 2 {
+		t.Errorf("grid ran %d simulations, want 2", got)
+	}
+}
+
+func TestServeBadRequests(t *testing.T) {
+	_, ts, _ := newTestServer(t, t.TempDir())
+	for _, body := range []string{
+		`{"workload":"no-such-workload"}`,
+		`{"workload":"labyrinth","htm":"p99"}`,
+		`{"workload":"labyrinth","scale":"tiny"}`,
+		`{}`,
+		`not json`,
+	} {
+		resp, err := http.Post(ts.URL+"/v1/runs", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("body %q: code %d, want 400", body, resp.StatusCode)
+		}
+	}
+
+	resp, _ := http.Get(ts.URL + "/v1/runs/" + strings.Repeat("00", 32))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown key: %d, want 404", resp.StatusCode)
+	}
+	resp, _ = http.Get(ts.URL + "/v1/figures/fig99")
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown figure: %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestServeFigureWarm assembles a figure twice; the second assembly runs
+// entirely from the store.
+func TestServeFigureWarm(t *testing.T) {
+	_, ts, m := newTestServer(t, t.TempDir())
+	fetch := func() []byte {
+		resp, err := http.Get(ts.URL + "/v1/figures/fig5")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("figure: %d", resp.StatusCode)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		return body
+	}
+	cold := fetch()
+	coldRuns := m.Value("runner_sim_runs_total")
+	if coldRuns == 0 {
+		t.Fatal("figure assembly simulated nothing")
+	}
+	var parsed struct {
+		Figure string            `json:"figure"`
+		Rows   []json.RawMessage `json:"rows"`
+	}
+	if err := json.Unmarshal(cold, &parsed); err != nil || parsed.Figure != "fig5" || len(parsed.Rows) == 0 {
+		t.Fatalf("figure body malformed: %s", cold)
+	}
+
+	// A second server over the same store: in-process memo is gone, only
+	// the store can make this free.
+	warm := fetch()
+	if !bytes.Equal(cold, warm) {
+		t.Errorf("warm figure differs:\n%s\nvs\n%s", cold, warm)
+	}
+	if got := m.Value("runner_sim_runs_total"); got != coldRuns {
+		t.Errorf("warm figure ran %d extra simulations", got-coldRuns)
+	}
+}
+
+func TestHealthzAndMetrics(t *testing.T) {
+	_, ts, _ := newTestServer(t, t.TempDir())
+	postRuns(t, ts, "?wait=1", labyrinthSmall)
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health struct {
+		Status       string `json:"status"`
+		StoreEntries int    `json:"storeEntries"`
+	}
+	json.NewDecoder(resp.Body).Decode(&health)
+	resp.Body.Close()
+	if health.Status != "ok" || health.StoreEntries != 1 {
+		t.Errorf("healthz: %+v", health)
+	}
+
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{"store_puts_total 1", "runner_sim_runs_total 1", "serve_requests_total", "store_entries 1"} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("metrics missing %q:\n%s", want, body)
+		}
+	}
+}
+
+// TestDrainWaitsForEnqueuedRuns submits async work and drains: the run
+// must be persisted by the time Drain returns.
+func TestDrainWaitsForEnqueuedRuns(t *testing.T) {
+	s, ts, _ := newTestServer(t, t.TempDir())
+	_, out := postRuns(t, ts, "", labyrinthSmall)
+	key := out.Runs[0].Key
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	if !s.store.Contains(key) {
+		t.Error("drained server did not persist the enqueued run")
+	}
+	// After drain, new enqueues are refused rather than silently dropped.
+	if got := s.enqueue("deadbeef", harness.Request{Workload: "labyrinth"}); got != "failed" {
+		t.Errorf("post-drain enqueue = %q, want failed", got)
+	}
+}
+
+// TestRunStatusShape pins the response contract the smoke script greps.
+func TestRunStatusShape(t *testing.T) {
+	_, ts, _ := newTestServer(t, t.TempDir())
+	_, out := postRuns(t, ts, "?wait=1", labyrinthSmall)
+	rs := out.Runs[0]
+	if len(rs.Key) != 64 {
+		t.Errorf("key %q is not a sha256 hex digest", rs.Key)
+	}
+	if rs.ResultURL != "/v1/runs/"+rs.Key {
+		t.Errorf("resultUrl %q", rs.ResultURL)
+	}
+	if want := fmt.Sprintf("labyrinth/%s/%s/%s/smt1", "small", "P8", "HinTM"); rs.Request != want {
+		t.Errorf("request rendering %q, want %q", rs.Request, want)
+	}
+}

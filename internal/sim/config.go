@@ -54,6 +54,24 @@ func (k HTMKind) String() string {
 	return fmt.Sprintf("htm(%d)", uint8(k))
 }
 
+// ParseHTMKind parses the CLI/API spelling of a baseline HTM
+// ("p8", "p8s", "l1tm", "infcap", "stm").
+func ParseHTMKind(s string) (HTMKind, error) {
+	switch s {
+	case "p8":
+		return HTMP8, nil
+	case "p8s":
+		return HTMP8S, nil
+	case "l1tm":
+		return HTML1TM, nil
+	case "infcap":
+		return HTMInfCap, nil
+	case "stm":
+		return HTMSTM, nil
+	}
+	return 0, fmt.Errorf("unknown HTM %q (want p8|p8s|l1tm|infcap|stm)", s)
+}
+
 // HintMode selects which HinTM classification mechanisms are honoured.
 type HintMode uint8
 
@@ -77,6 +95,22 @@ func (h HintMode) String() string {
 		return "HinTM"
 	}
 	return fmt.Sprintf("hint(%d)", uint8(h))
+}
+
+// ParseHintMode parses the CLI/API spelling of a hint mode
+// ("none", "st", "dyn", "full").
+func ParseHintMode(s string) (HintMode, error) {
+	switch s {
+	case "none":
+		return HintNone, nil
+	case "st":
+		return HintStatic, nil
+	case "dyn":
+		return HintDynamic, nil
+	case "full":
+		return HintFull, nil
+	}
+	return 0, fmt.Errorf("unknown hint mode %q (want none|st|dyn|full)", s)
 }
 
 // Static reports whether compiler hints are honoured.

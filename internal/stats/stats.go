@@ -4,6 +4,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"sort"
@@ -111,6 +112,46 @@ func (h *Hist) Merge(other *Hist) {
 		h.counts[v] += c
 		h.n += c
 	}
+}
+
+// histEntry is one (value, count) pair of the histogram's canonical JSON
+// form: an array of pairs sorted by value, so equal histograms always
+// serialize to identical bytes (the result store's content-addressing and
+// the warm-cache byte-identity guarantee both depend on this).
+type histEntry struct {
+	V int    `json:"v"`
+	C uint64 `json:"c"`
+}
+
+// MarshalJSON encodes the histogram as a value-sorted [{"v":..,"c":..}]
+// array.
+func (h *Hist) MarshalJSON() ([]byte, error) {
+	values := make([]int, 0, len(h.counts))
+	for v := range h.counts {
+		values = append(values, v)
+	}
+	sort.Ints(values)
+	entries := make([]histEntry, 0, len(values))
+	for _, v := range values {
+		entries = append(entries, histEntry{V: v, C: h.counts[v]})
+	}
+	return json.Marshal(entries)
+}
+
+// UnmarshalJSON decodes MarshalJSON's form, replacing the receiver's
+// contents and rederiving the observation count.
+func (h *Hist) UnmarshalJSON(data []byte) error {
+	var entries []histEntry
+	if err := json.Unmarshal(data, &entries); err != nil {
+		return err
+	}
+	h.counts = make(map[int]uint64, len(entries))
+	h.n = 0
+	for _, e := range entries {
+		h.counts[e.V] += e.C
+		h.n += e.C
+	}
+	return nil
 }
 
 // Table renders aligned text tables for the harness output.

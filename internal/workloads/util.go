@@ -41,6 +41,20 @@ func (s Scale) String() string {
 	return fmt.Sprintf("scale(%d)", uint8(s))
 }
 
+// ParseScale parses the CLI/API spelling of an input scale
+// ("small", "medium", "large").
+func ParseScale(s string) (Scale, error) {
+	switch s {
+	case "small":
+		return Small, nil
+	case "medium":
+		return Medium, nil
+	case "large":
+		return Large, nil
+	}
+	return 0, fmt.Errorf("unknown scale %q (want small|medium|large)", s)
+}
+
 // pick returns the scale-matched value.
 func (s Scale) pick(small, medium, large int64) int64 {
 	switch s {

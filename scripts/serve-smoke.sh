@@ -1,0 +1,77 @@
+#!/usr/bin/env bash
+# serve-smoke: end-to-end smoke test of hintm-served against a temp store.
+#
+# Builds the service, starts it, submits the same seeded run twice through
+# the HTTP API, and asserts the acceptance property of the result store:
+# the second submission is a store hit, the two GET bodies are
+# byte-identical, and the warm path performed zero extra simulations
+# (runner_sim_runs_total on /metrics does not move). Finishes by asking for
+# a graceful SIGTERM drain and requiring a clean exit.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+ADDR="127.0.0.1:${SERVE_SMOKE_PORT:-18347}"
+TMP="$(mktemp -d)"
+SRV_PID=""
+cleanup() {
+    if [[ -n "$SRV_PID" ]] && kill -0 "$SRV_PID" 2>/dev/null; then
+        kill -9 "$SRV_PID" 2>/dev/null || true
+    fi
+    rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+go build -o "$TMP/hintm-served" ./cmd/hintm-served
+
+"$TMP/hintm-served" -addr "$ADDR" -store "$TMP/store" -scale small -large small \
+    >"$TMP/served.log" 2>&1 &
+SRV_PID=$!
+
+for i in $(seq 1 100); do
+    if curl -fsS "http://$ADDR/healthz" >/dev/null 2>&1; then break; fi
+    if ! kill -0 "$SRV_PID" 2>/dev/null; then
+        echo "serve-smoke: server died on startup:" >&2
+        cat "$TMP/served.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+curl -fsS "http://$ADDR/healthz" >/dev/null
+
+SPEC='{"workload":"labyrinth","scale":"small","htm":"p8","hints":"full"}'
+
+# Cold submission: simulated now, persisted into the store.
+curl -fsS -X POST "http://$ADDR/v1/runs?wait=1" -d "$SPEC" > "$TMP/r1.json"
+grep -q '"status": "done"' "$TMP/r1.json" || {
+    echo "serve-smoke: cold submit not 'done':" >&2; cat "$TMP/r1.json" >&2; exit 1; }
+KEY=$(grep -o '"key": "[0-9a-f]*"' "$TMP/r1.json" | head -1 | cut -d'"' -f4)
+[[ ${#KEY} -eq 64 ]] || { echo "serve-smoke: bad key '$KEY'" >&2; exit 1; }
+
+curl -fsS -D "$TMP/h1.txt" "http://$ADDR/v1/runs/$KEY" > "$TMP/b1.json"
+SIMS_COLD=$(curl -fsS "http://$ADDR/metrics" | awk '/^runner_sim_runs_total /{print $2}')
+[[ "$SIMS_COLD" -ge 1 ]] || { echo "serve-smoke: no simulation counted" >&2; exit 1; }
+
+# Warm submission: a store hit, byte-identical body, zero extra sim runs.
+curl -fsS -X POST "http://$ADDR/v1/runs?wait=1" -d "$SPEC" > "$TMP/r2.json"
+grep -q '"status": "hit"' "$TMP/r2.json" || {
+    echo "serve-smoke: warm submit not a store hit:" >&2; cat "$TMP/r2.json" >&2; exit 1; }
+curl -fsS -D "$TMP/h2.txt" "http://$ADDR/v1/runs/$KEY" > "$TMP/b2.json"
+
+cmp "$TMP/b1.json" "$TMP/b2.json" || {
+    echo "serve-smoke: served bodies differ between cold and warm GET" >&2; exit 1; }
+grep -qi '^x-hintm-store: hit' "$TMP/h2.txt" || {
+    echo "serve-smoke: warm GET not marked as a store hit:" >&2; cat "$TMP/h2.txt" >&2; exit 1; }
+
+SIMS_WARM=$(curl -fsS "http://$ADDR/metrics" | awk '/^runner_sim_runs_total /{print $2}')
+[[ "$SIMS_WARM" -eq "$SIMS_COLD" ]] || {
+    echo "serve-smoke: warm path simulated ($SIMS_COLD -> $SIMS_WARM)" >&2; exit 1; }
+
+# Graceful drain: SIGTERM must produce a clean, drained exit.
+kill -TERM "$SRV_PID"
+wait "$SRV_PID" || { echo "serve-smoke: server exited non-zero on SIGTERM" >&2; exit 1; }
+grep -q 'drained cleanly' "$TMP/served.log" || {
+    echo "serve-smoke: no drain confirmation:" >&2; cat "$TMP/served.log" >&2; exit 1; }
+SRV_PID=""
+
+echo "serve-smoke: OK (key $KEY, cold+warm byte-identical, $SIMS_COLD sim runs total)"
