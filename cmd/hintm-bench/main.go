@@ -219,6 +219,9 @@ func writeResults(ctx context.Context, r *harness.Runner, path string, wall time
 		return err
 	}
 	sum.WallSeconds = wall.Seconds()
+	if sum.WallSeconds > 0 {
+		sum.SimCyclesPerSec = float64(sum.SimCycles) / sum.WallSeconds
+	}
 	f, err := os.Create(path)
 	if err != nil {
 		return err

@@ -7,7 +7,10 @@
 // that track transactional state in the L1).
 package cache
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // State is a MESI coherence state.
 type State uint8
@@ -84,26 +87,66 @@ type line struct {
 	lru   uint64
 }
 
-// array is a set-associative structure.
+// array is a set-associative structure. All lines live in one flat backing
+// slice — set s occupies lines[s*ways : s*ways+used[s]] — so building an
+// array is two allocations regardless of geometry (the paper's L2 has 8192
+// sets; a slice per set made machine construction the dominant cost of
+// short simulations).
 type array struct {
-	sets [][]line
+	lines []line
+	// used[s] counts the populated slots of set s; slots fill in append
+	// order, preserving the set-internal visit order of the per-set-slice
+	// representation this replaces.
+	used []int32
 	ways int
 	tick uint64
 }
 
-func newArray(sets, ways int) *array {
-	a := &array{sets: make([][]line, sets), ways: ways}
-	for i := range a.sets {
-		a.sets[i] = make([]line, 0, ways)
+// linePools recycles line backings by size, because zeroing the L2's backing
+// (8192 sets x 16 ways x 24 B) dominates hierarchy construction for short
+// runs. A recycled backing holds stale lines, which is safe: no reader ever
+// looks past used[s], and used is freshly zeroed per array.
+var linePools sync.Map // map[int]*sync.Pool of *[]line
+
+func getLines(n int) []line {
+	if p, ok := linePools.Load(n); ok {
+		if v := p.(*sync.Pool).Get(); v != nil {
+			return *(v.(*[]line))
+		}
 	}
-	return a
+	return make([]line, n)
 }
 
-func (a *array) setOf(block uint64) int { return int(block % uint64(len(a.sets))) }
+func putLines(s []line) {
+	if s == nil {
+		return
+	}
+	p, ok := linePools.Load(len(s))
+	if !ok {
+		p, _ = linePools.LoadOrStore(len(s), &sync.Pool{})
+	}
+	p.(*sync.Pool).Put(&s)
+}
+
+func newArray(sets, ways int) *array {
+	return &array{
+		lines: getLines(sets * ways),
+		used:  make([]int32, sets),
+		ways:  ways,
+	}
+}
+
+func (a *array) setOf(block uint64) int { return int(block % uint64(len(a.used))) }
+
+// set returns the populated portion of block's set.
+func (a *array) set(block uint64) []line {
+	si := a.setOf(block)
+	return a.lines[si*a.ways : si*a.ways+int(a.used[si])]
+}
 
 // find returns the line holding block, or nil.
 func (a *array) find(block uint64) *line {
-	set := a.sets[a.setOf(block)]
+	set := a.set(block)
 	for i := range set {
 		if set[i].block == block && set[i].state != Invalid {
 			a.tick++
@@ -118,7 +161,7 @@ func (a *array) find(block uint64) *line {
 // returns the evicted block and its state, if any.
 func (a *array) insert(block uint64, st State) (evicted uint64, evictedState State, didEvict bool) {
 	si := a.setOf(block)
-	set := a.sets[si]
+	set := a.lines[si*a.ways : si*a.ways+int(a.used[si])]
 	a.tick++
 	// Reuse an invalid slot first.
 	for i := range set {
@@ -127,8 +170,9 @@ func (a *array) insert(block uint64, st State) (evicted uint64, evictedState Sta
 			return 0, Invalid, false
 		}
 	}
-	if len(set) < a.ways {
-		a.sets[si] = append(set, line{block: block, state: st, lru: a.tick})
+	if int(a.used[si]) < a.ways {
+		a.lines[si*a.ways+int(a.used[si])] = line{block: block, state: st, lru: a.tick}
+		a.used[si]++
 		return 0, Invalid, false
 	}
 	victim := 0
@@ -144,7 +188,7 @@ func (a *array) insert(block uint64, st State) (evicted uint64, evictedState Sta
 
 // invalidate drops block if present, returning its previous state.
 func (a *array) invalidate(block uint64) State {
-	set := a.sets[a.setOf(block)]
+	set := a.set(block)
 	for i := range set {
 		if set[i].block == block && set[i].state != Invalid {
 			st := set[i].state
@@ -174,7 +218,8 @@ type AccessResult struct {
 	// every other core's HTM controller snoops.
 	BusOp bool
 	// Evicted lists blocks this access displaced from the requesting
-	// core's L1 (at most one).
+	// core's L1 (at most one). The slice aliases scratch storage owned by
+	// the Hierarchy: consume it before the next Access call.
 	Evicted []uint64
 }
 
@@ -184,6 +229,9 @@ type Hierarchy struct {
 	l1    []*array
 	l2    *array
 	stats Stats
+	// evBuf backs AccessResult.Evicted so the eviction path allocates
+	// nothing (an access displaces at most one L1 block).
+	evBuf [1]uint64
 }
 
 // New builds a hierarchy.
@@ -193,6 +241,18 @@ func New(cfg Config) *Hierarchy {
 		h.l1 = append(h.l1, newArray(cfg.L1Sets, cfg.L1Ways))
 	}
 	return h
+}
+
+// Release returns the hierarchy's line backings to the recycle pool. The
+// hierarchy must not be used afterwards. Optional: skipping it only forfeits
+// backing reuse for the next hierarchy of the same geometry.
+func (h *Hierarchy) Release() {
+	putLines(h.l2.lines)
+	h.l2.lines = nil
+	for _, a := range h.l1 {
+		putLines(a.lines)
+		a.lines = nil
+	}
 }
 
 // Config returns the hierarchy's configuration.
@@ -273,7 +333,8 @@ func (h *Hierarchy) Access(core int, block uint64, write bool) AccessResult {
 		st = Exclusive
 	}
 	if ev, _, did := l1.insert(block, st); did {
-		res.Evicted = append(res.Evicted, ev)
+		h.evBuf[0] = ev
+		res.Evicted = h.evBuf[:1]
 		h.stats.L1Evictions++
 	}
 	return res
@@ -287,7 +348,7 @@ func (h *Hierarchy) probeOthers(core int, block uint64) (held bool, dirtyOwner i
 		if c == core {
 			continue
 		}
-		set := l1.sets[l1.setOf(block)]
+		set := l1.set(block)
 		for i := range set {
 			if set[i].block == block && set[i].state != Invalid {
 				held = true
@@ -307,7 +368,7 @@ func (h *Hierarchy) downgradeOthers(core int, block uint64) {
 		if c == core {
 			continue
 		}
-		set := l1.sets[l1.setOf(block)]
+		set := l1.set(block)
 		for i := range set {
 			if set[i].block == block && set[i].state == Exclusive {
 				set[i].state = Shared
@@ -339,8 +400,7 @@ func (h *Hierarchy) HasBlock(core int, block uint64) bool {
 // StateOf returns core's L1 state for block (Invalid if absent). Exposed
 // for tests and diagnostics.
 func (h *Hierarchy) StateOf(core int, block uint64) State {
-	l1 := h.l1[core]
-	set := l1.sets[l1.setOf(block)]
+	set := h.l1[core].set(block)
 	for i := range set {
 		if set[i].block == block {
 			return set[i].state

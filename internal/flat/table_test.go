@@ -1,0 +1,132 @@
+package flat
+
+import "testing"
+
+func TestAddFindDel(t *testing.T) {
+	var tab Tab[int]
+	tab.Init(16, false)
+	for k := uint64(0); k < 10; k++ {
+		tab.Add(k, int(k)*10)
+	}
+	if tab.N != 10 {
+		t.Fatalf("N = %d, want 10", tab.N)
+	}
+	for k := uint64(0); k < 10; k++ {
+		i, ok := tab.Find(k)
+		if !ok || tab.Vals[i] != int(k)*10 {
+			t.Fatalf("Find(%d) = %v, val %d", k, ok, tab.Vals[i])
+		}
+	}
+	if _, ok := tab.Find(99); ok {
+		t.Fatal("found absent key")
+	}
+	if !tab.Del(3) || tab.Del(3) {
+		t.Fatal("Del(3) should succeed once")
+	}
+	if _, ok := tab.Find(3); ok {
+		t.Fatal("deleted key still live")
+	}
+	// Every other key must survive backward-shift deletion.
+	for k := uint64(0); k < 10; k++ {
+		if k == 3 {
+			continue
+		}
+		if i, ok := tab.Find(k); !ok || tab.Vals[i] != int(k)*10 {
+			t.Fatalf("key %d lost after Del", k)
+		}
+	}
+}
+
+// Colliding keys exercise the backward-shift chain repair: delete entries in
+// every order and check the survivors stay reachable.
+func TestDelChainRepair(t *testing.T) {
+	keys := []uint64{1, 17, 33, 49, 65, 81} // distinct keys, small table
+	for del := range keys {
+		var tab Tab[uint64]
+		tab.Init(16, false)
+		for _, k := range keys {
+			tab.Add(k, k)
+		}
+		if !tab.Del(keys[del]) {
+			t.Fatalf("Del(%d) failed", keys[del])
+		}
+		for j, k := range keys {
+			_, ok := tab.Find(k)
+			if want := j != del; ok != want {
+				t.Fatalf("after Del(%d): Find(%d) = %v, want %v",
+					keys[del], k, ok, want)
+			}
+		}
+	}
+}
+
+func TestGrowRehashesAll(t *testing.T) {
+	var tab Tab[uint64]
+	tab.Init(16, false)
+	const n = 1000
+	for k := uint64(0); k < n; k++ {
+		tab.Add(k, k^0xabcd)
+	}
+	if tab.N != n {
+		t.Fatalf("N = %d, want %d", tab.N, n)
+	}
+	for k := uint64(0); k < n; k++ {
+		i, ok := tab.Find(k)
+		if !ok || tab.Vals[i] != k^0xabcd {
+			t.Fatalf("key %d lost across grow", k)
+		}
+	}
+}
+
+func TestResetEmptiesInO1(t *testing.T) {
+	var tab Tab[int]
+	tab.Init(16, true)
+	tab.Add(7, 70)
+	tab.Reset()
+	if tab.N != 0 {
+		t.Fatalf("N = %d after Reset", tab.N)
+	}
+	if _, ok := tab.Find(7); ok {
+		t.Fatal("stale key live after Reset")
+	}
+	// Re-adding the same key in the new generation works.
+	tab.Add(7, 71)
+	if i, ok := tab.Find(7); !ok || tab.Vals[i] != 71 {
+		t.Fatal("re-add after Reset failed")
+	}
+}
+
+func TestGenWrapClearsStamps(t *testing.T) {
+	var tab Tab[int]
+	tab.Init(16, true)
+	tab.Add(1, 1)
+	tab.Gen = ^uint32(0) // force the wrap path on the next Reset
+	tab.Reset()
+	if tab.Gen != 1 {
+		t.Fatalf("Gen = %d after wrap, want 1", tab.Gen)
+	}
+	if _, ok := tab.Find(1); ok {
+		t.Fatal("stale key live after generation wrap")
+	}
+}
+
+// Steady-state tracker usage — Reset then re-insert the same working set —
+// must not allocate once the backing is warm.
+func TestSteadyStateDoesNotAllocate(t *testing.T) {
+	var tab Tab[uint8]
+	tab.Init(128, true)
+	work := func() {
+		tab.Reset()
+		for k := uint64(0); k < 64; k++ {
+			if i, ok := tab.Find(k); ok {
+				tab.Vals[i] |= 1
+			} else {
+				tab.Add(k, 1)
+			}
+		}
+	}
+	work()
+	if n := testing.AllocsPerRun(100, work); n != 0 {
+		t.Errorf("steady-state probe/insert allocates %.1f per cycle", n)
+	}
+}

@@ -15,13 +15,32 @@ import (
 // exactly zero; the tolerance exists to let intentional modelling changes
 // land without churning the baseline for sub-noise drift.
 
+// wallTolerance widens the metric tolerance for wall-clock comparisons:
+// at least 50%, and never tighter than 10x the headline tolerance.
+func wallTolerance(tolerance float64) float64 {
+	wt := tolerance * 10
+	if wt < 0.5 {
+		wt = 0.5
+	}
+	return wt
+}
+
+// minWallSeconds is the shortest baseline wall time worth comparing in
+// relative terms. Figures that reuse another figure's runs through the
+// content-addressed store complete in microseconds, where a relative gate
+// measures scheduler jitter, not performance.
+const minWallSeconds = 0.05
+
 // ReadBenchResults decodes and validates one BENCH_results.json.
 func ReadBenchResults(r io.Reader) (*BenchResults, error) {
 	var b BenchResults
 	if err := json.NewDecoder(r).Decode(&b); err != nil {
 		return nil, fmt.Errorf("bench results: %w", err)
 	}
-	if b.Schema != BenchResultsSchema {
+	// v1 baselines stay readable: the v2 additions (per-figure wall time,
+	// simulated-cycle throughput) decode as zero and the wall-time checks
+	// skip zero baselines.
+	if b.Schema != BenchResultsSchema && b.Schema != benchResultsSchemaV1 {
 		return nil, fmt.Errorf("bench results: schema %q, want %q (re-run hintm-bench to regenerate)",
 			b.Schema, BenchResultsSchema)
 	}
@@ -68,6 +87,19 @@ func DiffBenchResults(base, cur *BenchResults, tolerance float64) []string {
 		return out
 	}
 
+	// Wall time is noisy (shared CI boxes, cold caches), so it gets a much
+	// wider gate than the deterministic headline metrics: flag only when the
+	// run slowed beyond wallTolerance(tolerance) — a real perf regression,
+	// not scheduler jitter. v1 baselines carry no per-figure wall times
+	// (zero) and store-hit figures run in microseconds, so only baselines
+	// above minWallSeconds are gated.
+	wallTol := wallTolerance(tolerance)
+	if base.WallSeconds >= minWallSeconds && cur.WallSeconds > base.WallSeconds*(1+wallTol) {
+		out = append(out, fmt.Sprintf("  wallSeconds %.2f -> %.2f (+%.0f%%, tolerance %.0f%%)",
+			base.WallSeconds, cur.WallSeconds,
+			(cur.WallSeconds/base.WallSeconds-1)*100, wallTol*100))
+	}
+
 	figs := make([]string, 0, len(base.Figures))
 	for name := range base.Figures {
 		figs = append(figs, name)
@@ -99,6 +131,11 @@ func DiffBenchResults(base, cur *BenchResults, tolerance float64) []string {
 				out = append(out, fmt.Sprintf("  %s: %s drifted %.4f -> %.4f (beyond %.1f%% tolerance)",
 					name, m.name, bv, cv, tolerance*100))
 			}
+		}
+		if b.WallSeconds >= minWallSeconds && c.WallSeconds > b.WallSeconds*(1+wallTol) {
+			out = append(out, fmt.Sprintf("  %s: wallSeconds %.2f -> %.2f (+%.0f%%, tolerance %.0f%%)",
+				name, b.WallSeconds, c.WallSeconds,
+				(c.WallSeconds/b.WallSeconds-1)*100, wallTol*100))
 		}
 	}
 

@@ -1,0 +1,136 @@
+package harness
+
+import (
+	"bufio"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"hintm/internal/store"
+)
+
+// The byte-identity pin: the full seed figure grid (every simulation the
+// fig1/4/5/6/7/8 reductions schedule at the quick scale, seed 1) must
+// produce exactly the store keys and stored result payloads recorded in
+// testdata/seed_grid_golden.txt. Any behavioral drift in the simulator —
+// a data-structure swap that changes an iteration order, a cost model
+// tweak, an accounting change — fails this test loudly, not just a spot
+// benchmark. Regenerate deliberately with:
+//
+//	go test ./internal/harness -run TestSeedGridGolden -update-golden
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata/seed_grid_golden.txt from the current simulator")
+
+const goldenPath = "testdata/seed_grid_golden.txt"
+
+// seedGridLines runs the whole quick-scale figure grid against a fresh
+// store and returns one canonical line per distinct simulation:
+//
+//	<store key> <sha256 of stored result JSON> <canonical request preimage>
+func seedGridLines(t *testing.T) []string {
+	t.Helper()
+	dir := t.TempDir()
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := QuickOptions()
+	opts.Store = st
+	r := NewRunner(opts)
+
+	ctx := context.Background()
+	sum, err := r.BenchResults(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sum.Errors) > 0 {
+		t.Fatalf("figure grid degraded: %v", sum.Errors)
+	}
+
+	entries := st.List()
+	if len(entries) == 0 {
+		t.Fatal("figure grid persisted no runs")
+	}
+	lines := make([]string, 0, len(entries))
+	for _, ie := range entries {
+		e, _, err := st.Get(ie.Key)
+		if err != nil || e == nil {
+			t.Fatalf("store entry %s unreadable: %v", ie.Key, err)
+		}
+		res := sha256.Sum256(e.Result)
+		lines = append(lines, fmt.Sprintf("%s %s %s", e.Key, hex.EncodeToString(res[:]), string(e.Request)))
+	}
+	sort.Strings(lines)
+	return lines
+}
+
+func TestSeedGridGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full figure grid; skipped in -short mode")
+	}
+	lines := seedGridLines(t)
+
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, []byte(strings.Join(lines, "\n")+"\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d runs)", goldenPath, len(lines))
+		return
+	}
+
+	f, err := os.Open(goldenPath)
+	if err != nil {
+		t.Fatalf("golden list missing (run with -update-golden to create): %v", err)
+	}
+	defer f.Close()
+	want := make(map[string]string) // key -> full golden line
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var order []string
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		key, _, _ := strings.Cut(line, " ")
+		want[key] = line
+		order = append(order, key)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	got := make(map[string]string, len(lines))
+	for _, line := range lines {
+		key, _, _ := strings.Cut(line, " ")
+		got[key] = line
+	}
+
+	if len(got) != len(want) {
+		t.Errorf("grid size drifted: golden pins %d runs, grid produced %d", len(want), len(got))
+	}
+	for _, key := range order {
+		gl, ok := got[key]
+		if !ok {
+			t.Errorf("pinned run vanished from the grid:\n  %s", want[key])
+			continue
+		}
+		if gl != want[key] {
+			t.Errorf("stored result drifted for key %s:\n  golden: %s\n  got:    %s", key, want[key], gl)
+		}
+	}
+	for key, gl := range got {
+		if _, ok := want[key]; !ok {
+			t.Errorf("unpinned run appeared in the grid (update golden if intentional):\n  %s", gl)
+		}
+	}
+}

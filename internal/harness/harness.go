@@ -91,6 +91,10 @@ type Runner struct {
 	// execs counts actual simulator invocations (store hits and memoized
 	// recalls excluded) — the "warm serve runs nothing" assertions read it.
 	execs atomic.Uint64
+	// simCycles totals the simulated cycles of those invocations; with the
+	// caller's wall-clock stamp it yields the BENCH_results.json v2
+	// simulated-cycles-per-second throughput headline.
+	simCycles atomic.Uint64
 
 	mu   sync.Mutex
 	mods map[moduleKey]*flight[*ir.Module]

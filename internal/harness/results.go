@@ -4,11 +4,18 @@ import (
 	"context"
 	"encoding/json"
 	"io"
+	"time"
 )
 
 // BenchResultsSchema versions the BENCH_results.json layout; bump it when a
 // field changes meaning so downstream tooling can detect stale files.
-const BenchResultsSchema = "hintm-bench-results/v1"
+// v2 added per-figure wall time and whole-run simulated-cycle throughput;
+// v1 files remain readable (the added fields decode as zero and the diff
+// checks skip them).
+const (
+	BenchResultsSchema   = "hintm-bench-results/v2"
+	benchResultsSchemaV1 = "hintm-bench-results/v1"
+)
 
 // FigureHeadline is one figure's machine-readable summary: the headline
 // aggregate numbers a regression checker or dashboard wants, without the
@@ -19,6 +26,13 @@ type FigureHeadline struct {
 	// surviving rows only.
 	Rows   int `json:"rows"`
 	Failed int `json:"failed"`
+
+	// WallSeconds is this figure's wall-clock production time (v2). When the
+	// summary runs after the figures rendered, the memoized scheduler recalls
+	// every run and this measures a cheap reduction; standalone, it measures
+	// the figure's real simulation cost. Measurement metadata only — never
+	// part of the deterministic result bytes.
+	WallSeconds float64 `json:"wallSeconds,omitempty"`
 
 	// GeomeanSpeedup is the HinTM-full speedup geomean over the figure's
 	// baseline HTM; GeomeanSpeedupInf the InfCap upper bound.
@@ -50,6 +64,11 @@ type BenchResults struct {
 	// WallSeconds is the whole run's wall-clock time; the caller stamps it
 	// (the harness itself avoids wall-clock reads for determinism).
 	WallSeconds float64 `json:"wallSeconds"`
+	// SimCycles is the total simulated cycles this process actually executed
+	// (store recalls contribute nothing); SimCyclesPerSec divides it by
+	// WallSeconds — the v2 throughput headline the perf CI watches.
+	SimCycles       uint64  `json:"simCycles,omitempty"`
+	SimCyclesPerSec float64 `json:"simCyclesPerSec,omitempty"`
 
 	// Figures maps figure name → headline metrics.
 	Figures map[string]*FigureHeadline `json:"figures"`
@@ -70,6 +89,11 @@ func (r *Runner) BenchResults(ctx context.Context) (*BenchResults, error) {
 		Errors:     make(map[string]string),
 	}
 
+	// Per-figure wall times are measurement metadata, not simulation state;
+	// the deterministic result bytes never see them.
+	var figStart time.Time
+
+	figStart = time.Now()
 	if rows, err := r.Fig1(ctx); !out.note(ctx, "fig1", err) {
 		h := &FigureHeadline{}
 		var ct, srb []float64
@@ -82,13 +106,18 @@ func (r *Runner) BenchResults(ctx context.Context) (*BenchResults, error) {
 		}
 		h.MeanCapacityTime = mean(ct)
 		h.MeanSafeReadsBlock = mean(srb)
+		h.WallSeconds = time.Since(figStart).Seconds()
 		out.Figures["fig1"] = h
 	}
 
+	figStart = time.Now()
 	if rows, err := r.Fig4(ctx); !out.note(ctx, "fig4", err) {
-		out.Figures["fig4"] = sweepHeadline(rows)
+		h := sweepHeadline(rows)
+		h.WallSeconds = time.Since(figStart).Seconds()
+		out.Figures["fig4"] = h
 	}
 
+	figStart = time.Now()
 	if rows, err := r.Fig5(ctx); !out.note(ctx, "fig5", err) {
 		h := &FigureHeadline{}
 		var sf, df []float64
@@ -101,9 +130,11 @@ func (r *Runner) BenchResults(ctx context.Context) (*BenchResults, error) {
 		}
 		h.MeanStaticSafeFrac = mean(sf)
 		h.MeanDynSafeFrac = mean(df)
+		h.WallSeconds = time.Since(figStart).Seconds()
 		out.Figures["fig5"] = h
 	}
 
+	figStart = time.Now()
 	if series, err := r.Fig6(ctx); !out.note(ctx, "fig6", err) {
 		h := &FigureHeadline{}
 		var over []float64
@@ -114,9 +145,11 @@ func (r *Runner) BenchResults(ctx context.Context) (*BenchResults, error) {
 			}
 		}
 		h.MeanFracOverP8Full = mean(over)
+		h.WallSeconds = time.Since(figStart).Seconds()
 		out.Figures["fig6"] = h
 	}
 
+	figStart = time.Now()
 	if rows, err := r.Fig7(ctx); !out.note(ctx, "fig7", err) {
 		h := &FigureHeadline{}
 		var sp, si, cr []float64
@@ -133,9 +166,11 @@ func (r *Runner) BenchResults(ctx context.Context) (*BenchResults, error) {
 		h.GeomeanSpeedup = geomean(sp)
 		h.GeomeanSpeedupInf = geomean(si)
 		h.MeanCapAbortReduction = mean(cr)
+		h.WallSeconds = time.Since(figStart).Seconds()
 		out.Figures["fig7"] = h
 	}
 
+	figStart = time.Now()
 	if rows, err := r.Fig8(ctx); !out.note(ctx, "fig8", err) {
 		h := &FigureHeadline{}
 		var sp, si, cr []float64
@@ -152,6 +187,7 @@ func (r *Runner) BenchResults(ctx context.Context) (*BenchResults, error) {
 		h.GeomeanSpeedup = geomean(sp)
 		h.GeomeanSpeedupInf = geomean(si)
 		h.MeanCapAbortReduction = mean(cr)
+		h.WallSeconds = time.Since(figStart).Seconds()
 		out.Figures["fig8"] = h
 	}
 
@@ -161,6 +197,7 @@ func (r *Runner) BenchResults(ctx context.Context) (*BenchResults, error) {
 	if len(out.Errors) == 0 {
 		out.Errors = nil
 	}
+	out.SimCycles = r.simCycles.Load()
 	return out, nil
 }
 

@@ -158,3 +158,69 @@ func TestDiffBenchResultsRespectsTolerance(t *testing.T) {
 		t.Errorf("improvement flagged: %v", regs)
 	}
 }
+
+// A v1 baseline (no wall times, no cycle throughput) must stay readable, so
+// committed baselines survive the schema bump.
+func TestReadBenchResultsAcceptsV1(t *testing.T) {
+	v1 := `{"schema":"hintm-bench-results/v1","scale":"small","largeScale":"small",` +
+		`"seed":1,"wallSeconds":2.5,"figures":{"fig4":{"rows":5,"failed":0,"geomeanSpeedup":1.5}}}`
+	b, err := ReadBenchResults(strings.NewReader(v1))
+	if err != nil {
+		t.Fatalf("v1 baseline rejected: %v", err)
+	}
+	if b.Figures["fig4"].GeomeanSpeedup != 1.5 {
+		t.Errorf("v1 metrics lost: %+v", b.Figures["fig4"])
+	}
+	// And it diffs cleanly against a v2 current run: the v2-only fields are
+	// zero in the baseline, so their checks are skipped.
+	cur := baseSummary()
+	cur.Figures["fig4"] = b.Figures["fig4"]
+	cur.Figures["fig4"].WallSeconds = 9.9
+	delete(cur.Figures, "fig7")
+	b.Scale, b.LargeScale = "small", "small"
+	if regs := DiffBenchResults(b, cur, 0.05); len(regs) != 0 {
+		t.Errorf("v1-vs-v2 diff flagged v2-only fields: %v", regs)
+	}
+}
+
+func TestDiffBenchResultsFlagsWallTimeRegression(t *testing.T) {
+	base := baseSummary()
+	base.WallSeconds = 10
+	base.Figures["fig4"].WallSeconds = 4
+
+	// Within the wide wall gate (50% at default tolerance): clean.
+	cur := baseSummary()
+	cur.WallSeconds = 13
+	cur.Figures["fig4"].WallSeconds = 5
+	if regs := DiffBenchResults(base, cur, 0.05); len(regs) != 0 {
+		t.Errorf("sub-gate wall noise flagged: %v", regs)
+	}
+
+	// Beyond it: flagged, both whole-run and per-figure.
+	cur.WallSeconds = 16
+	cur.Figures["fig4"].WallSeconds = 7
+	regs := strings.Join(DiffBenchResults(base, cur, 0.05), "\n")
+	if !strings.Contains(regs, "wallSeconds 10.00 -> 16.00") {
+		t.Errorf("whole-run wall regression not flagged: %v", regs)
+	}
+	if !strings.Contains(regs, "fig4: wallSeconds 4.00 -> 7.00") {
+		t.Errorf("per-figure wall regression not flagged: %v", regs)
+	}
+
+	// Wall improvements are never regressions.
+	cur.WallSeconds = 2
+	cur.Figures["fig4"].WallSeconds = 1
+	if regs := DiffBenchResults(base, cur, 0.05); len(regs) != 0 {
+		t.Errorf("wall improvement flagged: %v", regs)
+	}
+
+	// Sub-floor baselines (store-hit figures finishing in microseconds)
+	// are never gated: a 100x relative move on a 100µs baseline is
+	// scheduler jitter, not a perf regression.
+	base.Figures["fig4"].WallSeconds = 0.0001
+	cur.WallSeconds = base.WallSeconds
+	cur.Figures["fig4"].WallSeconds = 0.01
+	if regs := DiffBenchResults(base, cur, 0.05); len(regs) != 0 {
+		t.Errorf("sub-floor wall baseline gated: %v", regs)
+	}
+}

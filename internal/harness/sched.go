@@ -182,6 +182,7 @@ func (r *Runner) RunProfiled(ctx context.Context, req Request) (res *sim.Result,
 	if err != nil {
 		return nil, profile.Report{}, err
 	}
+	defer m.Release()
 	prof := profile.NewSharing(cfg.Contexts() - 1)
 	m.SetProfiler(prof)
 	r.noteExec()
@@ -189,6 +190,7 @@ func (r *Runner) RunProfiled(ctx context.Context, req Request) (res *sim.Result,
 	if err != nil {
 		return nil, profile.Report{}, &RequestError{Req: req, Err: fmt.Errorf("profiled: %w", err)}
 	}
+	r.simCycles.Add(uint64(res.Cycles))
 	return res, prof.Report(), nil
 }
 
@@ -229,8 +231,13 @@ func (r *Runner) execute(ctx context.Context, req Request) (res *sim.Result, err
 	if err != nil {
 		return nil, err
 	}
+	defer m.Release()
 	r.noteExec()
-	return m.Run(ctx)
+	res, err = m.Run(ctx)
+	if res != nil {
+		r.simCycles.Add(uint64(res.Cycles))
+	}
+	return res, err
 }
 
 // attachTrace wires per-run observability into cfg when the runner has a
@@ -341,8 +348,13 @@ func (r *Runner) runConfig(ctx context.Context, spec *workloads.Spec, scale work
 	if err != nil {
 		return nil, err
 	}
+	defer m.Release()
 	r.noteExec()
-	return m.Run(ctx)
+	res, err = m.Run(ctx)
+	if res != nil {
+		r.simCycles.Add(uint64(res.Cycles))
+	}
+	return res, err
 }
 
 // runConfigs executes a batch of custom-config runs concurrently and

@@ -1,0 +1,60 @@
+package htm
+
+import "testing"
+
+// The trackers' probe/insert paths back the simulator's per-access hot loop;
+// after the first transaction warms the backing tables, steady-state
+// tracking must not allocate.
+
+func TestP8TrackerSteadyStateDoesNotAllocate(t *testing.T) {
+	tr := NewP8Tracker(64)
+	warm := func() {
+		tr.Reset()
+		for b := uint64(0); b < 64; b++ {
+			tr.TrackRead(b)
+			tr.TrackWrite(b)
+			tr.CheckRemote(b, true)
+		}
+	}
+	warm()
+	if n := testing.AllocsPerRun(100, warm); n != 0 {
+		t.Errorf("P8 track/check/reset allocates %.1f per transaction", n)
+	}
+}
+
+func TestSigTrackerSteadyStateDoesNotAllocate(t *testing.T) {
+	tr := NewSigTracker(16, 1024, 2)
+	warm := func() {
+		tr.Reset()
+		// Exceed the exact capacity so the signature overflow path runs too.
+		for b := uint64(0); b < 32; b++ {
+			tr.TrackRead(b)
+			tr.CheckRemote(b, true)
+		}
+		for b := uint64(0); b < 8; b++ {
+			tr.TrackWrite(b)
+		}
+	}
+	warm()
+	if n := testing.AllocsPerRun(100, warm); n != 0 {
+		t.Errorf("signature track/check/reset allocates %.1f per transaction", n)
+	}
+}
+
+func TestL1TrackerSteadyStateDoesNotAllocate(t *testing.T) {
+	tr := NewL1Tracker()
+	warm := func() {
+		tr.Reset()
+		for b := uint64(0); b < 128; b++ {
+			tr.TrackRead(b)
+			tr.TrackWrite(b)
+			tr.CheckRemote(b, false)
+		}
+		tr.NotifyEviction(5)
+	}
+	warm() // grows the unbounded table to its steady-state size
+	warm()
+	if n := testing.AllocsPerRun(100, warm); n != 0 {
+		t.Errorf("L1 track/check/reset allocates %.1f per transaction", n)
+	}
+}

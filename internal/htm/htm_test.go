@@ -355,9 +355,10 @@ func TestVersioningBufferSemantics(t *testing.T) {
 	if c.BufferedWrites() != 2 {
 		t.Fatalf("buffered = %d", c.BufferedWrites())
 	}
-	buf := c.Drain()
-	if len(buf) != 2 || buf[0x100] != 9 || buf[0x108] != 8 {
-		t.Fatalf("drain = %v", buf)
+	buf := make(map[uint64]int64)
+	n := c.Drain(func(a uint64, v int64) { buf[a] = v })
+	if n != 2 || len(buf) != 2 || buf[0x100] != 9 || buf[0x108] != 8 {
+		t.Fatalf("drain = %d %v", n, buf)
 	}
 	if c.BufferedWrites() != 0 {
 		t.Fatal("drain did not clear")

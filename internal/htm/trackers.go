@@ -1,5 +1,7 @@
 package htm
 
+import "hintm/internal/flat"
+
 // rwBits records read/write membership for a tracked block.
 type rwBits uint8
 
@@ -8,28 +10,45 @@ const (
 	bitWrite
 )
 
+// countBits tallies live entries carrying bit — the exact set-size
+// statistic every tracker reports. It scans the table's slots; the scan is
+// off the per-access hot path (sizes are read at commit/abort only).
+func countBits(tab *flat.Tab[rwBits], bit rwBits) int {
+	n := 0
+	for i, g := range tab.Gens {
+		if g == tab.Gen && tab.Vals[i]&bit != 0 {
+			n++
+		}
+	}
+	return n
+}
+
 // P8Tracker models IBM POWER8's dedicated 64-entry fully-associative
 // transactional buffer: readset and writeset share the same structure, one
-// entry per cache block.
+// entry per cache block. Entries live in a fixed open-addressed table sized
+// at twice the buffer capacity, reset by generation stamp between
+// transactions, so steady-state tracking allocates nothing.
 type P8Tracker struct {
-	entries  map[uint64]rwBits
+	tab      flat.Tab[rwBits]
 	capacity int
 }
 
 // NewP8Tracker returns a buffer of the given entry count (the paper uses 64).
 func NewP8Tracker(capacity int) *P8Tracker {
-	return &P8Tracker{entries: make(map[uint64]rwBits, capacity), capacity: capacity}
+	t := &P8Tracker{capacity: capacity}
+	t.tab.Init(2*capacity, true)
+	return t
 }
 
 func (t *P8Tracker) track(block uint64, bit rwBits) bool {
-	if b, ok := t.entries[block]; ok {
-		t.entries[block] = b | bit
+	if i, ok := t.tab.Find(block); ok {
+		t.tab.Vals[i] |= bit
 		return true
 	}
-	if len(t.entries) >= t.capacity {
+	if t.tab.N >= t.capacity {
 		return false
 	}
-	t.entries[block] = bit
+	t.tab.Add(block, bit)
 	return true
 }
 
@@ -42,14 +61,14 @@ func (t *P8Tracker) TrackWrite(block uint64) bool { return t.track(block, bitWri
 // CheckRemote implements Tracker: a remote write conflicts with any tracked
 // block; a remote read conflicts with a tracked write.
 func (t *P8Tracker) CheckRemote(block uint64, remoteWrite bool) (bool, bool) {
-	b, ok := t.entries[block]
+	i, ok := t.tab.Find(block)
 	if !ok {
 		return false, false
 	}
 	if remoteWrite {
 		return true, false
 	}
-	return b&bitWrite != 0, false
+	return t.tab.Vals[i]&bitWrite != 0, false
 }
 
 // NotifyEviction implements Tracker: the dedicated buffer is decoupled from
@@ -57,30 +76,16 @@ func (t *P8Tracker) CheckRemote(block uint64, remoteWrite bool) (bool, bool) {
 func (t *P8Tracker) NotifyEviction(uint64) bool { return true }
 
 // ReadSetSize implements Tracker.
-func (t *P8Tracker) ReadSetSize() int { return t.count(bitRead) }
+func (t *P8Tracker) ReadSetSize() int { return countBits(&t.tab, bitRead) }
 
 // WriteSetSize implements Tracker.
-func (t *P8Tracker) WriteSetSize() int { return t.count(bitWrite) }
-
-func (t *P8Tracker) count(bit rwBits) int {
-	n := 0
-	for _, b := range t.entries {
-		if b&bit != 0 {
-			n++
-		}
-	}
-	return n
-}
+func (t *P8Tracker) WriteSetSize() int { return countBits(&t.tab, bitWrite) }
 
 // DistinctBlocks implements Tracker.
-func (t *P8Tracker) DistinctBlocks() int { return len(t.entries) }
+func (t *P8Tracker) DistinctBlocks() int { return t.tab.N }
 
 // Reset implements Tracker.
-func (t *P8Tracker) Reset() {
-	for k := range t.entries {
-		delete(t.entries, k)
-	}
-}
+func (t *P8Tracker) Reset() { t.tab.Reset() }
 
 // Signature is a PBX-style hardware signature: a Bloom-like bitvector that
 // summarizes overflowed readset addresses. Membership tests can alias,
@@ -91,18 +96,19 @@ type Signature struct {
 	hashes int
 	// exact is simulation-only bookkeeping used to label a signature hit
 	// as a true conflict or a false positive; real hardware cannot tell.
-	exact map[uint64]struct{}
+	exact flat.Tab[struct{}]
 }
 
 // NewSignature builds a signature of nbits (the paper's P8S uses 1024) with
 // the given number of hash functions.
 func NewSignature(nbits uint64, hashes int) *Signature {
-	return &Signature{
+	s := &Signature{
 		bits:   make([]uint64, (nbits+63)/64),
 		nbits:  nbits,
 		hashes: hashes,
-		exact:  make(map[uint64]struct{}),
 	}
+	s.exact.Init(256, false)
+	return s
 }
 
 // pbxHash implements the page-block-XOR family: the block address's upper
@@ -122,7 +128,9 @@ func (s *Signature) Add(block uint64) {
 		h := s.pbxHash(block, i)
 		s.bits[h/64] |= 1 << (h % 64)
 	}
-	s.exact[block] = struct{}{}
+	if _, ok := s.exact.Find(block); !ok {
+		s.exact.Add(block, struct{}{})
+	}
 }
 
 // MayContain reports whether block may be in the signature (possibly a
@@ -139,21 +147,19 @@ func (s *Signature) MayContain(block uint64) bool {
 
 // Contains reports exact membership (simulation-only).
 func (s *Signature) Contains(block uint64) bool {
-	_, ok := s.exact[block]
+	_, ok := s.exact.Find(block)
 	return ok
 }
 
 // Size reports exact inserted-block count.
-func (s *Signature) Size() int { return len(s.exact) }
+func (s *Signature) Size() int { return s.exact.N }
 
 // Reset clears the signature.
 func (s *Signature) Reset() {
 	for i := range s.bits {
 		s.bits[i] = 0
 	}
-	for k := range s.exact {
-		delete(s.exact, k)
-	}
+	s.exact.Reset()
 }
 
 // SigTracker models P8S: the P8 buffer backed by a read signature. When the
@@ -189,17 +195,20 @@ func (t *SigTracker) TrackWrite(block uint64) bool {
 		return true
 	}
 	// Deterministic victim choice (lowest block) keeps simulations
-	// reproducible despite map iteration order.
+	// reproducible despite probe-order table layout.
+	tab := &t.buf.tab
 	victim, found := uint64(0), false
-	for b, bits := range t.buf.entries {
-		if bits == bitRead && (!found || b < victim) {
-			victim, found = b, true
+	for i, g := range tab.Gens {
+		if g == tab.Gen && tab.Vals[i] == bitRead {
+			if b := tab.Keys[i]; !found || b < victim {
+				victim, found = b, true
+			}
 		}
 	}
 	if !found {
 		return false
 	}
-	delete(t.buf.entries, victim)
+	tab.Del(victim)
 	t.sig.Add(victim)
 	return t.buf.TrackWrite(block)
 }
@@ -227,7 +236,7 @@ func (t *SigTracker) WriteSetSize() int { return t.buf.WriteSetSize() }
 
 // DistinctBlocks implements Tracker: buffer entries plus signature-resident
 // overflow blocks (disjoint by construction).
-func (t *SigTracker) DistinctBlocks() int { return len(t.buf.entries) + t.sig.Size() }
+func (t *SigTracker) DistinctBlocks() int { return t.buf.tab.N + t.sig.Size() }
 
 // Reset implements Tracker.
 func (t *SigTracker) Reset() {
@@ -240,133 +249,117 @@ func (t *SigTracker) Reset() {
 // itself, and evicting a tracked line loses the state — a capacity abort
 // (including set-conflict misses).
 type L1Tracker struct {
-	entries map[uint64]rwBits
+	tab flat.Tab[rwBits]
 }
 
 // NewL1Tracker builds an in-L1 tracker.
 func NewL1Tracker() *L1Tracker {
-	return &L1Tracker{entries: make(map[uint64]rwBits)}
+	t := &L1Tracker{}
+	t.tab.Init(512, false)
+	return t
+}
+
+func trackUnbounded(tab *flat.Tab[rwBits], block uint64, bit rwBits) {
+	if i, ok := tab.Find(block); ok {
+		tab.Vals[i] |= bit
+		return
+	}
+	tab.Add(block, bit)
 }
 
 // TrackRead implements Tracker: insertion always succeeds (the line was just
 // brought into the L1); loss happens via NotifyEviction.
 func (t *L1Tracker) TrackRead(block uint64) bool {
-	t.entries[block] |= bitRead
+	trackUnbounded(&t.tab, block, bitRead)
 	return true
 }
 
 // TrackWrite implements Tracker.
 func (t *L1Tracker) TrackWrite(block uint64) bool {
-	t.entries[block] |= bitWrite
+	trackUnbounded(&t.tab, block, bitWrite)
 	return true
 }
 
 // CheckRemote implements Tracker.
 func (t *L1Tracker) CheckRemote(block uint64, remoteWrite bool) (bool, bool) {
-	b, ok := t.entries[block]
+	i, ok := t.tab.Find(block)
 	if !ok {
 		return false, false
 	}
 	if remoteWrite {
 		return true, false
 	}
-	return b&bitWrite != 0, false
+	return t.tab.Vals[i]&bitWrite != 0, false
 }
 
 // NotifyEviction implements Tracker: losing a tracked line aborts.
 func (t *L1Tracker) NotifyEviction(block uint64) bool {
-	_, tracked := t.entries[block]
+	_, tracked := t.tab.Find(block)
 	return !tracked
 }
 
 // ReadSetSize implements Tracker.
-func (t *L1Tracker) ReadSetSize() int { return t.count(bitRead) }
+func (t *L1Tracker) ReadSetSize() int { return countBits(&t.tab, bitRead) }
 
 // WriteSetSize implements Tracker.
-func (t *L1Tracker) WriteSetSize() int { return t.count(bitWrite) }
-
-func (t *L1Tracker) count(bit rwBits) int {
-	n := 0
-	for _, b := range t.entries {
-		if b&bit != 0 {
-			n++
-		}
-	}
-	return n
-}
+func (t *L1Tracker) WriteSetSize() int { return countBits(&t.tab, bitWrite) }
 
 // DistinctBlocks implements Tracker.
-func (t *L1Tracker) DistinctBlocks() int { return len(t.entries) }
+func (t *L1Tracker) DistinctBlocks() int { return t.tab.N }
 
 // Reset implements Tracker.
-func (t *L1Tracker) Reset() {
-	for k := range t.entries {
-		delete(t.entries, k)
-	}
-}
+func (t *L1Tracker) Reset() { t.tab.Reset() }
 
 // InfTracker is the InfCap upper bound: unbounded precise tracking.
 type InfTracker struct {
-	entries map[uint64]rwBits
+	tab flat.Tab[rwBits]
 }
 
 // NewInfTracker builds an unbounded tracker.
 func NewInfTracker() *InfTracker {
-	return &InfTracker{entries: make(map[uint64]rwBits)}
+	t := &InfTracker{}
+	t.tab.Init(512, false)
+	return t
 }
 
 // TrackRead implements Tracker.
 func (t *InfTracker) TrackRead(block uint64) bool {
-	t.entries[block] |= bitRead
+	trackUnbounded(&t.tab, block, bitRead)
 	return true
 }
 
 // TrackWrite implements Tracker.
 func (t *InfTracker) TrackWrite(block uint64) bool {
-	t.entries[block] |= bitWrite
+	trackUnbounded(&t.tab, block, bitWrite)
 	return true
 }
 
 // CheckRemote implements Tracker.
 func (t *InfTracker) CheckRemote(block uint64, remoteWrite bool) (bool, bool) {
-	b, ok := t.entries[block]
+	i, ok := t.tab.Find(block)
 	if !ok {
 		return false, false
 	}
 	if remoteWrite {
 		return true, false
 	}
-	return b&bitWrite != 0, false
+	return t.tab.Vals[i]&bitWrite != 0, false
 }
 
 // NotifyEviction implements Tracker.
 func (t *InfTracker) NotifyEviction(uint64) bool { return true }
 
 // ReadSetSize implements Tracker.
-func (t *InfTracker) ReadSetSize() int { return t.count(bitRead) }
+func (t *InfTracker) ReadSetSize() int { return countBits(&t.tab, bitRead) }
 
 // WriteSetSize implements Tracker.
-func (t *InfTracker) WriteSetSize() int { return t.count(bitWrite) }
-
-func (t *InfTracker) count(bit rwBits) int {
-	n := 0
-	for _, b := range t.entries {
-		if b&bit != 0 {
-			n++
-		}
-	}
-	return n
-}
+func (t *InfTracker) WriteSetSize() int { return countBits(&t.tab, bitWrite) }
 
 // DistinctBlocks implements Tracker.
-func (t *InfTracker) DistinctBlocks() int { return len(t.entries) }
+func (t *InfTracker) DistinctBlocks() int { return t.tab.N }
 
 // Reset implements Tracker.
-func (t *InfTracker) Reset() {
-	for k := range t.entries {
-		delete(t.entries, k)
-	}
-}
+func (t *InfTracker) Reset() { t.tab.Reset() }
 
 // Interface conformance checks.
 var (

@@ -52,28 +52,37 @@ func (c *Controller) BufferWrite(addr uint64, val int64) {
 	if !c.active {
 		panic("htm: BufferWrite outside transaction")
 	}
-	if c.writeBuf == nil {
-		c.writeBuf = make(map[uint64]int64)
+	if i, ok := c.writeBuf.Find(addr); ok {
+		c.writeBuf.Vals[i] = val
+		return
 	}
-	c.writeBuf[addr] = val
+	c.writeBuf.Add(addr, val)
 }
 
 // ForwardRead services a transactional load from the local write buffer
 // (store-to-load forwarding); ok is false if the address is unbuffered.
 func (c *Controller) ForwardRead(addr uint64) (int64, bool) {
-	v, ok := c.writeBuf[addr]
-	return v, ok
+	i, ok := c.writeBuf.Find(addr)
+	if !ok {
+		return 0, false
+	}
+	return c.writeBuf.Vals[i], true
 }
 
-// Drain returns the buffered writes for commit (in unspecified order —
-// each address holds its final value, so ordering cannot matter) and clears
-// the buffer. The machine applies them to memory and charges commit
-// latency per entry.
-func (c *Controller) Drain() map[uint64]int64 {
-	buf := c.writeBuf
-	c.writeBuf = nil
-	return buf
+// Drain applies the buffered writes for commit (in unspecified order —
+// each address holds its final value, so ordering cannot matter), clears
+// the buffer, and returns the entry count. The machine writes them to
+// memory and charges commit latency per entry.
+func (c *Controller) Drain(apply func(addr uint64, val int64)) int {
+	n := c.writeBuf.N
+	for i, g := range c.writeBuf.Gens {
+		if g == c.writeBuf.Gen {
+			apply(c.writeBuf.Keys[i], c.writeBuf.Vals[i])
+		}
+	}
+	c.writeBuf.Reset()
+	return n
 }
 
 // BufferedWrites reports the write-buffer entry count.
-func (c *Controller) BufferedWrites() int { return len(c.writeBuf) }
+func (c *Controller) BufferedWrites() int { return c.writeBuf.N }

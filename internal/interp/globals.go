@@ -7,42 +7,45 @@ import (
 )
 
 // LayoutGlobals assigns addresses to every module global using the
-// allocator, writes initial values into memory, and records the mapping for
-// OpGlobalAddr resolution. Call once before execution.
+// allocator, writes initial values into memory, and records each address in
+// the program's dense global table (OpGlobalAddr resolves by index). Call
+// once before execution.
 func (p *Program) LayoutGlobals(al *mem.Allocator, m *mem.Memory) {
-	if p.layout == nil {
-		p.layout = make(map[string]mem.Addr, len(p.M.Globals))
-	}
-	for _, g := range p.M.Globals {
+	for gi, g := range p.M.Globals {
 		var a mem.Addr
 		if g.PageAligned {
 			a = al.AllocGlobalPageAligned(g.Words * mem.WordSize)
 		} else {
 			a = al.AllocGlobal(g.Words * mem.WordSize)
 		}
-		p.layout[g.Name] = a
+		p.globalAddrs[gi] = a
 		for i, v := range g.Init {
 			m.WriteWord(a+mem.Addr(i*mem.WordSize), v)
 		}
 	}
+	p.globalsLaid = true
 }
 
 // GlobalAddr returns the laid-out address of global name.
 func (p *Program) GlobalAddr(name string) mem.Addr {
-	a, ok := p.layout[name]
-	if !ok {
-		panic(fmt.Sprintf("interp: global @%s not laid out", name))
+	if p.globalsLaid {
+		for gi, g := range p.M.Globals {
+			if g.Name == name {
+				return p.globalAddrs[gi]
+			}
+		}
 	}
-	return a
+	panic(fmt.Sprintf("interp: global @%s not laid out", name))
 }
-
-func globalAddr(p *Program, sym string) mem.Addr { return p.GlobalAddr(sym) }
 
 // GlobalOf returns the name of the global containing addr, if any; used by
 // diagnostics and the sharing profiler.
 func (p *Program) GlobalOf(addr mem.Addr) (string, bool) {
-	for _, g := range p.M.Globals {
-		base := p.layout[g.Name]
+	if !p.globalsLaid {
+		return "", false
+	}
+	for gi, g := range p.M.Globals {
+		base := p.globalAddrs[gi]
 		if addr >= base && addr < base+mem.Addr(g.Words*mem.WordSize) {
 			return g.Name, true
 		}

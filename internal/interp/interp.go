@@ -6,6 +6,12 @@
 // rollback is precise: TxBegin captures a checkpoint of the whole frame
 // stack, and an abort restores it, resuming execution at the TxBegin so the
 // environment can re-decide retry/fallback policy.
+//
+// The hot loop is allocation-free: NewProgram pre-decodes every instruction
+// into a dense dispatch form (branch targets and callees resolved to
+// indices/pointers, no map lookups in Step), and frames, register files, and
+// checkpoints are pooled per thread so calls and Capture/Restore reuse
+// storage across transaction attempts.
 package interp
 
 import (
@@ -58,34 +64,166 @@ type Env interface {
 	AbortHint(t *Thread, cond int64) Ctrl
 }
 
-// Program wraps a verified module with interpreter-side lookup caches.
-type Program struct {
-	M        *ir.Module
-	blockIdx map[*ir.Func]map[string]int
-	layout   map[string]mem.Addr
-	// counts, when non-nil, accumulates per-instruction execution counts
-	// (keyed by instruction ID) — the simulator's profiling hook.
-	counts map[int]uint64
+// dinstr is one pre-decoded instruction: branch targets resolved to block
+// indices, callees and globals to side-table indices, so Step dispatches
+// with array indexing only. The struct is kept to 32 bytes (half a cache
+// line) — per-op cold payloads (call sites, parallel sites, profile IDs)
+// live in dfunc side tables reached through aux.
+//
+// Field use by op: aux is the target block (Br, CondBr — else target in
+// imm), the global slot (GlobalAddr), or the side-table index (Call,
+// Parallel). imm is the literal (Const), the byte offset (Load/Store), the
+// pre-scaled byte size (Alloca), or the else-block index (CondBr).
+type dinstr struct {
+	op        ir.Op
+	safe      bool
+	bin       ir.BinKind
+	pred      ir.CmpKind
+	dst, a, b ir.Reg
+	aux       int32
+	imm       int64
 }
 
-// EnableProfile turns on per-instruction execution counting.
-func (p *Program) EnableProfile() { p.counts = make(map[int]uint64) }
+// callSite is the cold payload of one OpCall instruction.
+type callSite struct {
+	callee *dfunc
+	args   []ir.Reg
+}
 
-// ProfileCounts returns the execution counts (nil unless enabled).
-func (p *Program) ProfileCounts() map[int]uint64 { return p.counts }
+// parSite is the cold payload of one OpParallel instruction.
+type parSite struct {
+	sym  string
+	args []ir.Reg
+}
+
+// dfunc is a function's decoded body.
+type dfunc struct {
+	fn     *ir.Func
+	blocks [][]dinstr
+	// ids mirrors blocks with each instruction's module-wide ID; only the
+	// profiling path (Program.counts != nil) reads it.
+	ids   [][]int32
+	calls []callSite
+	pars  []parSite
+}
+
+// Program wraps a verified module with its pre-decoded executable form.
+type Program struct {
+	M *ir.Module
+
+	dfuncs map[string]*dfunc
+	// globalAddrs is the laid-out address per module global, in
+	// Module.Globals order; globalsLaid flips when LayoutGlobals ran.
+	globalAddrs []mem.Addr
+	globalsLaid bool
+	// counts, when non-nil, accumulates per-instruction execution counts
+	// indexed by instruction ID — the simulator's profiling hook. A dense
+	// slice (IDs are module-sequential), so the per-Step overhead when
+	// enabled is one bounds-checked increment; nil costs one branch.
+	counts []uint64
+	maxID  int
+}
+
+// EnableProfile turns on per-instruction execution counting. The count
+// store is presized to the module's instruction-ID range, so profiled runs
+// pay one slice increment per step and no map growth.
+func (p *Program) EnableProfile() {
+	p.counts = make([]uint64, p.maxID+1)
+}
+
+// ProfileCounts returns the execution counts keyed by instruction ID (nil
+// unless enabled). Built on demand; call once per run, not per step.
+func (p *Program) ProfileCounts() map[int]uint64 {
+	if p.counts == nil {
+		return nil
+	}
+	out := make(map[int]uint64)
+	for id, c := range p.counts {
+		if c != 0 {
+			out[id] = c
+		}
+	}
+	return out
+}
 
 // NewProgram prepares m for execution. The module must verify.
 func NewProgram(m *ir.Module) (*Program, error) {
 	if err := m.Verify(); err != nil {
 		return nil, fmt.Errorf("interp: %w", err)
 	}
-	p := &Program{M: m, blockIdx: make(map[*ir.Func]map[string]int)}
+	p := &Program{
+		M:           m,
+		dfuncs:      make(map[string]*dfunc, len(m.Funcs)),
+		globalAddrs: make([]mem.Addr, len(m.Globals)),
+	}
+	globalIdx := make(map[string]int32, len(m.Globals))
+	for i, g := range m.Globals {
+		globalIdx[g.Name] = int32(i)
+	}
+	// Two passes: allocate every dfunc first so call sites can resolve
+	// callees (including recursion and forward references).
 	for _, f := range m.Funcs {
-		idx := make(map[string]int, len(f.Blocks))
-		for i, b := range f.Blocks {
-			idx[b.Name] = i
+		p.dfuncs[f.Name] = &dfunc{
+			fn:     f,
+			blocks: make([][]dinstr, len(f.Blocks)),
+			ids:    make([][]int32, len(f.Blocks)),
 		}
-		p.blockIdx[f] = idx
+	}
+	for _, f := range m.Funcs {
+		df := p.dfuncs[f.Name]
+		blockIdx := make(map[string]int32, len(f.Blocks))
+		for i, b := range f.Blocks {
+			blockIdx[b.Name] = int32(i)
+		}
+		for bi, b := range f.Blocks {
+			code := make([]dinstr, len(b.Instrs))
+			ids := make([]int32, len(b.Instrs))
+			for ii, in := range b.Instrs {
+				if in.ID > p.maxID {
+					p.maxID = in.ID
+				}
+				ids[ii] = int32(in.ID)
+				d := dinstr{
+					op:   in.Op,
+					safe: in.Safe,
+					bin:  in.Bin,
+					pred: in.Pred,
+					dst:  in.Dst,
+					a:    in.A,
+					b:    in.B,
+					imm:  in.Imm,
+				}
+				switch in.Op {
+				case ir.OpBr:
+					d.aux = blockIdx[in.Then]
+				case ir.OpCondBr:
+					d.aux = blockIdx[in.Then]
+					d.imm = int64(blockIdx[in.Else])
+				case ir.OpCall:
+					callee := p.dfuncs[in.Sym]
+					if callee == nil {
+						return nil, fmt.Errorf("interp: call to unknown function %s", in.Sym)
+					}
+					d.aux = int32(len(df.calls))
+					df.calls = append(df.calls, callSite{callee: callee, args: in.Args})
+				case ir.OpParallel:
+					d.aux = int32(len(df.pars))
+					df.pars = append(df.pars, parSite{sym: in.Sym, args: in.Args})
+				case ir.OpGlobalAddr:
+					gi, ok := globalIdx[in.Sym]
+					if !ok {
+						return nil, fmt.Errorf("interp: reference to unknown global %s", in.Sym)
+					}
+					d.aux = gi
+				case ir.OpAlloca:
+					// Fold the word offset into a byte offset once.
+					d.imm = in.Imm * mem.WordSize
+				}
+				code[ii] = d
+			}
+			df.blocks[bi] = code
+			df.ids[bi] = ids
+		}
 	}
 	return p, nil
 }
@@ -100,6 +238,11 @@ type Frame struct {
 	StackBase mem.Addr
 	// RetReg is the caller register receiving this frame's return value.
 	RetReg ir.Reg
+
+	df *dfunc
+	// code caches df.blocks[Block] so the fetch is one indexed load;
+	// maintained at every block transfer (call entry, Br, CondBr).
+	code []dinstr
 }
 
 // Checkpoint is the architectural state snapshot TxBegin captures.
@@ -125,6 +268,13 @@ type Thread struct {
 	Done     bool
 
 	checkpoint *Checkpoint
+	// cpSpare is the recycled Checkpoint (with its Frames backing array)
+	// the next Capture reuses; framePool recycles Frame+Regs storage from
+	// returns, aborts, and superseded checkpoints.
+	cpSpare   *Checkpoint
+	framePool []*Frame
+	// parArgs is the reused argument buffer for OpParallel.
+	parArgs []int64
 }
 
 // Where describes the thread's current position as "fn/block:pc" for
@@ -143,17 +293,44 @@ func (t *Thread) Where() string {
 	return fmt.Sprintf("%s/%s:%d", f.Fn.Name, f.Fn.Blocks[f.Block].Name, f.PC)
 }
 
+// takeFrame returns a pooled (or new) frame with a register file of exactly
+// nregs zeroed words.
+func (t *Thread) takeFrame(nregs int) *Frame {
+	var f *Frame
+	if n := len(t.framePool); n > 0 {
+		f = t.framePool[n-1]
+		t.framePool[n-1] = nil
+		t.framePool = t.framePool[:n-1]
+	} else {
+		f = &Frame{}
+	}
+	if cap(f.Regs) < nregs {
+		f.Regs = make([]int64, nregs)
+	} else {
+		f.Regs = f.Regs[:nregs]
+		for i := range f.Regs {
+			f.Regs[i] = 0
+		}
+	}
+	return f
+}
+
+func (t *Thread) releaseFrame(f *Frame) {
+	t.framePool = append(t.framePool, f)
+}
+
 // NewThread prepares a thread executing fn(args...). The environment must
 // have been consulted for the entry frame's stack storage.
 func (p *Program) NewThread(id int, fn string, args []int64, stackBase mem.Addr, seed uint64) *Thread {
-	f := p.M.Func(fn)
-	if f == nil {
+	df := p.dfuncs[fn]
+	if df == nil {
 		panic("interp: unknown function " + fn)
 	}
+	f := df.fn
 	if len(args) != len(f.Params) {
 		panic(fmt.Sprintf("interp: %s wants %d args, got %d", fn, len(f.Params), len(args)))
 	}
-	fr := &Frame{Fn: f, Regs: make([]int64, f.NumRegs), StackBase: stackBase, RetReg: ir.NoReg}
+	fr := &Frame{Fn: f, Regs: make([]int64, f.NumRegs), StackBase: stackBase, RetReg: ir.NoReg, df: df, code: df.blocks[0]}
 	for i, a := range args {
 		fr.Regs[f.Params[i]] = a
 	}
@@ -179,30 +356,73 @@ func (t *Thread) CurrentInstr() *ir.Instr {
 
 // Capture snapshots the thread's architectural state with the PC at the
 // current instruction (called by the environment at TxBegin, before the
-// transaction is entered).
+// transaction is entered). Checkpoint and frame storage is recycled from
+// the previous capture, so steady-state retry loops allocate nothing.
 func (t *Thread) Capture(stackTop mem.Addr) {
-	cp := &Checkpoint{RNG: t.RNG, StackTop: stackTop}
+	if old := t.checkpoint; old != nil {
+		// The previous transaction committed without consuming its
+		// checkpoint; recycle it.
+		t.recycleCheckpoint(old)
+	}
+	cp := t.cpSpare
+	if cp == nil {
+		cp = &Checkpoint{}
+	}
+	t.cpSpare = nil
+	cp.RNG = t.RNG
+	cp.StackTop = stackTop
+	cp.Frames = cp.Frames[:0]
 	for _, f := range t.Frames {
-		nf := *f
-		nf.Regs = append([]int64(nil), f.Regs...)
-		cp.Frames = append(cp.Frames, &nf)
+		nf := t.takeFrame(len(f.Regs))
+		regs := nf.Regs
+		*nf = *f
+		nf.Regs = regs
+		copy(nf.Regs, f.Regs)
+		cp.Frames = append(cp.Frames, nf)
 	}
 	t.checkpoint = cp
 }
 
+// recycleCheckpoint returns cp's frames to the pool and keeps the struct
+// (with its Frames backing array) for the next Capture.
+func (t *Thread) recycleCheckpoint(cp *Checkpoint) {
+	for i, f := range cp.Frames {
+		t.releaseFrame(f)
+		cp.Frames[i] = nil
+	}
+	cp.Frames = cp.Frames[:0]
+	t.checkpoint = nil
+	if t.cpSpare == nil {
+		t.cpSpare = cp
+	}
+}
+
 // Restore rolls architectural state back to the checkpoint and returns it
 // (so the environment can restore the stack allocator); the checkpoint is
-// consumed — the re-executed TxBegin captures a fresh one.
+// consumed — the re-executed TxBegin captures a fresh one. The returned
+// Checkpoint's Frames are no longer valid: the restored frames become the
+// thread's live stack, and the aborted attempt's frames are recycled.
 func (t *Thread) Restore() *Checkpoint {
 	cp := t.checkpoint
 	if cp == nil {
 		panic("interp: restore without checkpoint")
 	}
+	oldLive := t.Frames
 	t.Frames = cp.Frames
 	t.RNG = cp.RNG
 	t.InTx = false
 	t.Fallback = false
 	t.checkpoint = nil
+	// Double-buffer swap: the aborted attempt's frames go back to the pool,
+	// and their slice becomes the spare checkpoint's Frames storage.
+	for i, f := range oldLive {
+		t.releaseFrame(f)
+		oldLive[i] = nil
+	}
+	cp.Frames = oldLive[:0]
+	if t.cpSpare == nil {
+		t.cpSpare = cp
+	}
 	return cp
 }
 
@@ -231,138 +451,163 @@ func (p *Program) Step(env Env, t *Thread) bool {
 	if t.Done {
 		return false
 	}
-	f := t.Top()
-	in := f.Fn.Blocks[f.Block].Instrs[f.PC]
+	f := t.Frames[len(t.Frames)-1]
+	in := &f.code[f.PC]
 	if p.counts != nil {
-		p.counts[in.ID]++
+		p.counts[f.df.ids[f.Block][f.PC]]++
 	}
 
-	advance := func() { f.PC++ }
-
-	switch in.Op {
+	switch in.op {
 	case ir.OpConst:
-		f.Regs[in.Dst] = in.Imm
-		advance()
+		f.Regs[in.dst] = in.imm
+		f.PC++
 	case ir.OpMov:
-		f.Regs[in.Dst] = f.Regs[in.A]
-		advance()
+		f.Regs[in.dst] = f.Regs[in.a]
+		f.PC++
 	case ir.OpBin:
-		f.Regs[in.Dst] = ir.EvalBin(in.Bin, f.Regs[in.A], f.Regs[in.B])
-		advance()
+		// The common arithmetic kinds are open-coded: ir.EvalBin contains a
+		// panic and is not inlinable, and this is the hottest ALU path.
+		a, b := f.Regs[in.a], f.Regs[in.b]
+		switch in.bin {
+		case ir.BinAdd:
+			f.Regs[in.dst] = a + b
+		case ir.BinSub:
+			f.Regs[in.dst] = a - b
+		case ir.BinMul:
+			f.Regs[in.dst] = a * b
+		default:
+			f.Regs[in.dst] = ir.EvalBin(in.bin, a, b)
+		}
+		f.PC++
 	case ir.OpCmp:
-		if ir.EvalCmp(in.Pred, f.Regs[in.A], f.Regs[in.B]) {
-			f.Regs[in.Dst] = 1
+		if ir.EvalCmp(in.pred, f.Regs[in.a], f.Regs[in.b]) {
+			f.Regs[in.dst] = 1
 		} else {
-			f.Regs[in.Dst] = 0
+			f.Regs[in.dst] = 0
 		}
-		advance()
+		f.PC++
 	case ir.OpLoad:
-		v, ctrl := env.Load(t, mem.Addr(f.Regs[in.A]+in.Imm), in.Safe)
+		v, ctrl := env.Load(t, mem.Addr(f.Regs[in.a]+in.imm), in.safe)
 		if ctrl != CtrlOK {
 			return false
 		}
-		f.Regs[in.Dst] = v
-		advance()
+		f.Regs[in.dst] = v
+		f.PC++
 	case ir.OpStore:
-		ctrl := env.Store(t, mem.Addr(f.Regs[in.A]+in.Imm), f.Regs[in.B], in.Safe)
+		ctrl := env.Store(t, mem.Addr(f.Regs[in.a]+in.imm), f.Regs[in.b], in.safe)
 		if ctrl != CtrlOK {
 			return false
 		}
-		advance()
+		f.PC++
 	case ir.OpAlloca:
-		f.Regs[in.Dst] = int64(f.StackBase) + in.Imm*mem.WordSize
-		advance()
+		// imm is pre-scaled to bytes by the decoder.
+		f.Regs[in.dst] = int64(f.StackBase) + in.imm
+		f.PC++
 	case ir.OpGlobalAddr:
-		f.Regs[in.Dst] = int64(globalAddr(p, in.Sym))
-		advance()
+		if !p.globalsLaid {
+			panic(fmt.Sprintf("interp: global %v not laid out", f.Fn.Blocks[f.Block].Instrs[f.PC]))
+		}
+		f.Regs[in.dst] = int64(p.globalAddrs[in.aux])
+		f.PC++
 	case ir.OpMalloc:
-		f.Regs[in.Dst] = int64(env.Malloc(t, f.Regs[in.A]))
-		advance()
+		f.Regs[in.dst] = int64(env.Malloc(t, f.Regs[in.a]))
+		f.PC++
 	case ir.OpFree:
-		env.Free(t, mem.Addr(f.Regs[in.A]), f.Regs[in.B])
-		advance()
+		env.Free(t, mem.Addr(f.Regs[in.a]), f.Regs[in.b])
+		f.PC++
 	case ir.OpCall:
-		callee := p.M.Func(in.Sym)
-		base := env.StackAlloc(t, callee.AllocaWords)
-		nf := &Frame{
-			Fn:        callee,
-			Regs:      make([]int64, callee.NumRegs),
-			StackBase: base,
-			RetReg:    in.Dst,
+		cs := &f.df.calls[in.aux]
+		callee := cs.callee
+		base := env.StackAlloc(t, callee.fn.AllocaWords)
+		nf := t.takeFrame(callee.fn.NumRegs)
+		nf.Fn = callee.fn
+		nf.df = callee
+		nf.Block = 0
+		nf.PC = 0
+		nf.code = callee.blocks[0]
+		nf.StackBase = base
+		nf.RetReg = in.dst
+		for i, arg := range cs.args {
+			nf.Regs[callee.fn.Params[i]] = f.Regs[arg]
 		}
-		for i, arg := range in.Args {
-			nf.Regs[callee.Params[i]] = f.Regs[arg]
-		}
-		advance() // caller resumes after the call
+		f.PC++ // caller resumes after the call
 		t.Frames = append(t.Frames, nf)
 	case ir.OpRet:
 		var ret int64
-		if in.A != ir.NoReg {
-			ret = f.Regs[in.A]
+		if in.a != ir.NoReg {
+			ret = f.Regs[in.a]
 		}
+		retReg := f.RetReg
 		env.StackRelease(t, f.StackBase)
+		t.Frames[len(t.Frames)-1] = nil
 		t.Frames = t.Frames[:len(t.Frames)-1]
+		t.releaseFrame(f)
 		if len(t.Frames) == 0 {
 			t.Done = true
 			return true
 		}
-		caller := t.Top()
-		if f.RetReg != ir.NoReg {
-			caller.Regs[f.RetReg] = ret
+		if retReg != ir.NoReg {
+			t.Frames[len(t.Frames)-1].Regs[retReg] = ret
 		}
 	case ir.OpBr:
-		f.Block = p.blockIdx[f.Fn][in.Then]
+		f.Block = int(in.aux)
+		f.code = f.df.blocks[f.Block]
 		f.PC = 0
 	case ir.OpCondBr:
-		if f.Regs[in.A] != 0 {
-			f.Block = p.blockIdx[f.Fn][in.Then]
+		if f.Regs[in.a] != 0 {
+			f.Block = int(in.aux)
 		} else {
-			f.Block = p.blockIdx[f.Fn][in.Else]
+			f.Block = int(in.imm) // else target rides in imm
 		}
+		f.code = f.df.blocks[f.Block]
 		f.PC = 0
 	case ir.OpTxBegin:
 		ctrl := env.TxBegin(t)
 		if ctrl != CtrlOK {
 			return false
 		}
-		advance()
+		f.PC++
 	case ir.OpTxEnd:
 		ctrl := env.TxEnd(t)
 		if ctrl != CtrlOK {
 			return false
 		}
-		advance()
+		f.PC++
 	case ir.OpTxSuspend:
 		if env.TxSuspend(t) != CtrlOK {
 			return false
 		}
-		advance()
+		f.PC++
 	case ir.OpTxResume:
 		if env.TxResume(t) != CtrlOK {
 			return false
 		}
-		advance()
+		f.PC++
 	case ir.OpParallel:
-		args := make([]int64, len(in.Args))
-		for i, a := range in.Args {
+		ps := &f.df.pars[in.aux]
+		if cap(t.parArgs) < len(ps.args) {
+			t.parArgs = make([]int64, len(ps.args))
+		}
+		args := t.parArgs[:len(ps.args)]
+		for i, a := range ps.args {
 			args[i] = f.Regs[a]
 		}
-		ctrl := env.Parallel(t, f.Regs[in.A], in.Sym, args)
+		ctrl := env.Parallel(t, f.Regs[in.a], ps.sym, args)
 		if ctrl != CtrlOK {
 			return false
 		}
-		advance()
+		f.PC++
 	case ir.OpRand:
-		f.Regs[in.Dst] = t.randBounded(f.Regs[in.A])
-		advance()
+		f.Regs[in.dst] = t.randBounded(f.Regs[in.a])
+		f.PC++
 	case ir.OpAbortHint:
-		ctrl := env.AbortHint(t, f.Regs[in.A])
+		ctrl := env.AbortHint(t, f.Regs[in.a])
 		if ctrl != CtrlOK {
 			return false
 		}
-		advance()
+		f.PC++
 	default:
-		panic(fmt.Sprintf("interp: unhandled op in %s: %v", f.Fn.Name, in))
+		panic(fmt.Sprintf("interp: unhandled op in %s: %v", f.Fn.Name, f.Fn.Blocks[f.Block].Instrs[f.PC]))
 	}
 	return true
 }

@@ -9,7 +9,11 @@
 // derived from the byte address.
 package mem
 
-import "fmt"
+import (
+	"fmt"
+
+	"hintm/internal/flat"
+)
 
 // Geometry constants shared by the whole simulator (paper Table II).
 const (
@@ -57,17 +61,38 @@ func BlockAddr(bn uint64) Addr { return Addr(bn * BlockSize) }
 // page is the backing store for one 4 KiB page of simulated memory.
 type page [WordsPerPage]int64
 
-// Memory is a sparse simulated physical memory. The zero value is an empty
-// memory in which every word reads as zero. Memory is not safe for
-// concurrent use; the simulator is single-goroutine and interleaves
-// simulated threads deterministically.
+// Memory is a sparse simulated physical memory in which every unwritten
+// word reads as zero. Create with NewMemory. Pages are reached through an
+// open-addressed index plus a last-page cache: simulated accesses have
+// strong page locality, so most words resolve without even a table probe.
+// Memory is not safe for concurrent use; the simulator is single-goroutine
+// and interleaves simulated threads deterministically.
 type Memory struct {
-	pages map[uint64]*page
+	idx flat.Tab[*page]
+	// lastPN/lastPage memoize the most recently touched page.
+	lastPN   uint64
+	lastPage *page
 }
 
 // NewMemory returns an empty memory.
 func NewMemory() *Memory {
-	return &Memory{pages: make(map[uint64]*page)}
+	m := &Memory{}
+	m.idx.Init(256, false)
+	return m
+}
+
+// lookup returns the backing page for page number pn, or nil if untouched.
+func (m *Memory) lookup(pn uint64) *page {
+	if m.lastPage != nil && m.lastPN == pn {
+		return m.lastPage
+	}
+	i, ok := m.idx.Find(pn)
+	if !ok {
+		return nil
+	}
+	p := m.idx.Vals[i]
+	m.lastPN, m.lastPage = pn, p
+	return p
 }
 
 // ReadWord returns the word stored at word-aligned address a.
@@ -78,8 +103,8 @@ func (m *Memory) ReadWord(a Addr) int64 {
 	if !a.WordAligned() {
 		panic(fmt.Sprintf("mem: unaligned read at %v", a))
 	}
-	p, ok := m.pages[a.Page()]
-	if !ok {
+	p := m.lookup(a.Page())
+	if p == nil {
 		return 0
 	}
 	return p[wordIndex(a)]
@@ -92,17 +117,18 @@ func (m *Memory) WriteWord(a Addr, v int64) {
 		panic(fmt.Sprintf("mem: unaligned write at %v", a))
 	}
 	pn := a.Page()
-	p, ok := m.pages[pn]
-	if !ok {
+	p := m.lookup(pn)
+	if p == nil {
 		p = new(page)
-		m.pages[pn] = p
+		m.idx.Add(pn, p)
+		m.lastPN, m.lastPage = pn, p
 	}
 	p[wordIndex(a)] = v
 }
 
 // TouchedPages returns the number of pages that have backing storage, i.e.
 // pages written at least once.
-func (m *Memory) TouchedPages() int { return len(m.pages) }
+func (m *Memory) TouchedPages() int { return m.idx.N }
 
 func wordIndex(a Addr) int {
 	return int(uint64(a)%PageSize) / WordSize

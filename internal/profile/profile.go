@@ -7,6 +7,7 @@
 package profile
 
 import (
+	"hintm/internal/flat"
 	"hintm/internal/mem"
 	"hintm/internal/sim"
 )
@@ -45,8 +46,8 @@ type Sharing struct {
 	// tids <= MaxWorkerTID count, since Fig. 1 studies the parallel phase.
 	MaxWorkerTID int
 
-	blocks map[uint64]*regionInfo
-	pages  map[uint64]*regionInfo
+	blocks flat.Tab[regionInfo]
+	pages  flat.Tab[regionInfo]
 
 	txReads        uint64 // transactional reads observed
 	txAccesses     uint64 // all transactional accesses
@@ -60,11 +61,10 @@ type access struct {
 
 // NewSharing returns a profiler accepting worker tids up to maxWorkerTID.
 func NewSharing(maxWorkerTID int) *Sharing {
-	return &Sharing{
-		MaxWorkerTID: maxWorkerTID,
-		blocks:       make(map[uint64]*regionInfo),
-		pages:        make(map[uint64]*regionInfo),
-	}
+	s := &Sharing{MaxWorkerTID: maxWorkerTID}
+	s.blocks.Init(1<<12, false)
+	s.pages.Init(1<<8, false)
+	return s
 }
 
 var _ sim.Profiler = (*Sharing)(nil)
@@ -75,8 +75,8 @@ func (s *Sharing) OnAccess(tid int, addr mem.Addr, write, inTx bool) {
 		return
 	}
 	bit := threadSet(1) << uint(tid&63)
-	b := s.region(s.blocks, addr.Block())
-	p := s.region(s.pages, addr.Page())
+	b := region(&s.blocks, addr.Block())
+	p := region(&s.pages, addr.Page())
 	if write {
 		b.writers |= bit
 		p.writers |= bit
@@ -94,13 +94,16 @@ func (s *Sharing) OnAccess(tid int, addr mem.Addr, write, inTx bool) {
 	}
 }
 
-func (s *Sharing) region(m map[uint64]*regionInfo, key uint64) *regionInfo {
-	r := m[key]
-	if r == nil {
-		r = &regionInfo{}
-		m[key] = r
+// region returns a pointer into the table's value slot for key, inserting an
+// empty record on first touch. The pointer is only valid until the next Add
+// (a grow rehashes into fresh backing), so callers must not retain it across
+// OnAccess calls.
+func region(t *flat.Tab[regionInfo], key uint64) *regionInfo {
+	i, ok := t.Find(key)
+	if !ok {
+		i = t.Add(key, regionInfo{})
 	}
-	return r
+	return &t.Vals[i]
 }
 
 // Report is the Fig.-1 metric set for one run.
@@ -122,19 +125,19 @@ type Report struct {
 // counts as safe if its region ends the run safe.
 func (s *Sharing) Report() Report {
 	var rep Report
-	rep.Blocks = len(s.blocks)
-	rep.Pages = len(s.pages)
+	rep.Blocks = s.blocks.N
+	rep.Pages = s.pages.N
 	rep.TxAccesses = s.txAccesses
 	rep.TxReads = s.txReads
 
 	safeB, safeP := 0, 0
-	for _, r := range s.blocks {
-		if r.safe() {
+	for i, g := range s.blocks.Gens {
+		if g == s.blocks.Gen && s.blocks.Vals[i].safe() {
 			safeB++
 		}
 	}
-	for _, r := range s.pages {
-		if r.safe() {
+	for i, g := range s.pages.Gens {
+		if g == s.pages.Gen && s.pages.Vals[i].safe() {
 			safeP++
 		}
 	}
@@ -147,10 +150,10 @@ func (s *Sharing) Report() Report {
 	if s.txAccesses > 0 {
 		var sb, sp uint64
 		for _, a := range s.deferredBlocks {
-			if s.blocks[a.block].safe() {
+			if bi, ok := s.blocks.Find(a.block); ok && s.blocks.Vals[bi].safe() {
 				sb++
 			}
-			if s.pages[a.page].safe() {
+			if pi, ok := s.pages.Find(a.page); ok && s.pages.Vals[pi].safe() {
 				sp++
 			}
 		}

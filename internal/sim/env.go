@@ -23,7 +23,7 @@ func (m *Machine) Load(t *interp.Thread, addr mem.Addr, staticSafe bool) (int64,
 	}
 	// Lazy versioning: the transaction's own buffered stores forward to its
 	// loads; memory still holds pre-transaction values.
-	if c.ctrl.Lazy() && c.ctrl.Active() {
+	if c.txActive && c.ctrl.Lazy() {
 		if v, ok := c.ctrl.ForwardRead(uint64(addr)); ok {
 			return v, interp.CtrlOK
 		}
@@ -41,7 +41,7 @@ func (m *Machine) Store(t *interp.Thread, addr mem.Addr, val int64, staticSafe b
 	if ctrl := m.access(c, t, addr, true, staticSafe); ctrl != interp.CtrlOK {
 		return ctrl
 	}
-	if c.ctrl.Active() && !c.suspended && !safe {
+	if c.txActive && !c.suspended && !safe {
 		if c.ctrl.Lazy() {
 			// Lazy versioning: buffer the store; memory is written at commit.
 			c.ctrl.BufferWrite(uint64(addr), val)
@@ -61,7 +61,7 @@ func (m *Machine) access(c *hwContext, t *interp.Thread, addr mem.Addr, write, s
 	block := addr.Block()
 
 	if m.profiler != nil {
-		m.profiler.OnAccess(t.ID, addr, write, c.ctrl.Active() || t.Fallback)
+		m.profiler.OnAccess(t.ID, addr, write, c.txActive || t.Fallback)
 	}
 
 	// 0. Fault layer: invalidations held for this context come due at its
@@ -71,7 +71,7 @@ func (m *Machine) access(c *hwContext, t *interp.Thread, addr mem.Addr, write, s
 		if m.deliverHeldInvals(c, false) {
 			return interp.CtrlAbort
 		}
-		if c.ctrl.Active() && !c.suspended && m.faults.SpuriousAbortNow(c.id) {
+		if c.txActive && !c.suspended && m.faults.SpuriousAbortNow(c.id) {
 			if m.tracer != nil {
 				m.tracer.Instant(c.id, c.cycle, obs.EvFaultSpurious, uint64(block))
 			}
@@ -115,7 +115,7 @@ func (m *Machine) access(c *hwContext, t *interp.Thread, addr mem.Addr, write, s
 	// 2. Access-class accounting (paper Fig. 5), transactional accesses only.
 	if c.suspended {
 		m.res.SuspendedAccesses++
-	} else if c.ctrl.Active() || t.Fallback {
+	} else if c.txActive || t.Fallback {
 		switch {
 		case useStatic:
 			m.res.StaticSafeAccesses++
@@ -137,8 +137,8 @@ func (m *Machine) access(c *hwContext, t *interp.Thread, addr mem.Addr, write, s
 		if m.tracer != nil {
 			m.tracer.Instant(c.id, c.cycle, obs.EvEviction, ev)
 		}
-		for _, o := range m.ctxs {
-			if o.core != c.core {
+		for _, o := range c.coreMates {
+			if !o.txActive {
 				continue
 			}
 			if r := o.ctrl.OnLocalEviction(ev); r != htm.AbortNone {
@@ -157,30 +157,42 @@ func (m *Machine) access(c *hwContext, t *interp.Thread, addr mem.Addr, write, s
 	// 5. Conflict detection: bus snoops reach contexts on other cores; SMT
 	// siblings observe every access through the shared L1.
 	if res.BusOp {
-		for _, o := range m.ctxs {
-			if o.core == c.core {
-				continue
-			}
-			// Fault layer: hold delivery only when the op misses the
-			// victim's write set (probed with a remote-read check). An op
-			// hitting it cannot be delayed — the ownership transfer is on
-			// this access's critical path, and skipping the immediate abort
-			// would let an undo-log restore clobber our write (eager) or
-			// let us read uncommitted data.
-			if m.faults != nil && o.ctrl.OnRemoteOp(block, false) == htm.AbortNone &&
-				m.faults.HoldInval(o.id, block, write, m.res.Steps) {
-				if m.tracer != nil {
-					m.tracer.Instant(o.id, o.cycle, obs.EvFaultInvalHeld, block)
+		if m.faults != nil {
+			for _, o := range m.ctxs {
+				if o.core == c.core {
+					continue
 				}
-				continue
+				// Fault layer: hold delivery only when the op misses the
+				// victim's write set (probed with a remote-read check). An op
+				// hitting it cannot be delayed — the ownership transfer is on
+				// this access's critical path, and skipping the immediate abort
+				// would let an undo-log restore clobber our write (eager) or
+				// let us read uncommitted data. HoldInval fires for idle
+				// contexts too, so this path cannot take the txActive shortcut.
+				if o.ctrl.OnRemoteOp(block, false) == htm.AbortNone &&
+					m.faults.HoldInval(o.id, block, write, m.res.Steps) {
+					if m.tracer != nil {
+						m.tracer.Instant(o.id, o.cycle, obs.EvFaultInvalHeld, block)
+					}
+					continue
+				}
+				if r := o.ctrl.OnRemoteOp(block, write); r != htm.AbortNone {
+					m.abortTx(o, r)
+				}
 			}
-			if r := o.ctrl.OnRemoteOp(block, write); r != htm.AbortNone {
-				m.abortTx(o, r)
+		} else {
+			for _, o := range m.ctxs {
+				if o.core == c.core || !o.txActive {
+					continue
+				}
+				if r := o.ctrl.OnRemoteOp(block, write); r != htm.AbortNone {
+					m.abortTx(o, r)
+				}
 			}
 		}
 	}
-	for _, o := range m.ctxs {
-		if o.core != c.core || o == c {
+	for _, o := range c.siblings {
+		if !o.txActive {
 			continue
 		}
 		if r := o.ctrl.OnRemoteOp(block, write); r != htm.AbortNone {
@@ -191,7 +203,7 @@ func (m *Machine) access(c *hwContext, t *interp.Thread, addr mem.Addr, write, s
 	// 6. Transactional tracking with the safety hint. Escape-action mode
 	// (TxSuspend) bypasses tracking entirely, like a blanket safe hint that
 	// also covers stores and skips the undo log.
-	if c.ctrl.Active() && !c.suspended {
+	if c.txActive && !c.suspended {
 		if c.intro != nil {
 			c.intro.counts[block]++
 			if safe {
@@ -227,6 +239,7 @@ func (m *Machine) pageModeTransition(c *hwContext, out vmem.Outcome) (selfAborte
 	}
 	for _, s := range tr.Slaves {
 		m.ctxs[s].cycle += m.vm.SlaveCost()
+		m.syncEff(m.ctxs[s])
 		cost += m.vm.SlaveCost()
 		if m.tracer != nil {
 			m.tracer.Instant(s, m.ctxs[s].cycle, obs.EvTLBShootdown, tr.Page)
@@ -322,6 +335,7 @@ func (m *Machine) TxBegin(t *interp.Thread) interp.Ctrl {
 	}
 	t.Capture(m.alloc.StackTop(t.ID))
 	c.ctrl.Begin()
+	c.txActive = true
 	if m.faults != nil {
 		m.faults.TxBegun(c.id)
 	}
@@ -401,13 +415,13 @@ func (m *Machine) TxEnd(t *interp.Thread) interp.Ctrl {
 	if c.ctrl.Lazy() {
 		// Drain the write buffer: the lines are already owned (conflict
 		// detection acquired them eagerly), so the drain is local.
-		buf := c.ctrl.Drain()
-		for a, v := range buf {
+		n := c.ctrl.Drain(func(a uint64, v int64) {
 			m.memory.WriteWord(mem.Addr(a), v)
-		}
-		c.cycle += int64(len(buf)) * m.cfg.Cache.L1Latency
+		})
+		c.cycle += int64(n) * m.cfg.Cache.L1Latency
 	}
 	c.ctrl.Commit()
+	c.txActive = false
 	t.InTx = false
 	c.retries = 0
 	m.res.Commits++
@@ -440,6 +454,8 @@ func (m *Machine) Parallel(t *interp.Thread, n int64, fn string, args []int64) i
 	m.vm.ResetSharing()
 	body := m.prog.M.Func(fn)
 	ps := &parallelState{}
+	m.runnable = m.runnable[:0]
+	m.effCache = m.effCache[:0]
 	for i := int64(0); i < n; i++ {
 		tid := int(i)
 		base := m.alloc.StackAlloc(tid, body.AllocaWords*mem.WordSize)
@@ -450,6 +466,9 @@ func (m *Machine) Parallel(t *interp.Thread, n int64, fn string, args []int64) i
 			ctx.cycle = m.ctxs[0].cycle
 		}
 		m.byThread[tid] = ctx
+		m.runnable = append(m.runnable, ctx)
+		ctx.runIdx = int32(len(m.runnable) - 1)
+		m.effCache = append(m.effCache, ctx.effectiveCycle())
 		ps.workers = append(ps.workers, th)
 	}
 	m.parallel = ps

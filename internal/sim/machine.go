@@ -23,11 +23,26 @@ type hwContext struct {
 	thread *interp.Thread
 	ctrl   *htm.Controller
 
+	// siblings lists the other contexts on the same core (SMT), in context
+	// id order: they observe this context's accesses through the shared L1.
+	// coreMates is the same list including this context (the eviction
+	// audience). Precomputed at New so the per-access snoop loops touch
+	// only real siblings instead of scanning every context.
+	siblings  []*hwContext
+	coreMates []*hwContext
+
 	cycle        int64
 	backoffUntil int64
 	txStart      int64
 	retries      int
 	fallbackNext bool
+	// runIdx is this context's position in Machine.runnable (and effCache),
+	// or -1 outside a parallel region; abortTx and shootdown charges use it
+	// to keep the packed clock cache in sync.
+	runIdx int32
+	// txActive mirrors ctrl.Active() so snoop loops can skip idle contexts
+	// with one field load; maintained at TxBegin/commit/abort.
+	txActive bool
 	// suspended marks escape-action mode (TxSuspend..TxResume): accesses
 	// bypass transactional tracking entirely.
 	suspended bool
@@ -98,20 +113,36 @@ type Machine struct {
 	caches *cache.Hierarchy
 	vm     *vmem.Manager
 
-	ctxs     []*hwContext
-	byThread map[int]*hwContext
+	ctxs []*hwContext
+	// byThread maps thread ID → hardware context. Thread IDs are dense
+	// (workers 0..Contexts-1, main = Contexts), so a slice indexes it.
+	byThread []*hwContext
 
 	mainThread *interp.Thread
 	parallel   *parallelState
+	// runnable holds the worker contexts whose thread has not finished, in
+	// context id order (so the min-cycle tie-break stays "lowest id", exactly
+	// as a full scan over ctxs would pick). effCache mirrors each runnable
+	// context's effectiveCycle in one dense array, so the per-step min-scan
+	// reads one cache line instead of chasing every context; every site that
+	// moves another context's clock calls syncEff. Maintained by Parallel
+	// and stepWorkers; empty outside a parallel region.
+	runnable []*hwContext
+	effCache []int64
 
 	fallbackHolder *hwContext
 	res            *Result
 	profiler       Profiler
+	// stepCap is Run's effective MaxSteps; stepWorkers consults it so that
+	// batched stepping stops exactly where the single-step loop would.
+	stepCap int64
 
 	// tracer is the observability sink (nil = tracing disabled); nextSample
-	// is the cycle the next counter sample is due at.
+	// is the cycle the next counter sample is due at. sampling caches
+	// "tracer != nil && SampleCycles > 0" so the per-step check is one load.
 	tracer     obs.Tracer
 	nextSample int64
+	sampling   bool
 
 	// faults is the injection engine (nil unless cfg.Faults is enabled).
 	faults *fault.Engine
@@ -204,6 +235,11 @@ func (m *Machine) ReadGlobal(name string, wordIdx int64) int64 {
 	return m.memory.ReadWord(m.prog.GlobalAddr(name) + mem.Addr(wordIdx*mem.WordSize))
 }
 
+// Release recycles the machine's pooled resources (currently the cache line
+// backings). The machine must not be used afterwards. Optional but worthwhile
+// for callers that construct many machines, e.g. experiment sweeps.
+func (m *Machine) Release() { m.caches.Release() }
+
 type parallelState struct {
 	workers  []*interp.Thread
 	finished bool
@@ -231,7 +267,7 @@ func New(cfg Config, mod *ir.Module) (*Machine, error) {
 		alloc:    mem.NewAllocator(),
 		caches:   cache.New(cfg.Cache),
 		vm:       vmem.New(cfg.Contexts(), cfg.TLBEntries, cfg.VM, cfg.Hints.Dynamic()),
-		byThread: make(map[int]*hwContext),
+		byThread: make([]*hwContext, cfg.Contexts()+1),
 		res:      newResult(),
 	}
 	for i := 0; i < cfg.Contexts(); i++ {
@@ -241,9 +277,21 @@ func New(cfg Config, mod *ir.Module) (*Machine, error) {
 			id: i,
 			// Contexts are spread across cores first, so SMT siblings are
 			// ctx i and ctx i+Cores.
-			core: i % cfg.Cores,
-			ctrl: ctrl,
+			core:   i % cfg.Cores,
+			ctrl:   ctrl,
+			runIdx: -1,
 		})
+	}
+	for _, c := range m.ctxs {
+		for _, o := range m.ctxs {
+			if o.core != c.core {
+				continue
+			}
+			c.coreMates = append(c.coreMates, o)
+			if o != c {
+				c.siblings = append(c.siblings, o)
+			}
+		}
 	}
 	if cfg.Faults.Enabled() {
 		m.faults = fault.NewEngine(cfg.Faults, cfg.Seed, cfg.Contexts())
@@ -300,6 +348,8 @@ func (m *Machine) Run(ctx context.Context) (*Result, error) {
 	if maxSteps <= 0 {
 		maxSteps = 2_000_000_000
 	}
+	m.stepCap = maxSteps
+	m.sampling = m.tracer != nil && m.cfg.SampleCycles > 0
 
 	for !m.mainThread.Done {
 		if m.res.Steps&ctxCheckMask == 0 {
@@ -336,33 +386,98 @@ func (m *Machine) Run(ctx context.Context) (*Result, error) {
 	return m.res, nil
 }
 
-// stepWorkers advances the runnable worker context with the smallest clock.
+// stepWorkers advances runnable worker contexts, always stepping the one
+// with the smallest clock (ties to the lowest context id). It runs until the
+// next guard-grid boundary (or the step cap, or the region's barrier), so
+// Run's periodic checks fire at exactly the steps they would under
+// single-stepping while the scheduler stays out of the per-step call path.
 func (m *Machine) stepWorkers() {
-	var pick *hwContext
-	for _, c := range m.ctxs {
-		if c.thread == nil || c.thread.Done {
-			continue
+	for {
+		if len(m.runnable) == 0 {
+			// All workers finished: barrier completes; main resumes at the
+			// latest worker clock.
+			var max int64
+			for _, c := range m.ctxs {
+				if c.cycle > max {
+					max = c.cycle
+				}
+			}
+			if m.ctxs[0].cycle < max {
+				m.ctxs[0].cycle = max
+			}
+			m.parallel.finished = true
+			return
 		}
-		if pick == nil || c.effectiveCycle() < pick.effectiveCycle() {
-			pick = c
-		}
-	}
-	if pick == nil {
-		// All workers finished: barrier completes; main resumes at the
-		// latest worker clock.
-		var max int64
-		for _, c := range m.ctxs {
-			if c.cycle > max {
-				max = c.cycle
+		pickIdx := 0
+		best := m.effCache[0]
+		// best2 is the runner-up clock: every other runnable context sits at
+		// or above it, and clocks only move forward, so pick stays the unique
+		// minimum for as long as it remains strictly below best2.
+		best2 := int64(1<<63 - 1)
+		for i := 1; i < len(m.effCache); i++ {
+			if e := m.effCache[i]; e < best {
+				pickIdx, best2, best = i, best, e
+			} else if e < best2 {
+				best2 = e
 			}
 		}
-		if m.ctxs[0].cycle < max {
-			m.ctxs[0].cycle = max
+		for {
+			pick := m.runnable[pickIdx]
+			m.stepThread(pick, pick.thread)
+			e := pick.effectiveCycle()
+			m.effCache[pickIdx] = e
+			// Keep stepping pick while it is provably still the scheduler's
+			// choice.
+			for !pick.thread.Done &&
+				m.res.Steps&guardMask != 0 &&
+				m.res.Steps < m.stepCap &&
+				e < best2 {
+				m.stepThread(pick, pick.thread)
+				e = pick.effectiveCycle()
+				m.effCache[pickIdx] = e
+			}
+			if pick.thread.Done {
+				pick.runIdx = -1
+				m.runnable = append(m.runnable[:pickIdx], m.runnable[pickIdx+1:]...)
+				m.effCache = append(m.effCache[:pickIdx], m.effCache[pickIdx+1:]...)
+				for i := pickIdx; i < len(m.runnable); i++ {
+					m.runnable[i].runIdx = int32(i)
+				}
+				break
+			}
+			if m.res.Steps&guardMask == 0 || m.res.Steps >= m.stepCap {
+				return
+			}
+			// Tie continuation: every entry left of pickIdx exceeded best at
+			// scan time, pick just moved past it, and clocks never move
+			// backwards — so the next entry still equal to best (lockstep
+			// workloads keep whole tie groups at one clock) is the lowest-id
+			// minimum, i.e. exactly the context a fresh scan would choose.
+			if best2 != best {
+				break // no entry can equal best: all others sit at >= best2
+			}
+			j := pickIdx + 1
+			for j < len(m.effCache) && m.effCache[j] != best {
+				j++
+			}
+			if j == len(m.effCache) {
+				break // tie group exhausted: full rescan
+			}
+			pickIdx = j
+			best2 = best // a tied peer exists, so no batch for this pick
 		}
-		m.parallel.finished = true
-		return
+		if m.res.Steps&guardMask == 0 || m.res.Steps >= m.stepCap {
+			return
+		}
 	}
-	m.stepThread(pick, pick.thread)
+}
+
+// syncEff refreshes c's entry in the packed clock cache after a mutation of
+// its clock by another context (abort charges, TLB-shootdown slave costs).
+func (m *Machine) syncEff(c *hwContext) {
+	if c.runIdx >= 0 {
+		m.effCache[c.runIdx] = c.effectiveCycle()
+	}
 }
 
 func (m *Machine) stepThread(c *hwContext, t *interp.Thread) {
@@ -372,7 +487,7 @@ func (m *Machine) stepThread(c *hwContext, t *interp.Thread) {
 	m.prog.Step(m, t)
 	c.cycle++ // base instruction cost
 	m.res.Steps++
-	if m.tracer != nil && m.cfg.SampleCycles > 0 && c.cycle >= m.nextSample {
+	if m.sampling && c.cycle >= m.nextSample {
 		m.sample(c.cycle)
 	}
 }
@@ -403,8 +518,8 @@ func (m *Machine) sample(now int64) {
 
 // ctxOf maps a thread to its hardware context.
 func (m *Machine) ctxOf(t *interp.Thread) *hwContext {
-	c, ok := m.byThread[t.ID]
-	if !ok {
+	c := m.byThread[t.ID]
+	if c == nil {
 		panic(fmt.Sprintf("sim: unmapped thread %d", t.ID))
 	}
 	return c
@@ -442,6 +557,7 @@ func (m *Machine) abortTx(c *hwContext, reason htm.AbortReason) {
 		}
 	}
 	undo := c.ctrl.Abort()
+	c.txActive = false
 	for _, e := range undo {
 		m.memory.WriteWord(mem.Addr(e.Addr), e.Old)
 	}
@@ -489,6 +605,7 @@ func (m *Machine) abortTx(c *hwContext, reason htm.AbortReason) {
 	case htm.AbortFallbackLock:
 		// The thread will stall at TxBegin until the lock is free.
 	}
+	m.syncEff(c)
 }
 
 // capacityStructure names the bounded structure behind a capacity abort from

@@ -1,0 +1,32 @@
+package vmem
+
+import "testing"
+
+// The TLB-hit path runs once per simulated memory access; after a page's
+// entry is cached, repeated accesses must not allocate.
+func TestTLBHitDoesNotAllocate(t *testing.T) {
+	m := New(4, 8, DefaultCosts(), true)
+	m.Access(0, 0, 100, false) // walk + fill
+	if n := testing.AllocsPerRun(200, func() {
+		m.Access(0, 0, 100, false)
+	}); n != 0 {
+		t.Errorf("TLB hit allocates %.1f per access", n)
+	}
+}
+
+// Even TLB misses on already-mapped pages stay allocation-free: page-table
+// entries live in the manager's arena and TLB slots are recycled in place.
+func TestWarmTLBMissDoesNotAllocate(t *testing.T) {
+	m := New(1, 2, DefaultCosts(), true)
+	// Map more pages than TLB entries so every access below misses.
+	for p := uint64(0); p < 8; p++ {
+		m.Access(0, 0, p, false)
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		for p := uint64(0); p < 8; p++ {
+			m.Access(0, 0, p, false)
+		}
+	}); n != 0 {
+		t.Errorf("warm TLB miss allocates %.1f per sweep", n)
+	}
+}

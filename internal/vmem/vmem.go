@@ -8,7 +8,11 @@
 // (modelled with the paper's 6600-cycle initiator / 1450-cycle slave costs).
 package vmem
 
-import "fmt"
+import (
+	"fmt"
+
+	"hintm/internal/flat"
+)
 
 // Mode is a page's sharing mode (paper Fig. 2).
 type Mode uint8
@@ -106,63 +110,74 @@ type Stats struct {
 	SafeAccesses uint64
 }
 
+// pageEntry is one extended page-table record. Entries live by value in the
+// Manager's slice-backed arena; the flat page-number index maps to arena
+// positions, so the walk path chases no per-entry pointers.
 type pageEntry struct {
 	mode Mode
-	tid  int
+	tid  int32
 }
 
-// tlb is one hardware context's translation cache: page → cached mode/owner.
+// tlbEntry is one translation-cache record, stored by value in the table.
+type tlbEntry struct {
+	mode Mode
+	tid  int32
+	lru  uint64
+}
+
+// tlb is one hardware context's translation cache. It stays fully
+// associative with exact-LRU replacement — the model the TLB-miss counts in
+// every committed result were produced under — but entries live by value in
+// a fixed open-addressed table (2× capacity slots, reused forever), and the
+// eviction scan walks a flat array instead of a map.
 type tlb struct {
-	entries  map[uint64]*tlbEntry
+	tab      flat.Tab[tlbEntry]
 	capacity int
 	tick     uint64
 }
 
-type tlbEntry struct {
-	mode Mode
-	tid  int
-	lru  uint64
-}
-
 func newTLB(capacity int) *tlb {
-	return &tlb{entries: make(map[uint64]*tlbEntry, capacity), capacity: capacity}
+	t := &tlb{capacity: capacity}
+	t.tab.Init(2*capacity, true)
+	return t
 }
 
+// lookup returns the entry for page, bumping its LRU stamp, or nil on miss.
+// The pointer aliases table storage and is valid until the next install.
 func (t *tlb) lookup(page uint64) *tlbEntry {
-	e := t.entries[page]
-	if e != nil {
-		t.tick++
-		e.lru = t.tick
-	}
-	return e
-}
-
-func (t *tlb) install(page uint64, mode Mode, tid int) {
-	if len(t.entries) >= t.capacity {
-		var victim uint64
-		var min uint64 = ^uint64(0)
-		for p, e := range t.entries {
-			if e.lru < min {
-				min = e.lru
-				victim = p
-			}
-		}
-		delete(t.entries, victim)
+	i, ok := t.tab.Find(page)
+	if !ok {
+		return nil
 	}
 	t.tick++
-	t.entries[page] = &tlbEntry{mode: mode, tid: tid, lru: t.tick}
+	t.tab.Vals[i].lru = t.tick
+	return &t.tab.Vals[i]
+}
+
+func (t *tlb) install(page uint64, mode Mode, tid int32) {
+	if t.tab.N >= t.capacity {
+		// Exact LRU: tick stamps are unique, so the minimum is a single
+		// deterministic victim regardless of slot order.
+		var victim uint64
+		var min uint64 = ^uint64(0)
+		for i, g := range t.tab.Gens {
+			if g == t.tab.Gen && t.tab.Vals[i].lru < min {
+				min = t.tab.Vals[i].lru
+				victim = t.tab.Keys[i]
+			}
+		}
+		t.tab.Del(victim)
+	}
+	t.tick++
+	t.tab.Add(page, tlbEntry{mode: mode, tid: tid, lru: t.tick})
 }
 
 func (t *tlb) invalidate(page uint64) bool {
-	if _, ok := t.entries[page]; ok {
-		delete(t.entries, page)
-		return true
-	}
-	return false
+	return t.tab.Del(page)
 }
 
 func (t *tlb) has(page uint64) bool {
-	_, ok := t.entries[page]
+	_, ok := t.tab.Find(page)
 	return ok
 }
 
@@ -172,9 +187,11 @@ type Manager struct {
 	// costs but never derives safety nor tracks sharing.
 	enabled bool
 	costs   Costs
-	pt      map[uint64]*pageEntry
-	tlbs    []*tlb
-	stats   Stats
+	// pt maps page number → index into the arena; pages live by value.
+	pt    flat.Tab[int32]
+	arena []pageEntry
+	tlbs  []*tlb
+	stats Stats
 }
 
 // New builds a manager for nContexts hardware contexts with tlbEntries-entry
@@ -183,8 +200,9 @@ func New(nContexts, tlbEntries int, costs Costs, enabled bool) *Manager {
 	m := &Manager{
 		enabled: enabled,
 		costs:   costs,
-		pt:      make(map[uint64]*pageEntry),
 	}
+	m.pt.Init(256, false)
+	m.arena = make([]pageEntry, 0, 256)
 	for i := 0; i < nContexts; i++ {
 		m.tlbs = append(m.tlbs, newTLB(tlbEntries))
 	}
@@ -199,10 +217,21 @@ func (m *Manager) Stats() Stats { return m.stats }
 
 // PageMode returns the page's current mode (for tests and diagnostics).
 func (m *Manager) PageMode(page uint64) (Mode, int) {
-	if e, ok := m.pt[page]; ok {
-		return e.mode, e.tid
+	if i, ok := m.pt.Find(page); ok {
+		pe := &m.arena[m.pt.Vals[i]]
+		return pe.mode, int(pe.tid)
 	}
 	return Untouched, -1
+}
+
+// pageFor returns the arena entry for page, creating it as Untouched.
+func (m *Manager) pageFor(page uint64) *pageEntry {
+	if i, ok := m.pt.Find(page); ok {
+		return &m.arena[m.pt.Vals[i]]
+	}
+	m.arena = append(m.arena, pageEntry{mode: Untouched})
+	m.pt.Add(page, int32(len(m.arena)-1))
+	return &m.arena[len(m.arena)-1]
 }
 
 // Access translates one access by thread tid on hardware context ctx.
@@ -217,7 +246,7 @@ func (m *Manager) Access(ctx, tid int, page uint64, write bool) Outcome {
 	}
 	if !m.enabled {
 		if e == nil {
-			t.install(page, Untouched, tid)
+			t.install(page, Untouched, int32(tid))
 		}
 		return out
 	}
@@ -228,22 +257,18 @@ func (m *Manager) Access(ctx, tid int, page uint64, write bool) Outcome {
 	if e != nil {
 		switch {
 		case !write:
-			out.Safe = e.mode.safeFor(tid, e.tid)
+			out.Safe = e.mode.safeFor(tid, int(e.tid))
 			if out.Safe {
 				m.stats.SafeAccesses++
 			}
 			return out
-		case e.mode == PrivateRW && e.tid == tid, e.mode == SharedRW:
+		case e.mode == PrivateRW && int(e.tid) == tid, e.mode == SharedRW:
 			return out // write permitted, unsafe
 		}
 		// Fall through to the page walk with fault semantics.
 	}
 
-	pe, ok := m.pt[page]
-	if !ok {
-		pe = &pageEntry{mode: Untouched}
-		m.pt[page] = pe
-	}
+	pe := m.pageFor(page)
 	m.walk(ctx, tid, page, write, pe, &out)
 	t.invalidate(page)
 	t.install(page, pe.mode, pe.tid)
@@ -257,7 +282,7 @@ func (m *Manager) Access(ctx, tid int, page uint64, write bool) Outcome {
 func (m *Manager) walk(ctx, tid int, page uint64, write bool, pe *pageEntry, out *Outcome) {
 	switch pe.mode {
 	case Untouched:
-		pe.tid = tid
+		pe.tid = int32(tid)
 		if write {
 			pe.mode = PrivateRW
 		} else {
@@ -266,9 +291,9 @@ func (m *Manager) walk(ctx, tid int, page uint64, write bool, pe *pageEntry, out
 		}
 	case PrivateRO:
 		switch {
-		case tid == pe.tid && !write:
+		case tid == int(pe.tid) && !write:
 			out.Safe = true
-		case tid == pe.tid && write:
+		case tid == int(pe.tid) && write:
 			// Minor fault: own page upgrades ro→rw.
 			pe.mode = PrivateRW
 			out.MinorFault = true
@@ -285,7 +310,7 @@ func (m *Manager) walk(ctx, tid int, page uint64, write bool, pe *pageEntry, out
 			m.transition(ctx, page, pe, out)
 		}
 	case PrivateRW:
-		if tid == pe.tid {
+		if tid == int(pe.tid) {
 			if !write {
 				out.Safe = true
 			}
@@ -339,8 +364,12 @@ func (m *Manager) ForceUnsafe(ctx int, page uint64) *Transition {
 	if !m.enabled {
 		return nil
 	}
-	pe, ok := m.pt[page]
-	if !ok || pe.mode == Untouched || pe.mode == SharedRW {
+	i, ok := m.pt.Find(page)
+	if !ok {
+		return nil
+	}
+	pe := &m.arena[m.pt.Vals[i]]
+	if pe.mode == Untouched || pe.mode == SharedRW {
 		return nil
 	}
 	var out Outcome
@@ -352,15 +381,16 @@ func (m *Manager) ForceUnsafe(ctx int, page uint64) *Transition {
 // SlaveCost returns the per-slave shootdown cost for charging by the machine.
 func (m *Manager) SlaveCost() int64 { return m.costs.ShootdownSlave }
 
-// ResetSharing clears all page-sharing state and TLB contents. The machine
-// calls it when a parallel region starts: dynamic classification tracks the
-// region's inter-thread sharing, not the single-threaded setup phase whose
-// writes would otherwise force every initialized page straight to
-// shared-rw.
+// ResetSharing clears all page-sharing state and TLB contents, keeping
+// backing storage. The machine calls it when a parallel region starts:
+// dynamic classification tracks the region's inter-thread sharing, not the
+// single-threaded setup phase whose writes would otherwise force every
+// initialized page straight to shared-rw.
 func (m *Manager) ResetSharing() {
-	m.pt = make(map[uint64]*pageEntry)
+	m.pt.Reset()
+	m.arena = m.arena[:0]
 	for _, t := range m.tlbs {
-		t.entries = make(map[uint64]*tlbEntry)
+		t.tab.Reset()
 	}
 }
 
