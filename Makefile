@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all test vet race fuzz-short bench bench-smoke bench-diff trace-check serve-smoke figures svg ablate export clean
+.PHONY: all test vet race fuzz-short bench bench-smoke bench-diff trace-check serve-smoke fleet-smoke figures svg ablate export clean
 
 all: test
 
@@ -18,9 +18,11 @@ vet:
 
 # race runs the concurrency-sensitive packages under the race detector; the
 # harness determinism tests double as the parallel-scheduler correctness
-# suite.
+# suite, and the server/fleet/loadgen packages exercise the admission
+# control and NDJSON stream ratchet under concurrent submissions.
 race:
-	$(GO) test -race ./internal/harness/... ./internal/sim/...
+	$(GO) test -race ./internal/harness/... ./internal/sim/... \
+		./internal/server/... ./internal/fleet/... ./internal/loadgen/...
 
 # fuzz-short gives the classifier-soundness fuzzer a 10-second native-fuzzing
 # budget — enough for CI to catch regressions the seeded corpus misses.
@@ -76,6 +78,13 @@ bench-diff:
 # byte-identical body and zero extra simulations — then SIGTERM-drains it.
 serve-smoke:
 	./scripts/serve-smoke.sh
+
+# fleet-smoke boots a 3-node sharded fleet, submits a grid cold to node 1
+# and again to node 2 (fleet-wide SimRuns delta must be zero), checks
+# byte-identity across nodes, runs seeded open-loop load with p99 and
+# hit-rate SLO gates, and SIGTERM-drains every node.
+fleet-smoke:
+	./scripts/fleet-smoke.sh
 
 # trace-check records the same seeded run twice and requires byte-identical
 # traces and autopsies — the end-to-end determinism property the

@@ -36,84 +36,43 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"os/signal"
-	"runtime"
-	"runtime/pprof"
 	"strings"
-	"syscall"
 	"time"
 
-	"hintm/internal/fault"
+	"hintm/internal/cli"
 	"hintm/internal/harness"
-	"hintm/internal/store"
-	"hintm/internal/workloads"
 )
 
 func main() {
-	scaleFlag := flag.String("scale", "medium", "input scale for P8 figures")
-	largeFlag := flag.String("large", "large", "input scale for Fig 7/8")
-	wlFlag := flag.String("workloads", "", "comma-separated workload subset")
-	seed := flag.Uint64("seed", 1, "simulation seed")
-	workers := flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
+	hf := cli.RegisterHarness(flag.CommandLine)
 	timeout := flag.Duration("timeout", 0, "abort the whole run after this duration (0 = none)")
 	svgDir := flag.String("svg", "", "also render the figures as SVG files into this directory")
-	faultsFlag := flag.String("faults", "", `fault-injection plan, e.g. "spurious=0.01,storm=0.001,inval-delay=200"`)
-	watchdog := flag.Int64("watchdog", 0, "fail a run after this many cycles without forward progress (0 = off)")
-	maxCycles := flag.Int64("max-cycles", 0, "hard cap on each run's simulated cycles (0 = none)")
-	traceDir := flag.String("trace-dir", "", "write per-run Chrome traces and abort autopsies into this directory")
-	sampleCycles := flag.Int64("sample-cycles", 0, "counter-sample period for traced runs (0 = 10000-cycle default)")
 	results := flag.String("results", "BENCH_results.json", `write machine-readable headline metrics here on the "all" target ("" = off)`)
-	storeDir := flag.String("store", "", "recall/persist every run in this content-addressed result store directory")
+	storeDir := cli.RegisterStore(flag.CommandLine, "")
 	tolerance := flag.Float64("tolerance", 0.05, `relative headline-metric tolerance for the "benchdiff" target`)
-	cpuprofile := flag.String("cpuprofile", "", "write a Go CPU profile of the harness to this file")
-	memprofile := flag.String("memprofile", "", "write a Go heap profile of the harness to this file")
+	profiles := cli.RegisterProfiles(flag.CommandLine, "hintm-bench", "harness")
 	flag.Parse()
 
-	stopProfiles, err := startProfiles(*cpuprofile, *memprofile)
+	stopProfiles, err := profiles.Start()
 	if err != nil {
 		fatal(err)
 	}
 	cleanup = stopProfiles
 	defer stopProfiles()
 
-	opts := harness.DefaultOptions()
-	if opts.Scale, err = workloads.ParseScale(*scaleFlag); err != nil {
+	opts, err := hf.Options()
+	if err != nil {
 		fatal(err)
 	}
-	if opts.LargeScale, err = workloads.ParseScale(*largeFlag); err != nil {
+	// The content-addressed store makes repeated figure regeneration
+	// warm-cache: any run already stored (by an earlier bench run or by
+	// hintm-served over the same directory) is recalled, not re-run.
+	if opts.Store, err = cli.OpenStore(*storeDir); err != nil {
 		fatal(err)
-	}
-	if *wlFlag != "" {
-		opts.Filter = strings.Split(*wlFlag, ",")
-	}
-	opts.Seed = *seed
-	opts.Workers = *workers
-	if opts.Faults, err = fault.ParsePlan(*faultsFlag); err != nil {
-		fatal(err)
-	}
-	opts.WatchdogCycles = *watchdog
-	opts.MaxCycles = *maxCycles
-	opts.TraceDir = *traceDir
-	opts.SampleCycles = *sampleCycles
-
-	if *storeDir != "" {
-		// The content-addressed store makes repeated figure regeneration
-		// warm-cache: any run already stored (by an earlier bench run or by
-		// hintm-served over the same directory) is recalled, not re-run.
-		if opts.Store, err = store.Open(*storeDir); err != nil {
-			fatal(err)
-		}
 	}
 
-	// SIGTERM alongside SIGINT: containerized and service-managed runs get
-	// the same graceful cancellation path as an interactive ^C.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	ctx, stop := cli.Context(*timeout)
 	defer stop()
-	if *timeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, *timeout)
-		defer cancel()
-	}
 
 	r := harness.NewRunner(opts)
 	target := "all"
@@ -235,44 +194,6 @@ func writeResults(ctx context.Context, r *harness.Runner, path string, wall time
 	}
 	fmt.Fprintf(os.Stderr, "results: wrote %s\n", path)
 	return nil
-}
-
-// startProfiles arms the requested Go pprof profiles; the returned stop
-// finalizes them and runs at most once (deferred normally, via cleanup on
-// the fatal path, because os.Exit skips defers).
-func startProfiles(cpu, mem string) (stop func(), err error) {
-	if cpu != "" {
-		f, err := os.Create(cpu)
-		if err != nil {
-			return nil, err
-		}
-		if err := pprof.StartCPUProfile(f); err != nil {
-			f.Close()
-			return nil, err
-		}
-	}
-	done := false
-	return func() {
-		if done {
-			return
-		}
-		done = true
-		if cpu != "" {
-			pprof.StopCPUProfile()
-		}
-		if mem != "" {
-			f, err := os.Create(mem)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "hintm-bench: memprofile:", err)
-				return
-			}
-			defer f.Close()
-			runtime.GC()
-			if err := pprof.WriteHeapProfile(f); err != nil {
-				fmt.Fprintln(os.Stderr, "hintm-bench: memprofile:", err)
-			}
-		}
-	}, nil
 }
 
 var cleanup = func() {}

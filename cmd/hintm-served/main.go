@@ -1,7 +1,8 @@
 // Command hintm-served is the persistent experiment service: it keeps a
 // scheduler and a content-addressed result store resident, so experiments
 // are submitted over HTTP, simulated at most once, and served from the
-// store forever after — across clients and across restarts.
+// store forever after — across clients, across restarts, and (with -peers)
+// across a fleet of nodes sharing the key space by consistent hashing.
 //
 // Usage:
 //
@@ -22,14 +23,26 @@
 //	-trace-dir DIR              per-run trace/autopsy artifacts, linked
 //	                            from each store entry
 //	-drain D                    graceful-shutdown budget (default 30s)
+//	-queue-limit N              max admitted-but-unfinished runs before
+//	                            submissions get 429 (default 256)
+//	-node URL                   this node's advertised base URL
+//	-peers URL,URL,...          every fleet node's base URL (incl. -node);
+//	                            enables sharding, peer fetch, forwarding
+//	-replicas N                 ring owners per key (default 2)
 //
-// Endpoints:
+// Endpoints (wire format hintm-api/v2, see internal/api):
 //
 //	POST /v1/runs[?wait=1]   submit a run or a grid; hits answer instantly
-//	GET  /v1/runs/{key}      stored result (byte-identical per key) or 202
+//	POST /v1/grids           batched grid; NDJSON per-run progress stream
+//	GET  /v1/runs            list stored results (?workload=, ?htm=,
+//	                         ?limit=, ?after= pagination)
+//	GET  /v1/runs/{key}      stored result (byte-identical per key, fetched
+//	                         from the key's ring owners on a miss) or 202
+//	PUT  /v1/runs/{key}      fleet-internal replication (raw object bytes)
 //	GET  /v1/figures/{name}  figure rows assembled from the store
-//	GET  /healthz            liveness + store/queue summary
-//	GET  /metrics            store hits/misses, queue depth, sim runs, ...
+//	GET  /healthz            liveness + store/queue/fleet summary
+//	GET  /metrics            store hits/misses, queue depth, sim runs,
+//	                         peer fetch/hit/forward counters, ...
 //
 // On SIGINT/SIGTERM the listener stops accepting, enqueued runs get the
 // drain budget to finish persisting, and only then does the process exit.
@@ -42,71 +55,61 @@ import (
 	"fmt"
 	"net/http"
 	"os"
-	"os/signal"
 	"strings"
-	"syscall"
 	"time"
 
-	"hintm/internal/fault"
-	"hintm/internal/harness"
+	"hintm/internal/cli"
 	"hintm/internal/obs"
 	"hintm/internal/server"
-	"hintm/internal/store"
-	"hintm/internal/workloads"
 )
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:8347", "listen address")
-	storeDir := flag.String("store", ".hintm-store", "result store directory")
-	scaleFlag := flag.String("scale", "medium", "default input scale for requests and P8 figures")
-	largeFlag := flag.String("large", "large", "input scale for Fig 7/8 assembly")
-	wlFlag := flag.String("workloads", "", "comma-separated workload subset for figure assembly")
-	seed := flag.Uint64("seed", 1, "simulation seed (part of every store key)")
-	workers := flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
-	faultsFlag := flag.String("faults", "", `fault-injection plan, e.g. "spurious=0.01,storm=0.001"`)
-	watchdog := flag.Int64("watchdog", 0, "fail a run after this many cycles without forward progress (0 = off)")
-	maxCycles := flag.Int64("max-cycles", 0, "hard cap on each run's simulated cycles (0 = none)")
-	traceDir := flag.String("trace-dir", "", "write per-run traces and autopsies into this directory")
+	storeDir := cli.RegisterStore(flag.CommandLine, ".hintm-store")
+	hf := cli.RegisterHarness(flag.CommandLine)
 	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown budget for in-flight runs")
+	queueLimit := flag.Int("queue-limit", 0, "max admitted-but-unfinished runs before submissions get 429 (0 = default)")
+	node := flag.String("node", "", "this node's advertised base URL, e.g. http://127.0.0.1:8347")
+	peers := flag.String("peers", "", "comma-separated base URLs of every fleet node, including -node")
+	replicas := flag.Int("replicas", 0, "ring owners per key (0 = default)")
 	flag.Parse()
 
-	opts := harness.DefaultOptions()
-	var err error
-	if opts.Scale, err = workloads.ParseScale(*scaleFlag); err != nil {
-		fatal(err)
-	}
-	if opts.LargeScale, err = workloads.ParseScale(*largeFlag); err != nil {
-		fatal(err)
-	}
-	if *wlFlag != "" {
-		opts.Filter = strings.Split(*wlFlag, ",")
-	}
-	opts.Seed = *seed
-	opts.Workers = *workers
-	if opts.Faults, err = fault.ParsePlan(*faultsFlag); err != nil {
-		fatal(err)
-	}
-	opts.WatchdogCycles = *watchdog
-	opts.MaxCycles = *maxCycles
-	opts.TraceDir = *traceDir
-
-	st, err := store.Open(*storeDir)
+	opts, err := hf.Options()
 	if err != nil {
 		fatal(err)
 	}
-	srv := server.New(server.Config{Store: st, Options: opts, Metrics: obs.NewMetrics()})
+	st, err := cli.OpenStore(*storeDir)
+	if err != nil {
+		fatal(err)
+	}
+
+	cfg := server.Config{Store: st, Options: opts, Metrics: obs.NewMetrics(), QueueLimit: *queueLimit}
+	if *peers != "" {
+		if *node == "" {
+			fatal(errors.New("-peers requires -node (this node's own base URL)"))
+		}
+		cfg.Fleet = server.FleetConfig{
+			Self:     *node,
+			Peers:    strings.Split(*peers, ","),
+			Replicas: *replicas,
+		}
+	}
+	srv := server.New(cfg)
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 	// SIGTERM alongside SIGINT: containers and service managers send TERM,
 	// and a drained shutdown is what keeps the store's index consistent
 	// with every run clients were promised.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	ctx, stop := cli.Context(0)
 	defer stop()
 
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
 	fmt.Fprintf(os.Stderr, "hintm-served: listening on %s (store %s, %d entries)\n",
 		*addr, *storeDir, st.Len())
+	if *peers != "" {
+		fmt.Fprintf(os.Stderr, "hintm-served: fleet node %s of [%s]\n", *node, *peers)
+	}
 
 	select {
 	case err := <-errc:

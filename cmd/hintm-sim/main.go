@@ -37,14 +37,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"os/signal"
-	"runtime"
-	"runtime/pprof"
-	"syscall"
 
 	"hintm/internal/cache"
 	"hintm/internal/classify"
-	"hintm/internal/fault"
+	"hintm/internal/cli"
 	"hintm/internal/htm"
 	"hintm/internal/ir"
 	"hintm/internal/obs"
@@ -54,29 +50,21 @@ import (
 )
 
 func main() {
-	htmFlag := flag.String("htm", "p8", "baseline HTM: p8|p8s|l1tm|infcap|stm")
-	hintsFlag := flag.String("hints", "none", "hint mode: none|st|dyn|full")
-	scaleFlag := flag.String("scale", "medium", "input scale: small|medium|large")
+	sf := cli.RegisterSim(flag.CommandLine)
 	threads := flag.Int("threads", 0, "thread count (0 = paper default)")
-	smt := flag.Int("smt", 1, "hardware threads per core")
-	seed := flag.Uint64("seed", 1, "simulation seed")
 	timeout := flag.Duration("timeout", 0, "abort the simulation after this duration (0 = none)")
 	printConfig := flag.Bool("print-config", false, "print the Table-II machine parameters and exit")
 	list := flag.Bool("list", false, "list workloads and exit")
 	moduleFile := flag.String("module", "", "run a hand-written textual TIR module instead of a workload")
 	noClassify := flag.Bool("no-classify", false, "skip the static classification pass")
 	hot := flag.Int("hot", 0, "print the N most-executed instructions")
-	faultsFlag := flag.String("faults", "", `fault-injection plan, e.g. "spurious=0.01,storm=0.001,inval-delay=200"`)
-	watchdog := flag.Int64("watchdog", 0, "fail after this many cycles without forward progress (0 = off)")
-	maxCycles := flag.Int64("max-cycles", 0, "hard cap on simulated cycles (0 = none)")
 	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON file (open in ui.perfetto.dev)")
 	autopsy := flag.Bool("autopsy", false, "print the capacity-abort autopsy report after the run")
 	sampleCycles := flag.Int64("sample-cycles", 10000, "counter-sample period in cycles for traced runs (0 = off)")
-	cpuprofile := flag.String("cpuprofile", "", "write a Go CPU profile of the simulator to this file")
-	memprofile := flag.String("memprofile", "", "write a Go heap profile of the simulator to this file")
+	profiles := cli.RegisterProfiles(flag.CommandLine, "hintm-sim", "simulator")
 	flag.Parse()
 
-	stopProfiles, err := startProfiles(*cpuprofile, *memprofile)
+	stopProfiles, err := profiles.Start()
 	if err != nil {
 		fatal(err)
 	}
@@ -99,22 +87,12 @@ func main() {
 		fatal(fmt.Errorf("usage: hintm-sim [flags] <workload>; see -list"))
 	}
 
-	scale, err := workloads.ParseScale(*scaleFlag)
+	scale, err := sf.Scale()
 	if err != nil {
 		fatal(err)
 	}
-	cfg := sim.DefaultConfig()
-	cfg.Seed = *seed
-	cfg.SMT = *smt
-	if cfg.Faults, err = fault.ParsePlan(*faultsFlag); err != nil {
-		fatal(err)
-	}
-	cfg.WatchdogCycles = *watchdog
-	cfg.MaxCycles = *maxCycles
-	if cfg.HTM, err = sim.ParseHTMKind(*htmFlag); err != nil {
-		fatal(err)
-	}
-	if cfg.Hints, err = sim.ParseHintMode(*hintsFlag); err != nil {
+	cfg, err := sf.Config()
+	if err != nil {
 		fatal(err)
 	}
 
@@ -200,15 +178,8 @@ func main() {
 	if *hot > 0 {
 		m.EnableProfile()
 	}
-	// SIGTERM alongside SIGINT: containerized and service-managed runs get
-	// the same graceful cancellation path as an interactive ^C.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	ctx, stop := cli.Context(*timeout)
 	defer stop()
-	if *timeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, *timeout)
-		defer cancel()
-	}
 	res, err := run(ctx, m)
 	if err != nil {
 		finishObs()
@@ -265,44 +236,6 @@ func main() {
 		ht.Render(os.Stdout)
 	}
 	finishObs()
-}
-
-// startProfiles arms the requested Go pprof profiles and returns the stop
-// function that finalizes them; it runs at most once (both on the normal
-// return path and via cleanup on the fatal paths).
-func startProfiles(cpu, mem string) (stop func(), err error) {
-	if cpu != "" {
-		f, err := os.Create(cpu)
-		if err != nil {
-			return nil, err
-		}
-		if err := pprof.StartCPUProfile(f); err != nil {
-			f.Close()
-			return nil, err
-		}
-	}
-	done := false
-	return func() {
-		if done {
-			return
-		}
-		done = true
-		if cpu != "" {
-			pprof.StopCPUProfile()
-		}
-		if mem != "" {
-			f, err := os.Create(mem)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "hintm-sim: memprofile:", err)
-				return
-			}
-			defer f.Close()
-			runtime.GC()
-			if err := pprof.WriteHeapProfile(f); err != nil {
-				fmt.Fprintln(os.Stderr, "hintm-sim: memprofile:", err)
-			}
-		}
-	}, nil
 }
 
 // run executes the machine, recovering panics (e.g. the fault layer's

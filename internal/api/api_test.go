@@ -1,0 +1,59 @@
+package api
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestErrorRendering(t *testing.T) {
+	e := Errorf(CodeBadRequest, "invalid run spec")
+	if got := e.Error(); got != "bad_request: invalid run spec" {
+		t.Errorf("Error() = %q", got)
+	}
+	e.Detail = "requests[2]: unknown workload"
+	if got := e.Error(); got != "bad_request: invalid run spec (requests[2]: unknown workload)" {
+		t.Errorf("Error() with detail = %q", got)
+	}
+}
+
+// TestEnvelopeWireShape pins the JSON field names clients match on.
+func TestEnvelopeWireShape(t *testing.T) {
+	env := ErrorEnvelope{Schema: Schema, Error: &Error{Code: CodeOverloaded, Message: "work queue full", Detail: "limit 2"}}
+	raw, err := json.Marshal(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"schema":"hintm-api/v2","error":{"code":"overloaded","message":"work queue full","detail":"limit 2"}}`
+	if string(raw) != want {
+		t.Errorf("envelope bytes:\n%s\nwant\n%s", raw, want)
+	}
+}
+
+// TestRunsRequestBothShapes: the body accepts a batch and a single inline
+// spec, like the v1 API did.
+func TestRunsRequestBothShapes(t *testing.T) {
+	var batch RunsRequest
+	if err := json.Unmarshal([]byte(`{"schema":"hintm-api/v2","requests":[{"workload":"a"},{"workload":"b"}]}`), &batch); err != nil {
+		t.Fatal(err)
+	}
+	if len(batch.Requests) != 2 || batch.Requests[1].Workload != "b" || batch.Schema != Schema {
+		t.Errorf("batch: %+v", batch)
+	}
+	var single RunsRequest
+	if err := json.Unmarshal([]byte(`{"workload":"labyrinth","htm":"p8s","smt":2}`), &single); err != nil {
+		t.Fatal(err)
+	}
+	if len(single.Requests) != 0 || single.Workload != "labyrinth" || single.HTM != "p8s" || single.SMT != 2 {
+		t.Errorf("single: %+v", single)
+	}
+}
+
+// TestGridEventOmitsEmpty: run and summary events stay compact — absent
+// sections are omitted, which the NDJSON byte-determinism tests rely on.
+func TestGridEventOmitsEmpty(t *testing.T) {
+	raw, _ := json.Marshal(GridEvent{Schema: Schema, Event: "accepted", Total: 3})
+	want := `{"schema":"hintm-api/v2","event":"accepted","total":3}`
+	if string(raw) != want {
+		t.Errorf("accepted event: %s", raw)
+	}
+}

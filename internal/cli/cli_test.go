@@ -1,0 +1,97 @@
+package cli
+
+import (
+	"flag"
+	"testing"
+	"time"
+
+	"hintm/internal/sim"
+	"hintm/internal/workloads"
+)
+
+func TestHarnessFlagsRoundTrip(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	h := RegisterHarness(fs)
+	err := fs.Parse([]string{
+		"-scale", "small", "-large", "medium", "-workloads", "labyrinth,vacation",
+		"-seed", "7", "-workers", "3", "-watchdog", "100", "-max-cycles", "200",
+		"-trace-dir", "/tmp/traces", "-faults", "spurious=0.01",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts, err := h.Options()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opts.Scale != workloads.Small || opts.LargeScale != workloads.Medium {
+		t.Errorf("scales: %v/%v", opts.Scale, opts.LargeScale)
+	}
+	if len(opts.Filter) != 2 || opts.Seed != 7 || opts.Workers != 3 ||
+		opts.WatchdogCycles != 100 || opts.MaxCycles != 200 || opts.TraceDir != "/tmp/traces" {
+		t.Errorf("options: %+v", opts)
+	}
+	if !opts.Faults.Enabled() {
+		t.Error("fault plan not parsed")
+	}
+}
+
+func TestHarnessFlagsRejectBadScale(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	h := RegisterHarness(fs)
+	if err := fs.Parse([]string{"-scale", "tiny"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Options(); err == nil {
+		t.Error("bad -scale accepted")
+	}
+}
+
+func TestSimFlagsRoundTrip(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	f := RegisterSim(fs)
+	if err := fs.Parse([]string{"-htm", "p8s", "-hints", "dyn", "-scale", "large", "-smt", "2", "-seed", "9"}); err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := f.Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.HTM != sim.HTMP8S || cfg.Hints != sim.HintDynamic || cfg.SMT != 2 || cfg.Seed != 9 {
+		t.Errorf("config: htm=%v hints=%v smt=%d seed=%d", cfg.HTM, cfg.Hints, cfg.SMT, cfg.Seed)
+	}
+	scale, err := f.Scale()
+	if err != nil || scale != workloads.Large {
+		t.Errorf("scale: %v, %v", scale, err)
+	}
+
+	fs2 := flag.NewFlagSet("test", flag.ContinueOnError)
+	f2 := RegisterSim(fs2)
+	if err := fs2.Parse([]string{"-htm", "p99"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f2.Config(); err == nil {
+		t.Error("bad -htm accepted")
+	}
+}
+
+func TestOpenStore(t *testing.T) {
+	st, err := OpenStore("")
+	if err != nil || st != nil {
+		t.Errorf("OpenStore(\"\") = %v, %v; want nil, nil", st, err)
+	}
+	st, err = OpenStore(t.TempDir())
+	if err != nil || st == nil {
+		t.Errorf("OpenStore(dir) = %v, %v", st, err)
+	}
+}
+
+func TestContextTimeout(t *testing.T) {
+	ctx, stop := Context(10 * time.Millisecond)
+	defer stop()
+	select {
+	case <-ctx.Done():
+	case <-time.After(2 * time.Second):
+		t.Fatal("timeout context never expired")
+	}
+}

@@ -1,0 +1,121 @@
+// Package fleet is the placement layer of a multi-node hintm-served
+// deployment: a consistent-hash ring mapping content-addressed store keys
+// onto node base URLs.
+//
+// Results are location-independent by construction (the store key is the
+// SHA-256 of the canonical request preimage, and object bytes carry no
+// node-local state), so placement only has to answer one question: given a
+// key, which nodes should hold — and be asked for — its result? The ring
+// answers it deterministically on every node from nothing but the shared
+// peer list, with no coordination, no membership protocol, and the usual
+// consistent-hashing property that adding or removing one node remaps only
+// ~1/N of the key space.
+package fleet
+
+import (
+	"hash/fnv"
+	"sort"
+	"strconv"
+)
+
+// vnodesPerNode is the number of virtual points each node contributes to
+// the ring. 64 keeps the per-node share of the key space within a few
+// percent of uniform for small fleets while the ring stays tiny.
+const vnodesPerNode = 64
+
+type vnode struct {
+	hash uint64
+	node string
+}
+
+// Ring is an immutable consistent-hash ring over node names (base URLs).
+// Build once with New and share freely; all methods are read-only.
+type Ring struct {
+	nodes  []string
+	vnodes []vnode // sorted by hash
+}
+
+// New builds a ring over the given nodes. Duplicates are collapsed; order
+// does not matter — two nodes constructing rings from the same peer set
+// (however spelled) agree on every placement.
+func New(nodes []string) *Ring {
+	seen := make(map[string]bool, len(nodes))
+	r := &Ring{}
+	for _, n := range nodes {
+		if n == "" || seen[n] {
+			continue
+		}
+		seen[n] = true
+		r.nodes = append(r.nodes, n)
+		for i := 0; i < vnodesPerNode; i++ {
+			r.vnodes = append(r.vnodes, vnode{hash: hash64(n + "#" + strconv.Itoa(i)), node: n})
+		}
+	}
+	sort.Strings(r.nodes)
+	sort.Slice(r.vnodes, func(i, j int) bool {
+		a, b := r.vnodes[i], r.vnodes[j]
+		if a.hash != b.hash {
+			return a.hash < b.hash
+		}
+		// Ties (vanishingly rare) break by name so every node agrees.
+		return a.node < b.node
+	})
+	return r
+}
+
+// Nodes returns the distinct node names, sorted.
+func (r *Ring) Nodes() []string { return r.nodes }
+
+// Len returns the number of distinct nodes.
+func (r *Ring) Len() int { return len(r.nodes) }
+
+// Owner returns the node owning key — the first virtual point clockwise
+// from the key's hash. Empty ring returns "".
+func (r *Ring) Owner(key string) string {
+	owners := r.Owners(key, 1)
+	if len(owners) == 0 {
+		return ""
+	}
+	return owners[0]
+}
+
+// Owners returns the first n distinct nodes clockwise from key's hash:
+// the owner followed by its replicas. n is clamped to the node count.
+func (r *Ring) Owners(key string, n int) []string {
+	if len(r.vnodes) == 0 || n <= 0 {
+		return nil
+	}
+	if n > len(r.nodes) {
+		n = len(r.nodes)
+	}
+	h := hash64(key)
+	start := sort.Search(len(r.vnodes), func(i int) bool { return r.vnodes[i].hash >= h })
+	out := make([]string, 0, n)
+	seen := make(map[string]bool, n)
+	for i := 0; len(out) < n && i < len(r.vnodes); i++ {
+		v := r.vnodes[(start+i)%len(r.vnodes)]
+		if !seen[v.node] {
+			seen[v.node] = true
+			out = append(out, v.node)
+		}
+	}
+	return out
+}
+
+// hash64 is FNV-1a with a splitmix64 finalizer. FNV is deterministic
+// across processes, architectures, and Go versions — placement must agree
+// fleet-wide, so a seeded or randomized hash is exactly wrong here — but
+// its raw output clusters for similar inputs (node URLs differ in one
+// digit), which skews arc lengths badly; the finalizer's avalanche fixes
+// the spread without giving up determinism.
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	x := h.Sum64()
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

@@ -1,0 +1,103 @@
+package fleet
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+func testNodes(n int) []string {
+	nodes := make([]string, n)
+	for i := range nodes {
+		nodes[i] = fmt.Sprintf("http://127.0.0.1:%d", 9000+i)
+	}
+	return nodes
+}
+
+func testKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("%064x", i*2654435761)
+	}
+	return keys
+}
+
+// TestRingAgreement is the property the fleet depends on: every node,
+// building the ring from the same peer set in any order, maps every key
+// to the same owners.
+func TestRingAgreement(t *testing.T) {
+	nodes := testNodes(3)
+	a := New(nodes)
+	b := New([]string{nodes[2], nodes[0], nodes[1], nodes[0]}) // shuffled + dup
+	if !reflect.DeepEqual(a.Nodes(), b.Nodes()) {
+		t.Fatalf("node sets differ: %v vs %v", a.Nodes(), b.Nodes())
+	}
+	for _, key := range testKeys(200) {
+		oa, ob := a.Owners(key, 2), b.Owners(key, 2)
+		if !reflect.DeepEqual(oa, ob) {
+			t.Fatalf("owners disagree for %s: %v vs %v", key, oa, ob)
+		}
+		if len(oa) != 2 || oa[0] == oa[1] {
+			t.Fatalf("owners not distinct for %s: %v", key, oa)
+		}
+		if a.Owner(key) != oa[0] {
+			t.Fatalf("Owner != Owners[0] for %s", key)
+		}
+	}
+}
+
+// TestRingSpread checks the 64-vnode ring shares keys roughly uniformly.
+func TestRingSpread(t *testing.T) {
+	r := New(testNodes(3))
+	counts := map[string]int{}
+	keys := testKeys(3000)
+	for _, key := range keys {
+		counts[r.Owner(key)]++
+	}
+	for node, n := range counts {
+		frac := float64(n) / float64(len(keys))
+		if frac < 0.15 || frac > 0.55 {
+			t.Errorf("node %s owns %.1f%% of keys, far from 33%%", node, frac*100)
+		}
+	}
+}
+
+// TestRingStability checks consistent hashing's point: removing one node
+// moves only that node's keys — every key it did not own keeps its owner.
+func TestRingStability(t *testing.T) {
+	nodes := testNodes(3)
+	full := New(nodes)
+	reduced := New(nodes[:2])
+	moved := 0
+	keys := testKeys(1000)
+	for _, key := range keys {
+		was := full.Owner(key)
+		now := reduced.Owner(key)
+		if was != nodes[2] && now != was {
+			t.Fatalf("key %s moved from surviving node %s to %s", key, was, now)
+		}
+		if was == nodes[2] {
+			moved++
+		}
+	}
+	if moved == 0 || moved == len(keys) {
+		t.Fatalf("removed node owned %d/%d keys; spread is broken", moved, len(keys))
+	}
+}
+
+func TestRingEdgeCases(t *testing.T) {
+	empty := New(nil)
+	if empty.Owner("k") != "" || empty.Owners("k", 3) != nil || empty.Len() != 0 {
+		t.Error("empty ring should own nothing")
+	}
+	one := New([]string{"http://a", "", "http://a"})
+	if one.Len() != 1 {
+		t.Fatalf("Len = %d, want 1 (dups and blanks collapsed)", one.Len())
+	}
+	if got := one.Owners("k", 5); len(got) != 1 || got[0] != "http://a" {
+		t.Errorf("Owners over-clamped: %v", got)
+	}
+	if got := one.Owners("k", 0); got != nil {
+		t.Errorf("Owners(k, 0) = %v, want nil", got)
+	}
+}

@@ -1,0 +1,158 @@
+package loadgen
+
+import (
+	"context"
+	"encoding/json"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hintm/internal/api"
+)
+
+// TestScheduleDeterministic: same config, same schedule; different seed,
+// different schedule.
+func TestScheduleDeterministic(t *testing.T) {
+	cfg := Config{N: 50, Rate: 100, Seed: 7, Process: Poisson}
+	a, b := Schedule(cfg), Schedule(cfg)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different schedules")
+	}
+	cfg.Seed = 8
+	if reflect.DeepEqual(a, Schedule(cfg)) {
+		t.Fatal("different seed produced the same schedule")
+	}
+	for i := 1; i < len(a); i++ {
+		if a[i] < a[i-1] {
+			t.Fatalf("offsets not monotonic at %d: %v < %v", i, a[i], a[i-1])
+		}
+	}
+}
+
+// TestScheduleRate checks the mean inter-arrival matches 1/Rate for both
+// processes (law of large numbers; generous tolerance).
+func TestScheduleRate(t *testing.T) {
+	for _, p := range []Process{Poisson, Bursty} {
+		cfg := Config{N: 5000, Rate: 1000, Seed: 42, Process: p, CV: 3}
+		offs := Schedule(cfg)
+		mean := offs[len(offs)-1].Seconds() / float64(len(offs))
+		want := 1 / cfg.Rate
+		if mean < want/2 || mean > want*2 {
+			t.Errorf("%v: mean inter-arrival %.6fs, want ~%.6fs", p, mean, want)
+		}
+	}
+}
+
+// TestBurstyIsBurstier: the Gamma process at CV=4 must show a larger
+// inter-arrival variance than Poisson at the same mean rate.
+func TestBurstyIsBurstier(t *testing.T) {
+	variance := func(p Process) float64 {
+		offs := Schedule(Config{N: 5000, Rate: 1000, Seed: 11, Process: p, CV: 4})
+		var gaps []float64
+		prev := time.Duration(0)
+		for _, o := range offs {
+			gaps = append(gaps, (o - prev).Seconds())
+			prev = o
+		}
+		var mean, v float64
+		for _, g := range gaps {
+			mean += g
+		}
+		mean /= float64(len(gaps))
+		for _, g := range gaps {
+			v += (g - mean) * (g - mean)
+		}
+		return v / float64(len(gaps))
+	}
+	vp, vb := variance(Poisson), variance(Bursty)
+	if vb < 4*vp {
+		t.Errorf("bursty variance %.3g not clearly above poisson %.3g", vb, vp)
+	}
+}
+
+func TestParseProcess(t *testing.T) {
+	for in, want := range map[string]Process{"poisson": Poisson, "Bursty": Bursty} {
+		got, err := ParseProcess(in)
+		if err != nil || got != want {
+			t.Errorf("ParseProcess(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseProcess("uniform"); err == nil {
+		t.Error("ParseProcess accepted an unknown process")
+	}
+}
+
+func TestReportCheck(t *testing.T) {
+	rep := &Report{
+		Sent: 10, Hits: 6, Simulated: 3, Failed: 1,
+		latencies: []time.Duration{1 * time.Millisecond, 2 * time.Millisecond, 100 * time.Millisecond},
+	}
+	if got := rep.Percentile(0.99); got != 100*time.Millisecond {
+		t.Errorf("p99 = %v", got)
+	}
+	if got := rep.Percentile(0.50); got != 2*time.Millisecond {
+		t.Errorf("p50 = %v", got)
+	}
+	if math.Abs(rep.HitRate()-0.6) > 1e-9 {
+		t.Errorf("hit rate = %v", rep.HitRate())
+	}
+	if err := rep.Check(SLO{P99: time.Second, MinHitRate: 0.5, MaxFailed: 1}); err != nil {
+		t.Errorf("met SLO reported violated: %v", err)
+	}
+	err := rep.Check(SLO{P99: time.Millisecond, MinHitRate: 0.9, MaxFailed: 0})
+	if err == nil {
+		t.Fatal("violated SLO reported met")
+	}
+}
+
+// TestRunAgainstStub drives the full open-loop path against a stub server
+// and checks classification of hits, simulations, and 429s.
+func TestRunAgainstStub(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := calls.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		switch {
+		case n%5 == 0: // every 5th request is shed
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusTooManyRequests)
+			json.NewEncoder(w).Encode(api.ErrorEnvelope{Schema: api.Schema,
+				Error: api.Errorf(api.CodeOverloaded, "work queue full")})
+		case n%2 == 0:
+			json.NewEncoder(w).Encode(api.RunsResponse{Schema: api.Schema,
+				Runs: []api.RunStatus{{Key: "k", Status: "hit", Source: "store"}}})
+		default:
+			json.NewEncoder(w).Encode(api.RunsResponse{Schema: api.Schema,
+				Runs: []api.RunStatus{{Key: "k", Status: "done", Source: "sim"}}})
+		}
+	}))
+	defer ts.Close()
+
+	rep, err := Run(context.Background(), Config{
+		Targets: []string{ts.URL},
+		Specs:   []api.RunSpec{{Workload: "labyrinth", Scale: "small"}},
+		N:       20, Rate: 2000, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Sent != 20 {
+		t.Fatalf("sent %d, want 20", rep.Sent)
+	}
+	if rep.Throttled != 4 || rep.Hits+rep.Simulated != 16 || rep.Failed != 0 {
+		t.Errorf("classification off: %+v", rep)
+	}
+	if rep.Percentile(0.99) <= 0 {
+		t.Error("no latency recorded")
+	}
+}
+
+func TestRunRejectsBadConfig(t *testing.T) {
+	if _, err := Run(context.Background(), Config{}); err == nil {
+		t.Error("empty config accepted")
+	}
+}

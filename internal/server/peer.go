@@ -1,0 +1,125 @@
+// Peer result fetch and forwarding: the data paths of the sharded fleet.
+//
+// Both directions move the store's raw object bytes verbatim, so a result
+// is byte-identical on every node that holds it. Placement comes from the
+// consistent-hash ring (internal/fleet): a key's owner and replicas are
+// the nodes asked on a miss (peer fetch) and the nodes given a copy after
+// a cold simulation (forward), which together guarantee any node can
+// answer any previously-computed key with at most Replicas network hops
+// and zero simulation.
+package server
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net/http"
+	"time"
+)
+
+// defaultPeerTimeout bounds one peer HTTP call. Peer fetch is an
+// optimization over re-simulating; a slow peer must not cost more than the
+// simulation it would save.
+const defaultPeerTimeout = 5 * time.Second
+
+// maxReplicaBytes bounds a replicated object. Run results are a few KB;
+// anything near this limit is garbage.
+const maxReplicaBytes = 16 << 20
+
+// peerFetch asks key's ring owner and replicas (skipping this node) for
+// the stored object, returning the first hit's raw bytes, or nil when no
+// peer has it. Peers are asked with ?local=1, so a fetch never cascades
+// into further fetches or simulations.
+func (s *Server) peerFetch(ctx context.Context, key string) []byte {
+	if s.ring == nil {
+		return nil
+	}
+	for _, node := range s.ring.Owners(key, s.replicas) {
+		if node == s.self {
+			continue
+		}
+		s.metrics.Counter("fleet_peer_fetch_total").Inc()
+		raw, err := s.fetchFrom(ctx, node, key)
+		if err != nil {
+			// An unreachable peer degrades to a local simulation, never to
+			// a failure.
+			s.metrics.Counter("fleet_peer_errors_total").Inc()
+			continue
+		}
+		if raw != nil {
+			s.metrics.Counter("fleet_peer_hits_total").Inc()
+			return raw
+		}
+	}
+	return nil
+}
+
+// fetchFrom performs one ?local=1 lookup against a peer. (nil, nil) means
+// the peer answered and does not have the key.
+func (s *Server) fetchFrom(ctx context.Context, node, key string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, node+"/v1/runs/"+key+"?local=1", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := s.peerHTTP.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+		return readAll(resp.Body, maxReplicaBytes)
+	case http.StatusNotFound, http.StatusAccepted:
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4<<10))
+		return nil, nil
+	default:
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4<<10))
+		return nil, errPeerStatus(resp.StatusCode)
+	}
+}
+
+type errPeerStatus int
+
+func (e errPeerStatus) Error() string { return "peer returned status " + http.StatusText(int(e)) }
+
+// forward replicates a freshly-simulated key to its ring owners, so later
+// lookups find it where the ring says to look no matter which node did
+// the work. Best-effort: a failed forward costs a future peer fetch a
+// miss (and at worst one re-simulation), never correctness.
+func (s *Server) forward(ctx context.Context, key string) {
+	if s.ring == nil {
+		return
+	}
+	_, raw, err := s.store.Get(key)
+	if err != nil || raw == nil {
+		return
+	}
+	for _, node := range s.ring.Owners(key, s.replicas) {
+		if node == s.self {
+			continue
+		}
+		s.metrics.Counter("fleet_forward_total").Inc()
+		if err := s.replicateTo(ctx, node, key, raw); err != nil {
+			s.metrics.Counter("fleet_forward_errors_total").Inc()
+		}
+	}
+}
+
+// replicateTo PUTs one object's raw bytes to a peer.
+func (s *Server) replicateTo(ctx context.Context, node, key string, raw []byte) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPut, node+"/v1/runs/"+key+"?local=1", bytes.NewReader(raw))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := s.peerHTTP.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 4<<10))
+	if resp.StatusCode != http.StatusOK {
+		return errPeerStatus(resp.StatusCode)
+	}
+	return nil
+}

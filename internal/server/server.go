@@ -1,20 +1,33 @@
 // Package server is the hintm-served HTTP service: a long-running process
-// that turns experiments into cacheable, addressable, queryable artifacts.
+// that turns experiments into cacheable, addressable, queryable artifacts,
+// and — deployed as a fleet — scales them across nodes.
 //
-// Request lifecycle: POST /v1/runs accepts a run spec (or a grid of them),
-// derives each spec's content address (the harness's canonical key), and
-// answers store hits immediately; misses are enqueued onto the scheduler's
-// worker pool, where the runner's single-flight dedup guarantees each
-// distinct request simulates at most once no matter how many HTTP clients
-// ask for it. Completed runs persist into the store, so a result computed
-// once is a hit forever after — across restarts, and across processes
-// sharing the store directory (hintm-bench -store warms the same cache
-// this service serves from).
+// Request lifecycle: POST /v1/runs accepts a run spec (or a grid of them)
+// and POST /v1/grids accepts a batched grid answered as an NDJSON event
+// stream. Each spec's content address (the harness's canonical key) is
+// derived up front; local store hits answer immediately; on a miss, the
+// key's ring owner and replicas are asked for the result (peer fetch)
+// before anything simulates; only then does the run enter the scheduler's
+// worker pool, where single-flight dedup guarantees each distinct request
+// simulates at most once. Completed runs persist into the local store and
+// are forwarded to the key's ring owners, so a result computed once is a
+// warm hit everywhere, forever — across restarts, across processes, and
+// across the fleet.
+//
+// Admission control: the server carries a bounded work queue. Submissions
+// that would exceed it are refused with 429 and a Retry-After header
+// rather than queued without bound — under overload the service sheds
+// load, it does not grow latency indefinitely.
+//
+// Wire format: hintm-api/v2 (see internal/api). Every response carries the
+// schema in its body and the X-Hintm-Api header; errors are typed
+// {code, message, detail} envelopes. Clients pinning the deprecated v1
+// error shape may send `X-Hintm-Api: hintm-api/v1`.
 //
 // Byte-identity: GET /v1/runs/{key} responds with the store's raw object
-// bytes verbatim. Two GETs of the same key — cold-then-warm, today or
-// after a restart — return byte-identical bodies; the X-Hintm-Store
-// header says whether this response was served warm.
+// bytes verbatim, and fleet replication (PutRaw) moves those bytes
+// unchanged — so every GET of the same key, on any node, cold or warm,
+// today or after a restart, returns a byte-identical body.
 package server
 
 import (
@@ -22,16 +35,43 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"sort"
 	"sync"
 
+	"hintm/internal/api"
+	"hintm/internal/fleet"
 	"hintm/internal/harness"
 	"hintm/internal/obs"
 	"hintm/internal/sim"
 	"hintm/internal/store"
 	"hintm/internal/workloads"
 )
+
+// DefaultQueueLimit bounds admitted-but-unfinished runs (async queue plus
+// active synchronous work) when Config.QueueLimit is zero.
+const DefaultQueueLimit = 256
+
+// MaxGridRuns caps one POST /v1/grids submission.
+const MaxGridRuns = 4096
+
+// FleetConfig describes this node's place in a multi-node deployment. The
+// zero value means single-node operation (no peer fetch, no forwarding).
+type FleetConfig struct {
+	// Self is this node's advertised base URL (e.g. http://10.0.0.1:8347);
+	// it must appear in Peers.
+	Self string
+	// Peers lists every node's base URL, including Self. All nodes must
+	// agree on the set (spelling order is irrelevant) for placement to
+	// agree.
+	Peers []string
+	// Replicas is how many ring owners hold (and are asked for) each key
+	// (default 2, clamped to the fleet size).
+	Replicas int
+	// Client performs peer HTTP calls (nil = a client with a short timeout).
+	Client *http.Client
+}
 
 // Config assembles a Server.
 type Config struct {
@@ -42,6 +82,11 @@ type Config struct {
 	Options harness.Options
 	// Metrics receives every component's counters (nil = a fresh registry).
 	Metrics *obs.Metrics
+	// Fleet enables multi-node operation (zero value = single node).
+	Fleet FleetConfig
+	// QueueLimit bounds the admitted-but-unfinished run count; submissions
+	// beyond it get 429 + Retry-After (0 = DefaultQueueLimit).
+	QueueLimit int
 }
 
 // Server handles the /v1 API. Create with New, expose via Handler, and
@@ -51,6 +96,14 @@ type Server struct {
 	runner  *harness.Runner
 	opts    harness.Options
 	metrics *obs.Metrics
+
+	// Fleet placement: nil ring = single node.
+	ring     *fleet.Ring
+	self     string
+	replicas int
+	peerHTTP *http.Client
+
+	queueLimit int
 
 	// baseCtx outlives individual HTTP requests: enqueued runs must not
 	// die with the client connection that triggered them. Cancelling it
@@ -64,6 +117,7 @@ type Server struct {
 
 	mu       sync.Mutex
 	inflight map[string]bool
+	active   int // admitted synchronous work (wait/grid runs) not in inflight
 	draining bool
 }
 
@@ -79,17 +133,39 @@ func New(cfg Config) *Server {
 	opts.Metrics = m
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
-		store:    cfg.Store,
-		runner:   harness.NewRunner(opts),
-		opts:     opts,
-		metrics:  m,
-		baseCtx:  ctx,
-		cancel:   cancel,
-		mux:      http.NewServeMux(),
-		inflight: make(map[string]bool),
+		store:      cfg.Store,
+		runner:     harness.NewRunner(opts),
+		opts:       opts,
+		metrics:    m,
+		queueLimit: cfg.QueueLimit,
+		baseCtx:    ctx,
+		cancel:     cancel,
+		mux:        http.NewServeMux(),
+		inflight:   make(map[string]bool),
+	}
+	if s.queueLimit <= 0 {
+		s.queueLimit = DefaultQueueLimit
+	}
+	if len(cfg.Fleet.Peers) > 1 {
+		s.ring = fleet.New(cfg.Fleet.Peers)
+		s.self = cfg.Fleet.Self
+		s.replicas = cfg.Fleet.Replicas
+		if s.replicas <= 0 {
+			s.replicas = 2
+		}
+		if s.replicas > s.ring.Len() {
+			s.replicas = s.ring.Len()
+		}
+		s.peerHTTP = cfg.Fleet.Client
+		if s.peerHTTP == nil {
+			s.peerHTTP = &http.Client{Timeout: defaultPeerTimeout}
+		}
 	}
 	s.mux.HandleFunc("POST /v1/runs", s.handleRuns)
+	s.mux.HandleFunc("POST /v1/grids", s.handleGrids)
+	s.mux.HandleFunc("GET /v1/runs", s.handleList)
 	s.mux.HandleFunc("GET /v1/runs/{key}", s.handleRun)
+	s.mux.HandleFunc("PUT /v1/runs/{key}", s.handleReplicate)
 	s.mux.HandleFunc("GET /v1/figures/{name}", s.handleFigure)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -121,18 +197,40 @@ func (s *Server) Drain(ctx context.Context) error {
 	}
 }
 
-// RunSpec is the wire form of one experiment request. Scale defaults to
-// the server's configured scale; HTM to p8; hints to none; SMT to 1.
-type RunSpec struct {
-	Workload string `json:"workload"`
-	Scale    string `json:"scale,omitempty"`
-	HTM      string `json:"htm,omitempty"`
-	Hints    string `json:"hints,omitempty"`
-	SMT      int    `json:"smt,omitempty"`
+// ---- admission control ------------------------------------------------
+
+// admit reserves n slots of the bounded work queue, or refuses. Callers
+// must release exactly n slots (possibly from other goroutines) once the
+// admitted work finishes.
+func (s *Server) admit(n int) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.active+len(s.inflight)+n > s.queueLimit {
+		s.metrics.Counter("serve_throttled_total").Inc()
+		return false
+	}
+	s.active += n
+	return true
 }
 
-// parse resolves the spec into a harness Request.
-func (s *Server) parse(spec RunSpec) (harness.Request, error) {
+// release gives back n admitted slots.
+func (s *Server) release(n int) {
+	s.mu.Lock()
+	s.active -= n
+	s.mu.Unlock()
+}
+
+// load reports the admitted-but-unfinished run count.
+func (s *Server) load() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.active + len(s.inflight)
+}
+
+// ---- request parsing --------------------------------------------------
+
+// parse resolves the wire spec into a harness Request.
+func (s *Server) parse(spec api.RunSpec) (harness.Request, error) {
 	var req harness.Request
 	if spec.Workload == "" {
 		return req, errors.New("missing workload")
@@ -164,83 +262,134 @@ func (s *Server) parse(spec RunSpec) (harness.Request, error) {
 	return req, nil
 }
 
-// RunStatus is one submitted request's disposition.
-type RunStatus struct {
-	// Key is the request's content address; ResultURL dereferences it.
-	Key       string `json:"key"`
-	Request   string `json:"request"`
-	ResultURL string `json:"resultUrl"`
-	// Status: "hit" (already stored), "done" (simulated under ?wait=1),
-	// "enqueued" (simulation started), "running" (already in flight),
-	// "failed" (run error; Error has details).
-	Status string `json:"status"`
-	Error  string `json:"error,omitempty"`
-}
-
-// runsRequest accepts either {"requests":[spec...]} or one inline spec.
-type runsRequest struct {
-	Requests []RunSpec `json:"requests"`
-	RunSpec
-}
-
-type runsResponse struct {
-	Runs []RunStatus `json:"runs"`
-}
-
-// handleRuns is POST /v1/runs: submit a request or a grid. With ?wait=1
-// the response blocks until every submitted run completes (store hits
-// still answer without simulating); without it, misses are enqueued and
-// the client polls GET /v1/runs/{key}.
-func (s *Server) handleRuns(w http.ResponseWriter, r *http.Request) {
-	s.metrics.Counter("serve_requests_total").Inc()
-	var body runsRequest
-	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
-		httpError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
-		return
-	}
-	specs := body.Requests
-	if len(specs) == 0 {
-		specs = []RunSpec{body.RunSpec}
-	}
+// parseAll parses a batch, attributing the first failure to its index.
+func (s *Server) parseAll(specs []api.RunSpec) ([]harness.Request, *api.Error) {
 	reqs := make([]harness.Request, len(specs))
 	for i, spec := range specs {
 		var err error
 		if reqs[i], err = s.parse(spec); err != nil {
-			httpError(w, http.StatusBadRequest, fmt.Errorf("requests[%d]: %w", i, err))
-			return
+			e := api.Errorf(api.CodeBadRequest, "invalid run spec")
+			e.Detail = fmt.Sprintf("requests[%d]: %v", i, err)
+			return nil, e
 		}
 	}
+	return reqs, nil
+}
+
+// checkSchema validates an explicit request-body schema declaration.
+func checkSchema(schema string) *api.Error {
+	if schema != "" && schema != api.Schema {
+		e := api.Errorf(api.CodeBadRequest, "unsupported request schema %q", schema)
+		e.Detail = "this server speaks " + api.Schema
+		return e
+	}
+	return nil
+}
+
+// ---- the resolution pipeline ------------------------------------------
+
+// resolve answers one request end to end: the local store, then the key's
+// ring owner and replicas (peer fetch), and only then — cold everywhere —
+// the simulator. A cold result is forwarded to the key's owners so the
+// next lookup is warm on any node. The warm path never simulates: it is
+// bounded by one store lookup plus at most Replicas network hops.
+func (s *Server) resolve(ctx context.Context, req harness.Request) api.RunStatus {
+	key := s.runner.StoreKey(req)
+	rs := api.RunStatus{Key: key, Request: req.String(), ResultURL: "/v1/runs/" + key}
+	if s.store.Contains(key) {
+		rs.Status, rs.Source = "hit", "store"
+		return rs
+	}
+	if raw := s.peerFetch(ctx, key); raw != nil {
+		if _, err := s.store.PutRaw(raw); err == nil {
+			rs.Status, rs.Source = "hit", "peer"
+			return rs
+		}
+		// A peer handed back bytes our store rejects: treat as a miss.
+		s.metrics.Counter("fleet_peer_invalid_total").Inc()
+	}
+	if _, err := s.runner.Run(ctx, req); err != nil {
+		rs.Status = "failed"
+		rs.Error = &api.Error{Code: api.CodeRunFailed, Message: err.Error()}
+		return rs
+	}
+	rs.Status, rs.Source = "done", "sim"
+	s.forward(ctx, key)
+	return rs
+}
+
+// ---- handlers ----------------------------------------------------------
+
+// handleRuns is POST /v1/runs: submit a request or a grid. With ?wait=1
+// the response blocks until every submitted run completes (store and peer
+// hits still answer without simulating); without it, misses are enqueued
+// and the client polls GET /v1/runs/{key}.
+func (s *Server) handleRuns(w http.ResponseWriter, r *http.Request) {
+	s.metrics.Counter("serve_requests_total").Inc()
+	if !s.checkVersion(w, r) {
+		return
+	}
+	var body api.RunsRequest
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		s.writeError(w, r, http.StatusBadRequest, api.Errorf(api.CodeBadRequest, "bad request body: %v", err))
+		return
+	}
+	if e := checkSchema(body.Schema); e != nil {
+		s.writeError(w, r, http.StatusBadRequest, e)
+		return
+	}
+	specs := body.Requests
+	if len(specs) == 0 {
+		specs = []api.RunSpec{body.RunSpec}
+	}
+	reqs, perr := s.parseAll(specs)
+	if perr != nil {
+		s.writeError(w, r, http.StatusBadRequest, perr)
+		return
+	}
+	if !s.admit(len(reqs)) {
+		s.throttle(w, r, len(reqs))
+		return
+	}
+	transferred := 0 // slots handed off to async goroutines
 
 	wait := r.URL.Query().Get("wait") != ""
-	out := runsResponse{Runs: make([]RunStatus, len(reqs))}
+	out := api.RunsResponse{Schema: api.Schema, Runs: make([]api.RunStatus, len(reqs))}
 	status := http.StatusOK
 	for i, req := range reqs {
-		key := s.runner.StoreKey(req)
-		rs := RunStatus{Key: key, Request: req.String(), ResultURL: "/v1/runs/" + key}
-		switch {
-		case s.store.Contains(key):
-			rs.Status = "hit"
-		case wait:
+		var rs api.RunStatus
+		if wait {
 			// The runner single-flights concurrent duplicates, so a grid
 			// containing repeats still simulates each point once.
-			if _, err := s.runner.Run(r.Context(), req); err != nil {
-				rs.Status, rs.Error = "failed", err.Error()
-			} else {
-				rs.Status = "done"
-			}
-		default:
-			rs.Status = s.enqueue(key, req)
-			if rs.Status == "enqueued" || rs.Status == "running" {
-				status = http.StatusAccepted
+			rs = s.resolve(r.Context(), req)
+		} else {
+			key := s.runner.StoreKey(req)
+			rs = api.RunStatus{Key: key, Request: req.String(), ResultURL: "/v1/runs/" + key}
+			switch {
+			case s.store.Contains(key):
+				rs.Status, rs.Source = "hit", "store"
+			default:
+				rs.Status = s.enqueue(key, req)
+				switch rs.Status {
+				case "enqueued":
+					transferred++
+					status = http.StatusAccepted
+				case "running":
+					status = http.StatusAccepted
+				case "failed":
+					rs.Error = &api.Error{Code: api.CodeDraining, Message: "server is draining; no new work accepted"}
+				}
 			}
 		}
 		out.Runs[i] = rs
 	}
-	writeJSON(w, status, out)
+	s.release(len(reqs) - transferred)
+	s.respond(w, status, out)
 }
 
 // enqueue starts req on the scheduler unless that key is already in
-// flight; it reports the resulting status.
+// flight; it reports the resulting status. An "enqueued" return transfers
+// one admitted queue slot to the background goroutine.
 func (s *Server) enqueue(key string, req harness.Request) string {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -255,9 +404,11 @@ func (s *Server) enqueue(key string, req harness.Request) string {
 	s.wg.Add(1)
 	go func() {
 		defer s.wg.Done()
+		defer s.release(1)
 		// Errors are not lost: the failed key stays absent from the store
-		// and a ?wait=1 resubmission reports the error inline.
-		_, _ = s.runner.Run(s.baseCtx, req)
+		// and a ?wait=1 resubmission reports the error inline. resolve
+		// consults peers before simulating, same as the synchronous path.
+		s.resolve(s.baseCtx, req)
 		s.mu.Lock()
 		delete(s.inflight, key)
 		s.metrics.Counter("serve_queue_depth").Set(int64(len(s.inflight)))
@@ -266,38 +417,85 @@ func (s *Server) enqueue(key string, req harness.Request) string {
 	return "enqueued"
 }
 
-// handleRun is GET /v1/runs/{key}: the stored entry verbatim (200), a
-// progress report while the run is in flight (202), or 404.
+// handleRun is GET /v1/runs/{key}: the stored entry verbatim (200, local
+// or fetched from the key's ring owners), a progress report while the run
+// is in flight (202), or a 404 envelope. ?local=1 restricts the lookup to
+// this node's store — the form peers use, so fetches never cascade.
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	s.metrics.Counter("serve_requests_total").Inc()
 	key := r.PathValue("key")
+	localOnly := r.URL.Query().Get("local") != ""
+	if localOnly {
+		s.metrics.Counter("fleet_served_for_peer_total").Inc()
+	}
 	_, raw, err := s.store.Get(key)
 	if err != nil {
-		httpError(w, http.StatusInternalServerError, err)
+		s.writeError(w, r, http.StatusInternalServerError, api.Errorf(api.CodeInternal, "%v", err))
 		return
 	}
+	if raw == nil && !localOnly {
+		if praw := s.peerFetch(r.Context(), key); praw != nil {
+			if _, err := s.store.PutRaw(praw); err == nil {
+				s.serveRaw(w, praw, "peer")
+				return
+			}
+			s.metrics.Counter("fleet_peer_invalid_total").Inc()
+		}
+	}
 	if raw != nil {
-		// The raw object file bytes, verbatim: every hit of a key serves
-		// the identical body.
-		w.Header().Set("Content-Type", "application/json")
-		w.Header().Set("X-Hintm-Store", "hit")
-		w.WriteHeader(http.StatusOK)
-		w.Write(raw)
+		// The raw object file bytes, verbatim: every hit of a key — on any
+		// node — serves the identical body.
+		s.serveRaw(w, raw, "hit")
 		return
 	}
 	s.mu.Lock()
 	running := s.inflight[key]
 	queue := len(s.inflight)
 	s.mu.Unlock()
+	w.Header().Set(api.StoreHeader, "miss")
 	if running {
-		w.Header().Set("X-Hintm-Store", "miss")
-		writeJSON(w, http.StatusAccepted, map[string]any{
-			"key": key, "status": "running", "queueDepth": queue,
+		s.respond(w, http.StatusAccepted, map[string]any{
+			"schema": api.Schema, "key": key, "status": "running", "queueDepth": queue,
 		})
 		return
 	}
-	w.Header().Set("X-Hintm-Store", "miss")
-	httpError(w, http.StatusNotFound, fmt.Errorf("no run with key %s (POST /v1/runs to submit)", key))
+	s.writeError(w, r, http.StatusNotFound,
+		api.Errorf(api.CodeNotFound, "no run with key %s (POST /v1/runs to submit)", key))
+}
+
+func (s *Server) serveRaw(w http.ResponseWriter, raw []byte, source string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set(api.Header, api.Schema)
+	w.Header().Set(api.StoreHeader, source)
+	w.WriteHeader(http.StatusOK)
+	w.Write(raw)
+}
+
+// handleReplicate is PUT /v1/runs/{key}: the fleet's internal replication
+// path. The body is another node's raw object bytes; they are validated
+// and stored verbatim, so replicas stay byte-identical to the original.
+func (s *Server) handleReplicate(w http.ResponseWriter, r *http.Request) {
+	s.metrics.Counter("serve_requests_total").Inc()
+	key := r.PathValue("key")
+	raw, err := readAll(r.Body, maxReplicaBytes)
+	if err != nil {
+		s.writeError(w, r, http.StatusBadRequest, api.Errorf(api.CodeBadRequest, "read body: %v", err))
+		return
+	}
+	stored, err := s.store.PutRaw(raw)
+	if err != nil {
+		s.writeError(w, r, http.StatusBadRequest, api.Errorf(api.CodeBadRequest, "%v", err))
+		return
+	}
+	if stored != key {
+		// The bytes were self-consistent but for a different key than the
+		// URL claims; the store indexed them under their true address.
+		s.writeError(w, r, http.StatusBadRequest,
+			api.Errorf(api.CodeBadRequest, "body is entry %s, not %s", stored, key))
+		return
+	}
+	s.metrics.Counter("fleet_replicated_in_total").Inc()
+	s.respond(w, http.StatusOK, map[string]any{"schema": api.Schema, "key": key, "status": "stored"})
 }
 
 // handleFigure is GET /v1/figures/{name}: the named figure's rows,
@@ -308,21 +506,22 @@ func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	build, ok := s.figureBuilders()[name]
 	if !ok {
-		httpError(w, http.StatusNotFound, fmt.Errorf("unknown figure %q (want one of %v)", name, s.figureNames()))
+		s.writeError(w, r, http.StatusNotFound,
+			api.Errorf(api.CodeNotFound, "unknown figure %q (want one of %v)", name, s.figureNames()))
 		return
 	}
 	rows, err := build(r.Context())
 	if r.Context().Err() != nil {
-		httpError(w, http.StatusServiceUnavailable, r.Context().Err())
+		s.writeError(w, r, http.StatusServiceUnavailable, api.Errorf(api.CodeUnavailable, "%v", r.Context().Err()))
 		return
 	}
-	resp := map[string]any{"figure": name, "rows": rows}
+	resp := map[string]any{"schema": api.Schema, "figure": name, "rows": rows}
 	if err != nil {
 		// Degraded figures still serve their surviving rows, same contract
 		// as hintm-bench.
 		resp["error"] = err.Error()
 	}
-	writeJSON(w, http.StatusOK, resp)
+	s.respond(w, http.StatusOK, resp)
 }
 
 // figureBuilders maps API figure names onto harness builders.
@@ -350,25 +549,83 @@ func (s *Server) figureNames() []string {
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	queue := len(s.inflight)
+	active := s.active
 	s.mu.Unlock()
-	writeJSON(w, http.StatusOK, map[string]any{
+	resp := map[string]any{
 		"status":       "ok",
 		"schema":       store.Schema,
+		"api":          api.Schema,
 		"storeEntries": s.store.Len(),
 		"queueDepth":   queue,
-	})
+		"active":       active,
+		"queueLimit":   s.queueLimit,
+	}
+	if s.ring != nil {
+		resp["node"] = s.self
+		resp["peers"] = s.ring.Nodes()
+	}
+	s.respond(w, http.StatusOK, resp)
 }
 
 // handleMetrics renders the shared registry (store hit/miss/put counters,
-// scheduler run counts, in-flight workers, queue depth) in Prometheus
-// text exposition format.
+// scheduler run counts, fleet peer fetch/hit/forward counters, queue
+// depth) in Prometheus text exposition format.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	s.metrics.Counter("serve_queue_depth").Set(int64(len(s.inflight)))
+	s.metrics.Counter("serve_active").Set(int64(s.active))
 	s.mu.Unlock()
 	s.metrics.Counter("store_entries").Set(int64(s.store.Len()))
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	w.Header().Set(api.Header, api.Schema)
 	s.metrics.Render(w)
+}
+
+// ---- response plumbing -------------------------------------------------
+
+// checkVersion rejects requests pinning an API version this server does
+// not speak. Absent header = current version.
+func (s *Server) checkVersion(w http.ResponseWriter, r *http.Request) bool {
+	switch r.Header.Get(api.Header) {
+	case "", api.Schema, api.SchemaV1:
+		return true
+	}
+	s.writeError(w, r, http.StatusBadRequest,
+		api.Errorf(api.CodeBadRequest, "unsupported %s %q (this server speaks %s)",
+			api.Header, r.Header.Get(api.Header), api.Schema))
+	return false
+}
+
+// throttle answers an over-limit submission: 429, Retry-After, and a typed
+// envelope naming the limit.
+func (s *Server) throttle(w http.ResponseWriter, r *http.Request, n int) {
+	w.Header().Set("Retry-After", "1")
+	e := api.Errorf(api.CodeOverloaded, "work queue full")
+	e.Detail = fmt.Sprintf("load %d + submitted %d exceeds queue limit %d; retry after Retry-After seconds",
+		s.load(), n, s.queueLimit)
+	s.writeError(w, r, http.StatusTooManyRequests, e)
+}
+
+// respond writes a v2 success body with the version header.
+func (s *Server) respond(w http.ResponseWriter, status int, v any) {
+	w.Header().Set(api.Header, api.Schema)
+	writeJSON(w, status, v)
+}
+
+// writeError writes the typed v2 error envelope — or, for clients pinning
+// hintm-api/v1 via the X-Hintm-Api request header, the deprecated v1
+// {"error": "..."} shape with a Deprecation note.
+func (s *Server) writeError(w http.ResponseWriter, r *http.Request, status int, e *api.Error) {
+	if r.Header.Get(api.Header) == api.SchemaV1 {
+		w.Header().Set(api.Header, api.SchemaV1)
+		w.Header().Set("Deprecation", "true")
+		w.Header().Set("X-Hintm-Api-Note",
+			"hintm-api/v1 error bodies are deprecated; omit the X-Hintm-Api request header for "+api.Schema+" {code,message,detail} envelopes")
+		writeJSON(w, status, map[string]any{"error": e.Error()})
+		return
+	}
+	w.Header().Set(api.Header, api.Schema)
+	writeJSON(w, status, api.ErrorEnvelope{Schema: api.Schema, Error: e})
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -379,6 +636,14 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	enc.Encode(v)
 }
 
-func httpError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, map[string]any{"error": err.Error()})
+// readAll reads r up to limit bytes, erroring beyond it.
+func readAll(r io.Reader, limit int64) ([]byte, error) {
+	buf, err := io.ReadAll(io.LimitReader(r, limit+1))
+	if err != nil {
+		return nil, err
+	}
+	if int64(len(buf)) > limit {
+		return nil, fmt.Errorf("body exceeds %d bytes", limit)
+	}
+	return buf, nil
 }

@@ -12,6 +12,7 @@ import (
 	"testing"
 	"time"
 
+	"hintm/internal/api"
 	"hintm/internal/harness"
 	"hintm/internal/obs"
 	"hintm/internal/store"
@@ -33,14 +34,14 @@ func newTestServer(t *testing.T, dir string) (*Server, *httptest.Server, *obs.Me
 	return s, ts, m
 }
 
-func postRuns(t *testing.T, ts *httptest.Server, query, body string) (int, runsResponse) {
+func postRuns(t *testing.T, ts *httptest.Server, query, body string) (int, api.RunsResponse) {
 	t.Helper()
 	resp, err := http.Post(ts.URL+"/v1/runs"+query, "application/json", strings.NewReader(body))
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer resp.Body.Close()
-	var out runsResponse
+	var out api.RunsResponse
 	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
 		t.Fatalf("decode response: %v", err)
 	}

@@ -28,6 +28,13 @@
 // the decoded entry. A server that responds with those bytes verbatim
 // serves byte-identical bodies for every hit of the same key, which is the
 // determinism property the end-to-end tests assert.
+//
+// Location independence: object files carry no node-local state (the
+// insertion sequence lives only in the index), so the same entry stored on
+// two nodes of a fleet is the same bytes. PutRaw accepts another store's
+// object bytes verbatim — validated, then written unchanged — which is how
+// peer result fetch and result forwarding replicate entries across nodes
+// without breaking byte-identity.
 package store
 
 import (
@@ -72,7 +79,10 @@ type Entry struct {
 	Schema string `json:"schema"`
 	Key    string `json:"key"`
 	// Seq is the store-assigned insertion sequence; GC evicts lowest-first.
-	Seq     uint64          `json:"seq"`
+	// It is index-only bookkeeping, deliberately excluded from the object
+	// file so object bytes are location-independent: two nodes holding the
+	// same key hold byte-identical files.
+	Seq     uint64          `json:"-"`
 	Request json.RawMessage `json:"request"`
 	Result  json.RawMessage `json:"result"`
 	// TracePath/AutopsyPath point at per-run observability artifacts when
@@ -81,18 +91,46 @@ type Entry struct {
 	AutopsyPath string `json:"autopsyPath,omitempty"`
 }
 
-// IndexEntry is the index's per-entry summary.
+// IndexEntry is the index's per-entry summary: identity and size, plus the
+// request coordinates parsed out of the preimage at Put/rebuild time so
+// listings can filter by workload or HTM without opening object files.
 type IndexEntry struct {
-	Key  string `json:"key"`
-	Seq  uint64 `json:"seq"`
-	Size int64  `json:"size"`
+	Key      string `json:"key"`
+	Seq      uint64 `json:"seq"`
+	Size     int64  `json:"size"`
+	Workload string `json:"workload,omitempty"`
+	Scale    string `json:"scale,omitempty"`
+	HTM      string `json:"htm,omitempty"`
+	Hints    string `json:"hints,omitempty"`
 }
+
+// indexVersion versions the index layout (not the key derivation — that is
+// Schema's job). Version 2 added the request-coordinate summaries; an
+// older index is rebuilt from the object files on Open.
+const indexVersion = 2
 
 // indexDoc is the on-disk index layout.
 type indexDoc struct {
 	Schema  string       `json:"schema"`
+	Version int          `json:"version"`
 	NextSeq uint64       `json:"nextSeq"`
 	Entries []IndexEntry `json:"entries"`
+}
+
+// summarize extracts the filterable request coordinates from a canonical
+// key preimage. Preimages without those fields (foreign request shapes)
+// summarize to empty strings — they simply don't match coordinate filters.
+func summarize(request json.RawMessage, e *IndexEntry) {
+	var s struct {
+		Workload string `json:"workload"`
+		Scale    string `json:"scale"`
+		HTM      string `json:"htm"`
+		Hints    string `json:"hints"`
+	}
+	if json.Unmarshal(request, &s) != nil {
+		return
+	}
+	e.Workload, e.Scale, e.HTM, e.Hints = s.Workload, s.Scale, s.HTM, s.Hints
 }
 
 // Store is safe for concurrent use by any number of goroutines.
@@ -118,7 +156,10 @@ func Open(dir string) (*Store, error) {
 	s := &Store{dir: dir, entries: make(map[string]IndexEntry), nextSeq: 1}
 	data, err := os.ReadFile(filepath.Join(dir, indexFile))
 	var idx indexDoc
-	if err == nil && json.Unmarshal(data, &idx) == nil && idx.Schema == Schema {
+	// An index from an older layout version (no request-coordinate
+	// summaries) is not wrong, just incomplete: fall through to a rebuild,
+	// which re-derives the summaries from the object files.
+	if err == nil && json.Unmarshal(data, &idx) == nil && idx.Schema == Schema && idx.Version == indexVersion {
 		for _, e := range idx.Entries {
 			s.entries[e.Key] = e
 		}
@@ -151,6 +192,10 @@ func (s *Store) count(name string) {
 
 // rebuild reconstructs the index by scanning the objects directory,
 // quarantining any file that fails validation, and rewrites index.json.
+// Object files carry no sequence numbers (they are location-independent),
+// so a rebuild assigns fresh ones in walk order — key order, which is
+// deterministic; the original insertion order is index-only state and does
+// not survive losing the index.
 func (s *Store) rebuild() error {
 	s.entries = make(map[string]IndexEntry)
 	s.nextSeq = 1
@@ -168,10 +213,10 @@ func (s *Store) rebuild() error {
 			s.moveToQuarantine(path)
 			return nil
 		}
-		s.entries[e.Key] = IndexEntry{Key: e.Key, Seq: e.Seq, Size: int64(len(data))}
-		if e.Seq >= s.nextSeq {
-			s.nextSeq = e.Seq + 1
-		}
+		ie := IndexEntry{Key: e.Key, Seq: s.nextSeq, Size: int64(len(data))}
+		summarize(e.Request, &ie)
+		s.entries[e.Key] = ie
+		s.nextSeq++
 		return nil
 	})
 	if err != nil {
@@ -235,11 +280,50 @@ func (s *Store) Put(e Entry) (string, error) {
 	if err := atomicWrite(path, data); err != nil {
 		return "", fmt.Errorf("store: put %s: %w", key, err)
 	}
-	s.entries[key] = IndexEntry{Key: key, Seq: e.Seq, Size: int64(len(data))}
+	ie := IndexEntry{Key: key, Seq: e.Seq, Size: int64(len(data))}
+	summarize(e.Request, &ie)
+	s.entries[key] = ie
 	if err := s.writeIndexLocked(); err != nil {
 		return "", err
 	}
 	s.metrics.Counter("store_puts_total").Inc()
+	return key, nil
+}
+
+// PutRaw stores another store's object bytes verbatim: the fleet
+// replication path. The bytes must be a valid object body (schema, and a
+// key that is the content address of its own request); they are written
+// unchanged, so every replica of a key is byte-identical to the original.
+// Re-putting an existing key keeps its sequence number, like Put.
+func (s *Store) PutRaw(data []byte) (string, error) {
+	var probe Entry
+	if err := json.Unmarshal(data, &probe); err != nil {
+		return "", fmt.Errorf("store: put raw: %w", err)
+	}
+	e, ok := validate(data, probe.Key)
+	if !ok {
+		return "", fmt.Errorf("store: put raw: bytes fail validation (schema %q, key %q)", probe.Schema, probe.Key)
+	}
+	key := e.Key
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	seq := s.nextSeq
+	if old, ok := s.entries[key]; ok {
+		seq = old.Seq
+	} else {
+		s.nextSeq++
+	}
+	if err := atomicWrite(s.objectPath(key), data); err != nil {
+		return "", fmt.Errorf("store: put raw %s: %w", key, err)
+	}
+	ie := IndexEntry{Key: key, Seq: seq, Size: int64(len(data))}
+	summarize(e.Request, &ie)
+	s.entries[key] = ie
+	if err := s.writeIndexLocked(); err != nil {
+		return "", err
+	}
+	s.metrics.Counter("store_puts_total").Inc()
+	s.metrics.Counter("store_replicas_total").Inc()
 	return key, nil
 }
 
@@ -248,7 +332,7 @@ func (s *Store) Put(e Entry) (string, error) {
 // as a miss; Get only errors on the store's own bookkeeping I/O.
 func (s *Store) Get(key string) (*Entry, []byte, error) {
 	s.mu.Lock()
-	_, ok := s.entries[key]
+	ie, ok := s.entries[key]
 	s.mu.Unlock()
 	if !ok {
 		s.count("store_misses_total")
@@ -269,6 +353,9 @@ func (s *Store) Get(key string) (*Entry, []byte, error) {
 		s.count("store_misses_total")
 		return nil, nil, nil
 	}
+	// Seq is index-only state (object bytes are location-independent);
+	// restore it on the way out so callers still see insertion order.
+	e.Seq = ie.Seq
 	s.count("store_hits_total")
 	return e, data, nil
 }
@@ -299,6 +386,39 @@ func (s *Store) List() []IndexEntry {
 	s.mu.Unlock()
 	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
 	return out
+}
+
+// Filter selects index entries by request coordinates (canonical display
+// spellings, as recorded in the key preimage); empty fields match anything.
+type Filter struct {
+	Workload string
+	HTM      string
+}
+
+func (f Filter) matches(e IndexEntry) bool {
+	return (f.Workload == "" || f.Workload == e.Workload) &&
+		(f.HTM == "" || f.HTM == e.HTM)
+}
+
+// Select returns up to limit matching entries in insertion order, starting
+// after the given sequence number (0 = from the beginning). The returned
+// cursor is non-zero when more matches remain — pass it back as `after`
+// for the next page. Pagination by sequence number is stable: entries
+// inserted between pages appear at the end, never shift existing pages.
+func (s *Store) Select(f Filter, after uint64, limit int) (items []IndexEntry, next uint64) {
+	if limit <= 0 {
+		return nil, 0
+	}
+	for _, e := range s.List() {
+		if e.Seq <= after || !f.matches(e) {
+			continue
+		}
+		if len(items) == limit {
+			return items, items[len(items)-1].Seq
+		}
+		items = append(items, e)
+	}
+	return items, 0
 }
 
 // GC evicts the oldest entries (lowest sequence first) until at most keep
@@ -347,7 +467,7 @@ func (s *Store) moveToQuarantine(path string) {
 // writeIndexLocked atomically rewrites index.json (entries key-sorted for
 // byte-stable output). Callers hold s.mu.
 func (s *Store) writeIndexLocked() error {
-	idx := indexDoc{Schema: Schema, NextSeq: s.nextSeq}
+	idx := indexDoc{Schema: Schema, Version: indexVersion, NextSeq: s.nextSeq}
 	for _, e := range s.entries {
 		idx.Entries = append(idx.Entries, e)
 	}

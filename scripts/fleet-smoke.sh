@@ -1,0 +1,136 @@
+#!/usr/bin/env bash
+# fleet-smoke: end-to-end smoke test of a 3-node hintm-served fleet.
+#
+# Boots three nodes with separate stores sharing one consistent-hash peer
+# list, then asserts the fleet's acceptance properties:
+#
+#   1. A batched grid (POST /v1/grids) submitted cold to node 1 streams
+#      NDJSON progress and simulates every cell exactly once.
+#   2. The identical grid submitted to node 2 completes entirely warm —
+#      summary shows zero simulated cells and the fleet-wide
+#      runner_sim_runs_total delta is zero (the warm path never simulates).
+#   3. Every node serves byte-identical object bytes for the same key.
+#   4. A seeded open-loop load run (hintm-load, bursty arrivals) against
+#      all three nodes meets the p99 latency and warm hit-rate SLOs, again
+#      with zero additional simulations.
+#   5. SIGTERM drains every node cleanly.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BASE_PORT="${FLEET_SMOKE_PORT:-18441}"
+TMP="$(mktemp -d)"
+PIDS=()
+cleanup() {
+    for pid in "${PIDS[@]:-}"; do
+        if [[ -n "$pid" ]] && kill -0 "$pid" 2>/dev/null; then
+            kill -9 "$pid" 2>/dev/null || true
+        fi
+    done
+    rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+go build -o "$TMP/hintm-served" ./cmd/hintm-served
+go build -o "$TMP/hintm-load" ./cmd/hintm-load
+
+NODES=()
+for i in 1 2 3; do
+    NODES+=("http://127.0.0.1:$((BASE_PORT + i - 1))")
+done
+PEERS=$(IFS=,; echo "${NODES[*]}")
+
+for i in 1 2 3; do
+    ADDR="127.0.0.1:$((BASE_PORT + i - 1))"
+    "$TMP/hintm-served" -addr "$ADDR" -store "$TMP/store$i" -scale small -large small \
+        -node "http://$ADDR" -peers "$PEERS" \
+        >"$TMP/served$i.log" 2>&1 &
+    PIDS+=($!)
+done
+
+for i in 1 2 3; do
+    URL="${NODES[$((i - 1))]}"
+    for _ in $(seq 1 100); do
+        if curl -fsS "$URL/healthz" >/dev/null 2>&1; then break; fi
+        if ! kill -0 "${PIDS[$((i - 1))]}" 2>/dev/null; then
+            echo "fleet-smoke: node $i died on startup:" >&2
+            cat "$TMP/served$i.log" >&2
+            exit 1
+        fi
+        sleep 0.1
+    done
+    curl -fsS "$URL/healthz" >/dev/null
+done
+
+# fleet_sims sums runner_sim_runs_total across every node.
+fleet_sims() {
+    local total=0 n
+    for url in "${NODES[@]}"; do
+        n=$(curl -fsS "$url/metrics" | awk '/^runner_sim_runs_total /{print $2}')
+        total=$((total + ${n:-0}))
+    done
+    echo "$total"
+}
+
+GRID='{"schema":"hintm-api/v2","requests":[
+  {"workload":"labyrinth","scale":"small","htm":"p8","hints":"none"},
+  {"workload":"labyrinth","scale":"small","htm":"p8","hints":"st"},
+  {"workload":"labyrinth","scale":"small","htm":"p8","hints":"dyn"},
+  {"workload":"labyrinth","scale":"small","htm":"p8","hints":"full"},
+  {"workload":"labyrinth","scale":"small","htm":"infcap","hints":"none"},
+  {"workload":"labyrinth","scale":"small","htm":"infcap","hints":"st"},
+  {"workload":"labyrinth","scale":"small","htm":"infcap","hints":"dyn"},
+  {"workload":"labyrinth","scale":"small","htm":"infcap","hints":"full"}
+]}'
+
+# Phase 1: cold grid to node 1, streamed as NDJSON.
+curl -fsS -X POST "${NODES[0]}/v1/grids" -d "$GRID" > "$TMP/grid-cold.ndjson"
+grep -q '"event":"accepted","total":8' "$TMP/grid-cold.ndjson" || {
+    echo "fleet-smoke: cold grid not accepted:" >&2; cat "$TMP/grid-cold.ndjson" >&2; exit 1; }
+grep -q '"simulated":8,"failed":0' "$TMP/grid-cold.ndjson" || {
+    echo "fleet-smoke: cold grid summary wrong:" >&2; tail -1 "$TMP/grid-cold.ndjson" >&2; exit 1; }
+SIMS_COLD=$(fleet_sims)
+[[ "$SIMS_COLD" -eq 8 ]] || {
+    echo "fleet-smoke: cold grid ran $SIMS_COLD simulations, want 8" >&2; exit 1; }
+
+# Phase 2: the identical grid to node 2 — warm everywhere, SimRuns delta 0.
+curl -fsS -X POST "${NODES[1]}/v1/grids" -d "$GRID" > "$TMP/grid-warm.ndjson"
+grep -q '"simulated":0,"failed":0' "$TMP/grid-warm.ndjson" || {
+    echo "fleet-smoke: warm grid summary wrong:" >&2; tail -1 "$TMP/grid-warm.ndjson" >&2; exit 1; }
+SIMS_WARM=$(fleet_sims)
+[[ "$SIMS_WARM" -eq "$SIMS_COLD" ]] || {
+    echo "fleet-smoke: warm grid simulated ($SIMS_COLD -> $SIMS_WARM); the warm path must never simulate" >&2
+    exit 1; }
+
+# Phase 3: byte identity — the first cell's key served by every node.
+KEY=$(grep -o '"key":"[0-9a-f]*"' "$TMP/grid-cold.ndjson" | head -1 | cut -d'"' -f4)
+[[ ${#KEY} -eq 64 ]] || { echo "fleet-smoke: bad key '$KEY'" >&2; exit 1; }
+for i in 1 2 3; do
+    curl -fsS "${NODES[$((i - 1))]}/v1/runs/$KEY" > "$TMP/body$i.json"
+done
+cmp "$TMP/body1.json" "$TMP/body2.json" && cmp "$TMP/body1.json" "$TMP/body3.json" || {
+    echo "fleet-smoke: nodes serve different bytes for $KEY" >&2; exit 1; }
+
+# Phase 4: seeded open-loop load over the warm fleet, SLO-gated. The pool
+# is the same 8 specs, so every request must be a warm hit.
+"$TMP/hintm-load" -targets "$PEERS" -n 60 -rate 40 -arrivals bursty -seed 1 \
+    -workloads labyrinth -scale small -htms p8,infcap -hints none,st,dyn,full \
+    -slo-p99 "${FLEET_SMOKE_P99:-2s}" -slo-hit-rate 0.99 -slo-max-failed 0 \
+    | tee "$TMP/load.txt"
+SIMS_LOAD=$(fleet_sims)
+[[ "$SIMS_LOAD" -eq "$SIMS_COLD" ]] || {
+    echo "fleet-smoke: load phase simulated ($SIMS_COLD -> $SIMS_LOAD)" >&2; exit 1; }
+
+# Phase 5: graceful SIGTERM drain on every node.
+for i in 1 2 3; do
+    kill -TERM "${PIDS[$((i - 1))]}"
+done
+for i in 1 2 3; do
+    wait "${PIDS[$((i - 1))]}" || {
+        echo "fleet-smoke: node $i exited non-zero on SIGTERM" >&2; exit 1; }
+    grep -q 'drained cleanly' "$TMP/served$i.log" || {
+        echo "fleet-smoke: node $i no drain confirmation:" >&2; cat "$TMP/served$i.log" >&2; exit 1; }
+done
+PIDS=()
+
+echo "fleet-smoke: OK (8 cells cold on node 1, warm via peers on node 2, byte-identical on all 3, load SLOs met, SimRuns delta 0)"
