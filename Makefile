@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all test vet race fuzz-short bench bench-smoke bench-diff trace-check serve-smoke fleet-smoke figures svg ablate export clean
+.PHONY: all test vet race fuzz-short bench bench-smoke bench-diff trace-check serve-smoke fleet-smoke chaos-smoke figures svg ablate export clean
 
 all: test
 
@@ -22,7 +22,8 @@ vet:
 # control and NDJSON stream ratchet under concurrent submissions.
 race:
 	$(GO) test -race ./internal/harness/... ./internal/sim/... \
-		./internal/server/... ./internal/fleet/... ./internal/loadgen/...
+		./internal/server/... ./internal/fleet/... ./internal/loadgen/... \
+		./internal/chaos/... ./internal/cli/...
 
 # fuzz-short gives the classifier-soundness fuzzer a 10-second native-fuzzing
 # budget — enough for CI to catch regressions the seeded corpus misses.
@@ -85,6 +86,15 @@ serve-smoke:
 # hit-rate SLO gates, and SIGTERM-drains every node.
 fleet-smoke:
 	./scripts/fleet-smoke.sh
+
+# chaos-smoke is the resilience gate: a fault-proxy sanity pass, then a
+# 3-node fleet that loses a node (SIGKILL) mid-grid — the grid must finish
+# with zero failures, survivors must stay byte-identical and meet load
+# SLOs behind open circuit breakers — and finally the node revives empty
+# and must be repaired to a warm store by anti-entropy with a fleet-wide
+# SimRuns delta of zero.
+chaos-smoke:
+	./scripts/chaos-smoke.sh
 
 # trace-check records the same seeded run twice and requires byte-identical
 # traces and autopsies — the end-to-end determinism property the

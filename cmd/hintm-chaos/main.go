@@ -1,0 +1,77 @@
+// Command hintm-chaos fronts a hintm-served node with the deterministic
+// fault-injection proxy (internal/chaos). Point fleet peers (or a load
+// generator) at the proxy instead of the node, and the plan's network
+// faults — killed connections, blackholes, delays, slow-loris trickles,
+// corrupted bodies, flaky 503s — are injected between them, reproducibly:
+// same plan + seed + request sequence, same faults.
+//
+// Usage:
+//
+//	hintm-chaos -target URL [flags]
+//
+// Flags:
+//
+//	-listen HOST:PORT   proxy listen address (default 127.0.0.1:8448)
+//	-target URL         backend base URL to forward to (required)
+//	-plan SPEC          chaos plan, comma-separated key=value pairs:
+//	                    kill-at=N, blackhole=1, delay=50ms, slow-loris=2s,
+//	                    corrupt=P, flaky=P (empty = transparent proxy)
+//	-seed N             decision-stream seed (default 1)
+//
+// On SIGINT/SIGTERM the proxy prints its injection counters and exits.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+
+	"hintm/internal/chaos"
+	"hintm/internal/cli"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:8448", "proxy listen address")
+	target := flag.String("target", "", "backend base URL to forward to (required)")
+	planSpec := flag.String("plan", "", "chaos plan (key=value,... ; empty = transparent)")
+	seed := flag.Uint64("seed", 1, "decision-stream seed")
+	flag.Parse()
+
+	if *target == "" {
+		fatal(fmt.Errorf("-target is required"))
+	}
+	plan, err := chaos.ParsePlan(*planSpec)
+	if err != nil {
+		fatal(err)
+	}
+	proxy, err := chaos.New(*target, plan, *seed)
+	if err != nil {
+		fatal(err)
+	}
+
+	srv := &http.Server{Addr: *listen, Handler: proxy}
+	ctx, stop := cli.Context(0)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "hintm-chaos: %s -> %s plan=%q seed=%d\n",
+		*listen, *target, plan.String(), *seed)
+
+	select {
+	case err := <-errc:
+		fatal(err)
+	case <-ctx.Done():
+	}
+	srv.Close()
+	st := proxy.Stats()
+	fmt.Fprintf(os.Stderr,
+		"hintm-chaos: requests=%d forwarded=%d killed=%d blackholed=%d flaked=%d corrupted=%d\n",
+		st.Requests, st.Forwarded, st.Killed, st.Blackholed, st.Flaked, st.Corrupted)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hintm-chaos:", err)
+	os.Exit(1)
+}

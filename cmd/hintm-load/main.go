@@ -19,6 +19,9 @@
 //	-htms a,b,c               request-pool HTM kinds (default p8)
 //	-hints a,b,c              request-pool hint modes (default none,full)
 //	-timeout D                abort the whole run after D
+//	-request-timeout D        per-request client deadline (default 5m);
+//	                          expiries are reported as "timed out", a
+//	                          category distinct from failures
 //	-slo-p99 D                fail if p99 latency of successful requests
 //	                          exceeds D (0 = don't check)
 //	-slo-hit-rate F           fail if the warm hit rate is below F (0..1)
@@ -59,6 +62,7 @@ func main() {
 	htms := flag.String("htms", "p8", "comma-separated request-pool HTM kinds")
 	hints := flag.String("hints", "none,full", "comma-separated request-pool hint modes")
 	timeout := flag.Duration("timeout", 0, "abort the whole run after this duration (0 = none)")
+	reqTimeout := flag.Duration("request-timeout", 0, "per-request client deadline (0 = 5m default)")
 	sloP99 := flag.Duration("slo-p99", 0, "fail if p99 latency exceeds this (0 = don't check)")
 	sloHit := flag.Float64("slo-hit-rate", 0, "fail if the warm hit rate is below this fraction (0 = don't check)")
 	sloFailed := flag.Int("slo-max-failed", 0, "fail if more than this many requests hard-fail")
@@ -92,6 +96,7 @@ func main() {
 		Process: process,
 		CV:      *cv,
 		Seed:    *seed,
+		Timeout: *reqTimeout,
 	}
 	ctx, stop := cli.Context(*timeout)
 	defer stop()
@@ -110,6 +115,7 @@ func main() {
 	t.Row("  via peer", rep.PeerHits)
 	t.Row("simulated (cold)", rep.Simulated)
 	t.Row("throttled (429)", rep.Throttled)
+	t.Row("timed out", rep.TimedOut)
 	t.Row("failed", rep.Failed)
 	t.Row("warm hit rate", stats.Pct(rep.HitRate()))
 	t.Row("latency p50", rep.Percentile(0.50).Round(time.Millisecond))
@@ -120,7 +126,8 @@ func main() {
 	if *asJSON {
 		out := map[string]any{
 			"sent": rep.Sent, "hits": rep.Hits, "peerHits": rep.PeerHits,
-			"simulated": rep.Simulated, "throttled": rep.Throttled, "failed": rep.Failed,
+			"simulated": rep.Simulated, "throttled": rep.Throttled,
+			"timedOut": rep.TimedOut, "failed": rep.Failed,
 			"hitRate":     rep.HitRate(),
 			"p50Ms":       rep.Percentile(0.50).Seconds() * 1000,
 			"p90Ms":       rep.Percentile(0.90).Seconds() * 1000,

@@ -29,6 +29,19 @@
 //	-peers URL,URL,...          every fleet node's base URL (incl. -node);
 //	                            enables sharding, peer fetch, forwarding
 //	-replicas N                 ring owners per key (default 2)
+//	-peer-budget D              total peer time one cold miss may spend
+//	                            before simulating locally (default 2s)
+//	-breaker-threshold N        consecutive peer failures that open its
+//	                            circuit breaker (default 3)
+//	-breaker-backoff D          initial open-breaker probe backoff,
+//	                            doubled (with seeded jitter) per failed
+//	                            probe (default 500ms)
+//	-health-seed N              breaker backoff jitter seed
+//	-repl-queue N               async replication queue capacity;
+//	                            overflow drops oldest (default 1024)
+//	-repl-workers N             replication worker count (default 2)
+//	-anti-entropy D             background repair sweep interval
+//	                            (default 0 = off)
 //
 // Endpoints (wire format hintm-api/v2, see internal/api):
 //
@@ -69,9 +82,7 @@ func main() {
 	hf := cli.RegisterHarness(flag.CommandLine)
 	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown budget for in-flight runs")
 	queueLimit := flag.Int("queue-limit", 0, "max admitted-but-unfinished runs before submissions get 429 (0 = default)")
-	node := flag.String("node", "", "this node's advertised base URL, e.g. http://127.0.0.1:8347")
-	peers := flag.String("peers", "", "comma-separated base URLs of every fleet node, including -node")
-	replicas := flag.Int("replicas", 0, "ring owners per key (0 = default)")
+	ff := cli.RegisterFleet(flag.CommandLine)
 	flag.Parse()
 
 	opts, err := hf.Options()
@@ -84,15 +95,8 @@ func main() {
 	}
 
 	cfg := server.Config{Store: st, Options: opts, Metrics: obs.NewMetrics(), QueueLimit: *queueLimit}
-	if *peers != "" {
-		if *node == "" {
-			fatal(errors.New("-peers requires -node (this node's own base URL)"))
-		}
-		cfg.Fleet = server.FleetConfig{
-			Self:     *node,
-			Peers:    strings.Split(*peers, ","),
-			Replicas: *replicas,
-		}
+	if cfg.Fleet, err = ff.Config(); err != nil {
+		fatal(err)
 	}
 	srv := server.New(cfg)
 
@@ -107,8 +111,9 @@ func main() {
 	go func() { errc <- httpSrv.ListenAndServe() }()
 	fmt.Fprintf(os.Stderr, "hintm-served: listening on %s (store %s, %d entries)\n",
 		*addr, *storeDir, st.Len())
-	if *peers != "" {
-		fmt.Fprintf(os.Stderr, "hintm-served: fleet node %s of [%s]\n", *node, *peers)
+	if ff.Enabled() {
+		fmt.Fprintf(os.Stderr, "hintm-served: fleet node %s of [%s]\n",
+			cfg.Fleet.Self, strings.Join(cfg.Fleet.Peers, ","))
 	}
 
 	select {

@@ -1,0 +1,332 @@
+// Package chaos is a deterministic, seeded network-fault proxy for the
+// serving fleet. It plays the role for hintm-served that internal/fault
+// plays for the simulator: a plan of hostile behaviors — killed
+// connections, blackholes, fixed delays, slow-loris trickles, corrupted
+// bodies, flaky errors — injected between fleet nodes (or between a client
+// and a node) to validate the resilience machinery: circuit breakers,
+// budgets, hedges, replication retry, and anti-entropy repair.
+//
+// Determinism: every per-request decision is drawn from a splitmix64 hash
+// of (seed, request index, behavior), so the same plan + seed + request
+// sequence injects the same faults. Concurrency does not perturb a given
+// index's decisions; only which request gets which index depends on
+// arrival order. The zero Plan forwards everything untouched.
+//
+// The proxy is an http.Handler, usable in-process in Go tests (wrap a
+// fleet node's httptest handler) and as a standalone process via
+// cmd/hintm-chaos (front a node's listen address) — the chaos smoke script
+// does the latter.
+package chaos
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sort"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// Plan declares which network faults the proxy injects. The zero Plan
+// injects nothing. All fields are scalars so plans round-trip through the
+// flat key=value CLI syntax.
+type Plan struct {
+	// KillAt, when non-zero, severs the connection of the KillAt-th request
+	// (1-based, counted at the proxy) and every request after it — the
+	// proxy-level analogue of the backend process dying mid-workload.
+	KillAt uint64
+	// Blackhole accepts every request and never answers: the connection
+	// hangs until the client's deadline kills it. Models a partitioned or
+	// wedged peer, the case budgets and breakers exist for.
+	Blackhole bool
+	// Delay adds a fixed latency before forwarding each request. Models a
+	// slow link; the hedge path exists for this.
+	Delay time.Duration
+	// SlowLoris trickles the response body out over this duration instead
+	// of writing it at once. Models a peer that is alive but drip-feeding,
+	// which per-call deadlines must bound.
+	SlowLoris time.Duration
+	// Corrupt is the per-request probability in [0,1] of flipping bytes in
+	// the response body (length-preserving). The receiver's content-address
+	// validation must reject the bytes.
+	Corrupt float64
+	// Flaky is the per-request probability in [0,1] of answering 503
+	// without forwarding. Models an overloaded or crash-looping peer.
+	Flaky float64
+}
+
+// Enabled reports whether the plan injects anything.
+func (p Plan) Enabled() bool {
+	return p.KillAt > 0 || p.Blackhole || p.Delay > 0 || p.SlowLoris > 0 || p.Corrupt > 0 || p.Flaky > 0
+}
+
+// Validate rejects out-of-range probabilities and negative durations.
+func (p Plan) Validate() error {
+	if p.Corrupt < 0 || p.Corrupt > 1 {
+		return fmt.Errorf("chaos: corrupt probability %v outside [0,1]", p.Corrupt)
+	}
+	if p.Flaky < 0 || p.Flaky > 1 {
+		return fmt.Errorf("chaos: flaky probability %v outside [0,1]", p.Flaky)
+	}
+	if p.Delay < 0 || p.SlowLoris < 0 {
+		return fmt.Errorf("chaos: negative duration in plan: %+v", p)
+	}
+	return nil
+}
+
+// String renders the plan in ParsePlan's syntax (empty for the zero plan).
+func (p Plan) String() string {
+	var parts []string
+	add := func(k, v string) { parts = append(parts, k+"="+v) }
+	if p.KillAt > 0 {
+		add("kill-at", strconv.FormatUint(p.KillAt, 10))
+	}
+	if p.Blackhole {
+		add("blackhole", "1")
+	}
+	if p.Delay > 0 {
+		add("delay", p.Delay.String())
+	}
+	if p.SlowLoris > 0 {
+		add("slow-loris", p.SlowLoris.String())
+	}
+	if p.Corrupt > 0 {
+		add("corrupt", strconv.FormatFloat(p.Corrupt, 'g', -1, 64))
+	}
+	if p.Flaky > 0 {
+		add("flaky", strconv.FormatFloat(p.Flaky, 'g', -1, 64))
+	}
+	return strings.Join(parts, ",")
+}
+
+// ParsePlan parses the CLI chaos spec: comma-separated key=value pairs,
+// e.g. "kill-at=40,delay=50ms,corrupt=0.5". The empty string is the zero
+// (disabled) plan. Mirrors fault.ParsePlan's syntax.
+func ParsePlan(spec string) (Plan, error) {
+	var p Plan
+	if strings.TrimSpace(spec) == "" {
+		return p, nil
+	}
+	for _, kv := range strings.Split(spec, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(kv), "=")
+		if !ok {
+			return Plan{}, fmt.Errorf("chaos: bad spec entry %q (want key=value)", kv)
+		}
+		var err error
+		switch k {
+		case "kill-at":
+			p.KillAt, err = strconv.ParseUint(v, 10, 64)
+		case "blackhole":
+			p.Blackhole, err = strconv.ParseBool(v)
+		case "delay":
+			p.Delay, err = time.ParseDuration(v)
+		case "slow-loris":
+			p.SlowLoris, err = time.ParseDuration(v)
+		case "corrupt":
+			p.Corrupt, err = strconv.ParseFloat(v, 64)
+		case "flaky":
+			p.Flaky, err = strconv.ParseFloat(v, 64)
+		default:
+			keys := []string{"kill-at", "blackhole", "delay", "slow-loris", "corrupt", "flaky"}
+			sort.Strings(keys)
+			return Plan{}, fmt.Errorf("chaos: unknown spec key %q (have %v)", k, keys)
+		}
+		if err != nil {
+			return Plan{}, fmt.Errorf("chaos: bad value for %q: %v", k, err)
+		}
+	}
+	return p, p.Validate()
+}
+
+// Stats counts what the proxy actually injected, so a chaos campaign can
+// assert it was not vacuous. All fields are read via Stats() snapshots.
+type Stats struct {
+	Requests   uint64
+	Forwarded  uint64
+	Killed     uint64
+	Blackholed uint64
+	Flaked     uint64
+	Corrupted  uint64
+}
+
+// Behavior salts keep one request's independent draws (flaky vs corrupt)
+// uncorrelated even though both hash the same index.
+const (
+	saltFlaky   = 0x464C414B59 // "FLAKY"
+	saltCorrupt = 0x434F5252   // "CORR"
+)
+
+// Proxy forwards requests to a fixed target, injecting the plan's faults.
+type Proxy struct {
+	plan   Plan
+	target *url.URL
+	seed   uint64
+	client *http.Client
+
+	n     atomic.Uint64 // request index, 1-based
+	stats [6]atomic.Uint64
+}
+
+const (
+	statRequests = iota
+	statForwarded
+	statKilled
+	statBlackholed
+	statFlaked
+	statCorrupted
+)
+
+// New builds a proxy for target (a base URL like "http://127.0.0.1:8081").
+func New(target string, plan Plan, seed uint64) (*Proxy, error) {
+	if err := plan.Validate(); err != nil {
+		return nil, err
+	}
+	u, err := url.Parse(target)
+	if err != nil {
+		return nil, fmt.Errorf("chaos: bad target %q: %v", target, err)
+	}
+	if u.Scheme == "" || u.Host == "" {
+		return nil, fmt.Errorf("chaos: target %q needs scheme and host", target)
+	}
+	return &Proxy{
+		plan:   plan,
+		target: u,
+		seed:   seed,
+		// No client-side timeout: the backend's and caller's deadlines rule;
+		// the proxy must not rescue a blackholed caller from its own test.
+		client: &http.Client{CheckRedirect: func(*http.Request, []*http.Request) error {
+			return http.ErrUseLastResponse
+		}},
+	}, nil
+}
+
+// Stats returns a snapshot of the injection counters.
+func (p *Proxy) Stats() Stats {
+	return Stats{
+		Requests:   p.stats[statRequests].Load(),
+		Forwarded:  p.stats[statForwarded].Load(),
+		Killed:     p.stats[statKilled].Load(),
+		Blackholed: p.stats[statBlackholed].Load(),
+		Flaked:     p.stats[statFlaked].Load(),
+		Corrupted:  p.stats[statCorrupted].Load(),
+	}
+}
+
+// splitmix64 is the finalizer also used by the ring and the breaker jitter:
+// one multiply-xor chain with full avalanche, so consecutive indices give
+// uncorrelated draws.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// draw returns a uniform [0,1) decision for (request index, behavior).
+func (p *Proxy) draw(index, salt uint64) float64 {
+	return float64(splitmix64(p.seed^index*0x9E3779B97F4A7C15^salt)>>11) / (1 << 53)
+}
+
+func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	index := p.n.Add(1)
+	p.stats[statRequests].Add(1)
+
+	if p.plan.KillAt > 0 && index >= p.plan.KillAt {
+		// Sever the connection with no response bytes — to the client this
+		// is the backend process dying, not an HTTP error.
+		p.stats[statKilled].Add(1)
+		panic(http.ErrAbortHandler)
+	}
+	if p.plan.Blackhole {
+		p.stats[statBlackholed].Add(1)
+		<-r.Context().Done()
+		return
+	}
+	if p.plan.Flaky > 0 && p.draw(index, saltFlaky) < p.plan.Flaky {
+		p.stats[statFlaked].Add(1)
+		http.Error(w, "chaos: injected 503", http.StatusServiceUnavailable)
+		return
+	}
+	if p.plan.Delay > 0 {
+		select {
+		case <-time.After(p.plan.Delay):
+		case <-r.Context().Done():
+			return
+		}
+	}
+
+	out := r.Clone(r.Context())
+	out.URL.Scheme = p.target.Scheme
+	out.URL.Host = p.target.Host
+	out.Host = p.target.Host
+	out.RequestURI = "" // client requests must not set it
+	resp, err := p.client.Do(out)
+	if err != nil {
+		http.Error(w, "chaos: upstream: "+err.Error(), http.StatusBadGateway)
+		return
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		http.Error(w, "chaos: upstream body: "+err.Error(), http.StatusBadGateway)
+		return
+	}
+	p.stats[statForwarded].Add(1)
+
+	if p.plan.Corrupt > 0 && len(body) > 0 && p.draw(index, saltCorrupt) < p.plan.Corrupt {
+		p.stats[statCorrupted].Add(1)
+		body = corrupt(body, splitmix64(p.seed^index))
+	}
+
+	hdr := w.Header()
+	for k, vs := range resp.Header {
+		hdr[k] = vs
+	}
+	hdr.Set("Content-Length", strconv.Itoa(len(body)))
+	w.WriteHeader(resp.StatusCode)
+	if p.plan.SlowLoris > 0 && len(body) > 0 {
+		p.trickle(w, r, body)
+		return
+	}
+	w.Write(body)
+}
+
+// corrupt flips bytes at rng-chosen positions, preserving length. At least
+// one byte always changes.
+func corrupt(body []byte, rng uint64) []byte {
+	out := append([]byte(nil), body...)
+	flips := 1 + int(rng%8)
+	for i := 0; i < flips; i++ {
+		rng = splitmix64(rng)
+		out[rng%uint64(len(out))] ^= 0xA5
+	}
+	return out
+}
+
+// trickle writes body in small flushed chunks spread over SlowLoris.
+func (p *Proxy) trickle(w http.ResponseWriter, r *http.Request, body []byte) {
+	const chunks = 16
+	size := (len(body) + chunks - 1) / chunks
+	pause := p.plan.SlowLoris / chunks
+	fl, _ := w.(http.Flusher)
+	for off := 0; off < len(body); off += size {
+		end := off + size
+		if end > len(body) {
+			end = len(body)
+		}
+		if _, err := w.Write(body[off:end]); err != nil {
+			return
+		}
+		if fl != nil {
+			fl.Flush()
+		}
+		select {
+		case <-time.After(pause):
+		case <-r.Context().Done():
+			return
+		}
+	}
+}

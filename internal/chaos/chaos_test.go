@@ -1,0 +1,233 @@
+package chaos
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParsePlanRoundTrip(t *testing.T) {
+	spec := "kill-at=40,blackhole=1,delay=50ms,slow-loris=2s,corrupt=0.5,flaky=0.25"
+	p, err := ParsePlan(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Plan{KillAt: 40, Blackhole: true, Delay: 50 * time.Millisecond,
+		SlowLoris: 2 * time.Second, Corrupt: 0.5, Flaky: 0.25}
+	if p != want {
+		t.Fatalf("ParsePlan = %+v, want %+v", p, want)
+	}
+	back, err := ParsePlan(p.String())
+	if err != nil || back != p {
+		t.Fatalf("round trip: %+v (%v)", back, err)
+	}
+	if zero, err := ParsePlan("  "); err != nil || zero.Enabled() {
+		t.Fatalf("blank spec: %+v (%v)", zero, err)
+	}
+}
+
+func TestParsePlanErrors(t *testing.T) {
+	for _, spec := range []string{
+		"bogus=1",        // unknown key
+		"kill-at",        // no value
+		"delay=fast",     // bad duration
+		"corrupt=1.5",    // out of range
+		"flaky=-0.1",     // out of range
+		"slow-loris=-1s", // negative
+	} {
+		if _, err := ParsePlan(spec); err == nil {
+			t.Errorf("ParsePlan(%q) accepted", spec)
+		}
+	}
+}
+
+// TestDrawsDeterministic pins the seeded decision stream: same seed, same
+// per-index decisions; different seed, a different stream.
+func TestDrawsDeterministic(t *testing.T) {
+	a, _ := New("http://127.0.0.1:1", Plan{Flaky: 0.5}, 42)
+	b, _ := New("http://127.0.0.1:1", Plan{Flaky: 0.5}, 42)
+	c, _ := New("http://127.0.0.1:1", Plan{Flaky: 0.5}, 43)
+	same, diff := true, true
+	for i := uint64(1); i <= 256; i++ {
+		if a.draw(i, saltFlaky) != b.draw(i, saltFlaky) {
+			same = false
+		}
+		if a.draw(i, saltFlaky) != c.draw(i, saltFlaky) {
+			diff = false
+		}
+		// Behavior salts decorrelate draws within one index.
+		if a.draw(i, saltFlaky) == a.draw(i, saltCorrupt) {
+			t.Fatalf("index %d: flaky and corrupt draws collide", i)
+		}
+	}
+	if !same {
+		t.Error("same seed produced different decision streams")
+	}
+	if diff {
+		t.Error("different seeds produced identical decision streams")
+	}
+}
+
+func newEcho(t *testing.T) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("X-Echo-Path", r.URL.Path)
+		body, _ := io.ReadAll(r.Body)
+		w.Write([]byte("echo:" + r.Method + ":" + r.URL.RequestURI() + ":" + string(body)))
+	}))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func newProxy(t *testing.T, target string, plan Plan, seed uint64) *httptest.Server {
+	t.Helper()
+	p, err := New(target, plan, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(p)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// TestProxyTransparent: the zero plan forwards method, path, query, body,
+// headers, and status untouched.
+func TestProxyTransparent(t *testing.T) {
+	echo := newEcho(t)
+	proxy := newProxy(t, echo.URL, Plan{}, 1)
+
+	resp, err := http.Post(proxy.URL+"/v1/runs?wait=1", "text/plain", strings.NewReader("hello"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if string(body) != "echo:POST:/v1/runs?wait=1:hello" {
+		t.Fatalf("proxied body %q", body)
+	}
+	if resp.Header.Get("X-Echo-Path") != "/v1/runs" {
+		t.Errorf("upstream header lost: %v", resp.Header)
+	}
+}
+
+func TestProxyKillAt(t *testing.T) {
+	echo := newEcho(t)
+	pr, err := New(echo.URL, Plan{KillAt: 2}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(pr)
+	t.Cleanup(ts.Close)
+
+	if resp, err := http.Get(ts.URL + "/ok"); err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("request before kill-at: %v %v", resp, err)
+	} else {
+		resp.Body.Close()
+	}
+	// The second request — and every one after — dies without a response.
+	for i := 0; i < 2; i++ {
+		if _, err := http.Get(ts.URL + "/dead"); err == nil {
+			t.Fatalf("request %d after kill-at succeeded", i+2)
+		}
+	}
+	if st := pr.Stats(); st.Killed != 2 || st.Forwarded != 1 {
+		t.Errorf("stats: %+v", st)
+	}
+}
+
+func TestProxyBlackhole(t *testing.T) {
+	echo := newEcho(t)
+	proxy := newProxy(t, echo.URL, Plan{Blackhole: true}, 1)
+
+	client := &http.Client{Timeout: 150 * time.Millisecond}
+	begin := time.Now()
+	_, err := client.Get(proxy.URL + "/hang")
+	if err == nil {
+		t.Fatal("blackholed request returned")
+	}
+	if elapsed := time.Since(begin); elapsed < 100*time.Millisecond {
+		t.Errorf("blackholed request failed fast (%v); it must hang until the client deadline", elapsed)
+	}
+}
+
+func TestProxyDelay(t *testing.T) {
+	echo := newEcho(t)
+	proxy := newProxy(t, echo.URL, Plan{Delay: 120 * time.Millisecond}, 1)
+
+	begin := time.Now()
+	resp, err := http.Get(proxy.URL + "/slow")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if elapsed := time.Since(begin); elapsed < 120*time.Millisecond {
+		t.Errorf("delayed request returned in %v", elapsed)
+	}
+}
+
+func TestProxyFlakyAndCorrupt(t *testing.T) {
+	echo := newEcho(t)
+	pr, err := New(echo.URL, Plan{Flaky: 1}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(pr)
+	t.Cleanup(ts.Close)
+	resp, err := http.Get(ts.URL + "/flaky")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("flaky=1 answered %d, want 503", resp.StatusCode)
+	}
+	if st := pr.Stats(); st.Flaked != 1 || st.Forwarded != 0 {
+		t.Errorf("flaky stats: %+v", st)
+	}
+
+	// corrupt=1: same length, different bytes, counted.
+	direct, _ := http.Get(echo.URL + "/c")
+	want, _ := io.ReadAll(direct.Body)
+	direct.Body.Close()
+	prc, _ := New(echo.URL, Plan{Corrupt: 1}, 7)
+	tsc := httptest.NewServer(prc)
+	t.Cleanup(tsc.Close)
+	resp, err = http.Get(tsc.URL + "/c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if len(got) != len(want) || bytes.Equal(got, want) {
+		t.Fatalf("corrupt=1: got %q (len %d), original %q (len %d)", got, len(got), want, len(want))
+	}
+	if st := prc.Stats(); st.Corrupted != 1 {
+		t.Errorf("corrupt stats: %+v", st)
+	}
+}
+
+func TestProxySlowLoris(t *testing.T) {
+	echo := newEcho(t)
+	proxy := newProxy(t, echo.URL, Plan{SlowLoris: 200 * time.Millisecond}, 1)
+
+	begin := time.Now()
+	resp, err := http.Get(proxy.URL + "/drip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(body), "echo:GET:/drip") {
+		t.Fatalf("trickled body %q", body)
+	}
+	if elapsed := time.Since(begin); elapsed < 150*time.Millisecond {
+		t.Errorf("slow-loris body arrived in %v, want a trickle", elapsed)
+	}
+}

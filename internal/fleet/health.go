@@ -1,0 +1,263 @@
+// Peer health tracking and circuit breaking: the resilience layer of the
+// fleet's data paths.
+//
+// A dead or slow peer must cost a bounded, small amount of time — never
+// `replicas × timeout` per miss. The Health tracker gives every peer a
+// circuit breaker: consecutive call failures open it, an open breaker makes
+// the peer invisible to the data paths (callers skip it instantly), and a
+// seeded-jitter exponential-backoff probe schedule decides when the peer is
+// asked again (/healthz). A successful probe closes the breaker; a failed
+// one reopens it with doubled backoff.
+//
+// The tracker also keeps a window of recent successful peer-call latencies
+// and derives from it the hedge delay: how long a fetch waits on the first
+// owner before firing a speculative second fetch at the next one.
+package fleet
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"hintm/internal/obs"
+)
+
+// BreakerState is one peer's circuit state.
+type BreakerState int
+
+const (
+	// StateClosed: the peer is healthy; calls flow normally.
+	StateClosed BreakerState = iota
+	// StateOpen: the peer is considered down; calls skip it until the next
+	// scheduled probe.
+	StateOpen
+	// StateHalfOpen: a probe is in flight; its outcome closes or reopens
+	// the breaker. Regular calls still skip the peer.
+	StateHalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case StateOpen:
+		return "open"
+	case StateHalfOpen:
+		return "half-open"
+	}
+	return "closed"
+}
+
+// HealthConfig assembles a Health tracker. Zero fields take defaults.
+type HealthConfig struct {
+	// Threshold is how many consecutive failures open a peer's breaker
+	// (default 3).
+	Threshold int
+	// Backoff is the first open→probe delay; each failed probe doubles it
+	// (default 500ms).
+	Backoff time.Duration
+	// MaxBackoff caps the doubling (default 30s).
+	MaxBackoff time.Duration
+	// Seed drives the backoff jitter stream — same seed, same schedule.
+	Seed uint64
+	// Metrics receives breaker transition counters (nil = none).
+	Metrics *obs.Metrics
+	// Now is the clock (nil = time.Now); tests inject a fake.
+	Now func() time.Time
+}
+
+// Health tracks per-peer circuit breakers and the shared peer-latency
+// window. Safe for concurrent use.
+type Health struct {
+	cfg HealthConfig
+
+	mu    sync.Mutex
+	peers map[string]*breaker
+	draws uint64 // jitter draw counter; (Seed, draws) → deterministic jitter
+
+	lat  [128]time.Duration // ring buffer of successful call latencies
+	latN int                // total recorded (index latN % len wraps)
+}
+
+type breaker struct {
+	state   BreakerState
+	fails   int           // consecutive failures
+	backoff time.Duration // current open→probe delay
+	next    time.Time     // when the next probe is due (Open only)
+}
+
+// NewHealth builds a tracker over cfg.
+func NewHealth(cfg HealthConfig) *Health {
+	if cfg.Threshold <= 0 {
+		cfg.Threshold = 3
+	}
+	if cfg.Backoff <= 0 {
+		cfg.Backoff = 500 * time.Millisecond
+	}
+	if cfg.MaxBackoff <= 0 {
+		cfg.MaxBackoff = 30 * time.Second
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	return &Health{cfg: cfg, peers: make(map[string]*breaker)}
+}
+
+func (h *Health) get(peer string) *breaker {
+	b, ok := h.peers[peer]
+	if !ok {
+		b = &breaker{}
+		h.peers[peer] = b
+	}
+	return b
+}
+
+// Allow reports whether a regular call may go to peer right now: true only
+// for a closed breaker. Open and half-open peers are skipped instantly —
+// that is the whole point — and come back via the probe path.
+func (h *Health) Allow(peer string) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.get(peer).state == StateClosed
+}
+
+// Ready is Allow without registering unknown peers — the read-only form
+// background sweeps use.
+func (h *Health) Ready(peer string) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	b, ok := h.peers[peer]
+	return !ok || b.state == StateClosed
+}
+
+// Due returns every open peer whose probe time has arrived, transitioning
+// each to half-open. The caller owes each returned peer exactly one
+// Report with the probe's outcome.
+func (h *Health) Due(now time.Time) []string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	var due []string
+	for peer, b := range h.peers {
+		if b.state == StateOpen && !now.Before(b.next) {
+			b.state = StateHalfOpen
+			h.cfg.Metrics.Counter("fleet_breaker_halfopen_total").Inc()
+			due = append(due, peer)
+		}
+	}
+	sort.Strings(due)
+	return due
+}
+
+// Report records one call or probe outcome. Success closes the breaker and
+// (when latency > 0) feeds the hedge-delay window; failure counts toward
+// the threshold, and opening — or failing a half-open probe — schedules
+// the next probe with seeded-jitter exponential backoff.
+func (h *Health) Report(peer string, ok bool, latency time.Duration) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	b := h.get(peer)
+	if ok {
+		if b.state != StateClosed {
+			h.cfg.Metrics.Counter("fleet_breaker_closed_total").Inc()
+			h.cfg.Metrics.Counter("fleet_breaker_open").Add(-1)
+		}
+		b.state = StateClosed
+		b.fails = 0
+		b.backoff = 0
+		if latency > 0 {
+			h.lat[h.latN%len(h.lat)] = latency
+			h.latN++
+		}
+		return
+	}
+	b.fails++
+	switch b.state {
+	case StateClosed:
+		if b.fails < h.cfg.Threshold {
+			return
+		}
+		h.cfg.Metrics.Counter("fleet_breaker_opened_total").Inc()
+		// The gauge counts not-closed breakers; a failed half-open probe
+		// below reopens without moving it.
+		h.cfg.Metrics.Counter("fleet_breaker_open").Add(1)
+	case StateOpen:
+		// A straggler call failed while the breaker was already open; the
+		// probe schedule stands.
+		return
+	case StateHalfOpen:
+		h.cfg.Metrics.Counter("fleet_breaker_opened_total").Inc()
+	}
+	b.state = StateOpen
+	if b.backoff == 0 {
+		b.backoff = h.cfg.Backoff
+	} else {
+		b.backoff *= 2
+		if b.backoff > h.cfg.MaxBackoff {
+			b.backoff = h.cfg.MaxBackoff
+		}
+	}
+	b.next = h.cfg.Now().Add(time.Duration(float64(b.backoff) * h.jitterLocked()))
+}
+
+// jitterLocked draws the next deterministic jitter factor in [0.75, 1.25).
+// Seeded so a fleet's probe schedule replays exactly; spread so probes from
+// breakers opened together do not land together. Callers hold h.mu.
+func (h *Health) jitterLocked() float64 {
+	h.draws++
+	x := h.cfg.Seed + h.draws*0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return 0.75 + float64(x>>11)/float64(1<<53)*0.5
+}
+
+// State reports peer's current breaker state.
+func (h *Health) State(peer string) BreakerState {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	b, ok := h.peers[peer]
+	if !ok {
+		return StateClosed
+	}
+	return b.state
+}
+
+// Snapshot returns every tracked peer's breaker state by name — the
+// /healthz fleet view.
+func (h *Health) Snapshot() map[string]string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make(map[string]string, len(h.peers))
+	for peer, b := range h.peers {
+		out[peer] = b.state.String()
+	}
+	return out
+}
+
+// HedgeDelay derives how long a fetch should wait on its first peer before
+// firing a speculative second fetch: the p99 of recent successful peer-call
+// latencies, clamped to [1ms, budget/2]. With fewer than 8 samples it
+// answers budget/8 — hedge early while the window warms up.
+func (h *Health) HedgeDelay(budget time.Duration) time.Duration {
+	h.mu.Lock()
+	n := h.latN
+	if n > len(h.lat) {
+		n = len(h.lat)
+	}
+	window := make([]time.Duration, n)
+	copy(window, h.lat[:n])
+	h.mu.Unlock()
+
+	d := budget / 8
+	if n >= 8 {
+		sort.Slice(window, func(i, j int) bool { return window[i] < window[j] })
+		d = window[(n*99+99)/100-1]
+	}
+	if d < time.Millisecond {
+		d = time.Millisecond
+	}
+	if max := budget / 2; d > max {
+		d = max
+	}
+	return d
+}

@@ -1,0 +1,194 @@
+package fleet
+
+import (
+	"testing"
+	"time"
+
+	"hintm/internal/obs"
+)
+
+// fakeClock is a settable clock for deterministic breaker schedules.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func newClock() *fakeClock                   { return &fakeClock{t: time.Unix(1000, 0)} }
+func (c *fakeClock) health(m *obs.Metrics) *Health {
+	return NewHealth(HealthConfig{Threshold: 3, Backoff: 100 * time.Millisecond,
+		MaxBackoff: time.Second, Seed: 1, Metrics: m, Now: c.now})
+}
+
+// TestBreakerOpensAtThreshold: failures below the threshold keep the peer
+// allowed; the threshold-th consecutive failure opens the breaker, and one
+// success anywhere resets the count.
+func TestBreakerOpensAtThreshold(t *testing.T) {
+	clock := newClock()
+	m := obs.NewMetrics()
+	h := clock.health(m)
+	const peer = "http://a"
+
+	h.Report(peer, false, 0)
+	h.Report(peer, false, 0)
+	if !h.Allow(peer) {
+		t.Fatal("breaker opened below threshold")
+	}
+	h.Report(peer, true, time.Millisecond) // success resets the streak
+	h.Report(peer, false, 0)
+	h.Report(peer, false, 0)
+	if !h.Allow(peer) {
+		t.Fatal("breaker opened despite the reset")
+	}
+	h.Report(peer, false, 0)
+	if h.Allow(peer) {
+		t.Fatal("breaker still closed after threshold consecutive failures")
+	}
+	if got := h.State(peer); got != StateOpen {
+		t.Fatalf("state = %v, want open", got)
+	}
+	if m.Value("fleet_breaker_opened_total") != 1 || m.Value("fleet_breaker_open") != 1 {
+		t.Fatalf("transition metrics: %+v", m.Snapshot())
+	}
+}
+
+// TestBreakerProbeLifecycle walks open → half-open (probe due) → closed on
+// a successful probe, and open again with doubled backoff on a failed one.
+func TestBreakerProbeLifecycle(t *testing.T) {
+	clock := newClock()
+	m := obs.NewMetrics()
+	h := clock.health(m)
+	const peer = "http://a"
+	for i := 0; i < 3; i++ {
+		h.Report(peer, false, 0)
+	}
+
+	// Not due yet: backoff is 100ms × jitter ≥ 75ms.
+	if due := h.Due(clock.now().Add(50 * time.Millisecond)); len(due) != 0 {
+		t.Fatalf("probe due too early: %v", due)
+	}
+	// Due within 100ms × 1.25 jitter cap.
+	clock.advance(125 * time.Millisecond)
+	due := h.Due(clock.now())
+	if len(due) != 1 || due[0] != peer {
+		t.Fatalf("due = %v, want [%s]", due, peer)
+	}
+	if got := h.State(peer); got != StateHalfOpen {
+		t.Fatalf("state after Due = %v, want half-open", got)
+	}
+	if h.Allow(peer) {
+		t.Fatal("half-open breaker allowed a regular call")
+	}
+
+	// Failed probe: reopens with doubled backoff — not due again for 150ms
+	// (200ms × 0.75 jitter floor).
+	h.Report(peer, false, 0)
+	if due := h.Due(clock.now().Add(149 * time.Millisecond)); len(due) != 0 {
+		t.Fatalf("reopened breaker due before doubled backoff: %v", due)
+	}
+	clock.advance(251 * time.Millisecond)
+	if due := h.Due(clock.now()); len(due) != 1 {
+		t.Fatalf("reopened breaker never came due: %v", due)
+	}
+
+	// Successful probe closes it.
+	h.Report(peer, true, time.Millisecond)
+	if !h.Allow(peer) || h.State(peer) != StateClosed {
+		t.Fatal("successful probe did not close the breaker")
+	}
+	if m.Value("fleet_breaker_closed_total") != 1 || m.Value("fleet_breaker_open") != 0 {
+		t.Fatalf("close metrics: %+v", m.Snapshot())
+	}
+	if m.Value("fleet_breaker_halfopen_total") != 2 {
+		t.Fatalf("halfopen_total = %d, want 2", m.Value("fleet_breaker_halfopen_total"))
+	}
+}
+
+// TestBreakerBackoffDeterministic: two trackers with the same seed produce
+// identical probe schedules; a different seed produces a different one.
+func TestBreakerBackoffDeterministic(t *testing.T) {
+	schedule := func(seed uint64) []time.Duration {
+		clock := newClock()
+		h := NewHealth(HealthConfig{Threshold: 1, Backoff: 100 * time.Millisecond,
+			MaxBackoff: 10 * time.Second, Seed: seed, Now: clock.now})
+		var out []time.Duration
+		for i := 0; i < 6; i++ {
+			h.Report("p", false, 0)
+			// Scan forward in 1ms steps until the probe comes due.
+			var waited time.Duration
+			for len(h.Due(clock.now())) == 0 {
+				clock.advance(time.Millisecond)
+				waited += time.Millisecond
+			}
+			out = append(out, waited)
+		}
+		return out
+	}
+	a, b, c := schedule(7), schedule(7), schedule(8)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at probe %d: %v vs %v", i, a, b)
+		}
+	}
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical schedules")
+	}
+	// Exponential shape: each wait is roughly double the previous (jitter
+	// keeps the ratio within [1.2, 3.4] until the cap).
+	for i := 1; i < 4; i++ {
+		ratio := float64(a[i]) / float64(a[i-1])
+		if ratio < 1.2 || ratio > 3.4 {
+			t.Fatalf("backoff not exponential: waits %v", a)
+		}
+	}
+}
+
+// TestHedgeDelay: defaults to budget/8 while cold, tracks the p99 of the
+// recorded latency window once warm, and clamps to [1ms, budget/2].
+func TestHedgeDelay(t *testing.T) {
+	h := NewHealth(HealthConfig{Now: newClock().now})
+	budget := 2 * time.Second
+	if got := h.HedgeDelay(budget); got != budget/8 {
+		t.Fatalf("cold hedge delay = %v, want %v", got, budget/8)
+	}
+	for i := 0; i < 90; i++ {
+		h.Report("p", true, 10*time.Millisecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.Report("p", true, 400*time.Millisecond) // the tail
+	}
+	if got := h.HedgeDelay(budget); got != 400*time.Millisecond {
+		t.Fatalf("warm hedge delay = %v, want the 400ms p99", got)
+	}
+	// The p99 exceeds budget/2 → clamp.
+	if got := h.HedgeDelay(100 * time.Millisecond); got != 50*time.Millisecond {
+		t.Fatalf("clamped hedge delay = %v, want 50ms", got)
+	}
+}
+
+// TestSnapshotAndReady pins the healthz view and the sweep-side check.
+func TestSnapshotAndReady(t *testing.T) {
+	clock := newClock()
+	h := clock.health(nil)
+	h.Report("http://a", true, time.Millisecond)
+	for i := 0; i < 3; i++ {
+		h.Report("http://b", false, 0)
+	}
+	snap := h.Snapshot()
+	if snap["http://a"] != "closed" || snap["http://b"] != "open" {
+		t.Fatalf("snapshot = %v", snap)
+	}
+	if !h.Ready("http://a") || h.Ready("http://b") {
+		t.Fatal("Ready disagrees with breaker states")
+	}
+	if !h.Ready("http://never-seen") {
+		t.Fatal("unknown peer must be ready")
+	}
+	if _, tracked := h.Snapshot()["http://never-seen"]; tracked {
+		t.Fatal("Ready registered the unknown peer")
+	}
+}

@@ -32,6 +32,7 @@ import (
 	"io"
 	"math"
 	"math/rand"
+	"net"
 	"net/http"
 	"sort"
 	"strings"
@@ -88,8 +89,13 @@ type Config struct {
 	CV float64
 	// Seed drives the schedule; same seed, same schedule.
 	Seed uint64
-	// Client performs the HTTP calls (nil = a client with a 5-minute
-	// timeout — a load test must observe slow requests, not abort them).
+	// Timeout bounds each request when Client is nil (0 = 5 minutes — a
+	// load test must observe slow requests by default, not abort them).
+	// Requests that hit it are reported as TimedOut, a distinct category
+	// from other failures: against a degraded fleet, "slow" and "broken"
+	// are different diagnoses.
+	Timeout time.Duration
+	// Client performs the HTTP calls (nil = a client with Timeout).
 	Client *http.Client
 }
 
@@ -158,7 +164,8 @@ type Report struct {
 	PeerHits  int // subset of Hits that crossed the fleet
 	Simulated int
 	Throttled int // 429s — admission control shed the request
-	Failed    int // run failures and transport/HTTP errors
+	TimedOut  int // client-side deadline expired before an answer
+	Failed    int // run failures and transport/HTTP errors (excl. timeouts)
 	Results   []Result
 
 	latencies []time.Duration // sorted, successful requests only
@@ -193,8 +200,8 @@ type SLO struct {
 	P99 time.Duration
 	// MinHitRate is the minimum warm hit rate (0..1).
 	MinHitRate float64
-	// MaxFailed bounds hard failures (throttled requests are shed load,
-	// not failures — they are reported but never counted here).
+	// MaxFailed bounds hard failures plus timeouts (throttled requests are
+	// shed load, not failures — they are reported but never counted here).
 	MaxFailed int
 }
 
@@ -213,8 +220,9 @@ func (r *Report) Check(slo SLO) error {
 				got*100, slo.MinHitRate*100))
 		}
 	}
-	if r.Failed > slo.MaxFailed {
-		errs = append(errs, fmt.Errorf("%d requests failed (max %d)", r.Failed, slo.MaxFailed))
+	if r.Failed+r.TimedOut > slo.MaxFailed {
+		errs = append(errs, fmt.Errorf("%d requests failed + %d timed out (max %d)",
+			r.Failed, r.TimedOut, slo.MaxFailed))
 	}
 	return errors.Join(errs...)
 }
@@ -229,7 +237,11 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 	}
 	client := cfg.Client
 	if client == nil {
-		client = &http.Client{Timeout: 5 * time.Minute}
+		timeout := cfg.Timeout
+		if timeout <= 0 {
+			timeout = 5 * time.Minute
+		}
+		client = &http.Client{Timeout: timeout}
 	}
 	offsets := Schedule(cfg)
 	results := make([]Result, cfg.N)
@@ -259,6 +271,8 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 		switch {
 		case res.HTTP == http.StatusTooManyRequests:
 			rep.Throttled++
+		case isTimeout(res.Err):
+			rep.TimedOut++
 		case res.Err != nil || res.Status == "failed":
 			rep.Failed++
 		case res.Status == "hit":
@@ -276,6 +290,20 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 	}
 	sort.Slice(rep.latencies, func(a, b int) bool { return rep.latencies[a] < rep.latencies[b] })
 	return rep, nil
+}
+
+// isTimeout reports whether err is a client-side deadline expiry — the
+// http.Client timeout (a net.Error with Timeout true) or a context
+// deadline that propagated into the transport.
+func isTimeout(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		return true
+	}
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
 }
 
 // oneRequest submits one spec with ?wait=1 and classifies the outcome.

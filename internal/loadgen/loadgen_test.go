@@ -156,3 +156,50 @@ func TestRunRejectsBadConfig(t *testing.T) {
 		t.Error("empty config accepted")
 	}
 }
+
+// TestTimeoutsAreDistinct: requests killed by the per-request deadline land
+// in TimedOut, not Failed, and Check counts both against MaxFailed.
+func TestTimeoutsAreDistinct(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1)%2 == 0 { // every other request hangs past the deadline
+			select {
+			case <-time.After(5 * time.Second):
+			case <-r.Context().Done():
+				return
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(api.RunsResponse{Schema: api.Schema,
+			Runs: []api.RunStatus{{Key: "k", Status: "hit", Source: "store"}}})
+	}))
+	defer ts.Close()
+
+	rep, err := Run(context.Background(), Config{
+		Targets: []string{ts.URL},
+		Specs:   []api.RunSpec{{Workload: "labyrinth", Scale: "small"}},
+		N:       8, Rate: 2000, Seed: 3,
+		Timeout: 200 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TimedOut != 4 || rep.Failed != 0 || rep.Hits != 4 {
+		t.Fatalf("classification: %+v", rep)
+	}
+	if err := rep.Check(SLO{MaxFailed: 3}); err == nil {
+		t.Error("timeouts did not count against MaxFailed")
+	}
+	if err := rep.Check(SLO{MaxFailed: 4}); err != nil {
+		t.Errorf("SLO with room for the timeouts still failed: %v", err)
+	}
+}
+
+func TestIsTimeout(t *testing.T) {
+	if isTimeout(nil) || isTimeout(context.Canceled) {
+		t.Error("non-timeout classified as timeout")
+	}
+	if !isTimeout(context.DeadlineExceeded) {
+		t.Error("context deadline not classified as timeout")
+	}
+}

@@ -3,12 +3,14 @@ package server
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	"hintm/internal/api"
 	"hintm/internal/harness"
@@ -19,10 +21,11 @@ import (
 // newFleet spins up n servers with separate stores that share one peer
 // list, so they form a consistent-hash fleet. The handler indirection
 // breaks the chicken-and-egg between knowing every node's URL and
-// constructing the servers.
-func newFleet(t *testing.T, n int) (servers []*Server, urls []string, metrics []*obs.Metrics) {
+// constructing the servers — and lets a test swap handlers[i] to simulate
+// node i restarting behind a stable address.
+func newFleet(t *testing.T, n int) (servers []*Server, urls []string, metrics []*obs.Metrics, handlers []http.Handler) {
 	t.Helper()
-	handlers := make([]http.Handler, n)
+	handlers = make([]http.Handler, n)
 	for i := 0; i < n; i++ {
 		i := i
 		ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
@@ -47,7 +50,7 @@ func newFleet(t *testing.T, n int) (servers []*Server, urls []string, metrics []
 		servers = append(servers, s)
 		metrics = append(metrics, m)
 	}
-	return servers, urls, metrics
+	return servers, urls, metrics, handlers
 }
 
 func fleetSimRuns(metrics []*obs.Metrics) (total int64) {
@@ -57,18 +60,36 @@ func fleetSimRuns(metrics []*obs.Metrics) (total int64) {
 	return total
 }
 
+// quiesceFleet waits for every node's async replication queue to drain, so
+// a warm-phase assertion runs against settled stores.
+func quiesceFleet(t *testing.T, servers []*Server) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	for i, s := range servers {
+		if s.repl == nil {
+			continue
+		}
+		if err := s.repl.quiesce(ctx); err != nil {
+			t.Fatalf("node %d replication never quiesced: %v", i, err)
+		}
+	}
+}
+
 // TestFleetColdOnAWarmOnB is the sharded fleet's acceptance test: a run
 // simulated on node A is a warm hit on node B via peer fetch, the served
 // bytes are identical on every node, and the warm path never simulates
 // anywhere in the fleet.
 func TestFleetColdOnAWarmOnB(t *testing.T) {
-	_, urls, metrics := newFleet(t, 3)
+	servers, urls, metrics, _ := newFleet(t, 3)
 
 	code, out := postRuns(t, wrapURL(urls[0]), "?wait=1", labyrinthSmall)
 	if code != http.StatusOK || out.Runs[0].Status != "done" || out.Runs[0].Source != "sim" {
 		t.Fatalf("cold submit to A: code=%d run=%+v", code, out.Runs[0])
 	}
 	key := out.Runs[0].Key
+	// Replication is async now: let the forward land before the warm phase.
+	quiesceFleet(t, servers)
 	coldSims := fleetSimRuns(metrics)
 	if coldSims == 0 {
 		t.Fatal("cold submit simulated nothing")
@@ -224,13 +245,14 @@ func checkGridEvents(t *testing.T, events []api.GridEvent, n int) {
 // grid to node B: B answers every cell warm (local store or peer fetch)
 // and no node simulates anything new.
 func TestFleetGridWarmViaPeers(t *testing.T) {
-	_, urls, metrics := newFleet(t, 3)
+	servers, urls, metrics, _ := newFleet(t, 3)
 
 	code, _, cold := postGrid(t, urls[0], smallGrid)
 	if code != http.StatusOK {
 		t.Fatalf("cold grid: %d", code)
 	}
 	checkGridEvents(t, cold, 4)
+	quiesceFleet(t, servers)
 	coldSims := fleetSimRuns(metrics)
 
 	code, _, warm := postGrid(t, urls[1], smallGrid)

@@ -1,12 +1,19 @@
-// Peer result fetch and forwarding: the data paths of the sharded fleet.
+// Peer result fetch: the read side of the sharded fleet's data path.
 //
-// Both directions move the store's raw object bytes verbatim, so a result
-// is byte-identical on every node that holds it. Placement comes from the
-// consistent-hash ring (internal/fleet): a key's owner and replicas are
-// the nodes asked on a miss (peer fetch) and the nodes given a copy after
-// a cold simulation (forward), which together guarantee any node can
-// answer any previously-computed key with at most Replicas network hops
-// and zero simulation.
+// Both directions (fetch here, replication in repl.go) move the store's raw
+// object bytes verbatim, so a result is byte-identical on every node that
+// holds it. Placement comes from the consistent-hash ring (internal/fleet):
+// a key's owner and replicas are the nodes asked on a miss.
+//
+// Resilience contract: peer fetch is an optimization over re-simulating,
+// so its worst case must be bounded and small. Three mechanisms enforce
+// that. Peers with open circuit breakers are skipped instantly — a dead
+// peer costs nothing after its breaker opens. The whole fetch runs under
+// one overall budget (Config.Fleet.PeerBudget, default 2s), split into
+// per-call deadlines across the owners, so even with every breaker closed
+// a miss costs at most the budget, never replicas × timeout. And a hedged
+// second fetch fires at the next owner after a p99-derived delay, so one
+// slow-but-alive owner doesn't drag every cold request to its own tail.
 package server
 
 import (
@@ -14,41 +21,116 @@ import (
 	"context"
 	"io"
 	"net/http"
+	"strconv"
 	"time"
 )
 
-// defaultPeerTimeout bounds one peer HTTP call. Peer fetch is an
-// optimization over re-simulating; a slow peer must not cost more than the
-// simulation it would save.
+// defaultPeerTimeout bounds one peer HTTP call when no tighter deadline
+// applies (replication PUTs, health probes, the client-level backstop).
 const defaultPeerTimeout = 5 * time.Second
+
+// defaultPeerBudget bounds the total peer time one miss may spend before
+// degrading to a local simulation.
+const defaultPeerBudget = 2 * time.Second
 
 // maxReplicaBytes bounds a replicated object. Run results are a few KB;
 // anything near this limit is garbage.
 const maxReplicaBytes = 16 << 20
 
-// peerFetch asks key's ring owner and replicas (skipping this node) for
-// the stored object, returning the first hit's raw bytes, or nil when no
-// peer has it. Peers are asked with ?local=1, so a fetch never cascades
-// into further fetches or simulations.
+// peerFetch asks key's ring owners (skipping this node and every peer with
+// an open breaker) for the stored object, returning the first hit's raw
+// bytes, or nil when no reachable peer has it. Peers are asked with
+// ?local=1, so a fetch never cascades into further fetches or simulations.
+//
+// Owners are tried in ring order, each under a per-call deadline; a miss or
+// error moves on immediately, and a hedge timer fires the next owner early
+// when the first is slower than the observed p99. The overall budget bounds
+// the total time spent here no matter what the peers do.
 func (s *Server) peerFetch(ctx context.Context, key string) []byte {
 	if s.ring == nil {
 		return nil
 	}
+	var cands []string
 	for _, node := range s.ring.Owners(key, s.replicas) {
 		if node == s.self {
 			continue
 		}
-		s.metrics.Counter("fleet_peer_fetch_total").Inc()
-		raw, err := s.fetchFrom(ctx, node, key)
-		if err != nil {
-			// An unreachable peer degrades to a local simulation, never to
-			// a failure.
-			s.metrics.Counter("fleet_peer_errors_total").Inc()
+		if !s.health.Allow(node) {
+			s.metrics.Counter("fleet_breaker_skipped_total").Inc()
 			continue
 		}
-		if raw != nil {
-			s.metrics.Counter("fleet_peer_hits_total").Inc()
-			return raw
+		cands = append(cands, node)
+	}
+	if len(cands) == 0 {
+		return nil
+	}
+	ctx, cancel := context.WithTimeout(ctx, s.peerBudget)
+	defer cancel()
+	perCall := s.peerBudget / time.Duration(len(cands))
+
+	type result struct {
+		raw []byte
+		idx int
+	}
+	ch := make(chan result, len(cands))
+	launch := func(i int) {
+		go func() {
+			s.metrics.Counter("fleet_peer_fetch_total").Inc()
+			cctx, ccancel := context.WithTimeout(ctx, perCall)
+			defer ccancel()
+			begin := time.Now()
+			raw, err := s.fetchFrom(cctx, cands[i], key)
+			if err != nil && ctx.Err() != nil {
+				// The budget expired or a winner cancelled this call: not
+				// the peer's fault, so neither the breaker nor the error
+				// counter should see it.
+				ch <- result{nil, i}
+				return
+			}
+			s.health.Report(cands[i], err == nil, time.Since(begin))
+			if err != nil {
+				s.metrics.Counter("fleet_peer_errors_total").Inc()
+			}
+			ch <- result{raw, i}
+		}()
+	}
+
+	launched := 1
+	launch(0)
+	var hedgeC <-chan time.Time
+	if len(cands) > 1 {
+		t := time.NewTimer(s.health.HedgeDelay(s.peerBudget))
+		defer t.Stop()
+		hedgeC = t.C
+	}
+	hedged := false
+	for done := 0; done < launched; {
+		select {
+		case <-ctx.Done():
+			return nil
+		case <-hedgeC:
+			hedgeC = nil
+			if launched < len(cands) {
+				hedged = true
+				s.metrics.Counter("fleet_hedge_total").Inc()
+				launch(launched)
+				launched++
+			}
+		case r := <-ch:
+			done++
+			if r.raw != nil {
+				s.metrics.Counter("fleet_peer_hits_total").Inc()
+				if hedged && r.idx > 0 {
+					s.metrics.Counter("fleet_hedge_wins_total").Inc()
+				}
+				return r.raw
+			}
+			// A miss or error frees this slot: try the next owner now
+			// rather than waiting for the hedge timer.
+			if launched < len(cands) {
+				launch(launched)
+				launched++
+			}
 		}
 	}
 	return nil
@@ -80,29 +162,32 @@ func (s *Server) fetchFrom(ctx context.Context, node, key string) ([]byte, error
 
 type errPeerStatus int
 
-func (e errPeerStatus) Error() string { return "peer returned status " + http.StatusText(int(e)) }
+func (e errPeerStatus) Error() string {
+	// Always include the numeric code: StatusText returns "" for
+	// non-standard codes, and "peer returned status " helps nobody.
+	msg := "peer returned status " + strconv.Itoa(int(e))
+	if text := http.StatusText(int(e)); text != "" {
+		msg += " " + text
+	}
+	return msg
+}
 
-// forward replicates a freshly-simulated key to its ring owners, so later
-// lookups find it where the ring says to look no matter which node did
-// the work. Best-effort: a failed forward costs a future peer fetch a
-// miss (and at worst one re-simulation), never correctness.
-func (s *Server) forward(ctx context.Context, key string) {
+// forward queues a freshly-simulated key for replication to its ring
+// owners, so later lookups find it where the ring says to look no matter
+// which node did the work. Asynchronous and best-effort: the request path
+// pays nothing, and a lost forward costs a future peer fetch a miss until
+// anti-entropy repairs it, never correctness.
+func (s *Server) forward(key string) {
 	if s.ring == nil {
 		return
 	}
-	_, raw, err := s.store.Get(key)
-	if err != nil || raw == nil {
-		return
-	}
+	var targets []string
 	for _, node := range s.ring.Owners(key, s.replicas) {
-		if node == s.self {
-			continue
-		}
-		s.metrics.Counter("fleet_forward_total").Inc()
-		if err := s.replicateTo(ctx, node, key, raw); err != nil {
-			s.metrics.Counter("fleet_forward_errors_total").Inc()
+		if node != s.self {
+			targets = append(targets, node)
 		}
 	}
+	s.repl.enqueue(replItem{key: key, nodes: targets})
 }
 
 // replicateTo PUTs one object's raw bytes to a peer.

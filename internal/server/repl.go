@@ -1,0 +1,291 @@
+// Async replication and anti-entropy repair: how a result computed on one
+// node reaches the key's ring owners without the request path paying for it.
+//
+// Replication used to run inline in resolve — a cold request waited for up
+// to replicas × peer-timeout of PUT traffic before answering, and a dead
+// peer made every cold request slow. It now runs through a bounded
+// in-process queue drained by background workers: resolve enqueues the key
+// and answers immediately; workers PUT the object bytes to each owner with
+// retry + backoff on the server's base context (a client disconnect cannot
+// cancel replication mid-flight); under overflow the oldest item is dropped
+// (counted) rather than blocking, because anti-entropy will repair it.
+//
+// Anti-entropy is the background sweep that makes replication self-healing:
+// walk the local store index, compute each key's ring owners, ask each
+// healthy owner whether it has the key (a HEAD on the peer's ?local=1
+// path), and enqueue a repair replication for the ones that miss. A node
+// that crashed, restarted empty, or joined late converges to the warm state
+// the ring promises — without simulating anything — as soon as its peers'
+// sweeps find it reachable again.
+package server
+
+import (
+	"context"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Replication defaults: queue capacity, worker count, per-PUT attempts.
+const (
+	defaultReplQueue   = 1024
+	defaultReplWorkers = 2
+	replAttempts       = 3
+	replRetryBackoff   = 50 * time.Millisecond
+)
+
+// replItem is one queued replication: push key's object bytes to nodes.
+type replItem struct {
+	key   string
+	nodes []string
+}
+
+// replicator is the bounded queue plus its worker pool.
+type replicator struct {
+	s     *Server
+	limit int
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []replItem
+	closed bool
+	busy   int // workers mid-item
+
+	wg sync.WaitGroup
+}
+
+func newReplicator(s *Server, limit, workers int) *replicator {
+	if limit <= 0 {
+		limit = defaultReplQueue
+	}
+	if workers <= 0 {
+		workers = defaultReplWorkers
+	}
+	r := &replicator{s: s, limit: limit}
+	r.cond = sync.NewCond(&r.mu)
+	r.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go r.worker()
+	}
+	return r
+}
+
+// enqueue queues one replication. Never blocks: when the queue is full the
+// oldest item is dropped (and counted) — a dropped forward costs a future
+// peer fetch a miss until anti-entropy repairs it, never correctness.
+func (r *replicator) enqueue(it replItem) {
+	if len(it.nodes) == 0 {
+		return
+	}
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return
+	}
+	if len(r.queue) >= r.limit {
+		r.queue = r.queue[1:]
+		r.s.metrics.Counter("fleet_repl_dropped_total").Inc()
+	}
+	r.queue = append(r.queue, it)
+	r.s.metrics.Counter("fleet_repl_queue_depth").Set(int64(len(r.queue) + r.busy))
+	// Broadcast, not Signal: quiesce waiters share the cond, and waking one
+	// of them instead of a worker would strand the item.
+	r.cond.Broadcast()
+	r.mu.Unlock()
+}
+
+// depth reports queued plus in-flight replications.
+func (r *replicator) depth() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.queue) + r.busy
+}
+
+func (r *replicator) worker() {
+	defer r.wg.Done()
+	for {
+		r.mu.Lock()
+		for len(r.queue) == 0 && !r.closed {
+			r.cond.Wait()
+		}
+		if len(r.queue) == 0 && r.closed {
+			r.mu.Unlock()
+			return
+		}
+		it := r.queue[0]
+		r.queue = r.queue[1:]
+		r.busy++
+		r.s.metrics.Counter("fleet_repl_queue_depth").Set(int64(len(r.queue) + r.busy))
+		r.mu.Unlock()
+
+		r.process(it)
+
+		r.mu.Lock()
+		r.busy--
+		r.s.metrics.Counter("fleet_repl_queue_depth").Set(int64(len(r.queue) + r.busy))
+		if len(r.queue) == 0 && r.busy == 0 {
+			r.cond.Broadcast() // wake quiesce/drain waiters
+		}
+		r.mu.Unlock()
+	}
+}
+
+// process pushes one key to its target nodes with bounded retry + backoff,
+// on the server's base context — replication outlives the request that
+// produced the result.
+func (r *replicator) process(it replItem) {
+	s := r.s
+	_, raw, err := s.store.Get(it.key)
+	if err != nil || raw == nil {
+		return // evicted or quarantined since enqueue: nothing to push
+	}
+	for _, node := range it.nodes {
+		if !s.health.Ready(node) {
+			// Open breaker: the peer is down; anti-entropy repairs it after
+			// the breaker closes. Don't burn retries proving it again.
+			s.metrics.Counter("fleet_repl_skipped_total").Inc()
+			continue
+		}
+		s.metrics.Counter("fleet_forward_total").Inc()
+		if !r.pushWithRetry(node, it.key, raw) {
+			s.metrics.Counter("fleet_forward_errors_total").Inc()
+		}
+	}
+}
+
+func (r *replicator) pushWithRetry(node, key string, raw []byte) bool {
+	s := r.s
+	backoff := replRetryBackoff
+	for attempt := 0; attempt < replAttempts; attempt++ {
+		if attempt > 0 {
+			s.metrics.Counter("fleet_repl_retries_total").Inc()
+			select {
+			case <-time.After(backoff):
+			case <-s.baseCtx.Done():
+				return false
+			}
+			backoff *= 2
+		}
+		ctx, cancel := context.WithTimeout(s.baseCtx, defaultPeerTimeout)
+		begin := time.Now()
+		err := s.replicateTo(ctx, node, key, raw)
+		cancel()
+		if s.baseCtx.Err() != nil {
+			return false
+		}
+		s.health.Report(node, err == nil, time.Since(begin))
+		if err == nil {
+			return true
+		}
+		if !s.health.Ready(node) {
+			return false // the failures opened the breaker; stop retrying
+		}
+	}
+	return false
+}
+
+// quiesce blocks until the queue is empty and no worker is mid-item, or ctx
+// expires. Tests and graceful drain use it; it does not stop the workers.
+func (r *replicator) quiesce(ctx context.Context) error {
+	done := make(chan struct{})
+	go func() {
+		r.mu.Lock()
+		for (len(r.queue) > 0 || r.busy > 0) && !r.closed {
+			r.cond.Wait()
+		}
+		r.mu.Unlock()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// close marks the queue closed and waits for the workers to finish what is
+// already queued. Call after the last enqueue (post-drain).
+func (r *replicator) close() {
+	r.mu.Lock()
+	r.closed = true
+	r.cond.Broadcast()
+	r.mu.Unlock()
+	r.wg.Wait()
+}
+
+// ---- anti-entropy ------------------------------------------------------
+
+// sweepLoop runs Sweep every interval until the server stops. The first
+// sweep waits one full interval, so a freshly-booted node's peers get a
+// chance to come up before being probed.
+func (s *Server) sweepLoop(interval time.Duration) {
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stopc:
+			return
+		case <-t.C:
+			s.Sweep(s.baseCtx)
+		}
+	}
+}
+
+// Sweep walks the local store index once and enqueues a repair replication
+// for every (key, owner) pair where a healthy owner is missing the key. It
+// returns how many keys were enqueued for repair. Exported so tests and
+// operators can force a sweep; the background loop calls it on a timer.
+func (s *Server) Sweep(ctx context.Context) int {
+	if s.ring == nil {
+		return 0
+	}
+	s.metrics.Counter("fleet_antientropy_sweeps_total").Inc()
+	repaired := 0
+	for _, ie := range s.store.List() {
+		if ctx.Err() != nil {
+			break
+		}
+		var missing []string
+		for _, node := range s.ring.Owners(ie.Key, s.replicas) {
+			if node == s.self || !s.health.Ready(node) {
+				continue
+			}
+			has, err := s.peerHas(ctx, node, ie.Key)
+			if err != nil {
+				continue // unreachable: the breaker bookkeeping handles it
+			}
+			if !has {
+				missing = append(missing, node)
+			}
+		}
+		if len(missing) > 0 {
+			repaired++
+			s.metrics.Counter("fleet_repair_keys_total").Inc()
+			s.repl.enqueue(replItem{key: ie.Key, nodes: missing})
+		}
+	}
+	atomic.StoreInt64(&s.lastSweepUnix, time.Now().Unix())
+	return repaired
+}
+
+// peerHas asks node whether it holds key locally: a HEAD on the ?local=1
+// lookup path, so the check moves headers, not object bytes, and never
+// cascades.
+func (s *Server) peerHas(ctx context.Context, node, key string) (bool, error) {
+	ctx, cancel := context.WithTimeout(ctx, defaultPeerTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodHead, node+"/v1/runs/"+key+"?local=1", nil)
+	if err != nil {
+		return false, err
+	}
+	begin := time.Now()
+	resp, err := s.peerHTTP.Do(req)
+	s.health.Report(node, err == nil, time.Since(begin))
+	if err != nil {
+		return false, err
+	}
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK, nil
+}

@@ -38,7 +38,10 @@ import (
 	"io"
 	"net/http"
 	"sort"
+	"strconv"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"hintm/internal/api"
 	"hintm/internal/fleet"
@@ -71,6 +74,28 @@ type FleetConfig struct {
 	Replicas int
 	// Client performs peer HTTP calls (nil = a client with a short timeout).
 	Client *http.Client
+	// PeerBudget bounds the total peer time one miss may spend before
+	// degrading to a local simulation (default 2s). Split into per-call
+	// deadlines across the key's owners.
+	PeerBudget time.Duration
+	// BreakerThreshold is how many consecutive peer-call failures open a
+	// peer's circuit breaker (default 3).
+	BreakerThreshold int
+	// BreakerBackoff is the first open→probe delay; each failed probe
+	// doubles it, with seeded jitter, up to 30s (default 500ms).
+	BreakerBackoff time.Duration
+	// HealthSeed seeds the backoff jitter stream (default 1).
+	HealthSeed uint64
+	// ReplQueue bounds the async replication queue; overflow drops the
+	// oldest item, counted (default 1024).
+	ReplQueue int
+	// ReplWorkers is how many goroutines drain the replication queue
+	// (default 2).
+	ReplWorkers int
+	// AntiEntropy is the background repair sweep interval; every interval
+	// the node re-replicates locally-held keys to owners that miss them
+	// (0 = sweeps disabled).
+	AntiEntropy time.Duration
 }
 
 // Config assembles a Server.
@@ -102,6 +127,16 @@ type Server struct {
 	self     string
 	replicas int
 	peerHTTP *http.Client
+
+	// Fleet resilience: per-peer circuit breakers, the async replication
+	// queue, and the anti-entropy bookkeeping. All nil/zero when single
+	// node.
+	health        *fleet.Health
+	repl          *replicator
+	peerBudget    time.Duration
+	stopc         chan struct{} // closes to stop the probe and sweep loops
+	stopOnce      sync.Once
+	lastSweepUnix int64 // atomic; 0 = never swept
 
 	queueLimit int
 
@@ -160,6 +195,26 @@ func New(cfg Config) *Server {
 		if s.peerHTTP == nil {
 			s.peerHTTP = &http.Client{Timeout: defaultPeerTimeout}
 		}
+		s.peerBudget = cfg.Fleet.PeerBudget
+		if s.peerBudget <= 0 {
+			s.peerBudget = defaultPeerBudget
+		}
+		seed := cfg.Fleet.HealthSeed
+		if seed == 0 {
+			seed = 1
+		}
+		s.health = fleet.NewHealth(fleet.HealthConfig{
+			Threshold: cfg.Fleet.BreakerThreshold,
+			Backoff:   cfg.Fleet.BreakerBackoff,
+			Seed:      seed,
+			Metrics:   m,
+		})
+		s.repl = newReplicator(s, cfg.Fleet.ReplQueue, cfg.Fleet.ReplWorkers)
+		s.stopc = make(chan struct{})
+		go s.probeLoop()
+		if cfg.Fleet.AntiEntropy > 0 {
+			go s.sweepLoop(cfg.Fleet.AntiEntropy)
+		}
 	}
 	s.mux.HandleFunc("POST /v1/runs", s.handleRuns)
 	s.mux.HandleFunc("POST /v1/grids", s.handleGrids)
@@ -177,24 +232,78 @@ func (s *Server) Handler() http.Handler { return s.mux }
 
 // Drain waits for every enqueued run to complete (and persist) or for ctx
 // to expire, whichever comes first; on expiry it cancels the in-flight
-// simulations. Call after the HTTP listener has stopped accepting.
+// simulations. Queued replications are flushed within the same budget, so
+// a graceful shutdown does not orphan forwards. Call after the HTTP
+// listener has stopped accepting.
 func (s *Server) Drain(ctx context.Context) error {
 	s.mu.Lock()
 	s.draining = true
 	s.mu.Unlock()
+	if s.stopc != nil {
+		s.stopOnce.Do(func() { close(s.stopc) }) // stop probe + sweep loops
+	}
 	done := make(chan struct{})
 	go func() {
 		s.wg.Wait()
 		close(done)
 	}()
+	var err error
 	select {
 	case <-done:
-		return nil
 	case <-ctx.Done():
 		s.cancel()
 		<-done
-		return fmt.Errorf("server: drain cut short: %w", ctx.Err())
+		err = fmt.Errorf("server: drain cut short: %w", ctx.Err())
 	}
+	if s.repl != nil {
+		// Flush what the drained runs enqueued; on expiry, stop the workers
+		// (close aborts in-flight retries via baseCtx once cancelled).
+		if qerr := s.repl.quiesce(ctx); qerr != nil && err == nil {
+			err = fmt.Errorf("server: replication drain cut short: %w", qerr)
+		}
+		if ctx.Err() != nil {
+			s.cancel()
+		}
+		s.repl.close()
+	}
+	return err
+}
+
+// probeLoop periodically asks the health tracker for open breakers whose
+// probe time has arrived and probes each peer's /healthz; a success closes
+// the breaker, a failure reopens it with doubled backoff. This is how a
+// dead peer comes back without waiting for request traffic to retry it.
+func (s *Server) probeLoop() {
+	t := time.NewTicker(100 * time.Millisecond)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stopc:
+			return
+		case now := <-t.C:
+			for _, peer := range s.health.Due(now) {
+				ctx, cancel := context.WithTimeout(s.baseCtx, time.Second)
+				ok := s.probePeer(ctx, peer)
+				cancel()
+				s.health.Report(peer, ok, 0)
+			}
+		}
+	}
+}
+
+func (s *Server) probePeer(ctx context.Context, peer string) bool {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, peer+"/healthz", nil)
+	if err != nil {
+		return false
+	}
+	s.metrics.Counter("fleet_probe_total").Inc()
+	resp, err := s.peerHTTP.Do(req)
+	if err != nil {
+		return false
+	}
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 4<<10))
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
 }
 
 // ---- admission control ------------------------------------------------
@@ -314,7 +423,10 @@ func (s *Server) resolve(ctx context.Context, req harness.Request) api.RunStatus
 		return rs
 	}
 	rs.Status, rs.Source = "done", "sim"
-	s.forward(ctx, key)
+	// Replication is queued, not awaited, and runs on the server's base
+	// context: the response does not wait for peer PUTs, and a client
+	// disconnect cannot cancel replication mid-flight.
+	s.forward(key)
 	return rs
 }
 
@@ -563,6 +675,20 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if s.ring != nil {
 		resp["node"] = s.self
 		resp["peers"] = s.ring.Nodes()
+		// The fleet view: per-peer breaker state, replication queue
+		// pressure, and anti-entropy progress. Schema documented in
+		// DESIGN.md §15.
+		fleetView := map[string]any{
+			"breakers":           s.health.Snapshot(),
+			"replicationQueue":   s.repl.depth(),
+			"replicationDropped": s.metrics.Value("fleet_repl_dropped_total"),
+			"repairedKeys":       s.metrics.Value("fleet_repair_keys_total"),
+			"sweeps":             s.metrics.Value("fleet_antientropy_sweeps_total"),
+		}
+		if last := atomic.LoadInt64(&s.lastSweepUnix); last > 0 {
+			fleetView["lastSweep"] = time.Unix(last, 0).UTC().Format(time.RFC3339)
+		}
+		resp["fleet"] = fleetView
 	}
 	s.respond(w, http.StatusOK, resp)
 }
@@ -596,14 +722,36 @@ func (s *Server) checkVersion(w http.ResponseWriter, r *http.Request) bool {
 	return false
 }
 
-// throttle answers an over-limit submission: 429, Retry-After, and a typed
-// envelope naming the limit.
+// throttle answers an over-limit submission: 429, a Retry-After derived
+// from actual queue pressure, and a typed envelope naming the limit.
 func (s *Server) throttle(w http.ResponseWriter, r *http.Request, n int) {
-	w.Header().Set("Retry-After", "1")
+	w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(s.load(), n, s.queueLimit)))
 	e := api.Errorf(api.CodeOverloaded, "work queue full")
 	e.Detail = fmt.Sprintf("load %d + submitted %d exceeds queue limit %d; retry after Retry-After seconds",
 		s.load(), n, s.queueLimit)
 	s.writeError(w, r, http.StatusTooManyRequests, e)
+}
+
+// retryAfterSeconds scales the retry hint with queue pressure: roughly 10
+// seconds per full queue's worth of excess, clamped to [1, 30]. A barely
+// over-limit submission is told to come right back; one that would double
+// the queue is told to wait.
+func retryAfterSeconds(load, submitted, limit int) int {
+	if limit <= 0 {
+		return 1
+	}
+	excess := load + submitted - limit
+	if excess < 0 {
+		excess = 0
+	}
+	secs := (excess*10 + limit - 1) / limit
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 30 {
+		secs = 30
+	}
+	return secs
 }
 
 // respond writes a v2 success body with the version header.

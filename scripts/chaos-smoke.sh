@@ -1,0 +1,209 @@
+#!/usr/bin/env bash
+# chaos-smoke: kill-a-node resilience smoke test of a 3-node hintm-served
+# fleet, plus a sanity pass over the hintm-chaos fault proxy.
+#
+# Phases:
+#
+#   A. Proxy sanity: hintm-chaos fronting node 1 with delay+corrupt faults
+#      forwards requests but measurably injects both.
+#   B. Node death mid-workload: node 3 is killed (SIGKILL) while a grid
+#      streams on node 1. The grid completes with zero failed cells, the
+#      same grid then answers entirely warm on node 2 (no re-simulation),
+#      the survivors serve byte-identical bytes, and a seeded open-loop
+#      load run against the survivors meets its SLOs with zero failures —
+#      the circuit breaker confines the dead peer's cost.
+#   C. Recovery: node 3 restarts with an EMPTY store. The survivors'
+#      anti-entropy sweeps re-replicate every key it owns; the revived
+#      node converges to a warm store and answers the full grid without
+#      any node simulating anything again.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BASE_PORT="${CHAOS_SMOKE_PORT:-18461}"
+TMP="$(mktemp -d)"
+PIDS=()
+cleanup() {
+    for pid in "${PIDS[@]:-}"; do
+        if [[ -n "$pid" ]] && kill -0 "$pid" 2>/dev/null; then
+            kill -9 "$pid" 2>/dev/null || true
+        fi
+    done
+    rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+go build -o "$TMP/hintm-served" ./cmd/hintm-served
+go build -o "$TMP/hintm-load" ./cmd/hintm-load
+go build -o "$TMP/hintm-chaos" ./cmd/hintm-chaos
+
+NODES=()
+for i in 1 2 3; do
+    NODES+=("http://127.0.0.1:$((BASE_PORT + i - 1))")
+done
+PEERS=$(IFS=,; echo "${NODES[*]}")
+
+# Resilience knobs tuned for a fast test: breakers open after 2 failures,
+# probe every ~200ms, repair sweeps every 2s, and a cold miss may burn at
+# most 1s on peers before simulating locally.
+start_node() { # start_node <index> <store-dir>
+    local i="$1" dir="$2"
+    local ADDR="127.0.0.1:$((BASE_PORT + i - 1))"
+    "$TMP/hintm-served" -addr "$ADDR" -store "$dir" -scale small -large small \
+        -node "http://$ADDR" -peers "$PEERS" \
+        -peer-budget 1s -breaker-threshold 2 -breaker-backoff 200ms -anti-entropy 2s \
+        >>"$TMP/served$i.log" 2>&1 &
+    PIDS[$((i - 1))]=$!
+}
+
+wait_healthy() { # wait_healthy <index>
+    local i="$1" URL="${NODES[$((i - 1))]}"
+    for _ in $(seq 1 100); do
+        if curl -fsS "$URL/healthz" >/dev/null 2>&1; then return 0; fi
+        if ! kill -0 "${PIDS[$((i - 1))]}" 2>/dev/null; then
+            echo "chaos-smoke: node $i died on startup:" >&2
+            cat "$TMP/served$i.log" >&2
+            exit 1
+        fi
+        sleep 0.1
+    done
+    curl -fsS "$URL/healthz" >/dev/null
+}
+
+for i in 1 2 3; do start_node "$i" "$TMP/store$i"; done
+for i in 1 2 3; do wait_healthy "$i"; done
+
+# fleet_sims sums runner_sim_runs_total across the given node URLs.
+fleet_sims() {
+    local total=0 n
+    for url in "$@"; do
+        n=$(curl -fsS "$url/metrics" | awk '/^runner_sim_runs_total /{print $2}')
+        total=$((total + ${n:-0}))
+    done
+    echo "$total"
+}
+
+metric() { # metric <url> <name>
+    curl -fsS "$1/metrics" | awk -v m="$2" '$1 == m {print $2}'
+}
+
+# ---- Phase A: chaos proxy sanity ----------------------------------------
+CHAOS_ADDR="127.0.0.1:$((BASE_PORT + 10))"
+"$TMP/hintm-chaos" -listen "$CHAOS_ADDR" -target "${NODES[0]}" \
+    -plan "delay=100ms,corrupt=1" -seed 7 >"$TMP/chaos.log" 2>&1 &
+CHAOS_PID=$!
+PIDS+=($CHAOS_PID)
+for _ in $(seq 1 50); do
+    if curl -s -o /dev/null "http://$CHAOS_ADDR/healthz"; then break; fi
+    sleep 0.1
+done
+
+curl -fsS "${NODES[0]}/healthz" > "$TMP/healthz-direct.json"
+START_MS=$(date +%s%3N)
+curl -s "http://$CHAOS_ADDR/healthz" > "$TMP/healthz-chaos.json" || true
+ELAPSED_MS=$(( $(date +%s%3N) - START_MS ))
+[[ "$ELAPSED_MS" -ge 100 ]] || {
+    echo "chaos-smoke: proxied healthz took ${ELAPSED_MS}ms; delay=100ms not injected" >&2; exit 1; }
+if cmp -s "$TMP/healthz-direct.json" "$TMP/healthz-chaos.json"; then
+    echo "chaos-smoke: corrupt=1 body identical to direct fetch" >&2; exit 1
+fi
+kill -TERM "$CHAOS_PID" 2>/dev/null || true
+wait "$CHAOS_PID" 2>/dev/null || true
+grep -Eq 'corrupted=[1-9]' "$TMP/chaos.log" || {
+    echo "chaos-smoke: proxy did not count the corruption:" >&2; cat "$TMP/chaos.log" >&2; exit 1; }
+
+# ---- Phase B: kill node 3 mid-grid --------------------------------------
+GRID='{"schema":"hintm-api/v2","requests":[
+  {"workload":"labyrinth","scale":"small","htm":"p8","hints":"none"},
+  {"workload":"labyrinth","scale":"small","htm":"p8","hints":"st"},
+  {"workload":"labyrinth","scale":"small","htm":"p8","hints":"dyn"},
+  {"workload":"labyrinth","scale":"small","htm":"p8","hints":"full"},
+  {"workload":"labyrinth","scale":"small","htm":"infcap","hints":"none"},
+  {"workload":"labyrinth","scale":"small","htm":"infcap","hints":"st"},
+  {"workload":"labyrinth","scale":"small","htm":"infcap","hints":"dyn"},
+  {"workload":"labyrinth","scale":"small","htm":"infcap","hints":"full"}
+]}'
+
+curl -fsS -X POST "${NODES[0]}/v1/grids" -d "$GRID" > "$TMP/grid-cold.ndjson" &
+CURL_PID=$!
+sleep 0.2 # let the grid start streaming, then crash node 3 under it
+kill -9 "${PIDS[2]}" 2>/dev/null || true
+wait "$CURL_PID" || { echo "chaos-smoke: cold grid stream broke" >&2; exit 1; }
+
+grep -q '"event":"accepted","total":8' "$TMP/grid-cold.ndjson" || {
+    echo "chaos-smoke: cold grid not accepted:" >&2; cat "$TMP/grid-cold.ndjson" >&2; exit 1; }
+grep -q '"failed":0' "$TMP/grid-cold.ndjson" || {
+    echo "chaos-smoke: grid cells failed with a dead peer:" >&2
+    tail -1 "$TMP/grid-cold.ndjson" >&2; exit 1; }
+SIMS_COLD=$(fleet_sims "${NODES[0]}" "${NODES[1]}")
+[[ "$SIMS_COLD" -eq 8 ]] || {
+    echo "chaos-smoke: cold grid ran $SIMS_COLD survivor simulations, want 8" >&2; exit 1; }
+
+# The same grid on node 2 answers warm without node 3 and without
+# simulating anything anywhere.
+curl -fsS -X POST "${NODES[1]}/v1/grids" -d "$GRID" > "$TMP/grid-warm.ndjson"
+grep -q '"simulated":0,"failed":0' "$TMP/grid-warm.ndjson" || {
+    echo "chaos-smoke: warm grid on survivor wrong:" >&2; tail -1 "$TMP/grid-warm.ndjson" >&2; exit 1; }
+[[ "$(fleet_sims "${NODES[0]}" "${NODES[1]}")" -eq "$SIMS_COLD" ]] || {
+    echo "chaos-smoke: warm grid simulated on a survivor" >&2; exit 1; }
+
+# Survivors serve byte-identical bytes.
+KEY=$(grep -o '"key":"[0-9a-f]*"' "$TMP/grid-cold.ndjson" | head -1 | cut -d'"' -f4)
+[[ ${#KEY} -eq 64 ]] || { echo "chaos-smoke: bad key '$KEY'" >&2; exit 1; }
+curl -fsS "${NODES[0]}/v1/runs/$KEY" > "$TMP/body1.json"
+curl -fsS "${NODES[1]}/v1/runs/$KEY" > "$TMP/body2.json"
+cmp "$TMP/body1.json" "$TMP/body2.json" || {
+    echo "chaos-smoke: survivors serve different bytes for $KEY" >&2; exit 1; }
+
+# Seeded open-loop load against the survivors: breakers confine the dead
+# peer, so zero failures and the p99 SLO hold with node 3 down.
+"$TMP/hintm-load" -targets "${NODES[0]},${NODES[1]}" -n 60 -rate 40 -arrivals bursty -seed 1 \
+    -workloads labyrinth -scale small -htms p8,infcap -hints none,st,dyn,full \
+    -request-timeout 30s \
+    -slo-p99 "${CHAOS_SMOKE_P99:-2s}" -slo-hit-rate 0.99 -slo-max-failed 0 \
+    | tee "$TMP/load.txt"
+[[ "$(fleet_sims "${NODES[0]}" "${NODES[1]}")" -eq "$SIMS_COLD" ]] || {
+    echo "chaos-smoke: load phase simulated" >&2; exit 1; }
+
+# ---- Phase C: revive node 3 empty; anti-entropy repairs it warm ---------
+rm -rf "$TMP/store3"
+start_node 3 "$TMP/store3"
+wait_healthy 3
+
+# The survivors' sweeps must find the empty owner and re-replicate; wait
+# for repairs to be counted and for the revived store to fill.
+for _ in $(seq 1 120); do
+    R1=$(metric "${NODES[0]}" fleet_repair_keys_total); R1=${R1:-0}
+    R2=$(metric "${NODES[1]}" fleet_repair_keys_total); R2=${R2:-0}
+    REPAIRS=$((R1 + R2))
+    ENTRIES=$(curl -fsS "${NODES[2]}/healthz" | grep -o '"storeEntries": *[0-9]*' | grep -o '[0-9]*$')
+    if [[ "${REPAIRS:-0}" -gt 0 && "${ENTRIES:-0}" -gt 0 ]]; then break; fi
+    sleep 0.25
+done
+[[ "${REPAIRS:-0}" -gt 0 ]] || {
+    echo "chaos-smoke: survivors never repaired the revived node" >&2
+    curl -fsS "${NODES[0]}/healthz" >&2 || true; exit 1; }
+[[ "${ENTRIES:-0}" -gt 0 ]] || {
+    echo "chaos-smoke: revived node's store stayed empty" >&2; exit 1; }
+
+# Give replication a moment to settle, then: the full grid on the revived
+# node answers entirely warm, and the fleet-wide simulation count is
+# unchanged — recovery moved bytes, not work.
+sleep 1
+curl -fsS -X POST "${NODES[2]}/v1/grids" -d "$GRID" > "$TMP/grid-revived.ndjson"
+grep -q '"simulated":0,"failed":0' "$TMP/grid-revived.ndjson" || {
+    echo "chaos-smoke: revived node's grid not warm:" >&2
+    tail -1 "$TMP/grid-revived.ndjson" >&2; exit 1; }
+[[ "$(fleet_sims "${NODES[@]}")" -eq "$SIMS_COLD" ]] || {
+    echo "chaos-smoke: recovery re-simulated (want fleet-wide delta 0)" >&2; exit 1; }
+
+# Graceful drain on everyone still alive.
+for i in 1 2 3; do
+    kill -TERM "${PIDS[$((i - 1))]}" 2>/dev/null || true
+done
+for i in 1 2 3; do
+    wait "${PIDS[$((i - 1))]}" 2>/dev/null || true
+done
+PIDS=()
+
+echo "chaos-smoke: OK (proxy injects, node killed mid-grid with 0 failures, survivors byte-identical + SLOs met, revived node repaired warm by anti-entropy, SimRuns delta 0)"
