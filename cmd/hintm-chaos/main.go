@@ -11,12 +11,16 @@
 //
 // Flags:
 //
-//	-listen HOST:PORT   proxy listen address (default 127.0.0.1:8448)
-//	-target URL         backend base URL to forward to (required)
-//	-plan SPEC          chaos plan, comma-separated key=value pairs:
-//	                    kill-at=N, blackhole=1, delay=50ms, slow-loris=2s,
-//	                    corrupt=P, flaky=P (empty = transparent proxy)
-//	-seed N             decision-stream seed (default 1)
+//	-listen HOST:PORT       proxy listen address (default 127.0.0.1:8448)
+//	-target URL             backend base URL to forward to (required)
+//	-plan SPEC              chaos plan, comma-separated key=value pairs:
+//	                        kill-at=N, blackhole=1, delay=50ms, slow-loris=2s,
+//	                        corrupt=P, flaky=P (empty = transparent proxy)
+//	-seed N                 decision-stream seed (default 1)
+//	-metrics-addr HOST:PORT serve the proxy's own /metrics here ("" = off):
+//	                        requests, forwards, proxied bytes, and injected
+//	                        faults labeled by behavior — so a chaos campaign
+//	                        can assert mid-run that its faults actually fired
 //
 // On SIGINT/SIGTERM the proxy prints its injection counters and exits.
 package main
@@ -29,6 +33,7 @@ import (
 
 	"hintm/internal/chaos"
 	"hintm/internal/cli"
+	"hintm/internal/obs"
 )
 
 func main() {
@@ -36,6 +41,7 @@ func main() {
 	target := flag.String("target", "", "backend base URL to forward to (required)")
 	planSpec := flag.String("plan", "", "chaos plan (key=value,... ; empty = transparent)")
 	seed := flag.Uint64("seed", 1, "decision-stream seed")
+	metricsAddr := flag.String("metrics-addr", "", `serve the proxy's own /metrics on this address ("" = off)`)
 	flag.Parse()
 
 	if *target == "" {
@@ -55,6 +61,18 @@ func main() {
 	defer stop()
 
 	errc := make(chan error, 1)
+	var msrv *http.Server
+	if *metricsAddr != "" {
+		m := obs.NewMetrics()
+		proxy.SetMetrics(m)
+		mux := http.NewServeMux()
+		mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+			m.Render(w)
+		})
+		msrv = &http.Server{Addr: *metricsAddr, Handler: mux}
+		go func() { errc <- msrv.ListenAndServe() }()
+	}
 	go func() { errc <- srv.ListenAndServe() }()
 	fmt.Fprintf(os.Stderr, "hintm-chaos: %s -> %s plan=%q seed=%d\n",
 		*listen, *target, plan.String(), *seed)
@@ -65,6 +83,9 @@ func main() {
 	case <-ctx.Done():
 	}
 	srv.Close()
+	if msrv != nil {
+		msrv.Close()
+	}
 	st := proxy.Stats()
 	fmt.Fprintf(os.Stderr,
 		"hintm-chaos: requests=%d forwarded=%d killed=%d blackholed=%d flaked=%d corrupted=%d\n",

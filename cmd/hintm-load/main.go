@@ -24,6 +24,10 @@
 //	                          category distinct from failures
 //	-slo-p99 D                fail if p99 latency of successful requests
 //	                          exceeds D (0 = don't check)
+//	-slo-server-p99 D         fail if the server-side p99 exceeds D; the
+//	                          generator scrapes every target's /metrics
+//	                          before and after the run and gates on the
+//	                          serve_request_seconds delta (0 = don't check)
 //	-slo-hit-rate F           fail if the warm hit rate is below F (0..1)
 //	-slo-max-failed N         fail if more than N requests hard-fail
 //	-json                     also print the report as JSON
@@ -34,6 +38,11 @@
 // wants to measure. Throttled requests (429) count as shed load, not
 // failures. The exit status is non-zero iff an SLO is violated or the
 // run could not execute.
+//
+// The /metrics scrape always runs (best effort — a fleet without the
+// endpoint just skips the server-side rows); with -slo-server-p99 set a
+// failed scrape is fatal, because a gate that cannot measure must not
+// pass.
 package main
 
 import (
@@ -64,6 +73,7 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "abort the whole run after this duration (0 = none)")
 	reqTimeout := flag.Duration("request-timeout", 0, "per-request client deadline (0 = 5m default)")
 	sloP99 := flag.Duration("slo-p99", 0, "fail if p99 latency exceeds this (0 = don't check)")
+	sloServerP99 := flag.Duration("slo-server-p99", 0, "fail if the server-side p99 (scraped from /metrics) exceeds this (0 = don't check)")
 	sloHit := flag.Float64("slo-hit-rate", 0, "fail if the warm hit rate is below this fraction (0 = don't check)")
 	sloFailed := flag.Int("slo-max-failed", 0, "fail if more than this many requests hard-fail")
 	asJSON := flag.Bool("json", false, "also print the report as JSON")
@@ -101,12 +111,31 @@ func main() {
 	ctx, stop := cli.Context(*timeout)
 	defer stop()
 
+	// Scrape the fleet's histograms around the run: the delta is the
+	// server-side view of exactly this run's requests.
+	before, scrapeErr := loadgen.ScrapeServers(ctx, nil, cfg.Targets)
+	if scrapeErr != nil && *sloServerP99 > 0 {
+		fatal(fmt.Errorf("pre-run scrape: %w", scrapeErr))
+	}
+
 	start := time.Now()
 	rep, err := loadgen.Run(ctx, cfg)
 	if err != nil {
 		fatal(err)
 	}
 	wall := time.Since(start)
+
+	if scrapeErr == nil {
+		after, err := loadgen.ScrapeServers(ctx, nil, cfg.Targets)
+		if err != nil {
+			scrapeErr = err
+			if *sloServerP99 > 0 {
+				fatal(fmt.Errorf("post-run scrape: %w", err))
+			}
+		} else {
+			rep.Server = after.Delta(before)
+		}
+	}
 
 	fmt.Printf("hintm-load: %d requests over %v (%s arrivals, %.1f/s, seed %d, pool %d specs, %d targets)\n",
 		rep.Sent, wall.Round(time.Millisecond), process, *rate, *seed, len(specs), len(cfg.Targets))
@@ -121,7 +150,15 @@ func main() {
 	t.Row("latency p50", rep.Percentile(0.50).Round(time.Millisecond))
 	t.Row("latency p90", rep.Percentile(0.90).Round(time.Millisecond))
 	t.Row("latency p99", rep.Percentile(0.99).Round(time.Millisecond))
+	if rep.Server.Count > 0 {
+		t.Row("server samples", rep.Server.Count)
+		t.Row("server p50", rep.ServerPercentile(0.50).Round(time.Millisecond))
+		t.Row("server p99", rep.ServerPercentile(0.99).Round(time.Millisecond))
+	}
 	t.Render(os.Stdout)
+	if scrapeErr != nil {
+		fmt.Fprintf(os.Stderr, "hintm-load: /metrics scrape skipped: %v\n", scrapeErr)
+	}
 
 	if *asJSON {
 		out := map[string]any{
@@ -132,6 +169,9 @@ func main() {
 			"p50Ms":       rep.Percentile(0.50).Seconds() * 1000,
 			"p90Ms":       rep.Percentile(0.90).Seconds() * 1000,
 			"p99Ms":       rep.Percentile(0.99).Seconds() * 1000,
+			"serverCount": rep.Server.Count,
+			"serverP50Ms": rep.ServerPercentile(0.50).Seconds() * 1000,
+			"serverP99Ms": rep.ServerPercentile(0.99).Seconds() * 1000,
 			"wallSeconds": wall.Seconds(),
 			"seed":        *seed,
 			"arrivals":    process.String(),
@@ -142,11 +182,11 @@ func main() {
 		enc.Encode(out)
 	}
 
-	slo := loadgen.SLO{P99: *sloP99, MinHitRate: *sloHit, MaxFailed: *sloFailed}
+	slo := loadgen.SLO{P99: *sloP99, ServerP99: *sloServerP99, MinHitRate: *sloHit, MaxFailed: *sloFailed}
 	if err := rep.Check(slo); err != nil {
 		fatal(fmt.Errorf("SLO violated:\n%w", err))
 	}
-	if *sloP99 > 0 || *sloHit > 0 {
+	if *sloP99 > 0 || *sloServerP99 > 0 || *sloHit > 0 {
 		fmt.Println("hintm-load: SLOs met")
 	}
 }

@@ -42,6 +42,8 @@
 //	-repl-workers N             replication worker count (default 2)
 //	-anti-entropy D             background repair sweep interval
 //	                            (default 0 = off)
+//	-trace-capacity N           resident fleet-trace buffers per node
+//	                            (default 512; negative disables tracing)
 //
 // Endpoints (wire format hintm-api/v2, see internal/api):
 //
@@ -53,9 +55,14 @@
 //	                         from the key's ring owners on a miss) or 202
 //	PUT  /v1/runs/{key}      fleet-internal replication (raw object bytes)
 //	GET  /v1/figures/{name}  figure rows assembled from the store
-//	GET  /healthz            liveness + store/queue/fleet summary
+//	GET  /v1/traces/{key}    the assembled fleet trace of a request: every
+//	                         span recorded for the key's latest resolve on
+//	                         this node, gathered from all healthy peers
+//	GET  /healthz            liveness + build info + store/queue/fleet summary
 //	GET  /metrics            store hits/misses, queue depth, sim runs,
-//	                         peer fetch/hit/forward counters, ...
+//	                         peer fetch/hit/forward counters, and
+//	                         serve_request_seconds/serve_phase_seconds
+//	                         latency histograms labeled by node/phase/outcome
 //
 // On SIGINT/SIGTERM the listener stops accepting, enqueued runs get the
 // drain budget to finish persisting, and only then does the process exit.
@@ -82,6 +89,7 @@ func main() {
 	hf := cli.RegisterHarness(flag.CommandLine)
 	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown budget for in-flight runs")
 	queueLimit := flag.Int("queue-limit", 0, "max admitted-but-unfinished runs before submissions get 429 (0 = default)")
+	traceCap := flag.Int("trace-capacity", 0, "resident fleet-trace buffers (0 = default 512, negative = tracing off)")
 	ff := cli.RegisterFleet(flag.CommandLine)
 	flag.Parse()
 
@@ -94,7 +102,8 @@ func main() {
 		fatal(err)
 	}
 
-	cfg := server.Config{Store: st, Options: opts, Metrics: obs.NewMetrics(), QueueLimit: *queueLimit}
+	cfg := server.Config{Store: st, Options: opts, Metrics: obs.NewMetrics(),
+		QueueLimit: *queueLimit, TraceCapacity: *traceCap}
 	if cfg.Fleet, err = ff.Config(); err != nil {
 		fatal(err)
 	}

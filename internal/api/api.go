@@ -32,6 +32,11 @@ const Header = "X-Hintm-Api"
 // store), "peer" (fetched from a sibling node), or "miss".
 const StoreHeader = "X-Hintm-Store"
 
+// TraceHeader carries the fleet trace context between nodes:
+// "trace|root|parentNode|parentSpan|hop" (see obs.SpanContext). Absent or
+// malformed values mean the request is untraced; they are never an error.
+const TraceHeader = "X-Hintm-Trace"
+
 // Error codes. Clients branch on these; Message/Detail are for humans.
 const (
 	CodeBadRequest  = "bad_request" // malformed body, unknown field value

@@ -28,6 +28,8 @@ import (
 	"strings"
 	"sync/atomic"
 	"time"
+
+	"hintm/internal/obs"
 )
 
 // Plan declares which network faults the proxy injects. The zero Plan
@@ -161,10 +163,11 @@ const (
 
 // Proxy forwards requests to a fixed target, injecting the plan's faults.
 type Proxy struct {
-	plan   Plan
-	target *url.URL
-	seed   uint64
-	client *http.Client
+	plan    Plan
+	target  *url.URL
+	seed    uint64
+	client  *http.Client
+	metrics *obs.Metrics // nil = unobserved (every method no-ops)
 
 	n     atomic.Uint64 // request index, 1-based
 	stats [6]atomic.Uint64
@@ -203,6 +206,22 @@ func New(target string, plan Plan, seed uint64) (*Proxy, error) {
 	}, nil
 }
 
+// SetMetrics routes the proxy's counters into a metrics registry, so a
+// chaos campaign's injections are scrapable from a /metrics endpoint
+// (cmd/hintm-chaos -metrics-addr) instead of only visible at proxy exit.
+// Injections are labeled by behavior; delays and slow-loris trickles are
+// counted too, even though they eventually forward the request.
+func (p *Proxy) SetMetrics(m *obs.Metrics) { p.metrics = m }
+
+// inject counts one injected fault, by behavior. stat < 0 records a
+// behavior that has no Stats field (delays, slow-loris) on metrics only.
+func (p *Proxy) inject(stat int, behavior string) {
+	if stat >= 0 {
+		p.stats[stat].Add(1)
+	}
+	p.metrics.Counter(obs.MetricChaosInjected, obs.L("behavior", behavior)).Inc()
+}
+
 // Stats returns a snapshot of the injection counters.
 func (p *Proxy) Stats() Stats {
 	return Stats{
@@ -233,24 +252,26 @@ func (p *Proxy) draw(index, salt uint64) float64 {
 func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	index := p.n.Add(1)
 	p.stats[statRequests].Add(1)
+	p.metrics.Counter(obs.MetricChaosRequests).Inc()
 
 	if p.plan.KillAt > 0 && index >= p.plan.KillAt {
 		// Sever the connection with no response bytes — to the client this
 		// is the backend process dying, not an HTTP error.
-		p.stats[statKilled].Add(1)
+		p.inject(statKilled, "killed")
 		panic(http.ErrAbortHandler)
 	}
 	if p.plan.Blackhole {
-		p.stats[statBlackholed].Add(1)
+		p.inject(statBlackholed, "blackholed")
 		<-r.Context().Done()
 		return
 	}
 	if p.plan.Flaky > 0 && p.draw(index, saltFlaky) < p.plan.Flaky {
-		p.stats[statFlaked].Add(1)
+		p.inject(statFlaked, "flaked")
 		http.Error(w, "chaos: injected 503", http.StatusServiceUnavailable)
 		return
 	}
 	if p.plan.Delay > 0 {
+		p.inject(-1, "delayed")
 		select {
 		case <-time.After(p.plan.Delay):
 		case <-r.Context().Done():
@@ -275,9 +296,11 @@ func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	p.stats[statForwarded].Add(1)
+	p.metrics.Counter(obs.MetricChaosForwarded).Inc()
+	p.metrics.Counter(obs.MetricChaosBytes).Add(int64(len(body)))
 
 	if p.plan.Corrupt > 0 && len(body) > 0 && p.draw(index, saltCorrupt) < p.plan.Corrupt {
-		p.stats[statCorrupted].Add(1)
+		p.inject(statCorrupted, "corrupted")
 		body = corrupt(body, splitmix64(p.seed^index))
 	}
 
@@ -288,6 +311,7 @@ func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	hdr.Set("Content-Length", strconv.Itoa(len(body)))
 	w.WriteHeader(resp.StatusCode)
 	if p.plan.SlowLoris > 0 && len(body) > 0 {
+		p.inject(-1, "slow-loris")
 		p.trickle(w, r, body)
 		return
 	}

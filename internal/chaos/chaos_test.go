@@ -8,6 +8,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"hintm/internal/obs"
 )
 
 func TestParsePlanRoundTrip(t *testing.T) {
@@ -229,5 +231,67 @@ func TestProxySlowLoris(t *testing.T) {
 	}
 	if elapsed := time.Since(begin); elapsed < 150*time.Millisecond {
 		t.Errorf("slow-loris body arrived in %v, want a trickle", elapsed)
+	}
+}
+
+// TestProxyMetrics: with a registry attached, the proxy's counters are
+// scrapable — requests, forwards, proxied bytes, and injected faults by
+// behavior — and the rendered exposition parses back cleanly.
+func TestProxyMetrics(t *testing.T) {
+	echo := newEcho(t)
+	pr, err := New(echo.URL, Plan{Flaky: 1}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := obs.NewMetrics()
+	pr.SetMetrics(m)
+	ts := httptest.NewServer(pr)
+	t.Cleanup(ts.Close)
+
+	for i := 0; i < 3; i++ {
+		resp, err := http.Get(ts.URL + "/flaky")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	if got := m.Value(obs.MetricChaosRequests); got != 3 {
+		t.Errorf("%s = %d, want 3", obs.MetricChaosRequests, got)
+	}
+	if got := m.Value(obs.MetricChaosInjected, obs.L("behavior", "flaked")); got != 3 {
+		t.Errorf(`%s{behavior="flaked"} = %d, want 3`, obs.MetricChaosInjected, got)
+	}
+	if got := m.Value(obs.MetricChaosForwarded); got != 0 {
+		t.Errorf("flaky=1 forwarded %d requests", got)
+	}
+
+	// A transparent proxy forwards and counts bytes.
+	prt, _ := New(echo.URL, Plan{}, 1)
+	mt := obs.NewMetrics()
+	prt.SetMetrics(mt)
+	tst := httptest.NewServer(prt)
+	t.Cleanup(tst.Close)
+	resp, err := http.Get(tst.URL + "/bytes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if got := mt.Value(obs.MetricChaosBytes); got != int64(len(body)) {
+		t.Errorf("%s = %d, want %d", obs.MetricChaosBytes, got, len(body))
+	}
+
+	var sb strings.Builder
+	if err := mt.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	fams, err := obs.ParseText(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("proxy /metrics is not valid exposition: %v", err)
+	}
+	for _, name := range []string{obs.MetricChaosRequests, obs.MetricChaosForwarded, obs.MetricChaosBytes} {
+		if _, ok := fams[name]; !ok {
+			t.Errorf("family %s missing from exposition", name)
+		}
 	}
 }

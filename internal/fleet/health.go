@@ -138,7 +138,7 @@ func (h *Health) Due(now time.Time) []string {
 	for peer, b := range h.peers {
 		if b.state == StateOpen && !now.Before(b.next) {
 			b.state = StateHalfOpen
-			h.cfg.Metrics.Counter("fleet_breaker_halfopen_total").Inc()
+			h.cfg.Metrics.Counter(obs.MetricBreakerHalfOpen).Inc()
 			due = append(due, peer)
 		}
 	}
@@ -156,8 +156,8 @@ func (h *Health) Report(peer string, ok bool, latency time.Duration) {
 	b := h.get(peer)
 	if ok {
 		if b.state != StateClosed {
-			h.cfg.Metrics.Counter("fleet_breaker_closed_total").Inc()
-			h.cfg.Metrics.Counter("fleet_breaker_open").Add(-1)
+			h.cfg.Metrics.Counter(obs.MetricBreakerClosed).Inc()
+			h.cfg.Metrics.Counter(obs.MetricBreakerOpen).Add(-1)
 		}
 		b.state = StateClosed
 		b.fails = 0
@@ -174,16 +174,16 @@ func (h *Health) Report(peer string, ok bool, latency time.Duration) {
 		if b.fails < h.cfg.Threshold {
 			return
 		}
-		h.cfg.Metrics.Counter("fleet_breaker_opened_total").Inc()
+		h.cfg.Metrics.Counter(obs.MetricBreakerOpened).Inc()
 		// The gauge counts not-closed breakers; a failed half-open probe
 		// below reopens without moving it.
-		h.cfg.Metrics.Counter("fleet_breaker_open").Add(1)
+		h.cfg.Metrics.Counter(obs.MetricBreakerOpen).Add(1)
 	case StateOpen:
 		// A straggler call failed while the breaker was already open; the
 		// probe schedule stands.
 		return
 	case StateHalfOpen:
-		h.cfg.Metrics.Counter("fleet_breaker_opened_total").Inc()
+		h.cfg.Metrics.Counter(obs.MetricBreakerOpened).Inc()
 	}
 	b.state = StateOpen
 	if b.backoff == 0 {

@@ -31,7 +31,7 @@ import (
 // assertions and the runner_sim_runs_total metric read).
 func (r *Runner) noteExec() {
 	r.execs.Add(1)
-	r.opts.Metrics.Counter("runner_sim_runs_total").Inc()
+	r.opts.Metrics.Counter(obs.MetricSimRuns).Inc()
 }
 
 // moduleKey identifies one built + classified module. Modules are shared
@@ -56,7 +56,7 @@ type flight[T any] struct {
 func (r *Runner) acquire(ctx context.Context) (release func(), err error) {
 	select {
 	case r.sem <- struct{}{}:
-		inflight := r.opts.Metrics.Counter("runner_inflight")
+		inflight := r.opts.Metrics.Counter(obs.MetricInflight)
 		inflight.Add(1)
 		return func() {
 			inflight.Add(-1)

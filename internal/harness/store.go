@@ -7,6 +7,7 @@ import (
 	"strings"
 
 	"hintm/internal/htm"
+	"hintm/internal/obs"
 	"hintm/internal/sim"
 	"hintm/internal/stats"
 	"hintm/internal/store"
@@ -110,7 +111,7 @@ func (r *Runner) storePut(req Request, res *sim.Result) {
 	}
 	data, err := json.Marshal(res)
 	if err != nil {
-		r.opts.Metrics.Counter("store_put_errors_total").Inc()
+		r.opts.Metrics.Counter(obs.MetricStorePutErrors).Inc()
 		return
 	}
 	e := store.Entry{Request: r.KeyPreimage(req), Result: data}
@@ -120,6 +121,6 @@ func (r *Runner) storePut(req Request, res *sim.Result) {
 		e.AutopsyPath = base + ".autopsy.txt"
 	}
 	if _, err := st.Put(e); err != nil {
-		r.opts.Metrics.Counter("store_put_errors_total").Inc()
+		r.opts.Metrics.Counter(obs.MetricStorePutErrors).Inc()
 	}
 }

@@ -40,6 +40,7 @@ import (
 	"time"
 
 	"hintm/internal/api"
+	"hintm/internal/obs"
 )
 
 // Process selects the arrival process.
@@ -168,6 +169,11 @@ type Report struct {
 	Failed    int // run failures and transport/HTTP errors (excl. timeouts)
 	Results   []Result
 
+	// Server is the fleet-wide serve_request_seconds delta scraped around
+	// the run — what the servers measured, as opposed to the client-side
+	// latencies above. Zero unless the caller scraped; see ScrapeServers.
+	Server obs.HistSnapshot
+
 	latencies []time.Duration // sorted, successful requests only
 }
 
@@ -193,11 +199,22 @@ func (r *Report) Percentile(q float64) time.Duration {
 	return r.latencies[i]
 }
 
+// ServerPercentile returns the q-quantile of the scraped server-side
+// request-latency delta (Report.Server), 0 if nothing was scraped.
+func (r *Report) ServerPercentile(q float64) time.Duration {
+	return time.Duration(r.Server.Quantile(q) * float64(time.Second))
+}
+
 // SLO is the service-level objective a load run is gated on. Zero fields
 // are not checked.
 type SLO struct {
 	// P99 bounds the 99th-percentile latency of successful requests.
 	P99 time.Duration
+	// ServerP99 bounds the server-side 99th-percentile request latency,
+	// estimated from the scraped serve_request_seconds delta
+	// (Report.Server). Gating with no scraped samples is a violation, not
+	// a pass — an SLO that silently stops measuring is no SLO.
+	ServerP99 time.Duration
 	// MinHitRate is the minimum warm hit rate (0..1).
 	MinHitRate float64
 	// MaxFailed bounds hard failures plus timeouts (throttled requests are
@@ -212,6 +229,13 @@ func (r *Report) Check(slo SLO) error {
 	if slo.P99 > 0 {
 		if got := r.Percentile(0.99); got > slo.P99 {
 			errs = append(errs, fmt.Errorf("p99 latency %v exceeds SLO %v", got, slo.P99))
+		}
+	}
+	if slo.ServerP99 > 0 {
+		if r.Server.Count == 0 {
+			errs = append(errs, errors.New("server-side p99 SLO set but no serve_request_seconds samples were scraped"))
+		} else if got := r.ServerPercentile(0.99); got > slo.ServerP99 {
+			errs = append(errs, fmt.Errorf("server-side p99 latency %v exceeds SLO %v", got, slo.ServerP99))
 		}
 	}
 	if slo.MinHitRate > 0 {

@@ -1,0 +1,303 @@
+package obs
+
+import (
+	"strconv"
+	"sync"
+	"time"
+)
+
+// FleetRecorder keeps the spans of recent request traces in memory, one
+// bounded buffer per root execution. It is the fleet-side analogue of the
+// simulator's Tracer and follows the same enable/disable idiom: a nil
+// *FleetRecorder (and the nil *ActiveTrace handles it returns) makes
+// every recording call a branch-and-return no-op with zero allocations,
+// so the serve hot path pays nothing when tracing is off.
+//
+// Identity is deterministic. The trace id is TraceID(storeKey). Each
+// execution that roots a trace on a node gets the root id
+// "node#epoch" where epoch is that node's per-trace counter — so a cold
+// run and a later warm run of the same key are distinct roots, and two
+// identical seeded fleet runs mint identical root ids. Span ids are
+// 1-based recording ordinals within one node's buffer.
+type FleetRecorder struct {
+	node    string
+	cap     int
+	metrics *Metrics
+
+	mu     sync.Mutex
+	roots  map[bufKey]*traceBuf
+	order  []bufKey          // insertion order, for FIFO eviction
+	latest map[string]string // trace id -> most recent local root id
+	epochs map[string]uint64 // trace id -> next root epoch
+	live   map[string]int    // trace id -> live roots (epoch GC)
+}
+
+// bufKey identifies one root execution's buffer. Root ids ("node#epoch")
+// repeat across traces, so buffers are keyed by the pair.
+type bufKey struct {
+	trace, root string
+}
+
+// maxSpansPerTrace bounds one buffer; pathological traces stop recording
+// rather than growing without bound.
+const maxSpansPerTrace = 1024
+
+// defaultTraceCapacity is how many root executions a recorder retains
+// when the capacity knob is left at zero.
+const defaultTraceCapacity = 512
+
+// NewFleetRecorder returns a recorder for the named node retaining up to
+// capacity root executions (0 = default 512, FIFO eviction beyond it).
+// Metrics may be nil.
+func NewFleetRecorder(node string, capacity int, m *Metrics) *FleetRecorder {
+	if capacity <= 0 {
+		capacity = defaultTraceCapacity
+	}
+	return &FleetRecorder{
+		node:    node,
+		cap:     capacity,
+		metrics: m,
+		roots:   make(map[bufKey]*traceBuf),
+		latest:  make(map[string]string),
+		epochs:  make(map[string]uint64),
+		live:    make(map[string]int),
+	}
+}
+
+// Node returns the recorder's node name ("" on nil).
+func (r *FleetRecorder) Node() string {
+	if r == nil {
+		return ""
+	}
+	return r.node
+}
+
+type traceBuf struct {
+	trace string
+	root  string
+	node  string
+	hop   int
+	local bool // rooted here (counts toward the per-trace live count)
+	start time.Time
+
+	mu    sync.Mutex
+	spans []Span
+}
+
+// Root begins a new locally rooted trace for a store key and returns its
+// recording handle. Nil recorder -> nil handle (whose methods no-op).
+func (r *FleetRecorder) Root(key string) *ActiveTrace {
+	if r == nil {
+		return nil
+	}
+	trace := TraceID(key)
+	r.mu.Lock()
+	r.epochs[trace]++
+	root := r.node + "#" + strconv.FormatUint(r.epochs[trace], 10)
+	buf := &traceBuf{trace: trace, root: root, node: r.node, local: true, start: time.Now()}
+	r.insert(bufKey{trace, root}, buf)
+	r.latest[trace] = root
+	r.live[trace]++
+	r.mu.Unlock()
+	r.metrics.Counter(MetricTraceRoots).Inc()
+	return &ActiveTrace{rec: r, buf: buf}
+}
+
+// Join returns the recording handle for a remotely rooted trace (creating
+// this node's buffer for it on first join). Contexts that are empty or
+// too many hops deep return the nil no-op handle.
+func (r *FleetRecorder) Join(sc SpanContext) *ActiveTrace {
+	if r == nil || sc.Trace == "" || sc.Root == "" || sc.Hop > MaxHops {
+		return nil
+	}
+	r.mu.Lock()
+	k := bufKey{sc.Trace, sc.Root}
+	buf, ok := r.roots[k]
+	if !ok {
+		buf = &traceBuf{trace: sc.Trace, root: sc.Root, node: r.node, hop: sc.Hop, start: time.Now()}
+		r.insert(k, buf)
+	}
+	r.mu.Unlock()
+	return &ActiveTrace{rec: r, buf: buf}
+}
+
+// insert adds a buffer under r.mu, evicting the oldest beyond capacity.
+func (r *FleetRecorder) insert(k bufKey, buf *traceBuf) {
+	if _, ok := r.roots[k]; ok {
+		return
+	}
+	evicted := 0
+	for len(r.roots) >= r.cap && len(r.order) > 0 {
+		victim := r.order[0]
+		r.order = r.order[1:]
+		vb, ok := r.roots[victim]
+		if !ok {
+			continue
+		}
+		delete(r.roots, victim)
+		if vb.local {
+			if r.latest[vb.trace] == victim.root {
+				delete(r.latest, vb.trace)
+			}
+			if r.live[vb.trace] > 0 {
+				r.live[vb.trace]--
+			}
+			if r.live[vb.trace] == 0 {
+				// No live local roots left: forget the epoch counter too,
+				// so the recorder's memory stays bounded by its capacity.
+				delete(r.live, vb.trace)
+				delete(r.epochs, vb.trace)
+			}
+		}
+		evicted++
+	}
+	r.roots[k] = buf
+	r.order = append(r.order, k)
+	r.metrics.Counter(MetricTraceEvicted).Add(int64(evicted))
+}
+
+// LatestRoot returns the most recent locally rooted execution id for a
+// trace, if any.
+func (r *FleetRecorder) LatestRoot(trace string) (string, bool) {
+	if r == nil {
+		return "", false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	root, ok := r.latest[trace]
+	return root, ok
+}
+
+// Spans copies this node's recorded spans for one root execution of a
+// trace, in id order. ok is false when the root is unknown here.
+func (r *FleetRecorder) Spans(trace, root string) ([]Span, bool) {
+	if r == nil {
+		return nil, false
+	}
+	r.mu.Lock()
+	buf, ok := r.roots[bufKey{trace, root}]
+	r.mu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	buf.mu.Lock()
+	out := make([]Span, len(buf.spans))
+	copy(out, buf.spans)
+	buf.mu.Unlock()
+	return out, true
+}
+
+// ActiveTrace is the per-execution recording handle. The nil handle (from
+// a nil recorder or a refused Join) no-ops every method and allocates
+// nothing; span ids it returns are 0, which End ignores.
+type ActiveTrace struct {
+	rec *FleetRecorder
+	buf *traceBuf
+}
+
+// Root returns the root execution id ("" on the nil handle).
+func (t *ActiveTrace) Root() string {
+	if t == nil {
+		return ""
+	}
+	return t.buf.root
+}
+
+// Start opens a span under the local parent id (0 = no parent) and
+// returns its id.
+func (t *ActiveTrace) Start(parent int, kind string) int {
+	return t.start(parent, "", kind, "")
+}
+
+// StartPeer opens a span for an interaction with a named peer.
+func (t *ActiveTrace) StartPeer(parent int, kind, peer string) int {
+	return t.start(parent, "", kind, peer)
+}
+
+// StartFrom opens a span whose parent lives on the remote node named by
+// the wire context — the receiving half of a propagated trace.
+func (t *ActiveTrace) StartFrom(sc SpanContext, kind string) int {
+	return t.start(sc.Parent, sc.ParentNode, kind, "")
+}
+
+func (t *ActiveTrace) start(parent int, parentNode, kind, peer string) int {
+	if t == nil {
+		return 0
+	}
+	b := t.buf
+	now := time.Since(b.start).Microseconds()
+	b.mu.Lock()
+	if len(b.spans) >= maxSpansPerTrace {
+		b.mu.Unlock()
+		return 0
+	}
+	id := len(b.spans) + 1
+	b.spans = append(b.spans, Span{
+		Node:       b.node,
+		ID:         id,
+		Parent:     parent,
+		ParentNode: parentNode,
+		Hop:        b.hop,
+		Kind:       kind,
+		Peer:       peer,
+		StartUs:    now,
+	})
+	b.mu.Unlock()
+	t.rec.metrics.Counter(MetricTraceSpans).Inc()
+	return id
+}
+
+// End closes a span, recording its outcome detail and error (if any).
+// id 0 — from a nil handle or a full buffer — is ignored.
+func (t *ActiveTrace) End(id int, detail string, err error) {
+	if t == nil || id <= 0 {
+		return
+	}
+	b := t.buf
+	now := time.Since(b.start).Microseconds()
+	b.mu.Lock()
+	if id <= len(b.spans) {
+		s := &b.spans[id-1]
+		s.DurUs = now - s.StartUs
+		s.Detail = detail
+		if err != nil {
+			s.Err = err.Error()
+		}
+	}
+	b.mu.Unlock()
+}
+
+// Add records an already-completed span of the given duration ending now —
+// for work measured before the trace existed, like the admission wait that
+// precedes resolve. Starts clamp into the trace window.
+func (t *ActiveTrace) Add(parent int, kind, detail string, dur time.Duration) int {
+	if t == nil {
+		return 0
+	}
+	id := t.start(parent, "", kind, "")
+	if id == 0 {
+		return 0
+	}
+	b := t.buf
+	b.mu.Lock()
+	s := &b.spans[id-1]
+	s.StartUs -= dur.Microseconds()
+	if s.StartUs < 0 {
+		s.StartUs = 0
+	}
+	s.DurUs = dur.Microseconds()
+	s.Detail = detail
+	b.mu.Unlock()
+	return id
+}
+
+// Context mints the wire context a child call should carry, naming the
+// given local span as parent. The nil handle yields the zero context
+// (which serializes to "" — no header).
+func (t *ActiveTrace) Context(parent int) SpanContext {
+	if t == nil {
+		return SpanContext{}
+	}
+	b := t.buf
+	return SpanContext{Trace: b.trace, Root: b.root, ParentNode: b.node, Parent: parent, Hop: b.hop + 1}
+}

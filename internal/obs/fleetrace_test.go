@@ -1,0 +1,255 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"testing"
+	"time"
+)
+
+const testKey = "d1f2e3a4b5c60718293a4b5c6d7e8f90d1f2e3a4b5c60718293a4b5c6d7e8f90"
+
+func TestTraceIDAndContextRoundTrip(t *testing.T) {
+	if got := TraceID(testKey); got != testKey[:16] {
+		t.Errorf("TraceID = %q", got)
+	}
+	if got := TraceID("ab"); got != "ab" {
+		t.Errorf("short TraceID = %q", got)
+	}
+	sc := SpanContext{Trace: "abcd", Root: "n1#2", ParentNode: "n1", Parent: 3, Hop: 1}
+	back, ok := ParseSpanContext(sc.String())
+	if !ok || back != sc {
+		t.Fatalf("round trip: %+v -> %q -> %+v (ok=%v)", sc, sc.String(), back, ok)
+	}
+	if (SpanContext{}).String() != "" {
+		t.Error("zero context must serialize empty")
+	}
+	for _, bad := range []string{"", "a|b", "a|b|c|x|1", "a|b|c|1|99", "|r|n|1|1", "t||n|1|1"} {
+		if _, ok := ParseSpanContext(bad); ok {
+			t.Errorf("ParseSpanContext(%q) accepted", bad)
+		}
+	}
+}
+
+func TestRecorderRootsJoinsAndAssembly(t *testing.T) {
+	a := NewFleetRecorder("http://a", 0, nil)
+	b := NewFleetRecorder("http://b", 0, nil)
+
+	tr := a.Root(testKey)
+	root := tr.Start(0, SpanRequest)
+	get := tr.Start(root, SpanStoreGet)
+	tr.End(get, "miss", nil)
+	pf := tr.StartPeer(root, SpanPeerFetch, "http://b")
+
+	// The wire hop: b joins with the propagated context.
+	sc, ok := ParseSpanContext(tr.Context(pf).String())
+	if !ok {
+		t.Fatal("context did not round-trip")
+	}
+	rtr := b.Join(sc)
+	serve := rtr.StartFrom(sc, SpanPeerServe)
+	rtr.End(serve, "miss", nil)
+	tr.End(pf, "miss", nil)
+	tr.End(root, "sim", errors.New("boom"))
+
+	rootID, ok := a.LatestRoot(TraceID(testKey))
+	if !ok || rootID != "http://a#1" {
+		t.Fatalf("LatestRoot = %q, %v", rootID, ok)
+	}
+	local, ok := a.Spans(TraceID(testKey), rootID)
+	if !ok || len(local) != 3 {
+		t.Fatalf("local spans: %v, ok=%v", local, ok)
+	}
+	remote, ok := b.Spans(TraceID(testKey), rootID)
+	if !ok || len(remote) != 1 {
+		t.Fatalf("remote spans: %v, ok=%v", remote, ok)
+	}
+	rs := remote[0]
+	if rs.Hop != 1 || rs.ParentNode != "http://a" || rs.Parent != pf || rs.Node != "http://b" {
+		t.Errorf("remote span linkage: %+v", rs)
+	}
+	if local[0].Err != "boom" || local[0].Detail != "sim" {
+		t.Errorf("root outcome not recorded: %+v", local[0])
+	}
+
+	// Re-rooting the same key mints the next epoch and becomes latest.
+	a.Root(testKey)
+	if rootID, _ := a.LatestRoot(TraceID(testKey)); rootID != "http://a#2" {
+		t.Errorf("second root = %q, want http://a#2", rootID)
+	}
+}
+
+func TestRecorderEvictionAndEpochGC(t *testing.T) {
+	m := NewMetrics()
+	r := NewFleetRecorder("n", 2, m)
+	k1 := "1111111111111111aa"
+	k2 := "2222222222222222aa"
+	k3 := "3333333333333333aa"
+	t1 := r.Root(k1)
+	t1.Start(0, SpanRequest)
+	r.Root(k2)
+	r.Root(k3) // evicts k1's root
+	if _, ok := r.Spans(TraceID(k1), t1.Root()); ok {
+		t.Error("oldest root not evicted at capacity")
+	}
+	if got := m.Value(MetricTraceEvicted); got != 1 {
+		t.Errorf("evicted counter = %d, want 1", got)
+	}
+	if got := m.Value(MetricTraceRoots); got != 3 {
+		t.Errorf("roots counter = %d, want 3", got)
+	}
+	// k1 has no live roots left, so its epoch counter was forgotten:
+	// re-rooting restarts at epoch 1 (bounded memory, still deterministic
+	// for identical runs).
+	if tr := r.Root(k1); tr.Root() != "n#1" {
+		t.Errorf("post-GC re-root = %q, want n#1", tr.Root())
+	}
+}
+
+func TestRecorderSpanCapAndAdd(t *testing.T) {
+	r := NewFleetRecorder("n", 0, nil)
+	tr := r.Root(testKey)
+	root := tr.Start(0, SpanRequest)
+	id := tr.Add(root, SpanAdmission, "", 5*time.Millisecond)
+	if id == 0 {
+		t.Fatal("Add returned 0")
+	}
+	spans, _ := r.Spans(TraceID(testKey), tr.Root())
+	adm := spans[id-1]
+	if adm.DurUs != 5000 || adm.StartUs < 0 {
+		t.Errorf("Add span: %+v", adm)
+	}
+	for i := 0; i < maxSpansPerTrace+10; i++ {
+		tr.Start(root, SpanStoreGet)
+	}
+	spans, _ = r.Spans(TraceID(testKey), tr.Root())
+	if len(spans) != maxSpansPerTrace {
+		t.Errorf("span cap: %d spans, want %d", len(spans), maxSpansPerTrace)
+	}
+	tr.End(0, "x", nil) // id 0 ignored, no panic
+}
+
+// TestNilRecorderZeroAllocs is the acceptance pin: the disabled tracing
+// path — every call the serve hot path makes — performs zero allocations.
+func TestNilRecorderZeroAllocs(t *testing.T) {
+	var r *FleetRecorder
+	allocs := testing.AllocsPerRun(1000, func() {
+		tr := r.Root(testKey)
+		root := tr.Start(0, SpanRequest)
+		id := tr.Add(root, SpanAdmission, "", time.Millisecond)
+		id = tr.Start(root, SpanStoreGet)
+		tr.End(id, "miss", nil)
+		id = tr.StartPeer(root, SpanPeerFetch, "http://peer")
+		sc := tr.Context(id)
+		if h := sc.String(); h != "" {
+			t.Fatal("nil context not empty")
+		}
+		tr.End(id, "miss", nil)
+		id = tr.Start(root, SpanSimulate)
+		tr.End(id, "", nil)
+		tr.End(root, "sim", nil)
+		jt := r.Join(SpanContext{Trace: "t", Root: "r", Hop: 1})
+		id = jt.StartFrom(SpanContext{}, SpanPeerServe)
+		jt.End(id, "", nil)
+		if _, ok := r.LatestRoot("t"); ok {
+			t.Fatal("nil recorder has roots")
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("nil-recorder span path allocates %v/op, want 0", allocs)
+	}
+}
+
+func TestBreakdownAttribution(t *testing.T) {
+	spans := []Span{
+		{Node: "a", ID: 1, Hop: 0, Kind: SpanRequest, StartUs: 0, DurUs: 1000, Detail: "sim"},
+		{Node: "a", ID: 2, Parent: 1, Hop: 0, Kind: SpanAdmission, StartUs: 0, DurUs: 10},
+		{Node: "a", ID: 3, Parent: 1, Hop: 0, Kind: SpanStoreGet, StartUs: 10, DurUs: 10, Detail: "miss"},
+		{Node: "a", ID: 4, Parent: 1, Hop: 0, Kind: SpanPeerFetch, StartUs: 20, DurUs: 180, Detail: "miss", Peer: "b"},
+		{Node: "a", ID: 5, Parent: 1, Hop: 0, Kind: SpanPeerFetch, StartUs: 30, DurUs: 160, Detail: "hedge-miss", Peer: "c"},
+		{Node: "a", ID: 6, Parent: 1, Hop: 0, Kind: SpanSimulate, StartUs: 200, DurUs: 790},
+		{Node: "a", ID: 7, Parent: 1, Hop: 0, Kind: SpanReplEnqueue, StartUs: 990, DurUs: 10},
+		{Node: "b", ID: 1, Parent: 4, ParentNode: "a", Hop: 1, Kind: SpanPeerServe, StartUs: 0, DurUs: 50, Detail: "miss"},
+	}
+	b := Breakdown(spans)
+	if b.TotalUs != 1000 {
+		t.Fatalf("total = %d", b.TotalUs)
+	}
+	if b.CoveredUs != 1000 {
+		t.Errorf("covered = %d, want 1000 (coverage %v)", b.CoveredUs, b.Coverage())
+	}
+	if b.Coverage() < 0.999 {
+		t.Errorf("coverage = %v", b.Coverage())
+	}
+	want := map[string]int64{"admission": 10, "store": 10, "peer": 180 + 50, "hedge": 160, "sim": 790, "replication": 10}
+	for phase, dur := range want {
+		if b.Phases[phase] != dur {
+			t.Errorf("phase %s = %d, want %d", phase, b.Phases[phase], dur)
+		}
+	}
+	if b.Remote != 1 {
+		t.Errorf("remote = %d, want 1", b.Remote)
+	}
+}
+
+func TestCanonicalDocDeterministic(t *testing.T) {
+	mk := func(startA, durA int64) *TraceDoc {
+		return &TraceDoc{
+			Schema: TraceSchema, Trace: "abcd", Root: "a#1", Key: testKey,
+			Spans: []Span{
+				{Node: "b", ID: 1, Hop: 1, Kind: SpanPeerServe, StartUs: startA, DurUs: durA},
+				{Node: "a", ID: 2, Hop: 0, Kind: SpanStoreGet, StartUs: startA * 2, DurUs: durA},
+				{Node: "a", ID: 1, Hop: 0, Kind: SpanRequest, StartUs: startA, DurUs: durA * 3},
+			},
+		}
+	}
+	a, _ := json.Marshal(mk(17, 23).Canonical())
+	b, _ := json.Marshal(mk(400, 9000).Canonical())
+	if !bytes.Equal(a, b) {
+		t.Errorf("canonical docs differ:\n%s\n%s", a, b)
+	}
+	c := mk(1, 2).Canonical()
+	if c.Spans[0].Kind != SpanRequest || c.Spans[2].Hop != 1 {
+		t.Errorf("canonical sort order wrong: %+v", c.Spans)
+	}
+}
+
+func TestChromeSpanEventsValid(t *testing.T) {
+	spans := []Span{
+		{Node: "a", ID: 1, Hop: 0, Kind: SpanRequest, DurUs: 100},
+		{Node: "a", ID: 2, Hop: 0, Kind: SpanReplPush, Peer: "b", StartUs: 90, DurUs: 40},
+		{Node: "b", ID: 1, Hop: 1, Kind: SpanReplRecv, DurUs: 5},
+	}
+	evs := ChromeSpanEvents(spans, 10)
+	doc, err := json.Marshal(map[string]any{"displayTimeUnit": "ns", "traceEvents": evs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var parsed struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(doc, &parsed); err != nil {
+		t.Fatalf("merged doc does not parse: %v", err)
+	}
+	if len(parsed.TraceEvents) != 5 { // 2 process metadata + 3 spans
+		t.Fatalf("events = %d, want 5", len(parsed.TraceEvents))
+	}
+	for _, ev := range parsed.TraceEvents {
+		if ev["ph"] == "" || ev["name"] == "" {
+			t.Errorf("event missing ph/name: %v", ev)
+		}
+	}
+	// The async replication span must live on its own track so X events nest.
+	for _, ev := range parsed.TraceEvents {
+		if ev["ph"] == "X" && ev["pid"] == 10.0 {
+			name := ev["name"].(string)
+			if name == SpanReplPush && ev["tid"] != 2.0 {
+				t.Errorf("repl.push on tid %v, want 2", ev["tid"])
+			}
+			if name == SpanRequest && ev["tid"] != 1.0 {
+				t.Errorf("request on tid %v, want 1", ev["tid"])
+			}
+		}
+	}
+}

@@ -1,0 +1,172 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram is a fixed-boundary bucket histogram with lock-free
+// observation. Boundaries are upper bounds with Prometheus `le`
+// (less-or-equal) semantics: an observation lands in the first bucket
+// whose bound is >= the value, and values above the last bound land in
+// the implicit +Inf bucket. The boundary slice is fixed at construction,
+// so Observe is a binary search plus two atomic adds — safe on request
+// hot paths — and the rendered exposition is deterministic for a
+// deterministic observation sequence.
+//
+// A nil *Histogram is the disabled histogram: Observe is a no-op,
+// matching the nil *Metric and nil Tracer idioms.
+type Histogram struct {
+	bounds []float64       // ascending upper bounds (le)
+	counts []atomic.Uint64 // len(bounds)+1; last is +Inf
+	count  atomic.Uint64
+	sum    atomic.Uint64 // float64 bits, CAS-accumulated
+}
+
+// DefLatencyBounds returns the default latency boundaries used by the
+// serving-layer histograms: 21 log-spaced buckets doubling from 100µs, so
+// the range covers a sub-millisecond store hit through a ~100s simulation.
+func DefLatencyBounds() []float64 {
+	bounds := make([]float64, 21)
+	b := 100e-6
+	for i := range bounds {
+		bounds[i] = b
+		b *= 2
+	}
+	return bounds
+}
+
+// NewHistogram returns a histogram over the given ascending upper bounds.
+// It panics on empty, unsorted, or duplicated bounds — boundaries are
+// static configuration, and a bad set is a programming error.
+func NewHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		panic("obs: histogram needs at least one bucket bound")
+	}
+	own := make([]float64, len(bounds))
+	copy(own, bounds)
+	for i := 1; i < len(own); i++ {
+		if own[i] <= own[i-1] {
+			panic("obs: histogram bounds must be strictly ascending")
+		}
+	}
+	return &Histogram{bounds: own, counts: make([]atomic.Uint64, len(own)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v (le semantics)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// ObserveDuration records a duration in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Snapshot copies the histogram's current state. The per-bucket loads are
+// individually atomic but not mutually consistent under concurrent
+// observation; Cum is re-derived from the bucket counts, so the snapshot
+// is always internally monotone.
+func (h *Histogram) Snapshot() HistSnapshot {
+	if h == nil {
+		return HistSnapshot{}
+	}
+	s := HistSnapshot{Bounds: h.bounds, Buckets: make([]uint64, len(h.counts))}
+	for i := range h.counts {
+		s.Buckets[i] = h.counts[i].Load()
+		s.Count += s.Buckets[i]
+	}
+	s.Sum = math.Float64frombits(h.sum.Load())
+	return s
+}
+
+// HistSnapshot is a point-in-time copy of a histogram: per-bucket counts
+// (last entry is the +Inf bucket), total count, and value sum.
+type HistSnapshot struct {
+	Bounds  []float64 // ascending upper bounds, len(Buckets)-1 entries
+	Buckets []uint64  // per-bucket (non-cumulative) counts
+	Count   uint64
+	Sum     float64
+}
+
+// Sub returns the delta s - before, for before taken earlier from the same
+// histogram (same bounds). Windowed quantiles — e.g. "p99 during this load
+// run" — come from subtracting the pre-run snapshot from the post-run one.
+func (s HistSnapshot) Sub(before HistSnapshot) HistSnapshot {
+	if len(before.Buckets) == 0 {
+		return s
+	}
+	if len(before.Buckets) != len(s.Buckets) {
+		panic("obs: HistSnapshot.Sub across different bucket layouts")
+	}
+	out := HistSnapshot{Bounds: s.Bounds, Buckets: make([]uint64, len(s.Buckets)), Sum: s.Sum - before.Sum}
+	for i := range s.Buckets {
+		out.Buckets[i] = s.Buckets[i] - before.Buckets[i]
+		out.Count += out.Buckets[i]
+	}
+	return out
+}
+
+// Quantile estimates the q-quantile (0 <= q <= 1) by linear interpolation
+// inside the bucket holding the target rank — the standard Prometheus
+// histogram_quantile estimate. Observations in the +Inf bucket clamp to
+// the largest finite bound. Returns 0 for an empty snapshot. The estimate
+// is monotone in q.
+func (s HistSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 || len(s.Buckets) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	cum := 0.0
+	for i, c := range s.Buckets {
+		if c == 0 {
+			continue
+		}
+		next := cum + float64(c)
+		if rank <= next || i == len(s.Buckets)-1 {
+			if i == len(s.Buckets)-1 && i == len(s.Bounds) {
+				// +Inf bucket: no upper bound to interpolate toward.
+				return s.Bounds[len(s.Bounds)-1]
+			}
+			lower := 0.0
+			if i > 0 {
+				lower = s.Bounds[i-1]
+			}
+			upper := s.Bounds[i]
+			frac := (rank - cum) / float64(c)
+			if frac < 0 {
+				frac = 0
+			} else if frac > 1 {
+				frac = 1
+			}
+			return lower + frac*(upper-lower)
+		}
+		cum = next
+	}
+	return s.Bounds[len(s.Bounds)-1]
+}

@@ -124,7 +124,7 @@ type TxAttempt struct {
 	// Start/End delimit the attempt in that context's cycle clock (End
 	// includes the abort handler / commit cost).
 	Start, End int64
-	Outcome   Outcome
+	Outcome    Outcome
 	// Reason is the abort reason (htm.AbortNone for commits).
 	Reason htm.AbortReason
 	// Fallback marks a critical section executed under the fallback lock.

@@ -1,0 +1,309 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// span.go is the fleet-side counterpart of the simulator's Tracer: a span
+// model for one request's journey through the serving fleet. A span is a
+// named interval on one node — admission, store get, one peer-fetch
+// candidate, the simulation itself, replication pushes — linked to its
+// parent by (node, id) so the spans of every node involved in a request
+// assemble into one tree. Identity is deterministic: the trace id derives
+// from the request's content-address store key, span ids are per-trace
+// ordinals, and root ids are per-node epoch counters — so two identical
+// seeded fleet runs produce byte-identical canonical traces.
+
+// Span kinds. Phase() maps them onto the report phases.
+const (
+	SpanRequest     = "request"      // root: one resolve() execution
+	SpanAdmission   = "admission"    // time spent acquiring an admission slot
+	SpanStoreGet    = "store.get"    // local store lookup
+	SpanStorePut    = "store.put"    // local store persist (peer bytes)
+	SpanPeerFetch   = "peer.fetch"   // one GET candidate during a cold miss
+	SpanPeerServe   = "peer.serve"   // remote side of a peer fetch
+	SpanSimulate    = "simulate"     // the simulation (includes store put)
+	SpanReplEnqueue = "repl.enqueue" // handing the result to the replicator
+	SpanReplPush    = "repl.push"    // one async replication PUT to an owner
+	SpanReplRecv    = "repl.recv"    // remote side of a replication PUT
+	SpanRepair      = "repair"       // anti-entropy repair root
+)
+
+// Span is one recorded interval. Times are microseconds relative to the
+// start of its trace buffer on Node — node clocks are not synchronized,
+// so cross-node offsets are presentation-only; durations are the signal.
+type Span struct {
+	Node       string `json:"node"`
+	ID         int    `json:"id"`
+	Parent     int    `json:"parent,omitempty"`
+	ParentNode string `json:"parentNode,omitempty"`
+	Hop        int    `json:"hop"`
+	Kind       string `json:"kind"`
+	Peer       string `json:"peer,omitempty"`
+	Detail     string `json:"detail,omitempty"`
+	StartUs    int64  `json:"startUs"`
+	DurUs      int64  `json:"durUs"`
+	Err        string `json:"err,omitempty"`
+}
+
+// SpanContext is the trace context carried on the wire in the
+// X-Hintm-Trace header: which trace and root execution the caller belongs
+// to, which of its spans is the parent, and how many hops deep the call
+// chain is. The zero value means "not traced".
+type SpanContext struct {
+	Trace      string // trace id (prefix of the store key)
+	Root       string // root execution id, "node#epoch"
+	ParentNode string // node that recorded the parent span
+	Parent     int    // parent span id on ParentNode
+	Hop        int    // hops from the root execution (root = 0)
+}
+
+// MaxHops bounds trace propagation depth; deeper contexts are dropped
+// rather than joined, mirroring the anti-cascade ?local=1 discipline.
+const MaxHops = 4
+
+// TraceIDLen is how much of the store key names the trace.
+const TraceIDLen = 16
+
+// TraceID derives the deterministic trace id from a content-address store
+// key: its first 16 hex characters — plenty of identity, and visibly
+// greppable back to the full key.
+func TraceID(key string) string {
+	if len(key) > TraceIDLen {
+		return key[:TraceIDLen]
+	}
+	return key
+}
+
+// String renders the header value: trace|root|parentNode|parentID|hop.
+// The zero context renders as "".
+func (sc SpanContext) String() string {
+	if sc.Trace == "" {
+		return ""
+	}
+	return sc.Trace + "|" + sc.Root + "|" + sc.ParentNode + "|" +
+		strconv.Itoa(sc.Parent) + "|" + strconv.Itoa(sc.Hop)
+}
+
+// ParseSpanContext parses a header value produced by String. It returns
+// ok=false for empty or malformed values — an untraced or garbled header
+// simply means "don't record", never an error.
+func ParseSpanContext(s string) (SpanContext, bool) {
+	if s == "" {
+		return SpanContext{}, false
+	}
+	parts := strings.Split(s, "|")
+	if len(parts) != 5 || parts[0] == "" || parts[1] == "" {
+		return SpanContext{}, false
+	}
+	parent, err := strconv.Atoi(parts[3])
+	if err != nil || parent < 0 {
+		return SpanContext{}, false
+	}
+	hop, err := strconv.Atoi(parts[4])
+	if err != nil || hop < 0 || hop > MaxHops {
+		return SpanContext{}, false
+	}
+	return SpanContext{Trace: parts[0], Root: parts[1], ParentNode: parts[2], Parent: parent, Hop: hop}, true
+}
+
+// TraceSchema versions the assembled-trace JSON document.
+const TraceSchema = "hintm-trace/v1"
+
+// TraceDoc is the assembled trace served by GET /v1/traces/{key}: every
+// span recorded for one root execution, across every node that touched it.
+type TraceDoc struct {
+	Schema string `json:"schema"`
+	Key    string `json:"key,omitempty"`
+	Trace  string `json:"trace"`
+	Root   string `json:"root"`
+	Node   string `json:"node,omitempty"` // node that assembled the doc
+	Spans  []Span `json:"spans"`
+}
+
+// Sort orders spans deterministically: by hop, then node, then id. Within
+// one node ids are recording order, so the sorted document is stable for
+// identical runs.
+func (d *TraceDoc) Sort() {
+	sort.Slice(d.Spans, func(i, j int) bool {
+		a, b := d.Spans[i], d.Spans[j]
+		if a.Hop != b.Hop {
+			return a.Hop < b.Hop
+		}
+		if a.Node != b.Node {
+			return a.Node < b.Node
+		}
+		return a.ID < b.ID
+	})
+}
+
+// Canonical returns a copy with wall-clock fields zeroed: identity,
+// structure, outcomes, and ordering survive; only the timings — the one
+// nondeterministic ingredient — are dropped. Two identical seeded fleet
+// runs must produce byte-identical canonical documents.
+func (d *TraceDoc) Canonical() *TraceDoc {
+	c := *d
+	c.Spans = make([]Span, len(d.Spans))
+	copy(c.Spans, d.Spans)
+	for i := range c.Spans {
+		c.Spans[i].StartUs = 0
+		c.Spans[i].DurUs = 0
+	}
+	cc := &c
+	cc.Sort()
+	return cc
+}
+
+// Breakdown attributes a trace's wall time to report phases.
+type BreakdownResult struct {
+	TotalUs   int64            // root span duration
+	CoveredUs int64            // union of origin-node child spans ∩ root
+	Phases    map[string]int64 // phase -> summed span duration (µs)
+	Counts    map[string]int   // phase -> span count
+	Remote    int              // spans recorded off the origin node
+}
+
+// Coverage is the fraction of the root span's wall time covered by its
+// origin-node child spans — the "where did the time go" score the fleet
+// report prints. 1 means every microsecond is attributed to a phase.
+func (b BreakdownResult) Coverage() float64 {
+	if b.TotalUs <= 0 {
+		return 0
+	}
+	return float64(b.CoveredUs) / float64(b.TotalUs)
+}
+
+// Phase maps a span to its report phase: admission, store, peer, hedge,
+// sim, or replication. Hedged peer fetches (detail prefixed "hedge") count
+// as the hedge phase.
+func Phase(s Span) string {
+	switch s.Kind {
+	case SpanAdmission:
+		return "admission"
+	case SpanStoreGet, SpanStorePut:
+		return "store"
+	case SpanPeerFetch, SpanPeerServe:
+		if strings.HasPrefix(s.Detail, "hedge") {
+			return "hedge"
+		}
+		return "peer"
+	case SpanSimulate:
+		return "sim"
+	case SpanReplEnqueue, SpanReplPush, SpanReplRecv, SpanRepair:
+		return "replication"
+	}
+	return s.Kind
+}
+
+// Breakdown computes the per-phase attribution for one assembled trace.
+// Phase sums include every non-root span (remote ones too — they explain
+// where peers spent time); coverage counts only the origin node's spans,
+// clipped to the root interval, because overlapping local and remote
+// views of the same work must not double-attribute wall time.
+func Breakdown(spans []Span) BreakdownResult {
+	b := BreakdownResult{Phases: map[string]int64{}, Counts: map[string]int{}}
+	var root *Span
+	for i := range spans {
+		if spans[i].Kind == SpanRequest && spans[i].Hop == 0 {
+			root = &spans[i]
+			break
+		}
+	}
+	type iv struct{ lo, hi int64 }
+	var local []iv
+	for i := range spans {
+		s := &spans[i]
+		if root != nil && s == root {
+			continue
+		}
+		if s.Hop > 0 {
+			b.Remote++
+		}
+		p := Phase(*s)
+		b.Phases[p] += s.DurUs
+		b.Counts[p]++
+		if root != nil && s.Hop == 0 && s.Node == root.Node && s.Kind != SpanRequest {
+			lo, hi := s.StartUs, s.StartUs+s.DurUs
+			if lo < root.StartUs {
+				lo = root.StartUs
+			}
+			if hi > root.StartUs+root.DurUs {
+				hi = root.StartUs + root.DurUs
+			}
+			if hi > lo {
+				local = append(local, iv{lo, hi})
+			}
+		}
+	}
+	if root == nil {
+		return b
+	}
+	b.TotalUs = root.DurUs
+	sort.Slice(local, func(i, j int) bool { return local[i].lo < local[j].lo })
+	var covered, end int64
+	end = -1 << 62
+	for _, v := range local {
+		if v.lo > end {
+			covered += v.hi - v.lo
+			end = v.hi
+		} else if v.hi > end {
+			covered += v.hi - end
+			end = v.hi
+		}
+	}
+	b.CoveredUs = covered
+	return b
+}
+
+// ChromeSpanEvents renders fleet spans as Chrome trace-event objects, one
+// process per node (pids from pidBase up, in sorted node order) so a
+// merged file opens alongside simulator ChromeTracer output in one
+// Perfetto view. Synchronous request work goes on tid 1, async
+// replication/repair on tid 2 — events on one tid must nest, and
+// replication outlives the root span by design.
+func ChromeSpanEvents(spans []Span, pidBase int) []json.RawMessage {
+	nodes := map[string]int{}
+	var names []string
+	for _, s := range spans {
+		if _, ok := nodes[s.Node]; !ok {
+			nodes[s.Node] = 0
+			names = append(names, s.Node)
+		}
+	}
+	sort.Strings(names)
+	var out []json.RawMessage
+	for i, n := range names {
+		nodes[n] = pidBase + i
+		meta := fmt.Sprintf(`{"ph":"M","pid":%d,"name":"process_name","args":{"name":%s}}`,
+			pidBase+i, jstr("node "+n))
+		out = append(out, json.RawMessage(meta))
+	}
+	for _, s := range spans {
+		tid := 1
+		switch s.Kind {
+		case SpanReplEnqueue, SpanReplPush, SpanReplRecv, SpanRepair:
+			tid = 2
+		}
+		name := s.Kind
+		if s.Detail != "" {
+			name += " " + s.Detail
+		}
+		dur := s.DurUs
+		if dur < 1 {
+			dur = 1
+		}
+		ev := fmt.Sprintf(`{"ph":"X","pid":%d,"tid":%d,"ts":%d,"dur":%d,"name":%s,"args":{"id":%d,"parent":%d,"hop":%d,"peer":%s,"err":%s}}`,
+			nodes[s.Node], tid, s.StartUs, dur, jstr(name), s.ID, s.Parent, s.Hop, jstr(s.Peer), jstr(s.Err))
+		out = append(out, json.RawMessage(ev))
+	}
+	return out
+}
+
+func jstr(s string) string {
+	b, _ := json.Marshal(s)
+	return string(b)
+}

@@ -20,13 +20,15 @@ package server
 import (
 	"encoding/json"
 	"net/http"
+	"time"
 
 	"hintm/internal/api"
 	"hintm/internal/harness"
+	"hintm/internal/obs"
 )
 
 func (s *Server) handleGrids(w http.ResponseWriter, r *http.Request) {
-	s.metrics.Counter("serve_requests_total").Inc()
+	s.metrics.Counter(obs.MetricServeRequests).Inc()
 	if !s.checkVersion(w, r) {
 		return
 	}
@@ -62,10 +64,12 @@ func (s *Server) handleGrids(w http.ResponseWriter, r *http.Request) {
 			api.Errorf(api.CodeDraining, "server is draining; no new work accepted"))
 		return
 	}
+	admitBegin := time.Now()
 	if !s.admit(len(reqs)) {
 		s.throttle(w, r, len(reqs))
 		return
 	}
+	admitWait := time.Since(admitBegin)
 
 	w.Header().Set(api.Header, api.Schema)
 	w.Header().Set("Content-Type", "application/x-ndjson")
@@ -87,7 +91,7 @@ func (s *Server) handleGrids(w http.ResponseWriter, r *http.Request) {
 	results := make(chan api.GridRun)
 	for i, req := range reqs {
 		go func(i int, req harness.Request) {
-			rs := s.resolve(r.Context(), req)
+			rs := s.resolve(r.Context(), req, admitWait)
 			s.release(1)
 			results <- api.GridRun{Index: i, RunStatus: rs}
 		}(i, req)

@@ -14,6 +14,7 @@ import (
 	"strconv"
 
 	"hintm/internal/api"
+	"hintm/internal/obs"
 	"hintm/internal/sim"
 	"hintm/internal/store"
 	"hintm/internal/workloads"
@@ -25,7 +26,7 @@ const (
 )
 
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
-	s.metrics.Counter("serve_requests_total").Inc()
+	s.metrics.Counter(obs.MetricServeRequests).Inc()
 	if !s.checkVersion(w, r) {
 		return
 	}

@@ -23,6 +23,9 @@ import (
 	"net/http"
 	"strconv"
 	"time"
+
+	"hintm/internal/api"
+	"hintm/internal/obs"
 )
 
 // defaultPeerTimeout bounds one peer HTTP call when no tighter deadline
@@ -37,6 +40,26 @@ const defaultPeerBudget = 2 * time.Second
 // anything near this limit is garbage.
 const maxReplicaBytes = 16 << 20
 
+// hedgeDetail marks a hedge-launched candidate's span outcome; the
+// constant prefixes keep the traced path allocation-free and let the
+// report attribute hedge time separately (winner = the hedged span that
+// ends "hedge-hit", loser = whichever span ends cancelled).
+func hedgeDetail(hedged bool, detail string) string {
+	if !hedged {
+		return detail
+	}
+	switch detail {
+	case "hit":
+		return "hedge-hit"
+	case "miss":
+		return "hedge-miss"
+	case "error":
+		return "hedge-error"
+	default:
+		return "hedge-cancelled"
+	}
+}
+
 // peerFetch asks key's ring owners (skipping this node and every peer with
 // an open breaker) for the stored object, returning the first hit's raw
 // bytes, or nil when no reachable peer has it. Peers are asked with
@@ -46,7 +69,10 @@ const maxReplicaBytes = 16 << 20
 // error moves on immediately, and a hedge timer fires the next owner early
 // when the first is slower than the observed p99. The overall budget bounds
 // the total time spent here no matter what the peers do.
-func (s *Server) peerFetch(ctx context.Context, key string) []byte {
+//
+// Each candidate call records one peer.fetch span under parent in tr (nil
+// = untraced) and propagates the trace context to the serving peer.
+func (s *Server) peerFetch(ctx context.Context, key string, tr *obs.ActiveTrace, parent int) []byte {
 	if s.ring == nil {
 		return nil
 	}
@@ -56,7 +82,7 @@ func (s *Server) peerFetch(ctx context.Context, key string) []byte {
 			continue
 		}
 		if !s.health.Allow(node) {
-			s.metrics.Counter("fleet_breaker_skipped_total").Inc()
+			s.metrics.Counter(obs.MetricBreakerSkipped).Inc()
 			continue
 		}
 		cands = append(cands, node)
@@ -73,30 +99,40 @@ func (s *Server) peerFetch(ctx context.Context, key string) []byte {
 		idx int
 	}
 	ch := make(chan result, len(cands))
-	launch := func(i int) {
+	launch := func(i int, hedgedLaunch bool) {
 		go func() {
-			s.metrics.Counter("fleet_peer_fetch_total").Inc()
+			s.metrics.Counter(obs.MetricPeerFetches).Inc()
+			sid := tr.StartPeer(parent, obs.SpanPeerFetch, cands[i])
 			cctx, ccancel := context.WithTimeout(ctx, perCall)
 			defer ccancel()
 			begin := time.Now()
-			raw, err := s.fetchFrom(cctx, cands[i], key)
+			raw, err := s.fetchFrom(cctx, cands[i], key, tr.Context(sid))
 			if err != nil && ctx.Err() != nil {
 				// The budget expired or a winner cancelled this call: not
 				// the peer's fault, so neither the breaker nor the error
 				// counter should see it.
+				tr.End(sid, hedgeDetail(hedgedLaunch, "cancelled"), nil)
 				ch <- result{nil, i}
 				return
 			}
 			s.health.Report(cands[i], err == nil, time.Since(begin))
+			detail := "miss"
 			if err != nil {
-				s.metrics.Counter("fleet_peer_errors_total").Inc()
+				s.metrics.Counter(obs.MetricPeerErrors).Inc()
+				detail = "error"
+			} else if raw != nil {
+				detail = "hit"
+			}
+			tr.End(sid, hedgeDetail(hedgedLaunch, detail), err)
+			if hedgedLaunch {
+				s.observePhase("hedge", detail, time.Since(begin))
 			}
 			ch <- result{raw, i}
 		}()
 	}
 
 	launched := 1
-	launch(0)
+	launch(0, false)
 	var hedgeC <-chan time.Time
 	if len(cands) > 1 {
 		t := time.NewTimer(s.health.HedgeDelay(s.peerBudget))
@@ -112,23 +148,23 @@ func (s *Server) peerFetch(ctx context.Context, key string) []byte {
 			hedgeC = nil
 			if launched < len(cands) {
 				hedged = true
-				s.metrics.Counter("fleet_hedge_total").Inc()
-				launch(launched)
+				s.metrics.Counter(obs.MetricHedges).Inc()
+				launch(launched, true)
 				launched++
 			}
 		case r := <-ch:
 			done++
 			if r.raw != nil {
-				s.metrics.Counter("fleet_peer_hits_total").Inc()
+				s.metrics.Counter(obs.MetricPeerHits).Inc()
 				if hedged && r.idx > 0 {
-					s.metrics.Counter("fleet_hedge_wins_total").Inc()
+					s.metrics.Counter(obs.MetricHedgeWins).Inc()
 				}
 				return r.raw
 			}
 			// A miss or error frees this slot: try the next owner now
 			// rather than waiting for the hedge timer.
 			if launched < len(cands) {
-				launch(launched)
+				launch(launched, false)
 				launched++
 			}
 		}
@@ -138,10 +174,13 @@ func (s *Server) peerFetch(ctx context.Context, key string) []byte {
 
 // fetchFrom performs one ?local=1 lookup against a peer. (nil, nil) means
 // the peer answered and does not have the key.
-func (s *Server) fetchFrom(ctx context.Context, node, key string) ([]byte, error) {
+func (s *Server) fetchFrom(ctx context.Context, node, key string, sc obs.SpanContext) ([]byte, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, node+"/v1/runs/"+key+"?local=1", nil)
 	if err != nil {
 		return nil, err
+	}
+	if h := sc.String(); h != "" {
+		req.Header.Set(api.TraceHeader, h)
 	}
 	resp, err := s.peerHTTP.Do(req)
 	if err != nil {
@@ -176,8 +215,9 @@ func (e errPeerStatus) Error() string {
 // owners, so later lookups find it where the ring says to look no matter
 // which node did the work. Asynchronous and best-effort: the request path
 // pays nothing, and a lost forward costs a future peer fetch a miss until
-// anti-entropy repairs it, never correctness.
-func (s *Server) forward(key string) {
+// anti-entropy repairs it, never correctness. The span context rides along
+// so the async push spans still land in the originating trace.
+func (s *Server) forward(key string, sc obs.SpanContext) {
 	if s.ring == nil {
 		return
 	}
@@ -187,16 +227,19 @@ func (s *Server) forward(key string) {
 			targets = append(targets, node)
 		}
 	}
-	s.repl.enqueue(replItem{key: key, nodes: targets})
+	s.repl.enqueue(replItem{key: key, nodes: targets, sc: sc})
 }
 
 // replicateTo PUTs one object's raw bytes to a peer.
-func (s *Server) replicateTo(ctx context.Context, node, key string, raw []byte) error {
+func (s *Server) replicateTo(ctx context.Context, node, key string, raw []byte, sc obs.SpanContext) error {
 	req, err := http.NewRequestWithContext(ctx, http.MethodPut, node+"/v1/runs/"+key+"?local=1", bytes.NewReader(raw))
 	if err != nil {
 		return err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if h := sc.String(); h != "" {
+		req.Header.Set(api.TraceHeader, h)
+	}
 	resp, err := s.peerHTTP.Do(req)
 	if err != nil {
 		return err

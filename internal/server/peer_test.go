@@ -197,7 +197,7 @@ func TestPeerFetchHedge(t *testing.T) {
 	}
 
 	begin := time.Now()
-	raw := s.peerFetch(context.Background(), key)
+	raw := s.peerFetch(context.Background(), key, nil, 0)
 	elapsed := time.Since(begin)
 	if string(raw) != `{"hit":"from-fast-peer"}` {
 		t.Fatalf("hedged fetch returned %q", raw)

@@ -25,6 +25,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"hintm/internal/obs"
 )
 
 // Replication defaults: queue capacity, worker count, per-PUT attempts.
@@ -36,9 +38,13 @@ const (
 )
 
 // replItem is one queued replication: push key's object bytes to nodes.
+// sc is the originating trace's span context (zero = untraced), so the
+// async pushes record into the trace of the request that produced the
+// result.
 type replItem struct {
 	key   string
 	nodes []string
+	sc    obs.SpanContext
 }
 
 // replicator is the bounded queue plus its worker pool.
@@ -85,10 +91,10 @@ func (r *replicator) enqueue(it replItem) {
 	}
 	if len(r.queue) >= r.limit {
 		r.queue = r.queue[1:]
-		r.s.metrics.Counter("fleet_repl_dropped_total").Inc()
+		r.s.metrics.Counter(obs.MetricReplDropped).Inc()
 	}
 	r.queue = append(r.queue, it)
-	r.s.metrics.Counter("fleet_repl_queue_depth").Set(int64(len(r.queue) + r.busy))
+	r.s.metrics.Counter(obs.MetricReplQueueDepth).Set(int64(len(r.queue) + r.busy))
 	// Broadcast, not Signal: quiesce waiters share the cond, and waking one
 	// of them instead of a worker would strand the item.
 	r.cond.Broadcast()
@@ -116,14 +122,14 @@ func (r *replicator) worker() {
 		it := r.queue[0]
 		r.queue = r.queue[1:]
 		r.busy++
-		r.s.metrics.Counter("fleet_repl_queue_depth").Set(int64(len(r.queue) + r.busy))
+		r.s.metrics.Counter(obs.MetricReplQueueDepth).Set(int64(len(r.queue) + r.busy))
 		r.mu.Unlock()
 
 		r.process(it)
 
 		r.mu.Lock()
 		r.busy--
-		r.s.metrics.Counter("fleet_repl_queue_depth").Set(int64(len(r.queue) + r.busy))
+		r.s.metrics.Counter(obs.MetricReplQueueDepth).Set(int64(len(r.queue) + r.busy))
 		if len(r.queue) == 0 && r.busy == 0 {
 			r.cond.Broadcast() // wake quiesce/drain waiters
 		}
@@ -136,6 +142,9 @@ func (r *replicator) worker() {
 // produced the result.
 func (r *replicator) process(it replItem) {
 	s := r.s
+	// Rejoin the originating trace (same node, so this finds the existing
+	// buffer); nil when the item is untraced or the trace was evicted.
+	tr := s.traces.Join(it.sc)
 	_, raw, err := s.store.Get(it.key)
 	if err != nil || raw == nil {
 		return // evicted or quarantined since enqueue: nothing to push
@@ -144,22 +153,30 @@ func (r *replicator) process(it replItem) {
 		if !s.health.Ready(node) {
 			// Open breaker: the peer is down; anti-entropy repairs it after
 			// the breaker closes. Don't burn retries proving it again.
-			s.metrics.Counter("fleet_repl_skipped_total").Inc()
+			s.metrics.Counter(obs.MetricReplSkipped).Inc()
 			continue
 		}
-		s.metrics.Counter("fleet_forward_total").Inc()
-		if !r.pushWithRetry(node, it.key, raw) {
-			s.metrics.Counter("fleet_forward_errors_total").Inc()
+		s.metrics.Counter(obs.MetricForwards).Inc()
+		sid := tr.StartPeer(it.sc.Parent, obs.SpanReplPush, node)
+		begin := time.Now()
+		ok := r.pushWithRetry(node, it.key, raw, tr.Context(sid))
+		if ok {
+			tr.End(sid, "pushed", nil)
+			s.observePhase("replication", "ok", time.Since(begin))
+		} else {
+			tr.End(sid, "failed", nil)
+			s.observePhase("replication", "error", time.Since(begin))
+			s.metrics.Counter(obs.MetricForwardErrors).Inc()
 		}
 	}
 }
 
-func (r *replicator) pushWithRetry(node, key string, raw []byte) bool {
+func (r *replicator) pushWithRetry(node, key string, raw []byte, sc obs.SpanContext) bool {
 	s := r.s
 	backoff := replRetryBackoff
 	for attempt := 0; attempt < replAttempts; attempt++ {
 		if attempt > 0 {
-			s.metrics.Counter("fleet_repl_retries_total").Inc()
+			s.metrics.Counter(obs.MetricReplRetries).Inc()
 			select {
 			case <-time.After(backoff):
 			case <-s.baseCtx.Done():
@@ -169,7 +186,7 @@ func (r *replicator) pushWithRetry(node, key string, raw []byte) bool {
 		}
 		ctx, cancel := context.WithTimeout(s.baseCtx, defaultPeerTimeout)
 		begin := time.Now()
-		err := s.replicateTo(ctx, node, key, raw)
+		err := s.replicateTo(ctx, node, key, raw, sc)
 		cancel()
 		if s.baseCtx.Err() != nil {
 			return false
@@ -241,7 +258,7 @@ func (s *Server) Sweep(ctx context.Context) int {
 	if s.ring == nil {
 		return 0
 	}
-	s.metrics.Counter("fleet_antientropy_sweeps_total").Inc()
+	s.metrics.Counter(obs.MetricAntiEntropySweep).Inc()
 	repaired := 0
 	for _, ie := range s.store.List() {
 		if ctx.Err() != nil {
@@ -262,8 +279,14 @@ func (s *Server) Sweep(ctx context.Context) int {
 		}
 		if len(missing) > 0 {
 			repaired++
-			s.metrics.Counter("fleet_repair_keys_total").Inc()
-			s.repl.enqueue(replItem{key: ie.Key, nodes: missing})
+			s.metrics.Counter(obs.MetricRepairKeys).Inc()
+			// Each repaired key roots its own trace: anti-entropy work has no
+			// originating request, but its pushes should still be visible in
+			// GET /v1/traces/{key}.
+			tr := s.traces.Root(ie.Key)
+			rid := tr.Start(0, obs.SpanRepair)
+			s.repl.enqueue(replItem{key: ie.Key, nodes: missing, sc: tr.Context(rid)})
+			tr.End(rid, "enqueued", nil)
 		}
 	}
 	atomic.StoreInt64(&s.lastSweepUnix, time.Now().Unix())

@@ -61,7 +61,7 @@ func TestReplicationSurvivesClientDisconnect(t *testing.T) {
 		t.Fatal(err)
 	}
 	ctx, cancel := context.WithCancel(context.Background())
-	rs := a.resolve(ctx, req)
+	rs := a.resolve(ctx, req, 0)
 	cancel() // the client is gone the moment the response exists
 	if rs.Status != "done" {
 		t.Fatalf("cold resolve: %+v", rs)
@@ -275,7 +275,7 @@ func TestDrainFlushesReplication(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rs := a.resolve(context.Background(), req)
+	rs := a.resolve(context.Background(), req, 0)
 	if rs.Status != "done" {
 		t.Fatalf("cold resolve: %+v", rs)
 	}

@@ -37,6 +37,8 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"runtime"
+	"runtime/debug"
 	"sort"
 	"strconv"
 	"sync"
@@ -112,6 +114,10 @@ type Config struct {
 	// QueueLimit bounds the admitted-but-unfinished run count; submissions
 	// beyond it get 429 + Retry-After (0 = DefaultQueueLimit).
 	QueueLimit int
+	// TraceCapacity bounds how many root executions the fleet trace
+	// recorder retains (0 = default 512; negative disables tracing — the
+	// recorder is nil and the hot path records nothing).
+	TraceCapacity int
 }
 
 // Server handles the /v1 API. Create with New, expose via Handler, and
@@ -139,6 +145,13 @@ type Server struct {
 	lastSweepUnix int64 // atomic; 0 = never swept
 
 	queueLimit int
+
+	// Observability: the fleet span recorder (nil = tracing disabled), the
+	// node label stamped on histogram series, and the start time /healthz
+	// reports uptime from.
+	traces    *obs.FleetRecorder
+	nodeLabel string
+	started   time.Time
 
 	// baseCtx outlives individual HTTP requests: enqueued runs must not
 	// die with the client connection that triggered them. Cancelling it
@@ -177,9 +190,17 @@ func New(cfg Config) *Server {
 		cancel:     cancel,
 		mux:        http.NewServeMux(),
 		inflight:   make(map[string]bool),
+		started:    time.Now(),
 	}
 	if s.queueLimit <= 0 {
 		s.queueLimit = DefaultQueueLimit
+	}
+	s.nodeLabel = cfg.Fleet.Self
+	if s.nodeLabel == "" {
+		s.nodeLabel = "local"
+	}
+	if cfg.TraceCapacity >= 0 {
+		s.traces = obs.NewFleetRecorder(s.nodeLabel, cfg.TraceCapacity, m)
 	}
 	if len(cfg.Fleet.Peers) > 1 {
 		s.ring = fleet.New(cfg.Fleet.Peers)
@@ -222,6 +243,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/runs/{key}", s.handleRun)
 	s.mux.HandleFunc("PUT /v1/runs/{key}", s.handleReplicate)
 	s.mux.HandleFunc("GET /v1/figures/{name}", s.handleFigure)
+	s.mux.HandleFunc("GET /v1/traces/{key}", s.handleTrace)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s
@@ -296,7 +318,7 @@ func (s *Server) probePeer(ctx context.Context, peer string) bool {
 	if err != nil {
 		return false
 	}
-	s.metrics.Counter("fleet_probe_total").Inc()
+	s.metrics.Counter(obs.MetricProbes).Inc()
 	resp, err := s.peerHTTP.Do(req)
 	if err != nil {
 		return false
@@ -315,7 +337,7 @@ func (s *Server) admit(n int) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.active+len(s.inflight)+n > s.queueLimit {
-		s.metrics.Counter("serve_throttled_total").Inc()
+		s.metrics.Counter(obs.MetricServeThrottled).Inc()
 		return false
 	}
 	s.active += n
@@ -397,37 +419,93 @@ func checkSchema(schema string) *api.Error {
 
 // ---- the resolution pipeline ------------------------------------------
 
+// observeRequest records one resolve's wall time into the node-labeled
+// serve_request_seconds histogram, by outcome.
+func (s *Server) observeRequest(d time.Duration, outcome string) {
+	s.metrics.Histogram(obs.MetricServeRequestSec,
+		obs.L("node", s.nodeLabel), obs.L("outcome", outcome)).ObserveDuration(d)
+}
+
+// observePhase records one pipeline phase's wall time into the
+// serve_phase_seconds histogram, labeled by node, phase, and outcome.
+func (s *Server) observePhase(phase, outcome string, d time.Duration) {
+	s.metrics.Histogram(obs.MetricServePhaseSec,
+		obs.L("node", s.nodeLabel), obs.L("phase", phase), obs.L("outcome", outcome)).ObserveDuration(d)
+}
+
 // resolve answers one request end to end: the local store, then the key's
 // ring owner and replicas (peer fetch), and only then — cold everywhere —
 // the simulator. A cold result is forwarded to the key's owners so the
 // next lookup is warm on any node. The warm path never simulates: it is
 // bounded by one store lookup plus at most Replicas network hops.
-func (s *Server) resolve(ctx context.Context, req harness.Request) api.RunStatus {
+//
+// Each execution roots a fleet trace under the key's deterministic trace
+// id, records one span per phase, and feeds the phase histograms.
+// admitWait is the admission time the caller measured before calling in;
+// it becomes the admission span.
+func (s *Server) resolve(ctx context.Context, req harness.Request, admitWait time.Duration) api.RunStatus {
 	key := s.runner.StoreKey(req)
-	rs := api.RunStatus{Key: key, Request: req.String(), ResultURL: "/v1/runs/" + key}
-	if s.store.Contains(key) {
-		rs.Status, rs.Source = "hit", "store"
+	begin := time.Now()
+	tr := s.traces.Root(key)
+	root := tr.Start(0, obs.SpanRequest)
+	tr.Add(root, obs.SpanAdmission, "", admitWait)
+	s.observePhase("admission", "ok", admitWait)
+	finish := func(rs api.RunStatus, outcome string, err error) api.RunStatus {
+		tr.End(root, outcome, err)
+		s.observeRequest(time.Since(begin), outcome)
 		return rs
 	}
-	if raw := s.peerFetch(ctx, key); raw != nil {
-		if _, err := s.store.PutRaw(raw); err == nil {
-			rs.Status, rs.Source = "hit", "peer"
-			return rs
-		}
-		// A peer handed back bytes our store rejects: treat as a miss.
-		s.metrics.Counter("fleet_peer_invalid_total").Inc()
+	rs := api.RunStatus{Key: key, Request: req.String(), ResultURL: "/v1/runs/" + key}
+
+	gid := tr.Start(root, obs.SpanStoreGet)
+	gbegin := time.Now()
+	if s.store.Contains(key) {
+		tr.End(gid, "hit", nil)
+		s.observePhase("store", "hit", time.Since(gbegin))
+		rs.Status, rs.Source = "hit", "store"
+		return finish(rs, "hit-store", nil)
 	}
+	tr.End(gid, "miss", nil)
+	s.observePhase("store", "miss", time.Since(gbegin))
+
+	if s.ring != nil {
+		pbegin := time.Now()
+		if raw := s.peerFetch(ctx, key, tr, root); raw != nil {
+			s.observePhase("peer", "hit", time.Since(pbegin))
+			pid := tr.Start(root, obs.SpanStorePut)
+			_, err := s.store.PutRaw(raw)
+			tr.End(pid, "peer-bytes", err)
+			if err == nil {
+				rs.Status, rs.Source = "hit", "peer"
+				return finish(rs, "hit-peer", nil)
+			}
+			// A peer handed back bytes our store rejects: treat as a miss.
+			s.metrics.Counter(obs.MetricPeerInvalid).Inc()
+		} else {
+			s.observePhase("peer", "miss", time.Since(pbegin))
+		}
+	}
+
+	mid := tr.Start(root, obs.SpanSimulate)
+	mbegin := time.Now()
 	if _, err := s.runner.Run(ctx, req); err != nil {
+		tr.End(mid, "", err)
+		s.observePhase("sim", "error", time.Since(mbegin))
 		rs.Status = "failed"
 		rs.Error = &api.Error{Code: api.CodeRunFailed, Message: err.Error()}
-		return rs
+		return finish(rs, "failed", err)
 	}
+	tr.End(mid, "", nil)
+	s.observePhase("sim", "ok", time.Since(mbegin))
 	rs.Status, rs.Source = "done", "sim"
 	// Replication is queued, not awaited, and runs on the server's base
 	// context: the response does not wait for peer PUTs, and a client
-	// disconnect cannot cancel replication mid-flight.
-	s.forward(key)
-	return rs
+	// disconnect cannot cancel replication mid-flight. The queued item
+	// carries the trace context so the push spans land in this trace.
+	qid := tr.Start(root, obs.SpanReplEnqueue)
+	s.forward(key, tr.Context(qid))
+	tr.End(qid, "", nil)
+	return finish(rs, "sim", nil)
 }
 
 // ---- handlers ----------------------------------------------------------
@@ -437,7 +515,7 @@ func (s *Server) resolve(ctx context.Context, req harness.Request) api.RunStatus
 // hits still answer without simulating); without it, misses are enqueued
 // and the client polls GET /v1/runs/{key}.
 func (s *Server) handleRuns(w http.ResponseWriter, r *http.Request) {
-	s.metrics.Counter("serve_requests_total").Inc()
+	s.metrics.Counter(obs.MetricServeRequests).Inc()
 	if !s.checkVersion(w, r) {
 		return
 	}
@@ -459,10 +537,12 @@ func (s *Server) handleRuns(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, r, http.StatusBadRequest, perr)
 		return
 	}
+	admitBegin := time.Now()
 	if !s.admit(len(reqs)) {
 		s.throttle(w, r, len(reqs))
 		return
 	}
+	admitWait := time.Since(admitBegin)
 	transferred := 0 // slots handed off to async goroutines
 
 	wait := r.URL.Query().Get("wait") != ""
@@ -473,7 +553,7 @@ func (s *Server) handleRuns(w http.ResponseWriter, r *http.Request) {
 		if wait {
 			// The runner single-flights concurrent duplicates, so a grid
 			// containing repeats still simulates each point once.
-			rs = s.resolve(r.Context(), req)
+			rs = s.resolve(r.Context(), req, admitWait)
 		} else {
 			key := s.runner.StoreKey(req)
 			rs = api.RunStatus{Key: key, Request: req.String(), ResultURL: "/v1/runs/" + key}
@@ -512,7 +592,7 @@ func (s *Server) enqueue(key string, req harness.Request) string {
 		return "failed" // draining: no new work
 	}
 	s.inflight[key] = true
-	s.metrics.Counter("serve_queue_depth").Set(int64(len(s.inflight)))
+	s.metrics.Counter(obs.MetricServeQueueDepth).Set(int64(len(s.inflight)))
 	s.wg.Add(1)
 	go func() {
 		defer s.wg.Done()
@@ -520,10 +600,10 @@ func (s *Server) enqueue(key string, req harness.Request) string {
 		// Errors are not lost: the failed key stays absent from the store
 		// and a ?wait=1 resubmission reports the error inline. resolve
 		// consults peers before simulating, same as the synchronous path.
-		s.resolve(s.baseCtx, req)
+		s.resolve(s.baseCtx, req, 0)
 		s.mu.Lock()
 		delete(s.inflight, key)
-		s.metrics.Counter("serve_queue_depth").Set(int64(len(s.inflight)))
+		s.metrics.Counter(obs.MetricServeQueueDepth).Set(int64(len(s.inflight)))
 		s.mu.Unlock()
 	}()
 	return "enqueued"
@@ -534,11 +614,19 @@ func (s *Server) enqueue(key string, req harness.Request) string {
 // is in flight (202), or a 404 envelope. ?local=1 restricts the lookup to
 // this node's store — the form peers use, so fetches never cascade.
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
-	s.metrics.Counter("serve_requests_total").Inc()
+	s.metrics.Counter(obs.MetricServeRequests).Inc()
 	key := r.PathValue("key")
 	localOnly := r.URL.Query().Get("local") != ""
+	outcome := "miss"
 	if localOnly {
-		s.metrics.Counter("fleet_served_for_peer_total").Inc()
+		s.metrics.Counter(obs.MetricServedForPeer).Inc()
+		// The serving half of a propagated peer fetch: record it into the
+		// caller's trace so the assembled view shows both sides of the hop.
+		if sc, ok := obs.ParseSpanContext(r.Header.Get(api.TraceHeader)); ok {
+			tr := s.traces.Join(sc)
+			sid := tr.StartFrom(sc, obs.SpanPeerServe)
+			defer func() { tr.End(sid, outcome, nil) }()
+		}
 	}
 	_, raw, err := s.store.Get(key)
 	if err != nil {
@@ -546,17 +634,18 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if raw == nil && !localOnly {
-		if praw := s.peerFetch(r.Context(), key); praw != nil {
+		if praw := s.peerFetch(r.Context(), key, nil, 0); praw != nil {
 			if _, err := s.store.PutRaw(praw); err == nil {
 				s.serveRaw(w, praw, "peer")
 				return
 			}
-			s.metrics.Counter("fleet_peer_invalid_total").Inc()
+			s.metrics.Counter(obs.MetricPeerInvalid).Inc()
 		}
 	}
 	if raw != nil {
 		// The raw object file bytes, verbatim: every hit of a key — on any
 		// node — serves the identical body.
+		outcome = "hit"
 		s.serveRaw(w, raw, "hit")
 		return
 	}
@@ -587,8 +676,14 @@ func (s *Server) serveRaw(w http.ResponseWriter, raw []byte, source string) {
 // path. The body is another node's raw object bytes; they are validated
 // and stored verbatim, so replicas stay byte-identical to the original.
 func (s *Server) handleReplicate(w http.ResponseWriter, r *http.Request) {
-	s.metrics.Counter("serve_requests_total").Inc()
+	s.metrics.Counter(obs.MetricServeRequests).Inc()
 	key := r.PathValue("key")
+	outcome := "rejected"
+	if sc, ok := obs.ParseSpanContext(r.Header.Get(api.TraceHeader)); ok {
+		tr := s.traces.Join(sc)
+		sid := tr.StartFrom(sc, obs.SpanReplRecv)
+		defer func() { tr.End(sid, outcome, nil) }()
+	}
 	raw, err := readAll(r.Body, maxReplicaBytes)
 	if err != nil {
 		s.writeError(w, r, http.StatusBadRequest, api.Errorf(api.CodeBadRequest, "read body: %v", err))
@@ -606,7 +701,8 @@ func (s *Server) handleReplicate(w http.ResponseWriter, r *http.Request) {
 			api.Errorf(api.CodeBadRequest, "body is entry %s, not %s", stored, key))
 		return
 	}
-	s.metrics.Counter("fleet_replicated_in_total").Inc()
+	outcome = "stored"
+	s.metrics.Counter(obs.MetricReplicatedIn).Inc()
 	s.respond(w, http.StatusOK, map[string]any{"schema": api.Schema, "key": key, "status": "stored"})
 }
 
@@ -614,7 +710,7 @@ func (s *Server) handleReplicate(w http.ResponseWriter, r *http.Request) {
 // assembled by the scheduler — which means from the store when it is
 // warm, so regenerating a figure over cached runs simulates nothing.
 func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
-	s.metrics.Counter("serve_requests_total").Inc()
+	s.metrics.Counter(obs.MetricServeRequests).Inc()
 	name := r.PathValue("name")
 	build, ok := s.figureBuilders()[name]
 	if !ok {
@@ -664,13 +760,15 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	active := s.active
 	s.mu.Unlock()
 	resp := map[string]any{
-		"status":       "ok",
-		"schema":       store.Schema,
-		"api":          api.Schema,
-		"storeEntries": s.store.Len(),
-		"queueDepth":   queue,
-		"active":       active,
-		"queueLimit":   s.queueLimit,
+		"status":        "ok",
+		"schema":        store.Schema,
+		"api":           api.Schema,
+		"storeEntries":  s.store.Len(),
+		"queueDepth":    queue,
+		"active":        active,
+		"queueLimit":    s.queueLimit,
+		"uptimeSeconds": int64(time.Since(s.started).Seconds()),
+		"buildInfo":     buildInfo(),
 	}
 	if s.ring != nil {
 		resp["node"] = s.self
@@ -681,9 +779,9 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		fleetView := map[string]any{
 			"breakers":           s.health.Snapshot(),
 			"replicationQueue":   s.repl.depth(),
-			"replicationDropped": s.metrics.Value("fleet_repl_dropped_total"),
-			"repairedKeys":       s.metrics.Value("fleet_repair_keys_total"),
-			"sweeps":             s.metrics.Value("fleet_antientropy_sweeps_total"),
+			"replicationDropped": s.metrics.Value(obs.MetricReplDropped),
+			"repairedKeys":       s.metrics.Value(obs.MetricRepairKeys),
+			"sweeps":             s.metrics.Value(obs.MetricAntiEntropySweep),
 		}
 		if last := atomic.LoadInt64(&s.lastSweepUnix); last > 0 {
 			fleetView["lastSweep"] = time.Unix(last, 0).UTC().Format(time.RFC3339)
@@ -693,15 +791,35 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.respond(w, http.StatusOK, resp)
 }
 
+// buildInfo reports what binary is serving: the Go toolchain version and,
+// when the binary was built inside a git checkout, the VCS revision stamped
+// by the toolchain.
+func buildInfo() map[string]string {
+	info := map[string]string{"goVersion": runtime.Version()}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, kv := range bi.Settings {
+			switch kv.Key {
+			case "vcs.revision":
+				info["vcsRevision"] = kv.Value
+			case "vcs.time":
+				info["vcsTime"] = kv.Value
+			case "vcs.modified":
+				info["vcsModified"] = kv.Value
+			}
+		}
+	}
+	return info
+}
+
 // handleMetrics renders the shared registry (store hit/miss/put counters,
-// scheduler run counts, fleet peer fetch/hit/forward counters, queue
-// depth) in Prometheus text exposition format.
+// scheduler run counts, fleet peer fetch/hit/forward counters, latency
+// histograms, queue depth) in Prometheus text exposition format.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
-	s.metrics.Counter("serve_queue_depth").Set(int64(len(s.inflight)))
-	s.metrics.Counter("serve_active").Set(int64(s.active))
+	s.metrics.Counter(obs.MetricServeQueueDepth).Set(int64(len(s.inflight)))
+	s.metrics.Counter(obs.MetricServeActive).Set(int64(s.active))
 	s.mu.Unlock()
-	s.metrics.Counter("store_entries").Set(int64(s.store.Len()))
+	s.metrics.Counter(obs.MetricStoreEntries).Set(int64(s.store.Len()))
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	w.Header().Set(api.Header, api.Schema)
 	s.metrics.Render(w)

@@ -286,7 +286,7 @@ func (s *Store) Put(e Entry) (string, error) {
 	if err := s.writeIndexLocked(); err != nil {
 		return "", err
 	}
-	s.metrics.Counter("store_puts_total").Inc()
+	s.metrics.Counter(obs.MetricStorePuts).Inc()
 	return key, nil
 }
 
@@ -322,8 +322,8 @@ func (s *Store) PutRaw(data []byte) (string, error) {
 	if err := s.writeIndexLocked(); err != nil {
 		return "", err
 	}
-	s.metrics.Counter("store_puts_total").Inc()
-	s.metrics.Counter("store_replicas_total").Inc()
+	s.metrics.Counter(obs.MetricStorePuts).Inc()
+	s.metrics.Counter(obs.MetricStoreReplicas).Inc()
 	return key, nil
 }
 
@@ -335,7 +335,7 @@ func (s *Store) Get(key string) (*Entry, []byte, error) {
 	ie, ok := s.entries[key]
 	s.mu.Unlock()
 	if !ok {
-		s.count("store_misses_total")
+		s.count(obs.MetricStoreMisses)
 		return nil, nil, nil
 	}
 	path := s.objectPath(key)
@@ -344,19 +344,19 @@ func (s *Store) Get(key string) (*Entry, []byte, error) {
 		// Indexed but unreadable: drop the index entry so later calls are
 		// clean misses.
 		s.quarantine(key)
-		s.count("store_misses_total")
+		s.count(obs.MetricStoreMisses)
 		return nil, nil, nil
 	}
 	e, valid := validate(data, key)
 	if !valid {
 		s.quarantine(key)
-		s.count("store_misses_total")
+		s.count(obs.MetricStoreMisses)
 		return nil, nil, nil
 	}
 	// Seq is index-only state (object bytes are location-independent);
 	// restore it on the way out so callers still see insertion order.
 	e.Seq = ie.Seq
-	s.count("store_hits_total")
+	s.count(obs.MetricStoreHits)
 	return e, data, nil
 }
 
@@ -454,7 +454,7 @@ func (s *Store) quarantine(key string) {
 	s.mu.Unlock()
 	_ = err // the index rewrite is best-effort here; the map entry is gone
 	s.moveToQuarantine(s.objectPath(key))
-	s.count("store_quarantined_total")
+	s.count(obs.MetricStoreQuarantined)
 }
 
 // moveToQuarantine renames an object file into the quarantine directory.

@@ -210,8 +210,11 @@ func TestMetricsCounters(t *testing.T) {
 	if err := m.Render(&sb); err != nil {
 		t.Fatal(err)
 	}
-	want := "store_hits_total 1\nstore_misses_total 1\nstore_puts_total 1\n"
-	if sb.String() != want {
-		t.Errorf("Render:\n%s\nwant:\n%s", sb.String(), want)
+	// Render now carries # HELP/# TYPE exposition headers; the sample lines
+	// themselves must keep the plain `name value` form.
+	for _, line := range []string{"store_hits_total 1\n", "store_misses_total 1\n", "store_puts_total 1\n"} {
+		if !strings.Contains(sb.String(), line) {
+			t.Errorf("Render missing %q:\n%s", line, sb.String())
+		}
 	}
 }

@@ -5,7 +5,9 @@
 # Phases:
 #
 #   A. Proxy sanity: hintm-chaos fronting node 1 with delay+corrupt faults
-#      forwards requests but measurably injects both.
+#      forwards requests but measurably injects both, and its own /metrics
+#      endpoint counts the injections by behavior — the campaign can prove
+#      its faults fired without waiting for proxy exit.
 #   B. Node death mid-workload: node 3 is killed (SIGKILL) while a grid
 #      streams on node 1. The grid completes with zero failed cells, the
 #      same grid then answers entirely warm on node 2 (no re-simulation),
@@ -89,8 +91,10 @@ metric() { # metric <url> <name>
 
 # ---- Phase A: chaos proxy sanity ----------------------------------------
 CHAOS_ADDR="127.0.0.1:$((BASE_PORT + 10))"
+CHAOS_METRICS="127.0.0.1:$((BASE_PORT + 11))"
 "$TMP/hintm-chaos" -listen "$CHAOS_ADDR" -target "${NODES[0]}" \
-    -plan "delay=100ms,corrupt=1" -seed 7 >"$TMP/chaos.log" 2>&1 &
+    -plan "delay=100ms,corrupt=1" -seed 7 \
+    -metrics-addr "$CHAOS_METRICS" >"$TMP/chaos.log" 2>&1 &
 CHAOS_PID=$!
 PIDS+=($CHAOS_PID)
 for _ in $(seq 1 50); do
@@ -107,6 +111,19 @@ ELAPSED_MS=$(( $(date +%s%3N) - START_MS ))
 if cmp -s "$TMP/healthz-direct.json" "$TMP/healthz-chaos.json"; then
     echo "chaos-smoke: corrupt=1 body identical to direct fetch" >&2; exit 1
 fi
+
+# The proxy's own /metrics proves the faults fired, per behavior.
+curl -fsS "http://$CHAOS_METRICS/metrics" > "$TMP/chaos-metrics.txt"
+for behavior in delayed corrupted; do
+    N=$(awk -v s="chaos_injected_total{behavior=\"$behavior\"}" '$1 == s {print $2}' "$TMP/chaos-metrics.txt")
+    [[ "${N:-0}" -ge 1 ]] || {
+        echo "chaos-smoke: proxy /metrics shows no $behavior injections:" >&2
+        cat "$TMP/chaos-metrics.txt" >&2; exit 1; }
+done
+BYTES=$(awk '$1 == "chaos_proxied_bytes_total" {print $2}' "$TMP/chaos-metrics.txt")
+[[ "${BYTES:-0}" -ge 1 ]] || {
+    echo "chaos-smoke: proxy /metrics counted no proxied bytes" >&2; exit 1; }
+
 kill -TERM "$CHAOS_PID" 2>/dev/null || true
 wait "$CHAOS_PID" 2>/dev/null || true
 grep -Eq 'corrupted=[1-9]' "$TMP/chaos.log" || {

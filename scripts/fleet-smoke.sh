@@ -10,10 +10,15 @@
 #      summary shows zero simulated cells and the fleet-wide
 #      runner_sim_runs_total delta is zero (the warm path never simulates).
 #   3. Every node serves byte-identical object bytes for the same key.
-#   4. A seeded open-loop load run (hintm-load, bursty arrivals) against
-#      all three nodes meets the p99 latency and warm hit-rate SLOs, again
-#      with zero additional simulations.
-#   5. SIGTERM drains every node cleanly.
+#   4. The fleet traces tell the truth: the cold cell's assembled trace
+#      (GET /v1/traces/{key} on node 1) contains a simulate span, the warm
+#      resolve's trace on node 2 contains none, and `hintm-trace report
+#      -fleet` renders the phase breakdown plus valid Perfetto JSON.
+#   5. A seeded open-loop load run (hintm-load, bursty arrivals) against
+#      all three nodes meets the p99 latency and warm hit-rate SLOs —
+#      including the server-side p99 scraped from /metrics — again with
+#      zero additional simulations.
+#   6. SIGTERM drains every node cleanly.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -33,6 +38,7 @@ trap cleanup EXIT
 
 go build -o "$TMP/hintm-served" ./cmd/hintm-served
 go build -o "$TMP/hintm-load" ./cmd/hintm-load
+go build -o "$TMP/hintm-trace" ./cmd/hintm-trace
 
 NODES=()
 for i in 1 2 3; do
@@ -111,17 +117,55 @@ done
 cmp "$TMP/body1.json" "$TMP/body2.json" && cmp "$TMP/body1.json" "$TMP/body3.json" || {
     echo "fleet-smoke: nodes serve different bytes for $KEY" >&2; exit 1; }
 
-# Phase 4: seeded open-loop load over the warm fleet, SLO-gated. The pool
+# Phase 4: fleet traces. Node 1 resolved the cell cold, so its assembled
+# trace must contain the simulate span; node 2 answered it warm (store or
+# peer), so its latest root must not.
+curl -fsS "${NODES[0]}/v1/traces/$KEY" > "$TMP/trace-cold.json"
+grep -Eq '"schema": *"hintm-trace/v1"' "$TMP/trace-cold.json" || {
+    echo "fleet-smoke: cold trace has no schema:" >&2; cat "$TMP/trace-cold.json" >&2; exit 1; }
+grep -Eq '"kind": *"request"' "$TMP/trace-cold.json" || {
+    echo "fleet-smoke: cold trace has no root span" >&2; exit 1; }
+grep -Eq '"kind": *"simulate"' "$TMP/trace-cold.json" || {
+    echo "fleet-smoke: cold resolve's trace is missing its simulate span:" >&2
+    cat "$TMP/trace-cold.json" >&2; exit 1; }
+curl -fsS "${NODES[1]}/v1/traces/$KEY" > "$TMP/trace-warm.json"
+if grep -Eq '"kind": *"simulate"' "$TMP/trace-warm.json"; then
+    echo "fleet-smoke: warm resolve's trace claims a simulation:" >&2
+    cat "$TMP/trace-warm.json" >&2; exit 1
+fi
+grep -Eq '"kind": *"(store.get|peer.fetch)"' "$TMP/trace-warm.json" || {
+    echo "fleet-smoke: warm trace shows neither store hit nor peer fetch" >&2; exit 1; }
+
+# The reporter prints the phase breakdown and writes Perfetto JSON that a
+# strict parser accepts.
+"$TMP/hintm-trace" report -fleet "${NODES[0]}" -o "$TMP/perfetto.json" "$KEY" \
+    | tee "$TMP/trace-report.txt"
+grep -q 'attributed to phases' "$TMP/trace-report.txt" || {
+    echo "fleet-smoke: trace report printed no attribution line" >&2; exit 1; }
+python3 - "$TMP/perfetto.json" <<'PYEOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+evs = doc["traceEvents"]
+assert evs, "no trace events"
+assert any(e.get("ph") == "X" for e in evs), "no duration events"
+assert any(e.get("ph") == "M" for e in evs), "no process metadata"
+PYEOF
+
+# Phase 5: seeded open-loop load over the warm fleet, SLO-gated — the
+# client-side p99 plus the server-side p99 scraped from /metrics. The pool
 # is the same 8 specs, so every request must be a warm hit.
 "$TMP/hintm-load" -targets "$PEERS" -n 60 -rate 40 -arrivals bursty -seed 1 \
     -workloads labyrinth -scale small -htms p8,infcap -hints none,st,dyn,full \
-    -slo-p99 "${FLEET_SMOKE_P99:-2s}" -slo-hit-rate 0.99 -slo-max-failed 0 \
+    -slo-p99 "${FLEET_SMOKE_P99:-2s}" -slo-server-p99 "${FLEET_SMOKE_P99:-2s}" \
+    -slo-hit-rate 0.99 -slo-max-failed 0 \
     | tee "$TMP/load.txt"
+grep -q 'server p99' "$TMP/load.txt" || {
+    echo "fleet-smoke: load report has no server-side latency rows" >&2; exit 1; }
 SIMS_LOAD=$(fleet_sims)
 [[ "$SIMS_LOAD" -eq "$SIMS_COLD" ]] || {
     echo "fleet-smoke: load phase simulated ($SIMS_COLD -> $SIMS_LOAD)" >&2; exit 1; }
 
-# Phase 5: graceful SIGTERM drain on every node.
+# Phase 6: graceful SIGTERM drain on every node.
 for i in 1 2 3; do
     kill -TERM "${PIDS[$((i - 1))]}"
 done
@@ -133,4 +177,4 @@ for i in 1 2 3; do
 done
 PIDS=()
 
-echo "fleet-smoke: OK (8 cells cold on node 1, warm via peers on node 2, byte-identical on all 3, load SLOs met, SimRuns delta 0)"
+echo "fleet-smoke: OK (8 cells cold on node 1, warm via peers on node 2, byte-identical on all 3, traces cold/warm correct + Perfetto valid, load SLOs met incl. server-side p99, SimRuns delta 0)"
