@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all test vet race fuzz-short bench bench-smoke bench-diff trace-check serve-smoke fleet-smoke chaos-smoke figures svg ablate export clean
+.PHONY: all test vet race fuzz-short bench bench-smoke bench-diff trace-check serve-smoke fleet-smoke chaos-smoke hyp-smoke figures svg ablate export clean
 
 all: test
 
@@ -23,7 +23,7 @@ vet:
 race:
 	$(GO) test -race ./internal/harness/... ./internal/sim/... \
 		./internal/server/... ./internal/fleet/... ./internal/loadgen/... \
-		./internal/chaos/... ./internal/cli/...
+		./internal/chaos/... ./internal/cli/... ./internal/hyp/...
 
 # fuzz-short gives the classifier-soundness fuzzer a 10-second native-fuzzing
 # budget — enough for CI to catch regressions the seeded corpus misses.
@@ -95,6 +95,13 @@ fleet-smoke:
 # SimRuns delta of zero.
 chaos-smoke:
 	./scripts/chaos-smoke.sh
+
+# hyp-smoke re-verifies the committed hypothesis catalogue: a cold
+# `hintm-exp check` (every FINDINGS.md must regenerate byte-identical),
+# then a warm check with -assert-warm (every cell must be a store recall —
+# zero simulations).
+hyp-smoke:
+	./scripts/hyp-smoke.sh
 
 # trace-check records the same seeded run twice and requires byte-identical
 # traces and autopsies — the end-to-end determinism property the

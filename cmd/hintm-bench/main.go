@@ -11,6 +11,8 @@
 //	-large small|medium|large   input scale for Fig 7/8 (default large)
 //	-workloads a,b,c            restrict to a workload subset
 //	-seed N                     simulation seed
+//	-seeds N                    seed count for the "seeds" sweep target
+//	                            (runs seeds 1..N; default 5)
 //	-workers N                  concurrent simulations (0 = GOMAXPROCS)
 //	-timeout D                  abort the whole run after D (e.g. 10m)
 //	-faults SPEC                fault-injection plan, e.g. "spurious=0.01,storm=0.001"
@@ -48,6 +50,7 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "abort the whole run after this duration (0 = none)")
 	svgDir := flag.String("svg", "", "also render the figures as SVG files into this directory")
 	results := flag.String("results", "BENCH_results.json", `write machine-readable headline metrics here on the "all" target ("" = off)`)
+	seeds := flag.Int("seeds", 5, `seed count for the "seeds" target (sweeps seeds 1..N)`)
 	storeDir := cli.RegisterStore(flag.CommandLine, "")
 	tolerance := flag.Float64("tolerance", 0.05, `relative headline-metric tolerance for the "benchdiff" target`)
 	profiles := cli.RegisterProfiles(flag.CommandLine, "hintm-bench", "harness")
@@ -99,7 +102,11 @@ func main() {
 	case "export":
 		err = r.ExportAll(ctx, os.Stdout)
 	case "seeds":
-		err = harness.RenderSeedSweep(ctx, os.Stdout, opts, []uint64{1, 2, 3, 4, 5})
+		// Multi-seed robustness sweep: re-runs the headline comparison for
+		// seeds 1..N and prints the across-seed table (mean/median/min/max/
+		// stddev), so seed sensitivity is visible outside the hypothesis
+		// framework too.
+		err = harness.RenderSeedSweep(ctx, os.Stdout, opts, harness.Seeds(*seeds))
 	case "benchdiff":
 		// benchdiff never simulates: it loads two BENCH_results.json files
 		// and exits non-zero when the new one regresses the baseline's

@@ -1,0 +1,162 @@
+// Command hintm-exp runs the committed hypothesis catalogue.
+//
+// Usage:
+//
+//	hintm-exp [flags] [list|run|check|write]
+//
+// Targets:
+//
+//	list    print every registered hypothesis with its claim (no simulation)
+//	run     evaluate the selected hypotheses and print their verdicts
+//	check   run, then diff each committed FINDINGS.md byte-for-byte against
+//	        the fresh evaluation; exit non-zero on any drift
+//	write   run and regenerate the committed FINDINGS.md files in place
+//
+// Flags:
+//
+//	-hypothesis a,b   run only these hypotheses (comma-separated names)
+//	-all              run every registered hypothesis (default when no
+//	                  -hypothesis is given)
+//	-scale small|medium|large   input scale for every grid cell (default small,
+//	                  the scale the committed findings are generated at)
+//	-dir DIR          hypotheses tree root holding <name>/FINDINGS.md
+//	                  (default "hypotheses")
+//	-store DIR        content-addressed result store; warm cells are recalled,
+//	                  not re-simulated ("" = off)
+//	-workers N        concurrent simulations (0 = GOMAXPROCS)
+//	-timeout D        abort the whole run after D (e.g. 10m)
+//	-assert-warm      after running, exit non-zero if any cell actually
+//	                  simulated (CI uses this to prove the store made the
+//	                  second pass free)
+//
+// Every hypothesis is a one-variable-at-a-time grid executed through the
+// harness scheduler, so all cells share single-flight dedup and the store.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	_ "hintm/hypotheses"
+	"hintm/internal/cli"
+	"hintm/internal/harness"
+	"hintm/internal/hyp"
+	"hintm/internal/workloads"
+)
+
+func main() {
+	names := flag.String("hypothesis", "", "comma-separated hypothesis names (default: all)")
+	all := flag.Bool("all", false, "run every registered hypothesis")
+	scaleFlag := flag.String("scale", "small", "input scale for every grid cell: small|medium|large")
+	dir := flag.String("dir", "hypotheses", "hypotheses tree root holding <name>/FINDINGS.md")
+	storeDir := cli.RegisterStore(flag.CommandLine, "")
+	workers := flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
+	timeout := flag.Duration("timeout", 0, "abort the whole run after this duration (0 = none)")
+	assertWarm := flag.Bool("assert-warm", false, "exit non-zero if any cell simulated instead of recalling from the store")
+	flag.Parse()
+
+	target := "list"
+	if flag.NArg() > 0 {
+		target = flag.Arg(0)
+	}
+
+	specs, err := selectSpecs(*names, *all, target)
+	if err != nil {
+		fatal(err)
+	}
+
+	if target == "list" {
+		list(specs)
+		return
+	}
+
+	eng, err := newEngine(*scaleFlag, *storeDir, *workers)
+	if err != nil {
+		fatal(err)
+	}
+	ctx, stop := cli.Context(*timeout)
+	defer stop()
+
+	var failures []string
+	var simRuns uint64
+	for _, spec := range specs {
+		e, err := eng.Run(ctx, spec)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", spec.Name, err))
+		}
+		simRuns += e.SimRuns
+		fmt.Printf("%-28s %-12s sim-runs=%-3d %s\n", spec.Name, e.Outcome.Verdict, e.SimRuns, e.Outcome.Reason)
+		switch target {
+		case "run":
+		case "write":
+			if err := hyp.Write(e, *dir); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("%-28s wrote %s\n", "", hyp.Path(*dir, spec))
+		case "check":
+			if err := hyp.Check(e, *dir); err != nil {
+				failures = append(failures, err.Error())
+			}
+		default:
+			fatal(fmt.Errorf("unknown target %q (want list|run|check|write)", target))
+		}
+	}
+	fmt.Printf("total sim-runs: %d (store recalls excluded)\n", simRuns)
+	if len(failures) > 0 {
+		fatal(fmt.Errorf("%d hypothesis findings drifted:\n%s", len(failures), strings.Join(failures, "\n")))
+	}
+	if target == "check" {
+		fmt.Printf("check: %d hypotheses byte-identical to committed findings\n", len(specs))
+	}
+	if *assertWarm && simRuns > 0 {
+		fatal(fmt.Errorf("assert-warm: %d cells simulated instead of recalling from the store", simRuns))
+	}
+}
+
+// selectSpecs resolves -hypothesis/-all into a concrete spec list. With
+// neither flag, non-list targets default to the full catalogue.
+func selectSpecs(names string, all bool, target string) ([]*hyp.Spec, error) {
+	if names != "" && all {
+		return nil, fmt.Errorf("-hypothesis and -all are mutually exclusive")
+	}
+	if names == "" {
+		return hyp.All(), nil
+	}
+	var specs []*hyp.Spec
+	for _, name := range strings.Split(names, ",") {
+		s, err := hyp.ByName(strings.TrimSpace(name))
+		if err != nil {
+			return nil, err
+		}
+		specs = append(specs, s)
+	}
+	return specs, nil
+}
+
+func list(specs []*hyp.Spec) {
+	for _, s := range specs {
+		fmt.Printf("%s\n  variable: %s; levels: %d; seeds: %d\n  %s\n", s.Name, s.Variable, len(s.Levels), len(s.Seeds), s.Claim)
+	}
+}
+
+// newEngine builds the shared grid engine: default (non-quick) harness
+// options at the flagged scale, with the optional store attached.
+func newEngine(scale, storeDir string, workers int) (*hyp.Engine, error) {
+	opts := harness.DefaultOptions()
+	var err error
+	if opts.Scale, err = workloads.ParseScale(scale); err != nil {
+		return nil, err
+	}
+	opts.Workers = workers
+	if opts.Store, err = cli.OpenStore(storeDir); err != nil {
+		return nil, err
+	}
+	return &hyp.Engine{Opts: opts}, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hintm-exp:", err)
+	os.Exit(1)
+}

@@ -16,6 +16,7 @@
 //	-threads N                 override the paper's thread count
 //	-smt N                     hardware threads per core (default 1)
 //	-seed N                    simulation seed
+//	-sig-bits N                P8S read-signature size in bits (0 = default 1024)
 //	-timeout D                 abort the simulation after D (e.g. 30s)
 //	-faults SPEC               fault-injection plan, e.g. "spurious=0.01,storm=0.001"
 //	-watchdog N                livelock watchdog: fail after N cycles without progress

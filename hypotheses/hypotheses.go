@@ -1,0 +1,20 @@
+// Package hypotheses links every committed hypothesis into one importable
+// registry. Each subdirectory holds a single hyp.Spec (registered from its
+// init) alongside the committed FINDINGS.md that cmd/hintm-exp regenerates
+// and verifies byte-for-byte. Importing this package — as hintm-exp and the
+// tests here do — is what brings the full catalogue into hyp.All().
+package hypotheses
+
+import (
+	_ "hintm/hypotheses/dyn-recovers-infcap"
+	_ "hintm/hypotheses/fallback-lock-convoy"
+	_ "hintm/hypotheses/signature-false-conflicts"
+)
+
+// Names lists the committed hypotheses; hypotheses_test.go keeps it in
+// lockstep with both the registry and the directories on disk.
+var Names = []string{
+	"dyn-recovers-infcap",
+	"fallback-lock-convoy",
+	"signature-false-conflicts",
+}

@@ -102,13 +102,14 @@ type SimFlags struct {
 	scale     *string
 	smt       *int
 	seed      *uint64
+	sigBits   *uint64
 	faults    *string
 	watchdog  *int64
 	maxCycles *int64
 }
 
 // RegisterSim registers the shared single-run flags (-htm, -hints, -scale,
-// -smt, -seed, -faults, -watchdog, -max-cycles) on fs.
+// -smt, -seed, -sig-bits, -faults, -watchdog, -max-cycles) on fs.
 func RegisterSim(fs *flag.FlagSet) *SimFlags {
 	f := &SimFlags{}
 	f.htm = fs.String("htm", "p8", "baseline HTM: p8|p8s|l1tm|infcap|stm")
@@ -116,6 +117,7 @@ func RegisterSim(fs *flag.FlagSet) *SimFlags {
 	f.scale = fs.String("scale", "medium", "input scale: small|medium|large")
 	f.smt = fs.Int("smt", 1, "hardware threads per core")
 	f.seed = fs.Uint64("seed", 1, "simulation seed")
+	f.sigBits = fs.Uint64("sig-bits", 0, "P8S read-signature size in bits (0 = config default, 1024)")
 	f.faults = fs.String("faults", "", `fault-injection plan, e.g. "spurious=0.01,storm=0.001,inval-delay=200"`)
 	f.watchdog = fs.Int64("watchdog", 0, "fail after this many cycles without forward progress (0 = off)")
 	f.maxCycles = fs.Int64("max-cycles", 0, "hard cap on simulated cycles (0 = none)")
@@ -128,6 +130,9 @@ func (f *SimFlags) Config() (sim.Config, error) {
 	cfg := sim.DefaultConfig()
 	cfg.Seed = *f.seed
 	cfg.SMT = *f.smt
+	if *f.sigBits != 0 {
+		cfg.SigBits = *f.sigBits
+	}
 	var err error
 	if cfg.Faults, err = fault.ParsePlan(*f.faults); err != nil {
 		return cfg, err

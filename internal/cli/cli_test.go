@@ -50,7 +50,7 @@ func TestHarnessFlagsRejectBadScale(t *testing.T) {
 func TestSimFlagsRoundTrip(t *testing.T) {
 	fs := flag.NewFlagSet("test", flag.ContinueOnError)
 	f := RegisterSim(fs)
-	if err := fs.Parse([]string{"-htm", "p8s", "-hints", "dyn", "-scale", "large", "-smt", "2", "-seed", "9"}); err != nil {
+	if err := fs.Parse([]string{"-htm", "p8s", "-hints", "dyn", "-scale", "large", "-smt", "2", "-seed", "9", "-sig-bits", "256"}); err != nil {
 		t.Fatal(err)
 	}
 	cfg, err := f.Config()
@@ -59,6 +59,19 @@ func TestSimFlagsRoundTrip(t *testing.T) {
 	}
 	if cfg.HTM != sim.HTMP8S || cfg.Hints != sim.HintDynamic || cfg.SMT != 2 || cfg.Seed != 9 {
 		t.Errorf("config: htm=%v hints=%v smt=%d seed=%d", cfg.HTM, cfg.Hints, cfg.SMT, cfg.Seed)
+	}
+	if cfg.SigBits != 256 {
+		t.Errorf("sig bits: %d, want 256", cfg.SigBits)
+	}
+
+	// -sig-bits 0 keeps the config default rather than zeroing it.
+	fs0 := flag.NewFlagSet("test", flag.ContinueOnError)
+	f0 := RegisterSim(fs0)
+	if err := fs0.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if cfg0, err := f0.Config(); err != nil || cfg0.SigBits != sim.DefaultConfig().SigBits {
+		t.Errorf("default sig bits: %v, %v", cfg0.SigBits, err)
 	}
 	scale, err := f.Scale()
 	if err != nil || scale != workloads.Large {

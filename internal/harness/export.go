@@ -5,7 +5,6 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"math"
 
 	"hintm/internal/stats"
 )
@@ -59,11 +58,25 @@ func (r *Runner) ExportAll(ctx context.Context, w io.Writer) error {
 // SeedSweepRow summarizes headline metrics across seeds for one workload.
 type SeedSweepRow struct {
 	App string
-	// SpeedupMean/Min/Max are HinTM-vs-P8 speedups across the seeds.
-	SpeedupMean, SpeedupMin, SpeedupMax float64
+	// SpeedupMean/Median/Min/Max/StdDev are HinTM-vs-P8 speedups across
+	// the seeds.
+	SpeedupMean, SpeedupMedian, SpeedupMin, SpeedupMax, SpeedupStdDev float64
 	// CapRedMean is the mean full-HinTM capacity-abort reduction.
 	CapRedMean float64
 	Seeds      int
+}
+
+// Seeds returns the canonical seed list {1..n} the multi-seed sweeps use
+// (n <= 0 yields the single default seed).
+func Seeds(n int) []uint64 {
+	if n <= 0 {
+		n = 1
+	}
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = uint64(i + 1)
+	}
+	return out
 }
 
 // SeedSweep re-runs the Fig.-4 comparison for each seed and aggregates,
@@ -97,19 +110,17 @@ func SeedSweep(ctx context.Context, opts Options, seeds []uint64) ([]SeedSweepRo
 	var out []SeedSweepRow
 	for _, app := range order {
 		a := byApp[app]
-		row := SeedSweepRow{App: app, Seeds: len(a.speedups),
-			SpeedupMin: math.Inf(1), SpeedupMax: math.Inf(-1)}
-		for _, s := range a.speedups {
-			row.SpeedupMean += s
-			row.SpeedupMin = math.Min(row.SpeedupMin, s)
-			row.SpeedupMax = math.Max(row.SpeedupMax, s)
-		}
-		row.SpeedupMean /= float64(len(a.speedups))
-		for _, c := range a.capreds {
-			row.CapRedMean += c
-		}
-		row.CapRedMean /= float64(len(a.capreds))
-		out = append(out, row)
+		sum := stats.Summarize(a.speedups)
+		out = append(out, SeedSweepRow{
+			App:           app,
+			Seeds:         sum.N,
+			SpeedupMean:   sum.Mean,
+			SpeedupMedian: sum.Median,
+			SpeedupMin:    sum.Min,
+			SpeedupMax:    sum.Max,
+			SpeedupStdDev: sum.StdDev,
+			CapRedMean:    stats.Mean(a.capreds),
+		})
 	}
 	return out, nil
 }
@@ -121,12 +132,14 @@ func RenderSeedSweep(ctx context.Context, w io.Writer, opts Options, seeds []uin
 		return err
 	}
 	fmt.Fprint(w, Title(fmt.Sprintf("Seed sweep: HinTM speedup across %d seeds", len(seeds))))
-	t := stats.NewTable("app", "mean", "min", "max", "cap-red-mean")
+	t := stats.NewTable("app", "mean", "median", "min", "max", "stddev", "cap-red-mean")
 	for _, row := range rows {
 		t.Row(row.App,
 			fmt.Sprintf("%.2fx", row.SpeedupMean),
+			fmt.Sprintf("%.2fx", row.SpeedupMedian),
 			fmt.Sprintf("%.2fx", row.SpeedupMin),
 			fmt.Sprintf("%.2fx", row.SpeedupMax),
+			fmt.Sprintf("%.3f", row.SpeedupStdDev),
 			fmt.Sprintf("%.0f%%", row.CapRedMean*100))
 	}
 	t.Render(w)

@@ -25,6 +25,12 @@ type Request struct {
 	Hints sim.HintMode
 	// SMT is the hardware threads per core (0 is normalized to 1).
 	SMT int
+	// SigBits overrides the P8S read-signature size in bits (0 = the
+	// config default, 1024 per the paper). Only meaningful with HTM=P8S;
+	// the hypothesis framework sweeps it to measure signature-aliasing
+	// false conflicts. Zero keeps the store-key preimage unchanged, so
+	// every pre-existing store entry stays addressable.
+	SigBits uint64
 }
 
 // Result is the statistics bundle one simulation produces. It aliases
@@ -40,8 +46,14 @@ func (q Request) normalize() Request {
 	return q
 }
 
-// String renders the request for error messages and logs.
+// String renders the request for error messages and logs. The signature
+// override only appears when set, so default-signature requests render (and
+// name their trace artifacts) exactly as before.
 func (q Request) String() string {
 	q = q.normalize()
-	return fmt.Sprintf("%s/%v/%v/%v/smt%d", q.Workload, q.Scale, q.HTM, q.Hints, q.SMT)
+	s := fmt.Sprintf("%s/%v/%v/%v/smt%d", q.Workload, q.Scale, q.HTM, q.Hints, q.SMT)
+	if q.SigBits != 0 {
+		s += fmt.Sprintf("/sig%d", q.SigBits)
+	}
+	return s
 }

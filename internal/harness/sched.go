@@ -315,6 +315,9 @@ func (r *Runner) configFor(spec *workloads.Spec, req Request) sim.Config {
 	cfg.HTM = req.HTM
 	cfg.Hints = req.Hints
 	cfg.SMT = req.SMT
+	if req.SigBits != 0 {
+		cfg.SigBits = req.SigBits
+	}
 	if req.SMT > 1 {
 		cfg.Cores = spec.DefaultThreads
 		cfg.Cache = cache.DefaultConfig(cfg.Cores)

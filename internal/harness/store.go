@@ -33,6 +33,7 @@ type runKey struct {
 	HTM            string `json:"htm"`
 	Hints          string `json:"hints"`
 	SMT            int    `json:"smt"`
+	SigBits        uint64 `json:"sigBits,omitempty"`
 	Seed           uint64 `json:"seed"`
 	Faults         string `json:"faults,omitempty"`
 	WatchdogCycles int64  `json:"watchdogCycles,omitempty"`
@@ -50,6 +51,7 @@ func (r *Runner) KeyPreimage(req Request) []byte {
 		HTM:            req.HTM.String(),
 		Hints:          req.Hints.String(),
 		SMT:            req.SMT,
+		SigBits:        req.SigBits,
 		Seed:           r.opts.Seed,
 		Faults:         r.opts.Faults.String(),
 		WatchdogCycles: r.opts.WatchdogCycles,

@@ -139,6 +139,18 @@ func TestStoreKeyCoversRunDeterminants(t *testing.T) {
 	if key(base, other) == k0 {
 		t.Error("hint-mode change did not change the key")
 	}
+	sized := req
+	sized.SigBits = 256
+	if key(base, sized) == k0 {
+		t.Error("signature-size change did not change the key")
+	}
+	// SigBits 0 means "config default": its preimage must stay exactly the
+	// pre-SigBits encoding, so every store entry written before the field
+	// existed is still addressable (TestStorePreimageIsCanonical pins the
+	// bytes).
+	if key(base, req) != k0 {
+		t.Error("zero SigBits shifted the key")
+	}
 
 	// Options that do NOT reach the simulator must not shift addresses —
 	// a wider worker pool serves the same cache.

@@ -1,0 +1,122 @@
+package hyp
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"testing"
+
+	"hintm/internal/harness"
+	"hintm/internal/sim"
+	"hintm/internal/store"
+	"hintm/internal/workloads"
+)
+
+// engineSpec is a real two-level, two-seed hypothesis over the fastest
+// workload, used to exercise the engine against the actual simulator.
+func engineSpec() *Spec {
+	s := validSpec()
+	s.Judge = func(e *Evaluation) Outcome {
+		return Outcome{
+			Verdict: Supported,
+			Reason: fmt.Sprintf("control mean %.0f cycles, treatment mean %.0f cycles",
+				e.Mean(0, 0), e.Mean(1, 0)),
+		}
+	}
+	return s
+}
+
+func smallEngine(t *testing.T, dir string) *Engine {
+	t.Helper()
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := harness.QuickOptions()
+	opts.Store = st
+	return &Engine{Opts: opts}
+}
+
+func TestEngineGridShapeAndDeterminism(t *testing.T) {
+	dir := t.TempDir()
+	e1, err := smallEngine(t, dir).Run(context.Background(), engineSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(e1.Cells) != 2 || len(e1.Cells[0]) != 2 {
+		t.Fatalf("grid shape: %d levels × %d seeds", len(e1.Cells), len(e1.Cells[0]))
+	}
+	// Cold grid: every distinct (level, seed) cell simulates exactly once.
+	if e1.SimRuns != 4 {
+		t.Errorf("cold SimRuns = %d, want 4", e1.SimRuns)
+	}
+	for l, cells := range e1.Cells {
+		for s, c := range cells {
+			if c.Result == nil || len(c.Values) != 1 || c.Values[0] <= 0 {
+				t.Fatalf("cell[%d][%d] unmeasured: %+v", l, s, c)
+			}
+			if c.Seed != engineSpec().Seeds[s] {
+				t.Errorf("cell[%d][%d] seed %d", l, s, c.Seed)
+			}
+		}
+	}
+	// The treatment level's Apply must have reached the request.
+	if e1.Cells[1][0].Request.HTM != sim.HTMInfCap {
+		t.Error("level Apply did not reach the cell request")
+	}
+	if e1.Cells[0][0].Request.Scale != workloads.Small {
+		t.Error("engine scale did not reach the cell request")
+	}
+	if e1.Outcome.Verdict != Supported || e1.Outcome.Reason == "" {
+		t.Errorf("outcome: %+v", e1.Outcome)
+	}
+
+	// Warm rerun through the shared store: byte-identical findings, zero
+	// simulator invocations — the property `hintm-exp check` leans on.
+	e2, err := smallEngine(t, dir).Run(context.Background(), engineSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e2.SimRuns != 0 {
+		t.Errorf("warm SimRuns = %d, want 0", e2.SimRuns)
+	}
+	if !bytes.Equal(Render(e1), Render(e2)) {
+		t.Error("warm rerun rendered different findings bytes")
+	}
+}
+
+func TestEngineWorkerCountInvariance(t *testing.T) {
+	run := func(workers int) []byte {
+		opts := harness.QuickOptions()
+		opts.Workers = workers
+		ev, err := (&Engine{Opts: opts}).Run(context.Background(), engineSpec())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return Render(ev)
+	}
+	if !bytes.Equal(run(1), run(4)) {
+		t.Error("findings depend on worker count")
+	}
+}
+
+func TestEngineCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := (&Engine{Opts: harness.QuickOptions()}).Run(ctx, engineSpec()); err == nil {
+		t.Error("cancelled grid returned no error")
+	}
+}
+
+func TestEngineRejectsBadSpecAndWorkload(t *testing.T) {
+	bad := engineSpec()
+	bad.Seeds = nil
+	if _, err := (&Engine{Opts: harness.QuickOptions()}).Run(context.Background(), bad); err == nil {
+		t.Error("invalid spec accepted")
+	}
+	ghost := engineSpec()
+	ghost.Base.Workload = "no-such-workload"
+	if _, err := (&Engine{Opts: harness.QuickOptions()}).Run(context.Background(), ghost); err == nil {
+		t.Error("unknown workload accepted")
+	}
+}

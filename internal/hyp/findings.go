@@ -1,0 +1,137 @@
+package hyp
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"hintm/internal/stats"
+)
+
+// FINDINGS.md generation. Render is a pure function of the evaluation:
+// fixed section order, fixed-precision number formatting, no timestamps,
+// no environment — the same spec, scale, and seeds produce the same bytes
+// on every run, which is what lets the committed findings be re-verified
+// byte-for-byte in CI (`hintm-exp check`) and what the content-addressed
+// store makes cheap (a warm check simulates nothing).
+
+// Path returns the findings file for spec under the hypotheses tree root.
+func Path(root string, spec *Spec) string {
+	return filepath.Join(root, spec.Name, "FINDINGS.md")
+}
+
+// Render produces the complete FINDINGS.md contents for a measured
+// evaluation.
+func Render(e *Evaluation) []byte {
+	var b bytes.Buffer
+	spec := e.Spec
+	fmt.Fprintf(&b, "# Hypothesis: %s\n\n", spec.Name)
+	fmt.Fprintf(&b, "**Claim.** %s\n\n", spec.Claim)
+	fmt.Fprintf(&b, "**Verdict: %s** — %s\n", e.Outcome.Verdict, e.Outcome.Reason)
+	if len(spec.Refs) > 0 {
+		fmt.Fprintf(&b, "\nReferences:\n\n")
+		for _, r := range spec.Refs {
+			fmt.Fprintf(&b, "- %s\n", r)
+		}
+	}
+
+	fmt.Fprintf(&b, "\n## Method\n\n")
+	fmt.Fprintf(&b, "One-variable-at-a-time grid over **%s**; every other run determinant is\nfixed at the base request. The first level is the control; effect sizes are\nCohen's d versus it, across seeds.\n\n", spec.Variable)
+	fmt.Fprintf(&b, "- base request: `%s` at scale `%s`\n", e.Cells[0][0].Request, e.Scale)
+	names := make([]string, len(spec.Levels))
+	for i, l := range spec.Levels {
+		names[i] = "`" + l.Name + "`"
+	}
+	fmt.Fprintf(&b, "- levels: %s (first = control)\n", strings.Join(names, ", "))
+	seeds := make([]string, len(spec.Seeds))
+	for i, s := range spec.Seeds {
+		seeds[i] = fmt.Sprint(s)
+	}
+	fmt.Fprintf(&b, "- seeds: %s\n", strings.Join(seeds, ", "))
+	fmt.Fprintf(&b, "- grid: %d levels × %d seeds = %d simulations\n",
+		len(spec.Levels), len(spec.Seeds), len(spec.Levels)*len(spec.Seeds))
+
+	fmt.Fprintf(&b, "\n## Results\n")
+	for m, metric := range spec.Metrics {
+		fmt.Fprintf(&b, "\n### %s\n\n", metric.Name)
+		header := []string{"level"}
+		for _, s := range spec.Seeds {
+			header = append(header, fmt.Sprintf("seed %d", s))
+		}
+		header = append(header, "mean", "median", "min", "max", "stddev", "effect(d)")
+		t := stats.NewTable(header...)
+		for l := range spec.Levels {
+			row := []any{spec.Levels[l].Name}
+			for s := range spec.Seeds {
+				row = append(row, fmt.Sprintf(metric.Format, e.Cells[l][s].Values[m]))
+			}
+			sum := e.Summary(l, m)
+			row = append(row,
+				fmt.Sprintf(metric.Format, sum.Mean),
+				fmt.Sprintf(metric.Format, sum.Median),
+				fmt.Sprintf(metric.Format, sum.Min),
+				fmt.Sprintf(metric.Format, sum.Max),
+				fmt.Sprintf("%.3f", sum.StdDev),
+				effectCell(e, l, m))
+			t.Row(row...)
+		}
+		fmt.Fprintf(&b, "```\n%s```\n", t.String())
+	}
+
+	fmt.Fprintf(&b, "\n## Reproduce\n\n")
+	fmt.Fprintf(&b, "```\ngo run ./cmd/hintm-exp -scale %s -hypothesis %s run\ngo run ./cmd/hintm-exp -scale %s -hypothesis %s check\n```\n\n", e.Scale, spec.Name, e.Scale, spec.Name)
+	fmt.Fprintf(&b, "Every cell is a seeded-deterministic, content-addressed simulation:\n`check` re-runs the grid (warm cells are store recalls, not simulations —\npass `-store DIR` to keep one) and diffs this file byte-for-byte against\nthe committed copy, exiting non-zero on drift.\n")
+	return b.Bytes()
+}
+
+// effectCell renders one effect-size cell: "control" on the control row,
+// Cohen's d elsewhere, "n/a" when the statistic is undefined.
+func effectCell(e *Evaluation, l, m int) string {
+	if l == 0 {
+		return "control"
+	}
+	d, ok := e.Effect(l, m)
+	if !ok {
+		return "n/a"
+	}
+	return fmt.Sprintf("%+.2f", d)
+}
+
+// Write regenerates the findings file for e under root, creating the
+// hypothesis directory if needed.
+func Write(e *Evaluation, root string) error {
+	path := Path(root, e.Spec)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	return os.WriteFile(path, Render(e), 0o644)
+}
+
+// Check compares the freshly rendered findings against the committed file
+// and returns a descriptive error on any difference — a missing file, a
+// length change, or the first differing line. Byte identity is the
+// contract: the committed findings are exactly what the current tree
+// measures.
+func Check(e *Evaluation, root string) error {
+	path := Path(root, e.Spec)
+	want, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("hyp: %s: committed findings unreadable (generate with hintm-exp write): %w", e.Spec.Name, err)
+	}
+	got := Render(e)
+	if bytes.Equal(got, want) {
+		return nil
+	}
+	gotLines := strings.Split(string(got), "\n")
+	wantLines := strings.Split(string(want), "\n")
+	for i := 0; i < len(gotLines) && i < len(wantLines); i++ {
+		if gotLines[i] != wantLines[i] {
+			return fmt.Errorf("hyp: %s: findings drift at %s:%d:\n  committed: %s\n  measured:  %s",
+				e.Spec.Name, path, i+1, wantLines[i], gotLines[i])
+		}
+	}
+	return fmt.Errorf("hyp: %s: findings drift: %s has %d lines, regeneration has %d",
+		e.Spec.Name, path, len(wantLines), len(gotLines))
+}

@@ -1,0 +1,110 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Sample aggregates over float64 slices. The hypothesis framework reduces
+// per-seed metric values with these; every function is deterministic in the
+// input order (sums accumulate left to right) so rendered findings are
+// byte-reproducible for a fixed seed list.
+
+// Mean returns the arithmetic mean, 0 when xs is empty.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Median returns the middle value (mean of the two middle values for even
+// lengths), 0 when xs is empty. The input is not modified.
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := make([]float64, len(xs))
+	copy(s, xs)
+	sort.Float64s(s)
+	mid := len(s) / 2
+	if len(s)%2 == 1 {
+		return s[mid]
+	}
+	return (s[mid-1] + s[mid]) / 2
+}
+
+// Variance returns the unbiased sample variance (divisor n-1), 0 when xs
+// has fewer than two values — a single observation carries no spread
+// information, and callers treat the 0 as "spread unknown", not "spread
+// zero" (see CohenD).
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var sum float64
+	for _, x := range xs {
+		d := x - m
+		sum += d * d
+	}
+	return sum / float64(len(xs)-1)
+}
+
+// StdDev returns the sample standard deviation, 0 when xs has fewer than
+// two values.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// Summary bundles the aggregates one table row reports for a multi-seed
+// metric.
+type Summary struct {
+	N                int
+	Mean, Median     float64
+	Min, Max         float64
+	Variance, StdDev float64
+}
+
+// Summarize reduces xs into a Summary. The zero Summary is returned for an
+// empty slice.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{
+		N:        len(xs),
+		Mean:     Mean(xs),
+		Median:   Median(xs),
+		Min:      math.Inf(1),
+		Max:      math.Inf(-1),
+		Variance: Variance(xs),
+	}
+	s.StdDev = math.Sqrt(s.Variance)
+	for _, x := range xs {
+		s.Min = math.Min(s.Min, x)
+		s.Max = math.Max(s.Max, x)
+	}
+	return s
+}
+
+// CohenD returns the Cohen's-d effect size between two samples:
+// (mean(a) - mean(b)) / pooledStdDev. ok is false — and d is 0 — whenever
+// the statistic is undefined: either sample has fewer than two values (no
+// spread information), or the pooled standard deviation is zero (identical
+// constant samples admit no standardized effect). Callers must treat
+// ok=false as "effect size unknown" — the hypothesis judges report
+// INCONCLUSIVE rather than fabricating a divide-by-zero infinity.
+func CohenD(a, b []float64) (d float64, ok bool) {
+	if len(a) < 2 || len(b) < 2 {
+		return 0, false
+	}
+	na, nb := float64(len(a)), float64(len(b))
+	pooled := ((na-1)*Variance(a) + (nb-1)*Variance(b)) / (na + nb - 2)
+	if pooled <= 0 {
+		return 0, false
+	}
+	return (Mean(a) - Mean(b)) / math.Sqrt(pooled), true
+}

@@ -1,0 +1,96 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func close(a, b float64) bool { return math.Abs(a-b) < 1e-12 }
+
+func TestSampleAggregates(t *testing.T) {
+	tests := []struct {
+		name                 string
+		xs                   []float64
+		mean, median, varian float64
+		min, max             float64
+	}{
+		{"empty", nil, 0, 0, 0, 0, 0},
+		{"single", []float64{7}, 7, 7, 0, 7, 7},
+		{"pair", []float64{2, 4}, 3, 3, 2, 2, 4},
+		{"odd", []float64{5, 1, 3}, 3, 3, 4, 1, 5},
+		{"even", []float64{1, 2, 3, 4}, 2.5, 2.5, 5.0 / 3.0, 1, 4},
+		{"constant", []float64{2, 2, 2, 2}, 2, 2, 0, 2, 2},
+		{"negative", []float64{-3, -1, -2}, -2, -2, 1, -3, -1},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Mean(tt.xs); !close(got, tt.mean) {
+				t.Errorf("Mean = %v, want %v", got, tt.mean)
+			}
+			if got := Median(tt.xs); !close(got, tt.median) {
+				t.Errorf("Median = %v, want %v", got, tt.median)
+			}
+			if got := Variance(tt.xs); !close(got, tt.varian) {
+				t.Errorf("Variance = %v, want %v", got, tt.varian)
+			}
+			if got := StdDev(tt.xs); !close(got, math.Sqrt(tt.varian)) {
+				t.Errorf("StdDev = %v, want %v", got, math.Sqrt(tt.varian))
+			}
+			s := Summarize(tt.xs)
+			if len(tt.xs) == 0 {
+				if s != (Summary{}) {
+					t.Errorf("Summarize(empty) = %+v, want zero", s)
+				}
+				return
+			}
+			if s.N != len(tt.xs) || !close(s.Mean, tt.mean) || !close(s.Median, tt.median) ||
+				!close(s.Variance, tt.varian) || !close(s.Min, tt.min) || !close(s.Max, tt.max) {
+				t.Errorf("Summarize = %+v", s)
+			}
+		})
+	}
+}
+
+// Median must not reorder the caller's slice.
+func TestMedianDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Median(xs)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Errorf("Median mutated input: %v", xs)
+	}
+}
+
+func TestCohenD(t *testing.T) {
+	tests := []struct {
+		name   string
+		a, b   []float64
+		want   float64
+		wantOK bool
+	}{
+		// Single-seed samples carry no spread information: undefined, not
+		// a crash — the verdict layer reports INCONCLUSIVE.
+		{"single-seed-a", []float64{1}, []float64{2, 3}, 0, false},
+		{"single-seed-b", []float64{1, 2}, []float64{3}, 0, false},
+		{"both-empty", nil, nil, 0, false},
+		// Identical constant levels: pooled sd 0 and equal means — no
+		// standardized effect exists. Must be ok=false, not 0/0.
+		{"identical-levels", []float64{5, 5, 5}, []float64{5, 5, 5}, 0, false},
+		// Zero-variance samples with different means would divide by zero;
+		// the contract is ok=false so judges turn it into INCONCLUSIVE.
+		{"zero-variance-diff-means", []float64{1, 1, 1}, []float64{2, 2, 2}, 0, false},
+		// sd(a)=sd(b)=1, means 4 vs 2 -> d = 2.
+		{"well-defined", []float64{3, 4, 5}, []float64{1, 2, 3}, 2, true},
+		{"sign", []float64{1, 2, 3}, []float64{3, 4, 5}, -2, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			d, ok := CohenD(tt.a, tt.b)
+			if ok != tt.wantOK {
+				t.Fatalf("ok = %v, want %v (d=%v)", ok, tt.wantOK, d)
+			}
+			if !close(d, tt.want) {
+				t.Errorf("d = %v, want %v", d, tt.want)
+			}
+		})
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"strings"
 )
@@ -30,6 +31,12 @@ func (h *Hist) Add(v int) {
 // N returns the observation count.
 func (h *Hist) N() uint64 { return h.n }
 
+// Empty-histogram contract: a Hist with zero observations has no
+// distribution to summarize, so every summary accessor returns its
+// documented zero value — Mean, Max and Percentile return 0, CDF returns
+// all-zero probabilities, FractionAbove returns 0 — rather than whatever
+// the implementation would happen to produce. TestHistEmpty pins this.
+
 // Mean returns the average observation, 0 when empty.
 func (h *Hist) Mean() float64 {
 	if h.n == 0 {
@@ -42,9 +49,15 @@ func (h *Hist) Mean() float64 {
 	return sum / float64(h.n)
 }
 
-// Max returns the largest observation, 0 when empty.
+// Max returns the largest observation, 0 when empty. Observations may be
+// negative (Add takes any int): the maximum of an all-negative histogram is
+// its true (negative) largest value, not the accidental 0 the old
+// zero-initialized scan returned.
 func (h *Hist) Max() int {
-	max := 0
+	if h.n == 0 {
+		return 0
+	}
+	max := math.MinInt
 	for v := range h.counts {
 		if v > max {
 			max = v
@@ -85,7 +98,8 @@ func (h *Hist) FractionAbove(x int) float64 {
 	return 1 - h.CDF([]int{x})[0]
 }
 
-// Percentile returns the smallest value v with CDF(v) >= p (p in [0,1]).
+// Percentile returns the smallest value v with CDF(v) >= p (p in [0,1]),
+// 0 when empty.
 func (h *Hist) Percentile(p float64) int {
 	if h.n == 0 {
 		return 0

@@ -22,6 +22,48 @@ func TestHistBasics(t *testing.T) {
 	}
 }
 
+// TestHistEmpty pins the documented zero values of every summary accessor
+// on a zero-sample histogram: whatever the internals do, an empty Hist must
+// answer 0 everywhere, never panic, and never leak an implementation
+// accident (such as Percentile indexing an empty value list).
+func TestHistEmpty(t *testing.T) {
+	h := NewHist()
+	if h.N() != 0 {
+		t.Errorf("N = %d, want 0", h.N())
+	}
+	if got := h.Mean(); got != 0 {
+		t.Errorf("Mean = %f, want 0", got)
+	}
+	if got := h.Max(); got != 0 {
+		t.Errorf("Max = %d, want 0", got)
+	}
+	for _, p := range []float64{0, 0.5, 0.95, 1} {
+		if got := h.Percentile(p); got != 0 {
+			t.Errorf("Percentile(%v) = %d, want 0", p, got)
+		}
+	}
+	for i, c := range h.CDF([]int{-1, 0, 7}) {
+		if c != 0 {
+			t.Errorf("CDF[%d] = %f, want 0", i, c)
+		}
+	}
+	if got := h.FractionAbove(0); got != 0 {
+		t.Errorf("FractionAbove = %f, want 0", got)
+	}
+}
+
+// Max must report the true maximum for all-negative histograms, not the
+// zero-initialized accumulator.
+func TestHistMaxNegative(t *testing.T) {
+	h := NewHist()
+	for _, v := range []int{-5, -9, -2} {
+		h.Add(v)
+	}
+	if got := h.Max(); got != -2 {
+		t.Errorf("Max = %d, want -2", got)
+	}
+}
+
 func TestHistCDF(t *testing.T) {
 	h := NewHist()
 	for v := 1; v <= 10; v++ {

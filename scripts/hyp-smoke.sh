@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# hyp-smoke: the hypothesis-catalogue reproducibility gate.
+#
+# Runs `hintm-exp check` twice over every committed hypothesis at small
+# scale against a fresh temp store:
+#
+#   1. cold pass — every grid cell simulates; each regenerated FINDINGS.md
+#      must be byte-identical to the committed copy (non-zero exit on any
+#      drift), proving the committed verdicts are what the current tree
+#      measures;
+#   2. warm pass — the same check again with -assert-warm, which exits
+#      non-zero unless the store recalled every cell (total sim-runs 0),
+#      proving re-verification is free once a store is populated.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+go build -o "$TMP/hintm-exp" ./cmd/hintm-exp
+
+echo "hyp-smoke: cold check (every cell simulates, findings must not drift)"
+"$TMP/hintm-exp" -scale small -store "$TMP/store" -all check
+
+echo "hyp-smoke: warm check (every cell must be a store recall)"
+"$TMP/hintm-exp" -scale small -store "$TMP/store" -all -assert-warm check
+
+echo "hyp-smoke: OK"
