@@ -3,7 +3,7 @@
 // Usage:
 //
 //	hintm-bench [flags] [table1|table2|fig1|fig4|fig5|fig6|fig7|fig8|ablate|extras|export|seeds|svg|all]
-//	hintm-bench [-tolerance F] benchdiff BASELINE.json CURRENT.json
+//	hintm-bench [-tolerance F] [-min-wall S] benchdiff BASELINE.json CURRENT.json
 //
 // Flags:
 //
@@ -24,8 +24,13 @@
 //	-store DIR                  recall/persist every run in a content-addressed
 //	                            result store (warm-cache figure regeneration;
 //	                            shared with hintm-served)
+//	-prefix-share BOOL          share each grid group's warm-up prefix via
+//	                            snapshot/fork (default true; results stay
+//	                            byte-identical either way)
 //	-tolerance F                relative tolerance for the benchdiff target
 //	                            (default 0.05)
+//	-min-wall S                 shortest baseline wall time the benchdiff
+//	                            target gates in relative terms (default 0.05)
 //	-cpuprofile/-memprofile     write Go pprof profiles of the harness itself
 //
 // When individual runs fail (injected faults, watchdog trips, panics) the
@@ -37,6 +42,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
@@ -53,6 +59,7 @@ func main() {
 	seeds := flag.Int("seeds", 5, `seed count for the "seeds" target (sweeps seeds 1..N)`)
 	storeDir := cli.RegisterStore(flag.CommandLine, "")
 	tolerance := flag.Float64("tolerance", 0.05, `relative headline-metric tolerance for the "benchdiff" target`)
+	minWall := flag.Float64("min-wall", harness.DefaultMinWallSeconds, `shortest baseline wall time (seconds) the "benchdiff" target gates in relative terms`)
 	profiles := cli.RegisterProfiles(flag.CommandLine, "hintm-bench", "harness")
 	flag.Parse()
 
@@ -83,18 +90,19 @@ func main() {
 		target = flag.Arg(0)
 	}
 	switch target {
-	case "fig1":
-		err = r.RenderFig1(ctx, os.Stdout)
-	case "fig4":
-		err = r.RenderFig4(ctx, os.Stdout)
-	case "fig5":
-		err = r.RenderFig5(ctx, os.Stdout)
-	case "fig6":
-		err = r.RenderFig6(ctx, os.Stdout)
-	case "fig7":
-		err = r.RenderFig7(ctx, os.Stdout)
-	case "fig8":
-		err = r.RenderFig8(ctx, os.Stdout)
+	case "fig1", "fig4", "fig5", "fig6", "fig7", "fig8":
+		render := map[string]func(context.Context, io.Writer) error{
+			"fig1": r.RenderFig1, "fig4": r.RenderFig4, "fig5": r.RenderFig5,
+			"fig6": r.RenderFig6, "fig7": r.RenderFig7, "fig8": r.RenderFig8,
+		}[target]
+		before := r.Stats()
+		err = render(ctx, os.Stdout)
+		// Every run gets the production breakdown, not just "all": a
+		// single-figure render shows its own cold/store-hit/prefix-forked
+		// split the same way.
+		if ctx.Err() == nil {
+			r.RenderRunSummary(os.Stdout, target, r.Stats().Sub(before))
+		}
 	case "ablate":
 		err = r.RenderAblations(ctx, os.Stdout)
 	case "extras":
@@ -112,9 +120,9 @@ func main() {
 		// and exits non-zero when the new one regresses the baseline's
 		// headline metrics beyond -tolerance.
 		if flag.NArg() != 3 {
-			fatal(fmt.Errorf("usage: hintm-bench [-tolerance F] benchdiff BASELINE.json CURRENT.json"))
+			fatal(fmt.Errorf("usage: hintm-bench [-tolerance F] [-min-wall S] benchdiff BASELINE.json CURRENT.json"))
 		}
-		err = runBenchDiff(flag.Arg(1), flag.Arg(2), *tolerance)
+		err = runBenchDiff(flag.Arg(1), flag.Arg(2), harness.DiffOptions{Tolerance: *tolerance, MinWallSeconds: *minWall})
 	case "table1":
 		harness.RenderTable1(os.Stdout)
 	case "table2":
@@ -150,7 +158,7 @@ func main() {
 }
 
 // runBenchDiff compares two headline-metric files and fails on regressions.
-func runBenchDiff(basePath, curPath string, tolerance float64) error {
+func runBenchDiff(basePath, curPath string, o harness.DiffOptions) error {
 	load := func(path string) (*harness.BenchResults, error) {
 		f, err := os.Open(path)
 		if err != nil {
@@ -167,10 +175,10 @@ func runBenchDiff(basePath, curPath string, tolerance float64) error {
 	if err != nil {
 		return err
 	}
-	regressions := harness.DiffBenchResults(base, cur, tolerance)
+	regressions := harness.DiffBenchResultsOpts(base, cur, o)
 	if len(regressions) == 0 {
 		fmt.Printf("benchdiff: %s vs %s: no regressions beyond %.1f%% tolerance\n",
-			basePath, curPath, tolerance*100)
+			basePath, curPath, o.Tolerance*100)
 		return nil
 	}
 	return fmt.Errorf("benchdiff: %s regresses %s:\n%s",

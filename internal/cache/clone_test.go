@@ -1,0 +1,77 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func cloneConfig() Config {
+	return Config{
+		Cores:  2,
+		L1Sets: 4, L1Ways: 2,
+		L2Sets: 8, L2Ways: 2,
+		L1Latency: 3, L2Latency: 12, MemLatency: 100,
+	}
+}
+
+// A clone replayed against the same access sequence must behave exactly like
+// the original: same latencies, same bus ops, same evictions, same stats.
+// Eviction-victim selection depends on the copied LRU clocks, so this pins
+// the deep copy, not just the line contents.
+func TestHierarchyCloneReplaysIdentically(t *testing.T) {
+	h := New(cloneConfig())
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 200; i++ {
+		h.Access(rng.Intn(2), uint64(rng.Intn(64)), rng.Intn(3) == 0)
+	}
+	c := h.Clone()
+	if c.Stats() != h.Stats() {
+		t.Fatalf("clone stats %+v != original %+v", c.Stats(), h.Stats())
+	}
+
+	seq := make([][3]int, 300)
+	for i := range seq {
+		seq[i] = [3]int{rng.Intn(2), rng.Intn(64), rng.Intn(3)}
+	}
+	for i, s := range seq {
+		rh := h.Access(s[0], uint64(s[1]), s[2] == 0)
+		rc := c.Access(s[0], uint64(s[1]), s[2] == 0)
+		if rh.Latency != rc.Latency || rh.BusOp != rc.BusOp || len(rh.Evicted) != len(rc.Evicted) {
+			t.Fatalf("access %d diverged: original %+v, clone %+v", i, rh, rc)
+		}
+	}
+	if c.Stats() != h.Stats() {
+		t.Fatalf("replayed stats diverged: clone %+v, original %+v", c.Stats(), h.Stats())
+	}
+}
+
+func TestHierarchyCloneIndependence(t *testing.T) {
+	h := New(cloneConfig())
+	for b := uint64(0); b < 8; b++ {
+		h.Access(0, b, true)
+	}
+	before := h.Stats()
+	c := h.Clone()
+
+	// Hammer the clone: the original's stats and line states must not move.
+	for b := uint64(0); b < 64; b++ {
+		c.Access(1, b, true)
+	}
+	if h.Stats() != before {
+		t.Fatalf("original stats moved with the clone: %+v -> %+v", before, h.Stats())
+	}
+	// The original must still hit its warmed L1 lines (clone invalidations
+	// leaking through would force misses).
+	r := h.Access(0, 3, false)
+	if r.Latency != cloneConfig().L1Latency {
+		t.Fatalf("original lost its L1 line to the clone: latency %d", r.Latency)
+	}
+
+	c.Release()
+	// Released clone must not have freed backing shared with the original.
+	r = h.Access(0, 4, false)
+	if r.Latency != cloneConfig().L1Latency {
+		t.Fatalf("original broken after clone Release: latency %d", r.Latency)
+	}
+	h.Release()
+}

@@ -262,6 +262,11 @@ func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	}
 	if p.plan.Blackhole {
 		p.inject(statBlackholed, "blackholed")
+		// Drain the body before parking: the HTTP server only detects a
+		// vanished client via its background read, which stays off while
+		// the request body is unread — a blackholed PUT would otherwise
+		// hold this handler (and proxy shutdown) past the client's abort.
+		io.Copy(io.Discard, r.Body)
 		<-r.Context().Done()
 		return
 	}

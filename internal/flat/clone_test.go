@@ -1,0 +1,68 @@
+package flat
+
+import "testing"
+
+// Clone must preserve the probe layout slot-for-slot: the snapshot/fork
+// subsystem's byte-identity guarantee depends on iteration order over
+// Keys/Vals matching the original exactly, not just on set equality.
+func TestClonePreservesProbeLayout(t *testing.T) {
+	var tab Tab[int]
+	tab.Init(32, false)
+	// Insert then delete to exercise backward-shift repair, leaving a layout
+	// that differs from a fresh insert of the surviving keys.
+	for k := uint64(0); k < 20; k++ {
+		tab.Add(k, int(k)*10)
+	}
+	for k := uint64(0); k < 20; k += 3 {
+		tab.Del(k)
+	}
+	c := tab.Clone()
+	if c.N != tab.N || c.Gen != tab.Gen || len(c.Keys) != len(tab.Keys) {
+		t.Fatalf("clone shape: N %d/%d Gen %d/%d slots %d/%d",
+			c.N, tab.N, c.Gen, tab.Gen, len(c.Keys), len(tab.Keys))
+	}
+	for i := range tab.Keys {
+		if c.Gens[i] != tab.Gens[i] {
+			t.Fatalf("slot %d: gen %d != %d", i, c.Gens[i], tab.Gens[i])
+		}
+		if tab.Gens[i] == tab.Gen && (c.Keys[i] != tab.Keys[i] || c.Vals[i] != tab.Vals[i]) {
+			t.Fatalf("slot %d: live entry (%d,%d) != (%d,%d)",
+				i, c.Keys[i], c.Vals[i], tab.Keys[i], tab.Vals[i])
+		}
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	var tab Tab[int]
+	tab.Init(16, false)
+	for k := uint64(0); k < 8; k++ {
+		tab.Add(k, int(k))
+	}
+	c := tab.Clone()
+
+	// Mutations through the clone must not reach the original.
+	c.Del(2)
+	c.Add(100, 1)
+	if i, ok := tab.Find(2); !ok || tab.Vals[i] != 2 {
+		t.Fatal("original lost key 2 after clone.Del")
+	}
+	if _, ok := tab.Find(100); ok {
+		t.Fatal("original gained key 100 from clone.Add")
+	}
+
+	// And the other direction, including an O(1) generation-bump Reset and a
+	// growth rehash, both of which replace or invalidate backing state.
+	tab.Reset()
+	for k := uint64(200); k < 240; k++ {
+		tab.Add(k, 1)
+	}
+	if _, ok := c.Find(5); !ok {
+		t.Fatal("clone lost key 5 after original Reset+grow")
+	}
+	if _, ok := c.Find(200); ok {
+		t.Fatal("clone gained key 200 from original")
+	}
+	if n := c.N; n != 8 {
+		t.Fatalf("clone N = %d, want 8", n)
+	}
+}

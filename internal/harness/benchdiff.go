@@ -25,11 +25,25 @@ func wallTolerance(tolerance float64) float64 {
 	return wt
 }
 
-// minWallSeconds is the shortest baseline wall time worth comparing in
-// relative terms. Figures that reuse another figure's runs through the
-// content-addressed store complete in microseconds, where a relative gate
-// measures scheduler jitter, not performance.
-const minWallSeconds = 0.05
+// DefaultMinWallSeconds is the default for DiffOptions.MinWallSeconds: the
+// shortest baseline wall time worth comparing in relative terms. Figures
+// that reuse another figure's runs through the content-addressed store
+// complete in microseconds, where a relative gate measures scheduler
+// jitter, not performance.
+const DefaultMinWallSeconds = 0.05
+
+// DiffOptions tunes DiffBenchResultsOpts.
+type DiffOptions struct {
+	// Tolerance is the relative gate on the deterministic headline metrics:
+	// a higher-is-better metric regresses when cur < base*(1-Tolerance); a
+	// drifting metric when it moves more than Tolerance from base in either
+	// direction. Wall-time gates use wallTolerance(Tolerance).
+	Tolerance float64
+	// MinWallSeconds is the shortest baseline wall time gated in relative
+	// terms (0 = DefaultMinWallSeconds). Lower it to gate fast smoke grids;
+	// raise it on noisy shared runners.
+	MinWallSeconds float64
+}
 
 // ReadBenchResults decodes and validates one BENCH_results.json.
 func ReadBenchResults(r io.Reader) (*BenchResults, error) {
@@ -37,10 +51,12 @@ func ReadBenchResults(r io.Reader) (*BenchResults, error) {
 	if err := json.NewDecoder(r).Decode(&b); err != nil {
 		return nil, fmt.Errorf("bench results: %w", err)
 	}
-	// v1 baselines stay readable: the v2 additions (per-figure wall time,
-	// simulated-cycle throughput) decode as zero and the wall-time checks
-	// skip zero baselines.
-	if b.Schema != BenchResultsSchema && b.Schema != benchResultsSchemaV1 {
+	// Older baselines stay readable: the v2 additions (per-figure wall time,
+	// simulated-cycle throughput) and the v3 production breakdown decode as
+	// zero and every check skips zero baselines.
+	switch b.Schema {
+	case BenchResultsSchema, benchResultsSchemaV2, benchResultsSchemaV1:
+	default:
 		return nil, fmt.Errorf("bench results: schema %q, want %q (re-run hintm-bench to regenerate)",
 			b.Schema, BenchResultsSchema)
 	}
@@ -71,11 +87,20 @@ var drifting = []struct {
 	{"meanFracOverP8Full", func(h *FigureHeadline) float64 { return h.MeanFracOverP8Full }},
 }
 
-// DiffBenchResults compares cur against base and returns one line per
-// regression (empty = clean). tolerance is relative: a higher-is-better
-// metric regresses when cur < base*(1-tolerance); a drifting metric when
-// it moves more than tolerance relative to base in either direction.
+// DiffBenchResults compares cur against base with default options; see
+// DiffBenchResultsOpts.
 func DiffBenchResults(base, cur *BenchResults, tolerance float64) []string {
+	return DiffBenchResultsOpts(base, cur, DiffOptions{Tolerance: tolerance})
+}
+
+// DiffBenchResultsOpts compares cur against base and returns one line per
+// regression (empty = clean).
+func DiffBenchResultsOpts(base, cur *BenchResults, o DiffOptions) []string {
+	tolerance := o.Tolerance
+	minWall := o.MinWallSeconds
+	if minWall <= 0 {
+		minWall = DefaultMinWallSeconds
+	}
 	var out []string
 	if base.Seed != cur.Seed {
 		out = append(out, fmt.Sprintf("  seed mismatch: baseline %d vs current %d (not comparable)", base.Seed, cur.Seed))
@@ -92,12 +117,23 @@ func DiffBenchResults(base, cur *BenchResults, tolerance float64) []string {
 	// run slowed beyond wallTolerance(tolerance) — a real perf regression,
 	// not scheduler jitter. v1 baselines carry no per-figure wall times
 	// (zero) and store-hit figures run in microseconds, so only baselines
-	// above minWallSeconds are gated.
+	// above minWall are gated.
 	wallTol := wallTolerance(tolerance)
-	if base.WallSeconds >= minWallSeconds && cur.WallSeconds > base.WallSeconds*(1+wallTol) {
+	if base.WallSeconds >= minWall && cur.WallSeconds > base.WallSeconds*(1+wallTol) {
 		out = append(out, fmt.Sprintf("  wallSeconds %.2f -> %.2f (+%.0f%%, tolerance %.0f%%)",
 			base.WallSeconds, cur.WallSeconds,
 			(cur.WallSeconds/base.WallSeconds-1)*100, wallTol*100))
+	}
+
+	// Prefix sharing losing effectiveness is a perf regression even when the
+	// wall gate (deliberately wide) misses it: if the baseline shared
+	// prefixes and the current run simulated cold work yet shared nothing,
+	// the grouping broke. A current run with zero cold runs (fully
+	// store-warm) legitimately shares nothing and is not flagged; v1/v2
+	// baselines carry no breakdown (zero) and skip the gate.
+	if base.PrefixShared > 0 && cur.PrefixShared == 0 && cur.ColdRuns > 0 {
+		out = append(out, fmt.Sprintf("  prefixShared %d -> 0 with %d cold runs (warm-up sharing stopped working)",
+			base.PrefixShared, cur.ColdRuns))
 	}
 
 	figs := make([]string, 0, len(base.Figures))
@@ -132,7 +168,7 @@ func DiffBenchResults(base, cur *BenchResults, tolerance float64) []string {
 					name, m.name, bv, cv, tolerance*100))
 			}
 		}
-		if b.WallSeconds >= minWallSeconds && c.WallSeconds > b.WallSeconds*(1+wallTol) {
+		if b.WallSeconds >= minWall && c.WallSeconds > b.WallSeconds*(1+wallTol) {
 			out = append(out, fmt.Sprintf("  %s: wallSeconds %.2f -> %.2f (+%.0f%%, tolerance %.0f%%)",
 				name, b.WallSeconds, c.WallSeconds,
 				(c.WallSeconds/b.WallSeconds-1)*100, wallTol*100))

@@ -665,17 +665,65 @@ func (r *Runner) RenderExtras(ctx context.Context, w io.Writer) error {
 // figure yielding nothing at all) stops the sequence early.
 func (r *Runner) RenderAll(ctx context.Context, w io.Writer) error {
 	var errs []error
-	for _, f := range []func(context.Context, io.Writer) error{
-		r.RenderFig1, r.RenderFig4, r.RenderFig5, r.RenderFig6, r.RenderFig7, r.RenderFig8,
-	} {
-		if err := f(ctx, w); err != nil {
+	figures := []struct {
+		name   string
+		render func(context.Context, io.Writer) error
+	}{
+		{"fig1", r.RenderFig1}, {"fig4", r.RenderFig4}, {"fig5", r.RenderFig5},
+		{"fig6", r.RenderFig6}, {"fig7", r.RenderFig7}, {"fig8", r.RenderFig8},
+	}
+	spans := make([]RunStats, 0, len(figures))
+	names := make([]string, 0, len(figures))
+	for _, f := range figures {
+		before := r.Stats()
+		err := f.render(ctx, w)
+		spans = append(spans, r.Stats().Sub(before))
+		names = append(names, f.name)
+		if err != nil {
 			if ctx.Err() != nil {
 				return err
 			}
 			errs = append(errs, err)
 		}
 	}
+	r.renderRunSummary(w, names, spans)
 	return joinErrors(errs)
+}
+
+// renderRunSummary appends the per-figure production breakdown to every
+// full render: how each figure's simulations were obtained (full cold runs,
+// content-addressed store recalls, prefix-forked resumes) plus the shared
+// warm-ups executed and the wall time spent forking snapshots. Shared runs
+// attribute to the first figure that needed them, so later figures showing
+// zeros means the memoization is working, not that they rendered for free.
+// RenderRunSummary is the single-figure entry point to the same table:
+// callers that render one figure directly (hintm-bench fig4 etc.) pass the
+// figure name and the stats span their render consumed.
+func (r *Runner) RenderRunSummary(w io.Writer, name string, span RunStats) {
+	r.renderRunSummary(w, []string{name}, []RunStats{span})
+}
+
+func (r *Runner) renderRunSummary(w io.Writer, names []string, spans []RunStats) {
+	fmt.Fprint(w, Title("Run summary: how each figure's simulations were produced"))
+	// Fork wall time is deliberately absent here: stdout must stay
+	// byte-identical across worker counts and sharing modes aside, and a
+	// wall clock never is. It lives in BENCH_results.json (forkWallNanos),
+	// where bench-diff gates it with a tolerance.
+	tb := stats.NewTable("figure", "cold", "store-hit", "prefix-forked", "prefix-runs", "shared-cycles")
+	var total RunStats
+	for i, name := range names {
+		d := spans[i]
+		tb.Row(name, d.ColdRuns(), d.StoreHits, d.ForkedRuns, d.PrefixRuns, d.SharedCycles)
+		total.SimRuns += d.SimRuns
+		total.StoreHits += d.StoreHits
+		total.PrefixRuns += d.PrefixRuns
+		total.ForkedRuns += d.ForkedRuns
+		total.ForkSeconds += d.ForkSeconds
+		total.SharedCycles += d.SharedCycles
+	}
+	tb.Row("TOTAL", total.ColdRuns(), total.StoreHits, total.ForkedRuns, total.PrefixRuns,
+		total.SharedCycles)
+	tb.Render(w)
 }
 
 func mean(vals []float64) float64 {

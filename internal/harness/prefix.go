@@ -1,0 +1,167 @@
+package harness
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"time"
+
+	"hintm/internal/ir"
+	"hintm/internal/obs"
+	"hintm/internal/sim"
+	"hintm/internal/workloads"
+)
+
+// Grid-level warm-up prefix sharing. Every grid point over one (workload,
+// scale, SMT, seed) coordinate executes an identical single-threaded warm-up
+// before its first transaction or parallel region: nothing HTM-, static-
+// hint-, signature- or retry-policy-specific can influence execution until
+// transactional machinery engages (the dynamic-hint bit is the one hint
+// parameter the warm-up observes — it drives page classification on the
+// setup faults — so it stays in the key). RunAll groups its submitted grid
+// by that masked coordinate; the first sibling to actually need a
+// simulation runs the warm-up once (sim.RunToPrefix), and every sibling —
+// including that first one — forks the captured snapshot instead of
+// re-simulating the prefix. Forked results are byte-identical to cold runs:
+// sim-level identity is pinned by internal/sim's fork tests, grid-level
+// identity by TestPrefixTwinGrid and the seed-grid golden file.
+
+// prefixKeySchema versions the prefix grouping key. It shares runKey's
+// shape (store.Schema-style versioning) but is never used for store
+// addressing — bump it if the set of masked parameters changes.
+const prefixKeySchema = "hintm-prefix/v1"
+
+// prefixFlight is the single-flight cell for one prefix group: the first
+// sibling to reach the fork point materializes the snapshot, everyone else
+// waits on the once. A flight only exists for groups RunAll planned (≥ 2
+// distinct unsatisfied siblings), so lone requests never pay a warm-up +
+// fork when a plain cold run is cheaper.
+type prefixFlight struct {
+	once sync.Once
+	p    *sim.Prefix
+	err  error
+}
+
+// prefixShareable reports whether this runner may share prefixes at all.
+// Traced runs attach per-run tracers (the prefix would be silent exactly
+// where the trace should start) and fault plans consume per-access PRNG
+// draws during the warm-up, making it configuration-dependent.
+func (r *Runner) prefixShareable() bool {
+	return !r.opts.NoPrefixShare && r.opts.TraceDir == "" && !r.opts.Faults.Enabled()
+}
+
+// prefixKey returns the grouping key for req: the store-key preimage with
+// every post-warm-up determinant masked out. Two requests with equal keys
+// are guaranteed identical up to the prefix boundary.
+func (r *Runner) prefixKey(req Request) string {
+	req = req.normalize()
+	hints := "cold"
+	if req.Hints.Dynamic() {
+		hints = "dyn"
+	}
+	k := runKey{
+		Schema:         prefixKeySchema,
+		Workload:       req.Workload,
+		Scale:          req.Scale.String(),
+		Hints:          hints, // collapsed to the dynamic bit; HTM/SigBits masked entirely
+		SMT:            req.SMT,
+		Seed:           r.opts.Seed,
+		WatchdogCycles: r.opts.WatchdogCycles,
+		MaxCycles:      r.opts.MaxCycles,
+	}
+	data, err := json.Marshal(k)
+	if err != nil {
+		panic(fmt.Sprintf("harness: canonical prefix key encoding: %v", err))
+	}
+	return string(data)
+}
+
+// planPrefixes registers a prefix flight for every group of ≥ 2 distinct,
+// not-yet-scheduled requests sharing a prefix key. Planning is deliberately
+// store-blind: flights are lazy, so a group whose members all turn out to
+// be store-warm never simulates its warm-up. The worst case — all siblings
+// but one warm — costs one warm-up + one fork where a cold run would have
+// done, a bounded and rare overpayment.
+func (r *Runner) planPrefixes(reqs []Request) {
+	if !r.prefixShareable() {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	count := make(map[string]int)
+	seen := make(map[Request]bool)
+	for _, req := range reqs {
+		req = req.normalize()
+		if seen[req] {
+			continue
+		}
+		seen[req] = true
+		if _, done := r.runs[req]; done {
+			continue // already scheduled (or completed) by an earlier grid
+		}
+		count[r.prefixKey(req)]++
+	}
+	for key, n := range count {
+		if n < 2 {
+			continue
+		}
+		if _, ok := r.prefixes[key]; !ok {
+			r.prefixes[key] = &prefixFlight{}
+		}
+	}
+}
+
+// runPrefix executes one shared warm-up under the calling sibling's
+// already-held worker slot (so materialization can never deadlock the pool,
+// including Workers=1) and captures the snapshot.
+func (r *Runner) runPrefix(ctx context.Context, spec *workloads.Spec, req Request, mod *ir.Module) (*sim.Prefix, error) {
+	pcfg := sim.PrefixConfig(r.configFor(spec, req))
+	m, err := sim.New(pcfg, mod)
+	if err != nil {
+		return nil, err
+	}
+	// Release is a no-op on success (capture moves the components into the
+	// snapshot) and frees the pooled line backings on failure.
+	defer m.Release()
+	r.prefixRuns.Add(1)
+	r.opts.Metrics.Counter(obs.MetricPrefixRuns).Inc()
+	p, err := m.RunToPrefix(ctx)
+	if err != nil {
+		return nil, err
+	}
+	r.simCycles.Add(uint64(p.Cycles))
+	return p, nil
+}
+
+// machineFor builds the simulator for one request: a fork of the group's
+// shared prefix when RunAll planned one, a cold machine otherwise. The
+// returned prefixCycles is the simulated time already accounted to the
+// shared warm-up (0 for cold runs); the caller subtracts it so simCycles
+// counts executed — not recalled — cycles. Every prefix-path failure
+// degrades to a cold run: sharing is an optimization, never a correctness
+// dependency.
+func (r *Runner) machineFor(ctx context.Context, spec *workloads.Spec, req Request, mod *ir.Module, cfg sim.Config) (m *sim.Machine, prefixCycles int64, err error) {
+	if r.prefixShareable() && cfg.Tracer == nil {
+		r.mu.Lock()
+		pf := r.prefixes[r.prefixKey(req)]
+		r.mu.Unlock()
+		if pf != nil {
+			pf.once.Do(func() {
+				pf.p, pf.err = r.runPrefix(ctx, spec, req, mod)
+			})
+			if pf.err == nil && pf.p != nil {
+				start := time.Now()
+				if fm, ferr := pf.p.Fork(cfg); ferr == nil {
+					r.forkNanos.Add(time.Since(start).Nanoseconds())
+					r.forkedRuns.Add(1)
+					r.sharedCycles.Add(uint64(pf.p.Cycles))
+					r.opts.Metrics.Counter(obs.MetricPrefixForked).Inc()
+					return fm, pf.p.Cycles, nil
+				}
+			}
+		}
+	}
+	m, err = sim.New(cfg, mod)
+	return m, 0, err
+}

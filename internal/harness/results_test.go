@@ -224,3 +224,86 @@ func TestDiffBenchResultsFlagsWallTimeRegression(t *testing.T) {
 		t.Errorf("sub-floor wall baseline gated: %v", regs)
 	}
 }
+
+// MinWallSeconds moves the relative-gate floor: the same wall move must be
+// ignored below the floor and flagged above it, from both directions.
+func TestDiffOptionsMinWallSeconds(t *testing.T) {
+	base := baseSummary()
+	base.WallSeconds = 0.02 // below the 0.05 default floor
+	cur := baseSummary()
+	cur.WallSeconds = 10
+
+	// Default floor: a 0.02s baseline is noise, never gated.
+	if regs := DiffBenchResultsOpts(base, cur, DiffOptions{Tolerance: 0.05}); len(regs) != 0 {
+		t.Errorf("sub-default-floor baseline gated: %v", regs)
+	}
+	// Lowered floor: the same move is now a real regression.
+	o := DiffOptions{Tolerance: 0.05, MinWallSeconds: 0.01}
+	if regs := DiffBenchResultsOpts(base, cur, o); len(regs) == 0 {
+		t.Error("lowered floor did not gate a 500x wall regression")
+	}
+	// Raised floor: baselines under it are exempt even when the default
+	// would have gated them.
+	base.WallSeconds = 1
+	cur.WallSeconds = 100
+	if regs := DiffBenchResultsOpts(base, cur, DiffOptions{Tolerance: 0.05, MinWallSeconds: 5}); len(regs) != 0 {
+		t.Errorf("raised floor still gated a 1s baseline: %v", regs)
+	}
+	if regs := DiffBenchResultsOpts(base, cur, DiffOptions{Tolerance: 0.05}); len(regs) == 0 {
+		t.Error("default floor missed a 100x regression on a 1s baseline")
+	}
+
+	// The wrapper keeps the default floor.
+	base.WallSeconds, cur.WallSeconds = 0.02, 10
+	if regs := DiffBenchResults(base, cur, 0.05); len(regs) != 0 {
+		t.Errorf("DiffBenchResults changed its floor: %v", regs)
+	}
+}
+
+// A v2 baseline (wall times + throughput, no production breakdown) must
+// stay readable after the v3 bump, and its zero breakdown fields must skip
+// the prefix-sharing gate.
+func TestReadBenchResultsAcceptsV2(t *testing.T) {
+	v2 := `{"schema":"hintm-bench-results/v2","scale":"small","largeScale":"small",` +
+		`"seed":1,"wallSeconds":2.5,"simCycles":100,` +
+		`"figures":{"fig4":{"rows":5,"failed":0,"wallSeconds":1.5,"geomeanSpeedup":1.5}}}`
+	b, err := ReadBenchResults(strings.NewReader(v2))
+	if err != nil {
+		t.Fatalf("v2 baseline rejected: %v", err)
+	}
+	if b.Figures["fig4"].WallSeconds != 1.5 {
+		t.Errorf("v2 metrics lost: %+v", b.Figures["fig4"])
+	}
+	cur := baseSummary()
+	cur.ColdRuns = 50 // cold work with no sharing — fine against a v2 baseline
+	if regs := DiffBenchResultsOpts(b, cur, DiffOptions{Tolerance: 0.05}); len(regs) != 0 {
+		t.Errorf("v2-vs-v3 diff flagged v3-only fields: %v", regs)
+	}
+}
+
+func TestDiffBenchResultsFlagsLostPrefixSharing(t *testing.T) {
+	base := baseSummary()
+	base.ColdRuns, base.PrefixShared = 10, 40
+
+	// Sharing stopped while cold work remained: regression.
+	cur := baseSummary()
+	cur.ColdRuns, cur.PrefixShared = 50, 0
+	regs := strings.Join(DiffBenchResultsOpts(base, cur, DiffOptions{Tolerance: 0.05}), "\n")
+	if !strings.Contains(regs, "prefixShared") {
+		t.Errorf("lost sharing not flagged: %v", regs)
+	}
+
+	// A fully store-warm run (zero cold runs) legitimately shares nothing.
+	cur.ColdRuns, cur.PrefixShared = 0, 0
+	cur.StoreHits = 50
+	if regs := DiffBenchResultsOpts(base, cur, DiffOptions{Tolerance: 0.05}); len(regs) != 0 {
+		t.Errorf("store-warm run flagged: %v", regs)
+	}
+
+	// Sharing still active: clean.
+	cur.ColdRuns, cur.PrefixShared = 10, 40
+	cur.StoreHits = 0
+	if regs := DiffBenchResultsOpts(base, cur, DiffOptions{Tolerance: 0.05}); len(regs) != 0 {
+		t.Errorf("healthy sharing flagged: %v", regs)
+	}
+}

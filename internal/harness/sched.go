@@ -90,6 +90,7 @@ func (r *Runner) Run(ctx context.Context, req Request) (*sim.Result, error) {
 	// worker slot); a cold run is persisted the moment it completes, so the
 	// next process — or the next figure regeneration — recalls it.
 	if res, ok := r.storeGet(req); ok {
+		r.storeHits.Add(1)
 		f.val = res
 	} else {
 		f.val, f.err = r.execute(ctx, req)
@@ -120,6 +121,10 @@ func (r *Runner) Run(ctx context.Context, req Request) (*sim.Result, error) {
 // RequestError per distinct failure — so callers both get the partial
 // results and learn exactly which requests died.
 func (r *Runner) RunAll(ctx context.Context, reqs []Request) ([]*sim.Result, error) {
+	// Group the grid by shared warm-up prefix before anything runs, so
+	// sibling cells fork one captured snapshot instead of re-simulating
+	// their common setup (see prefix.go).
+	r.planPrefixes(reqs)
 	out := make([]*sim.Result, len(reqs))
 	errs := make([]error, len(reqs))
 	var wg sync.WaitGroup
@@ -227,7 +232,7 @@ func (r *Runner) execute(ctx context.Context, req Request) (res *sim.Result, err
 	if finish, err = r.attachTrace(&cfg, req); err != nil {
 		return nil, err
 	}
-	m, err := sim.New(cfg, mod)
+	m, prefixCycles, err := r.machineFor(ctx, spec, req, mod, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -235,7 +240,9 @@ func (r *Runner) execute(ctx context.Context, req Request) (res *sim.Result, err
 	r.noteExec()
 	res, err = m.Run(ctx)
 	if res != nil {
-		r.simCycles.Add(uint64(res.Cycles))
+		// A forked run's prefix cycles were executed (and counted) once by
+		// the shared warm-up; only the suffix was simulated here.
+		r.simCycles.Add(uint64(res.Cycles - prefixCycles))
 	}
 	return res, err
 }

@@ -1,0 +1,81 @@
+package mem
+
+import "testing"
+
+func TestMemoryCloneIndependence(t *testing.T) {
+	m := NewMemory()
+	// Touch several pages so the clone copies a multi-page index.
+	for i := 0; i < 5; i++ {
+		m.WriteWord(Addr(uint64(i)*PageSize), int64(i+1))
+	}
+	c := m.Clone()
+	if c.TouchedPages() != m.TouchedPages() {
+		t.Fatalf("clone touched %d pages, original %d", c.TouchedPages(), m.TouchedPages())
+	}
+	for i := 0; i < 5; i++ {
+		if v := c.ReadWord(Addr(uint64(i) * PageSize)); v != int64(i+1) {
+			t.Fatalf("clone page %d = %d, want %d", i, v, i+1)
+		}
+	}
+
+	// Writes through either side — to existing pages and to fresh ones —
+	// must never reach the other.
+	c.WriteWord(Addr(0), 42)
+	c.WriteWord(Addr(100*PageSize), 7)
+	m.WriteWord(Addr(PageSize), -1)
+	if v := m.ReadWord(Addr(0)); v != 1 {
+		t.Fatalf("original saw clone write: %d", v)
+	}
+	if v := m.ReadWord(Addr(100 * PageSize)); v != 0 {
+		t.Fatalf("original saw clone's fresh page: %d", v)
+	}
+	if v := c.ReadWord(Addr(PageSize)); v != 2 {
+		t.Fatalf("clone saw original write: %d", v)
+	}
+}
+
+func TestAllocatorCloneIdenticalSequences(t *testing.T) {
+	al := NewAllocator()
+	al.AllocGlobal(128)
+	a := al.Malloc(1, 64)
+	al.Malloc(1, 256)
+	al.Free(1, a, 64) // populate a size-class free list
+	al.StackAlloc(2, 512)
+
+	c := al.Clone()
+
+	// Identical allocation sequences through original and clone must carve
+	// identical addresses — forks from one snapshot rely on this.
+	ops := func(x *Allocator) []Addr {
+		return []Addr{
+			x.AllocGlobal(64),
+			x.Malloc(1, 64), // must reuse the freed block identically
+			x.Malloc(1, 32),
+			x.Malloc(3, 16), // fresh arena
+			x.StackAlloc(2, 64),
+		}
+	}
+	got, want := ops(c), ops(al)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("op %d: clone %#x, original %#x", i, got[i], want[i])
+		}
+	}
+}
+
+func TestAllocatorCloneIndependence(t *testing.T) {
+	al := NewAllocator()
+	al.Malloc(1, 64)
+	c := al.Clone()
+
+	// Divergent allocations must not disturb the other side's cursors.
+	for i := 0; i < 10; i++ {
+		c.Malloc(1, 128)
+	}
+	a1 := al.Malloc(1, 128)
+	c2 := NewAllocator()
+	c2.Malloc(1, 64)
+	if a2 := c2.Malloc(1, 128); a1 != a2 {
+		t.Fatalf("original drifted after clone allocations: %#x vs %#x", a1, a2)
+	}
+}

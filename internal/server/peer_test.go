@@ -3,6 +3,7 @@ package server
 import (
 	"context"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -86,7 +87,15 @@ func TestPeerFetchDegradesToSimulation(t *testing.T) {
 			w.Write(make([]byte, maxReplicaBytes+1))
 		}, "fleet_peer_errors_total", 30 * time.Second},
 		{"timeout", func(w http.ResponseWriter, r *http.Request) {
-			<-r.Context().Done() // never answer
+			// Never answer — but drain the body first. The server only
+			// notices a vanished client through its background read, which
+			// it does not start while the request body is unread; the async
+			// replication PUT that follows the local simulation has a body,
+			// so blocking on Done() with the body unread parks this handler
+			// past the client's 5s abort and wedges the httptest Close in
+			// cleanup forever.
+			io.Copy(io.Discard, r.Body)
+			<-r.Context().Done()
 		}, "", 500 * time.Millisecond}, // budget expiry is not charged to the peer
 	}
 	for _, tc := range cases {
@@ -119,6 +128,7 @@ func TestPeerFetchDegradesToSimulation(t *testing.T) {
 // the breakers are open it drops to zero peer calls.
 func TestPeerOverheadBounded(t *testing.T) {
 	blackhole := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.Copy(io.Discard, r.Body) // unread body suppresses disconnect detection (see the timeout case above)
 		<-r.Context().Done()
 	})
 	budget := 300 * time.Millisecond

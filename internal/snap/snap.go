@@ -1,0 +1,131 @@
+// Package snap captures and forks the full deterministic state of a
+// simulated machine at a declared prefix boundary. A State owns deep copies
+// (or, where the structures are immutable, shared references) of everything
+// that determines the rest of a run: the sparse physical memory, the
+// address-space allocator, the cache hierarchy with its line backings, the
+// translation subsystem (page table, arena, per-context TLBs), the main
+// thread's architectural state, and the machine's scalar counters. Fork
+// produces fresh, unaliased copies — copy-on-fork, not copy-on-write: a
+// clone is O(live state), and N siblings resuming from one State can run
+// concurrently without ever observing each other.
+//
+// What is deliberately NOT here: HTM controllers and fault-injection state.
+// The simulator only declares boundaries where every controller is
+// quiescent (holding zero information), so forks rebuild controllers from
+// their own configuration — that is exactly what lets sibling grid points
+// with different HTM kinds share one prefix. Fault engines consume PRNG
+// draws during the prefix, so fault-enabled runs are excluded from sharing
+// by the scheduler rather than cloned here.
+package snap
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"hintm/internal/cache"
+	"hintm/internal/interp"
+	"hintm/internal/mem"
+	"hintm/internal/vmem"
+)
+
+// Counters is the machine's scalar state at the boundary: everything
+// outside the component structures that the continuation of a run depends
+// on (instruction and access counts, per-context clocks, watchdog progress
+// marks). It is restored verbatim into each fork so a resumed run's final
+// statistics are byte-identical to a cold run's.
+type Counters struct {
+	// Steps is the instruction count at the boundary; CtxCycles the
+	// per-hardware-context clocks (only context 0 can be nonzero at a
+	// single-threaded boundary, but all are carried for robustness).
+	Steps     int64
+	CtxCycles []int64
+
+	// Access-class counts accumulated during the prefix (all prefix
+	// accesses are non-transactional, but every class is carried).
+	StaticSafeAccesses uint64
+	DynSafeAccesses    uint64
+	UnsafeTxAccesses   uint64
+	NonTxAccesses      uint64
+	SuspendedAccesses  uint64
+	PageModeCycles     int64
+
+	// Watchdog progress state: the guard grid keeps advancing the progress
+	// mark during a non-transactional prefix, so forks must resume from the
+	// captured values to trip (or not trip) at the same step a cold run
+	// would.
+	FallbackAcquires  uint64
+	LastProgress      uint64
+	LastProgressCycle int64
+}
+
+// State is one captured machine snapshot. Capture moves the prefix
+// machine's components in (zero-copy — the capturing machine is dead
+// afterwards); Fork clones them out. A State is immutable once built and
+// safe for concurrent Fork calls.
+type State struct {
+	Mem   *mem.Memory
+	Alloc *mem.Allocator
+	Cache *cache.Hierarchy
+	VM    *vmem.Manager
+	// Main is the main thread's architectural snapshot; immutable, so forks
+	// share it and instantiate fresh threads from it.
+	Main *interp.ThreadState
+
+	Counters Counters
+
+	forks atomic.Uint64
+}
+
+// Validate checks the snapshot is complete (every component present).
+func (s *State) Validate() error {
+	switch {
+	case s.Mem == nil, s.Alloc == nil, s.Cache == nil, s.VM == nil, s.Main == nil:
+		return fmt.Errorf("snap: incomplete state (mem %v alloc %v cache %v vm %v main %v)",
+			s.Mem != nil, s.Alloc != nil, s.Cache != nil, s.VM != nil, s.Main != nil)
+	}
+	return nil
+}
+
+// Forked is one fork's private copy of the captured state. Every reference
+// is independent of the State and of every other fork; Main is shared
+// because it is immutable (instantiate a thread with Main.NewThread).
+type Forked struct {
+	Mem   *mem.Memory
+	Alloc *mem.Allocator
+	Cache *cache.Hierarchy
+	VM    *vmem.Manager
+	Main  *interp.ThreadState
+
+	Counters Counters
+}
+
+// Fork deep-clones the state. Concurrent calls are safe: clones only read
+// the pristine snapshot. Cost is O(live state) — touched memory pages, live
+// cache lines, page-table and TLB entries — independent of how many forks
+// were taken before.
+func (s *State) Fork() Forked {
+	s.forks.Add(1)
+	f := Forked{
+		Mem:      s.Mem.Clone(),
+		Alloc:    s.Alloc.Clone(),
+		Cache:    s.Cache.Clone(),
+		VM:       s.VM.Clone(),
+		Main:     s.Main,
+		Counters: s.Counters,
+	}
+	f.Counters.CtxCycles = append([]int64(nil), s.Counters.CtxCycles...)
+	return f
+}
+
+// Forks reports how many forks have been taken from this state.
+func (s *State) Forks() uint64 { return s.forks.Load() }
+
+// Release returns pooled resources held by the pristine snapshot (the
+// cache line backings) to their pools. Optional; the state must not be
+// forked afterwards.
+func (s *State) Release() {
+	if s.Cache != nil {
+		s.Cache.Release()
+		s.Cache = nil
+	}
+}

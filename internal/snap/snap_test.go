@@ -1,0 +1,121 @@
+package snap
+
+import (
+	"sync"
+	"testing"
+
+	"hintm/internal/cache"
+	"hintm/internal/interp"
+	"hintm/internal/ir"
+	"hintm/internal/mem"
+	"hintm/internal/vmem"
+)
+
+// testState builds a minimal but fully-populated snapshot: a touched memory
+// page, a warmed cache line, a walked vmem page, and a main thread parked at
+// its entry point. Thread-state fidelity across a real prefix boundary is
+// pinned by internal/sim's fork tests; here we pin the State mechanics.
+func testState(t *testing.T) *State {
+	t.Helper()
+	b := ir.NewBuilder("snaptest")
+	f := b.Function("main", 0)
+	f.RetVoid()
+	prog, err := interp.NewProgram(b.M)
+	if err != nil {
+		t.Fatalf("NewProgram: %v", err)
+	}
+	m := mem.NewMemory()
+	m.WriteWord(mem.Addr(0), 7)
+	al := mem.NewAllocator()
+	al.Malloc(0, 64)
+	ch := cache.New(cache.DefaultConfig(1))
+	ch.Access(0, 3, true)
+	vm := vmem.New(1, 4, vmem.DefaultCosts(), true)
+	vm.Access(0, 0, 1, false)
+	th := prog.NewThread(0, "main", nil, al.StackAlloc(0, 64), 1)
+	return &State{
+		Mem: m, Alloc: al, Cache: ch, VM: vm, Main: th.CaptureState(),
+		Counters: Counters{Steps: 42, CtxCycles: []int64{100}, NonTxAccesses: 9},
+	}
+}
+
+func TestValidate(t *testing.T) {
+	s := testState(t)
+	if err := s.Validate(); err != nil {
+		t.Fatalf("complete state invalid: %v", err)
+	}
+	for name, strip := range map[string]func(*State){
+		"mem":   func(s *State) { s.Mem = nil },
+		"alloc": func(s *State) { s.Alloc = nil },
+		"cache": func(s *State) { s.Cache = nil },
+		"vm":    func(s *State) { s.VM = nil },
+		"main":  func(s *State) { s.Main = nil },
+	} {
+		broken := testState(t)
+		strip(broken)
+		if err := broken.Validate(); err == nil {
+			t.Errorf("state without %s validated", name)
+		}
+	}
+}
+
+func TestForkIndependence(t *testing.T) {
+	s := testState(t)
+	f1, f2 := s.Fork(), s.Fork()
+
+	// Each fork owns its mutable components; writes through one fork must be
+	// invisible to the other fork and to the pristine snapshot.
+	f1.Mem.WriteWord(mem.Addr(0), -1)
+	f1.Cache.Access(0, 50, true)
+	f1.VM.Access(0, 0, 2, true)
+	f1.Alloc.Malloc(0, 128)
+	f1.Counters.CtxCycles[0] = 777
+
+	if v := f2.Mem.ReadWord(mem.Addr(0)); v != 7 {
+		t.Fatalf("sibling fork saw write: %d", v)
+	}
+	if v := s.Mem.ReadWord(mem.Addr(0)); v != 7 {
+		t.Fatalf("snapshot saw fork write: %d", v)
+	}
+	if f2.Counters.CtxCycles[0] != 100 || s.Counters.CtxCycles[0] != 100 {
+		t.Fatal("CtxCycles aliased across forks")
+	}
+	if f2.Counters.Steps != 42 || f2.Counters.NonTxAccesses != 9 {
+		t.Fatalf("scalar counters not restored: %+v", f2.Counters)
+	}
+	// Main is deliberately shared (immutable); both forks must instantiate
+	// threads from it independently.
+	if f1.Main != s.Main || f2.Main != s.Main {
+		t.Fatal("Main should be shared, not cloned")
+	}
+}
+
+func TestForksCounterConcurrent(t *testing.T) {
+	s := testState(t)
+	const n = 16
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			f := s.Fork()
+			f.Mem.WriteWord(mem.Addr(8), 1)
+		}()
+	}
+	wg.Wait()
+	if got := s.Forks(); got != n {
+		t.Fatalf("Forks() = %d, want %d", got, n)
+	}
+	if v := s.Mem.ReadWord(mem.Addr(8)); v != 0 {
+		t.Fatalf("concurrent forks mutated the snapshot: %d", v)
+	}
+}
+
+func TestReleaseIdempotent(t *testing.T) {
+	s := testState(t)
+	s.Release()
+	s.Release() // second call must be a no-op, not a double-free
+	if s.Cache != nil {
+		t.Fatal("Release left the cache reference")
+	}
+}
